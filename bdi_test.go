@@ -1,0 +1,157 @@
+package bdi
+
+import (
+	"strings"
+	"testing"
+
+	"bdi/internal/core"
+	"bdi/internal/workload"
+)
+
+const exampleQuery = `
+PREFIX G: <http://www.essi.upc.edu/~snadal/BDIOntology/Global/>
+PREFIX sup: <http://www.essi.upc.edu/~snadal/BDIOntology/SUPERSEDE/>
+PREFIX sc: <http://schema.org/>
+SELECT ?x ?y
+FROM <http://www.essi.upc.edu/~snadal/BDIOntology/Global>
+WHERE {
+  VALUES (?x ?y) { (sup:applicationId sup:lagRatio) }
+  sc:SoftwareApplication G:hasFeature sup:applicationId .
+  sc:SoftwareApplication sup:hasMonitor sup:Monitor .
+  sup:Monitor sup:generatesQoS sup:InfoMonitor .
+  sup:InfoMonitor G:hasFeature sup:lagRatio
+}
+`
+
+// buildSystem assembles the running example through the public facade only.
+func buildSystem(t *testing.T, withEvolution bool) *System {
+	t.Helper()
+	sys := NewSystem()
+	if err := BuildSupersedeGlobalGraph(sys.Ontology); err != nil {
+		t.Fatal(err)
+	}
+	reg := workload.SupersedeTable1Registry(withEvolution)
+	releases := []Release{SupersedeReleaseW1(), SupersedeReleaseW2(), SupersedeReleaseW3()}
+	if withEvolution {
+		releases = append(releases, SupersedeReleaseW4())
+	}
+	for _, r := range releases {
+		w, _ := reg.Get(r.Wrapper.Name)
+		if _, err := sys.RegisterRelease(r, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sys
+}
+
+func TestSystemQuerySPARQL(t *testing.T) {
+	sys := buildSystem(t, false)
+	answer, res, err := sys.QuerySPARQL(exampleQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UCQ.Len() != 1 {
+		t.Errorf("walks = %d", res.UCQ.Len())
+	}
+	if answer.Cardinality() != 3 {
+		t.Errorf("answer = %d rows\n%s", answer.Cardinality(), answer)
+	}
+	if !answer.Schema.Has("applicationId") || !answer.Schema.Has("lagRatio") {
+		t.Errorf("schema = %v", answer.Schema)
+	}
+}
+
+func TestSystemSurvivesEvolution(t *testing.T) {
+	sys := buildSystem(t, true)
+	answer, res, err := sys.QuerySPARQL(exampleQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UCQ.Len() != 2 {
+		t.Errorf("walks after evolution = %d", res.UCQ.Len())
+	}
+	if answer.Cardinality() != 4 {
+		t.Errorf("answer = %d rows\n%s", answer.Cardinality(), answer)
+	}
+}
+
+func TestSystemRewriteOnly(t *testing.T) {
+	sys := buildSystem(t, false)
+	res, err := sys.RewriteSPARQL(exampleQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.UCQ.Signatures()) != 1 || res.UCQ.Signatures()[0] != "w1|w3" {
+		t.Errorf("signatures = %v", res.UCQ.Signatures())
+	}
+	omq, err := ParseOMQ(exampleQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := sys.Rewrite(omq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.UCQ.Len() != res.UCQ.Len() {
+		t.Error("Rewrite and RewriteSPARQL disagree")
+	}
+}
+
+func TestRegisterReleaseMismatch(t *testing.T) {
+	sys := NewSystem()
+	if err := BuildSupersedeGlobalGraph(sys.Ontology); err != nil {
+		t.Fatal(err)
+	}
+	w := NewMemoryWrapper("other", "D1", NewSchema([]string{"a"}, nil), nil)
+	if _, err := sys.RegisterRelease(SupersedeReleaseW1(), w); err == nil {
+		t.Error("mismatched wrapper name must be rejected")
+	} else if !strings.Contains(err.Error(), "other") {
+		t.Errorf("error should mention the wrapper: %v", err)
+	}
+}
+
+func TestRegisterReleaseWithoutExecutableWrapper(t *testing.T) {
+	sys := NewSystem()
+	if err := BuildSupersedeGlobalGraph(sys.Ontology); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.RegisterRelease(SupersedeReleaseW1(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.NewSource {
+		t.Error("first release of D1 should create the source")
+	}
+	if sys.Wrappers.Len() != 0 {
+		t.Error("no executable wrapper should be registered")
+	}
+	// Rewriting still works (it only needs the ontology)...
+	if _, err := sys.RewriteSPARQL(exampleQuery); err == nil {
+		t.Error("rewriting should fail: w3 is not registered yet, so applicationId has no provider")
+	}
+}
+
+func TestSystemStatsAndPrebuilt(t *testing.T) {
+	sys := buildSystem(t, true)
+	st := sys.Stats()
+	if st.Wrappers != 4 || st.Concepts != 5 {
+		t.Errorf("stats = %+v", st)
+	}
+	// NewSystemWith wraps prebuilt artifacts.
+	o, err := BuildSupersedeOntology(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2 := NewSystemWith(o, workload.SupersedeTable1Registry(false))
+	answer, _, err := sys2.QuerySPARQL(exampleQuery)
+	if err != nil || answer.Cardinality() != 3 {
+		t.Errorf("prebuilt system answer = %v, %v", answer, err)
+	}
+	if sys2.Rewriter() == nil || sys2.Resolver() == nil {
+		t.Error("accessors should not be nil")
+	}
+	// Wrapper IRI aliases resolve through the registry after RegisterRelease.
+	if _, ok := sys.Wrappers.Get(string(core.WrapperURI("w1"))); !ok {
+		t.Error("wrapper IRI alias missing")
+	}
+}

@@ -1,0 +1,386 @@
+package bdi
+
+// Benchmarks regenerating the paper's tables and figures (one benchmark per
+// experiment) plus the ablations called out in DESIGN.md. The printed
+// per-op times are the raw material for EXPERIMENTS.md; the shapes (growth
+// trends, who wins) are the reproduction target, not absolute numbers. Run:
+//
+//	go test -bench=. -benchmem
+//
+// cmd/benchrunner prints the same experiments as human-readable tables.
+
+import (
+	"fmt"
+	"testing"
+
+	"bdi/internal/core"
+	"bdi/internal/evolution"
+	"bdi/internal/gav"
+	"bdi/internal/rdf"
+	"bdi/internal/reasoner"
+	"bdi/internal/relational"
+	"bdi/internal/rewriting"
+	"bdi/internal/sparql"
+	"bdi/internal/store"
+	"bdi/internal/workload"
+	"bdi/internal/wrapper"
+)
+
+// --------------------------------------------------------------------------
+// Tables 3-5 (E1-E3): functional evaluation of the change taxonomy.
+// --------------------------------------------------------------------------
+
+func benchmarkChangeTable(b *testing.B, level evolution.Level) {
+	changes := make([]evolution.Change, 0, 64)
+	for _, c := range evolution.ByLevel(level) {
+		for i := 0; i < 8; i++ {
+			changes = append(changes, evolution.Change{Kind: c.Kind, API: "bench"})
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := evolution.Summarize(changes)
+		if s.Unknown != 0 {
+			b.Fatal("unexpected unknown changes")
+		}
+	}
+}
+
+func BenchmarkTable3APILevelClassification(b *testing.B) {
+	benchmarkChangeTable(b, evolution.APILevel)
+}
+
+func BenchmarkTable4MethodLevelClassification(b *testing.B) {
+	benchmarkChangeTable(b, evolution.MethodLevel)
+}
+
+func BenchmarkTable5ParameterLevelClassification(b *testing.B) {
+	benchmarkChangeTable(b, evolution.ParameterLevel)
+}
+
+// --------------------------------------------------------------------------
+// Table 6 (E4): industrial applicability over the five API change profiles.
+// --------------------------------------------------------------------------
+
+func BenchmarkTable6IndustrialApplicability(b *testing.B) {
+	profiles := evolution.Table6Profiles()
+	var changes []evolution.Change
+	for _, p := range profiles {
+		changes = append(changes, evolution.ChangesFromProfile(p)...)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := evolution.Applicability(profiles)
+		if rep.AggregateTotal < 70 || rep.AggregateTotal > 73 {
+			b.Fatalf("aggregate total out of range: %f", rep.AggregateTotal)
+		}
+		s := evolution.Summarize(changes)
+		if s.Total != 303 {
+			b.Fatalf("total changes = %d", s.Total)
+		}
+	}
+}
+
+// --------------------------------------------------------------------------
+// Figure 8 (E5): query answering time in the worst case (5-concept query,
+// disjoint wrappers per concept). The sub-benchmarks sweep the number of
+// wrappers per concept; walk counts grow as W^5.
+// --------------------------------------------------------------------------
+
+func BenchmarkFigure8QueryAnsweringWorstCase(b *testing.B) {
+	for _, wrappers := range []int{1, 2, 3, 4} {
+		wc, err := workload.BuildWorstCase(5, wrappers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("wrappersPerConcept=%d", wrappers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				walks, err := wc.Rewrite()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if walks != wc.ExpectedWalks() {
+					b.Fatalf("walks = %d, want %d", walks, wc.ExpectedWalks())
+				}
+			}
+			b.ReportMetric(float64(wc.ExpectedWalks()), "walks")
+		})
+	}
+}
+
+// BenchmarkFigure8ScalingInConcepts complements Figure 8 by scaling the
+// query length at a fixed number of wrappers per concept.
+func BenchmarkFigure8ScalingInConcepts(b *testing.B) {
+	for _, concepts := range []int{2, 3, 4, 5, 6} {
+		wc, err := workload.BuildWorstCase(concepts, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("concepts=%d", concepts), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := wc.Rewrite(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --------------------------------------------------------------------------
+// Figure 11 (E6): Source-graph growth over the Wordpress release trace.
+// --------------------------------------------------------------------------
+
+func BenchmarkFigure11WordpressGrowth(b *testing.B) {
+	releases := workload.WordpressPostsTrace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var lastCumulative int
+	for i := 0; i < b.N; i++ {
+		_, points, err := workload.SimulateWordpressGrowth(releases, workload.WordpressGrowthOptions{ReuseAttributes: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastCumulative = points[len(points)-1].CumulativeTriples
+	}
+	b.ReportMetric(float64(lastCumulative), "finalTriplesInS")
+}
+
+// --------------------------------------------------------------------------
+// E7 (ablation): LAV rewriting vs GAV unfolding under source evolution.
+// --------------------------------------------------------------------------
+
+func BenchmarkAblationLAVAnswerAfterEvolution(b *testing.B) {
+	o, err := core.BuildSupersedeOntology(true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := workload.SupersedeTable1Registry(true)
+	r := rewriting.NewRewriter(o)
+	resolver := wrapper.NewQualifiedResolver(reg)
+	omq := runningExampleOMQ()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		answer, res, err := r.Answer(omq, resolver)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.UCQ.Len() != 2 || answer.Cardinality() != 4 {
+			b.Fatalf("unexpected result: %d walks, %d rows", res.UCQ.Len(), answer.Cardinality())
+		}
+	}
+}
+
+func BenchmarkAblationGAVAnswerAfterEvolution(b *testing.B) {
+	reg := workload.SupersedeTable1Registry(true)
+	g := gav.New()
+	g.Define(gav.Mapping{Feature: core.SupApplicationID, Wrapper: "w3", Source: "D3", Attr: "TargetApp", IsID: true})
+	g.Define(gav.Mapping{Feature: core.SupLagRatio, Wrapper: "w1", Source: "D1", Attr: "lagRatio"})
+	g.AddJoin(relational.JoinCondition{LeftWrapper: "w3", LeftAttr: "MonitorId", RightWrapper: "w1", RightAttr: "VoDmonitorId"})
+	features := []rdf.IRI{core.SupApplicationID, core.SupLagRatio}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		answer, err := g.Answer(features, reg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// GAV misses the evolved version's rows (3 instead of 4).
+		if answer.Cardinality() != 3 {
+			b.Fatalf("rows = %d", answer.Cardinality())
+		}
+	}
+}
+
+// --------------------------------------------------------------------------
+// E8 (ablation): query-time RDFS inference vs materialization.
+// --------------------------------------------------------------------------
+
+const identifierTaxonomyQuery = `
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+PREFIX sc: <http://schema.org/>
+SELECT ?f WHERE { ?f rdfs:subClassOf sc:identifier . }`
+
+func BenchmarkAblationEntailmentQueryTime(b *testing.B) {
+	o, err := core.BuildSupersedeOntology(true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eval := sparql.NewEvaluator(o.Store())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sols, err := eval.Select(identifierTaxonomyQuery)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sols.Len() != 3 {
+			b.Fatalf("solutions = %d", sols.Len())
+		}
+	}
+}
+
+func BenchmarkAblationEntailmentMaterialized(b *testing.B) {
+	o, err := core.BuildSupersedeOntology(true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := o.Store()
+	if _, err := reasoner.Materialize(s, reasoner.DefaultMaterializeOptions()); err != nil {
+		b.Fatal(err)
+	}
+	eval := sparql.NewPlainEvaluator(s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sols, err := eval.Select(identifierTaxonomyQuery)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sols.Len() != 3 {
+			b.Fatalf("solutions = %d", sols.Len())
+		}
+	}
+}
+
+// --------------------------------------------------------------------------
+// Ablation: intra-concept pruning (phase #2 keeps only wrappers covering all
+// requested features of a concept). Disabling it is not supported by design,
+// so the benchmark quantifies the work pruning saves by comparing a query
+// whose concepts are fully covered against one with many partial providers.
+// --------------------------------------------------------------------------
+
+func BenchmarkIntraConceptPruning(b *testing.B) {
+	o, err := core.BuildSupersedeOntology(true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Register eight additional wrappers that only provide monitorId (partial
+	// providers for the Monitor concept): pruning must discard them.
+	for i := 0; i < 8; i++ {
+		g := rdf.NewGraph("")
+		g.Add(rdf.T(core.SupMonitor, core.GHasFeature, core.SupMonitorID))
+		spec := core.WrapperSpec{
+			Name:         fmt.Sprintf("partial%d", i),
+			Source:       fmt.Sprintf("P%d", i),
+			IDAttributes: []string{"mid"},
+		}
+		if _, err := o.NewRelease(core.Release{Wrapper: spec, Subgraph: g, F: map[string]rdf.IRI{"mid": core.SupMonitorID}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	r := rewriting.NewRewriter(o)
+	omq := runningExampleOMQ()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Rewrite(omq)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// The partial providers appear for the Monitor concept but are never
+		// part of a covering minimal walk.
+		if res.UCQ.Len() != 2 {
+			b.Fatalf("walks = %d", res.UCQ.Len())
+		}
+	}
+}
+
+// --------------------------------------------------------------------------
+// Supporting micro-benchmarks: the building blocks the experiments rely on.
+// --------------------------------------------------------------------------
+
+func BenchmarkAlgorithm1NewRelease(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		o := core.NewOntology()
+		if err := core.BuildSupersedeGlobalGraph(o); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		for _, r := range []core.Release{core.SupersedeReleaseW1(), core.SupersedeReleaseW2(), core.SupersedeReleaseW3(), core.SupersedeReleaseW4()} {
+			if _, err := o.NewRelease(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkRunningExampleRewriteOnly(b *testing.B) {
+	o, err := core.BuildSupersedeOntology(false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rewriting.NewRewriter(o)
+	omq := runningExampleOMQ()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Rewrite(omq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSPARQLParseRunningExample(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sparql.Parse(exampleQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStorePatternMatch(b *testing.B) {
+	o, err := core.BuildSupersedeOntology(true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := o.Store()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if quads := s.Match(store.WildcardGraph(nil, core.GHasFeature, nil)); len(quads) == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+func BenchmarkWalkExecutionScaledData(b *testing.B) {
+	o, err := core.BuildSupersedeOntology(true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := workload.SupersedeScaledRegistry(200, 20, 7, true)
+	r := rewriting.NewRewriter(o)
+	resolver := wrapper.NewQualifiedResolver(reg)
+	res, err := r.Rewrite(runningExampleOMQ())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		answer, err := r.ExecuteResult(res, resolver)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if answer.Cardinality() == 0 {
+			b.Fatal("empty answer")
+		}
+	}
+}
+
+// runningExampleOMQ is the paper's exemplary query (shared by benchmarks).
+func runningExampleOMQ() *rewriting.OMQ {
+	return rewriting.NewOMQ(
+		[]rdf.IRI{core.SupApplicationID, core.SupLagRatio},
+		rdf.T(core.SupSoftwareApplication, core.GHasFeature, core.SupApplicationID),
+		rdf.T(core.SupSoftwareApplication, core.SupHasMonitor, core.SupMonitor),
+		rdf.T(core.SupMonitor, core.SupGeneratesQoS, core.SupInfoMonitor),
+		rdf.T(core.SupInfoMonitor, core.GHasFeature, core.SupLagRatio),
+	)
+}

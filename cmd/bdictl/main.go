@@ -1,0 +1,172 @@
+// Command bdictl is a small command-line client for the BDI ontology
+// library. It builds (or loads) an ontology, lets the data steward inspect
+// it, and lets analysts pose ontology-mediated queries from the shell.
+//
+//	bdictl demo                        run the SUPERSEDE running example end to end
+//	bdictl stats                       print ontology statistics for the demo ontology
+//	bdictl concepts                    list concepts and features of G
+//	bdictl sources                     list data sources, wrappers and attributes of S
+//	bdictl rewrite  -query file.rq     rewrite an OMQ and print the walks
+//	bdictl query    -query file.rq     rewrite, execute and print the answer
+//	bdictl dump                        dump the ontology as TriG
+//	bdictl changes                     print the change taxonomy (Tables 3-5)
+//
+// The -evolved flag includes the evolved D1 schema version (wrapper w4).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bdi"
+	"bdi/internal/core"
+	"bdi/internal/evolution"
+	"bdi/internal/workload"
+)
+
+const demoQuery = `
+PREFIX G: <http://www.essi.upc.edu/~snadal/BDIOntology/Global/>
+PREFIX sup: <http://www.essi.upc.edu/~snadal/BDIOntology/SUPERSEDE/>
+PREFIX sc: <http://schema.org/>
+SELECT ?x ?y
+FROM <http://www.essi.upc.edu/~snadal/BDIOntology/Global>
+WHERE {
+  VALUES (?x ?y) { (sup:applicationId sup:lagRatio) }
+  sc:SoftwareApplication G:hasFeature sup:applicationId .
+  sc:SoftwareApplication sup:hasMonitor sup:Monitor .
+  sup:Monitor sup:generatesQoS sup:InfoMonitor .
+  sup:InfoMonitor G:hasFeature sup:lagRatio
+}
+`
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	command := os.Args[1]
+	fs := flag.NewFlagSet(command, flag.ExitOnError)
+	evolved := fs.Bool("evolved", false, "include the evolved D1 schema version (wrapper w4)")
+	queryFile := fs.String("query", "", "file containing a SPARQL OMQ (default: the running example query)")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	sys, err := buildDemoSystem(*evolved)
+	if err != nil {
+		fail(err)
+	}
+
+	switch command {
+	case "demo":
+		runDemo(sys)
+	case "stats":
+		st := sys.Stats()
+		fmt.Printf("Global graph triples:   %d\n", st.GlobalTriples)
+		fmt.Printf("Source graph triples:   %d\n", st.SourceTriples)
+		fmt.Printf("Mapping graph triples:  %d (+%d in LAV named graphs)\n", st.MappingTriples, st.LAVGraphTriples)
+		fmt.Printf("Concepts/Features:      %d / %d\n", st.Concepts, st.Features)
+		fmt.Printf("Sources/Wrappers/Attrs: %d / %d / %d\n", st.DataSources, st.Wrappers, st.Attributes)
+	case "concepts":
+		for _, c := range sys.Ontology.Concepts() {
+			fmt.Println(sys.Ontology.Prefixes().Compact(c))
+			for _, f := range sys.Ontology.FeaturesOf(c) {
+				marker := ""
+				if sys.Ontology.IsIdentifier(f) {
+					marker = " (ID)"
+				}
+				fmt.Printf("  - %s%s\n", sys.Ontology.Prefixes().Compact(f), marker)
+			}
+		}
+	case "sources":
+		for _, ds := range sys.Ontology.DataSources() {
+			fmt.Println(core.SourceLocalName(ds))
+			for _, w := range sys.Ontology.WrappersOfSource(core.SourceLocalName(ds)) {
+				var attrs []string
+				for _, a := range sys.Ontology.AttributesOfWrapper(w) {
+					attrs = append(attrs, core.AttributeName(a))
+				}
+				fmt.Printf("  - %s(%s)\n", core.WrapperLocalName(w), strings.Join(attrs, ", "))
+			}
+		}
+	case "rewrite":
+		res, err := sys.RewriteSPARQL(loadQuery(*queryFile))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("Union of %d conjunctive quer(y/ies) over the wrappers:\n", res.UCQ.Len())
+		fmt.Println(res.UCQ)
+	case "query":
+		answer, res, err := sys.QuerySPARQL(loadQuery(*queryFile))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("Rewriting produced %d walk(s): %s\n\n", res.UCQ.Len(), strings.Join(res.UCQ.Signatures(), ", "))
+		fmt.Print(answer)
+	case "dump":
+		fmt.Print(sys.Ontology.Store().DumpTriG(sys.Ontology.Prefixes()))
+	case "changes":
+		for _, level := range []evolution.Level{evolution.APILevel, evolution.MethodLevel, evolution.ParameterLevel} {
+			fmt.Printf("%s changes:\n", level)
+			for _, c := range evolution.ByLevel(level) {
+				fmt.Printf("  %-40s handled by %s\n", c.Kind, c.Handler)
+			}
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func buildDemoSystem(evolved bool) (*bdi.System, error) {
+	sys := bdi.NewSystem()
+	if err := bdi.BuildSupersedeGlobalGraph(sys.Ontology); err != nil {
+		return nil, err
+	}
+	reg := workload.SupersedeTable1Registry(evolved)
+	releases := []bdi.Release{bdi.SupersedeReleaseW1(), bdi.SupersedeReleaseW2(), bdi.SupersedeReleaseW3()}
+	if evolved {
+		releases = append(releases, bdi.SupersedeReleaseW4())
+	}
+	for _, r := range releases {
+		w, _ := reg.Get(r.Wrapper.Name)
+		if _, err := sys.RegisterRelease(r, w); err != nil {
+			return nil, err
+		}
+	}
+	return sys, nil
+}
+
+func runDemo(sys *bdi.System) {
+	fmt.Println("SUPERSEDE running example (paper §2.1)")
+	fmt.Println("Query: for each applicationId, fetch its lagRatio instances")
+	answer, res, err := sys.QuerySPARQL(demoQuery)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("\nWalks over the wrappers:\n%s\n\n", res.UCQ)
+	fmt.Println("Answer (Table 2 of the paper):")
+	fmt.Print(answer)
+}
+
+func loadQuery(path string) string {
+	if path == "" {
+		return demoQuery
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	return string(data)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: bdictl <demo|stats|concepts|sources|rewrite|query|dump|changes> [-evolved] [-query file]")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "bdictl:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,65 @@
+// Command mdm-server runs the Metadata Management System backend (§6.1): a
+// JSON REST API through which data stewards register releases and analysts
+// pose ontology-mediated queries.
+//
+//	mdm-server -addr :8080            start with an empty ontology
+//	mdm-server -addr :8080 -demo      start preloaded with the SUPERSEDE example
+//	mdm-server -demo -evolved         also register the evolved D1 schema (w4)
+//
+// See internal/mdm for the endpoint list.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"bdi/internal/core"
+	"bdi/internal/mdm"
+	"bdi/internal/workload"
+	"bdi/internal/wrapper"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	demo := flag.Bool("demo", false, "preload the SUPERSEDE running example")
+	evolved := flag.Bool("evolved", false, "with -demo, also register the evolved D1 schema version")
+	flag.Parse()
+
+	var (
+		ontology *core.Ontology
+		registry *wrapper.Registry
+		err      error
+	)
+	if *demo {
+		ontology, err = core.BuildSupersedeOntology(*evolved)
+		if err != nil {
+			log.Fatalf("mdm-server: building demo ontology: %v", err)
+		}
+		registry = workload.SupersedeTable1Registry(*evolved)
+	} else {
+		ontology = core.NewOntology()
+		registry = wrapper.NewRegistry()
+	}
+
+	server := mdm.NewServer(ontology, registry)
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           logging(server.Handler()),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("MDM backend listening on %s (demo=%v evolved=%v)\n", *addr, *demo, *evolved)
+	if err := httpServer.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+}
+
+func logging(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s %s", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+	})
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"sort"
+
+	"bdi/internal/rdf"
+	"bdi/internal/store"
+)
+
+// DataSources returns all registered data source IRIs, sorted.
+func (o *Ontology) DataSources() []rdf.IRI {
+	return o.typedInstances(SourceGraphName, SDataSource)
+}
+
+// Wrappers returns all registered wrapper IRIs, sorted.
+func (o *Ontology) Wrappers() []rdf.IRI {
+	return o.typedInstances(SourceGraphName, SWrapper)
+}
+
+// Attributes returns all registered attribute IRIs, sorted.
+func (o *Ontology) Attributes() []rdf.IRI {
+	return o.typedInstances(SourceGraphName, SAttribute)
+}
+
+// WrappersOfSource returns the wrappers (schema versions) registered for a
+// data source.
+func (o *Ontology) WrappersOfSource(source string) []rdf.IRI {
+	var out []rdf.IRI
+	for _, q := range o.store.Match(store.InGraph(SourceGraphName, SourceURI(source), SHasWrapper, nil)) {
+		if w, ok := q.Object.(rdf.IRI); ok {
+			out = append(out, w)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SourceOfWrapper returns the data source IRI a wrapper belongs to.
+func (o *Ontology) SourceOfWrapper(wrapper rdf.IRI) (rdf.IRI, bool) {
+	for _, q := range o.store.Match(store.InGraph(SourceGraphName, nil, SHasWrapper, wrapper)) {
+		if s, ok := q.Subject.(rdf.IRI); ok {
+			return s, true
+		}
+	}
+	return "", false
+}
+
+// AttributesOfWrapper returns the attribute IRIs projected by a wrapper,
+// sorted.
+func (o *Ontology) AttributesOfWrapper(wrapper rdf.IRI) []rdf.IRI {
+	var out []rdf.IRI
+	for _, q := range o.store.Match(store.InGraph(SourceGraphName, wrapper, SHasAttribute, nil)) {
+		if a, ok := q.Object.(rdf.IRI); ok {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LAVGraphOf returns the named graph holding the LAV mapping of a wrapper.
+func (o *Ontology) LAVGraphOf(wrapper rdf.IRI) (rdf.IRI, bool) {
+	for _, q := range o.store.Match(store.InGraph(MappingsGraphName, wrapper, MMapping, nil)) {
+		if g, ok := q.Object.(rdf.IRI); ok {
+			return g, true
+		}
+	}
+	return "", false
+}
+
+// LAVMappingOf materializes the LAV mapping subgraph of a wrapper.
+func (o *Ontology) LAVMappingOf(wrapper rdf.IRI) (*rdf.Graph, bool) {
+	g, ok := o.LAVGraphOf(wrapper)
+	if !ok {
+		return nil, false
+	}
+	return o.store.NamedGraph(g), true
+}
+
+// WrapperOfLAVGraph returns the wrapper whose mapping lives in the given
+// named graph.
+func (o *Ontology) WrapperOfLAVGraph(graph rdf.IRI) (rdf.IRI, bool) {
+	for _, q := range o.store.Match(store.InGraph(MappingsGraphName, nil, MMapping, graph)) {
+		if w, ok := q.Subject.(rdf.IRI); ok {
+			return w, true
+		}
+	}
+	return "", false
+}
+
+// FeatureOfAttribute resolves F for one attribute: the feature the attribute
+// is owl:sameAs-linked to.
+func (o *Ontology) FeatureOfAttribute(attr rdf.IRI) (rdf.IRI, bool) {
+	for _, q := range o.store.Match(store.InGraph(MappingsGraphName, attr, rdf.OWLSameAs, nil)) {
+		if f, ok := q.Object.(rdf.IRI); ok {
+			return f, true
+		}
+	}
+	return "", false
+}
+
+// AttributesOfFeature returns the inverse of F: all source attributes that
+// map to the given feature, sorted.
+func (o *Ontology) AttributesOfFeature(feature rdf.IRI) []rdf.IRI {
+	var out []rdf.IRI
+	for _, q := range o.store.Match(store.InGraph(MappingsGraphName, nil, rdf.OWLSameAs, feature)) {
+		if a, ok := q.Subject.(rdf.IRI); ok {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AttributeOfFeatureInWrapper resolves, for a given wrapper and feature, the
+// wrapper attribute providing it (Algorithm 4, line 10: the attribute that
+// is owl:sameAs the feature and S:hasAttribute-linked to the wrapper).
+func (o *Ontology) AttributeOfFeatureInWrapper(wrapper, feature rdf.IRI) (rdf.IRI, bool) {
+	for _, attr := range o.AttributesOfFeature(feature) {
+		if o.store.ContainsTriple(SourceGraphName, rdf.T(wrapper, SHasAttribute, attr)) {
+			return attr, true
+		}
+	}
+	return "", false
+}
+
+// WrappersProvidingFeature returns the wrappers whose LAV mapping graph
+// contains the triple ⟨concept, G:hasFeature, feature⟩ (Algorithm 4, line 8).
+func (o *Ontology) WrappersProvidingFeature(concept, feature rdf.IRI) []rdf.IRI {
+	target := rdf.T(concept, GHasFeature, feature)
+	var out []rdf.IRI
+	for _, g := range o.store.GraphsContaining(target) {
+		if !isLAVGraph(g) {
+			continue
+		}
+		if w, ok := o.WrapperOfLAVGraph(g); ok {
+			out = append(out, w)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// WrappersProvidingEdge returns the wrappers whose LAV mapping graph
+// contains any edge from one concept to another (Algorithm 5, lines 9-10).
+func (o *Ontology) WrappersProvidingEdge(from, to rdf.IRI) []rdf.IRI {
+	seen := map[rdf.IRI]bool{}
+	var out []rdf.IRI
+	for _, g := range o.store.Graphs() {
+		if !isLAVGraph(g) {
+			continue
+		}
+		matches := o.store.Match(store.InGraph(g, from, nil, to))
+		if len(matches) == 0 {
+			continue
+		}
+		if w, ok := o.WrapperOfLAVGraph(g); ok && !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// WrapperLocalName converts a wrapper IRI into the wrapper name used by the
+// wrapper registry (the IRI local name).
+func WrapperLocalName(wrapper rdf.IRI) string { return wrapper.LocalName() }
+
+// SourceLocalName converts a data source IRI into its plain name.
+func SourceLocalName(source rdf.IRI) string { return source.LocalName() }
+
+// RegistrationOrder returns the release sequence number assigned to a
+// wrapper when it was registered (1-based), or false when the wrapper is
+// unknown or predates sequence tracking.
+func (o *Ontology) RegistrationOrder(wrapper rdf.IRI) (int, bool) {
+	for _, q := range o.store.Match(store.InGraph(MappingsGraphName, wrapper, MRegistrationOrder, nil)) {
+		if lit, ok := q.Object.(rdf.Literal); ok {
+			if n, ok := lit.Integer(); ok {
+				return int(n), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// LatestWrapperOfSource returns the most recently registered wrapper (i.e.
+// the newest schema version) of a data source.
+func (o *Ontology) LatestWrapperOfSource(source string) (rdf.IRI, bool) {
+	best := rdf.IRI("")
+	bestSeq := -1
+	for _, w := range o.WrappersOfSource(source) {
+		seq, ok := o.RegistrationOrder(w)
+		if !ok {
+			continue
+		}
+		if seq > bestSeq {
+			best, bestSeq = w, seq
+		}
+	}
+	return best, bestSeq >= 0
+}
+
+// CurrentWrappers returns, for every data source, its latest wrapper. It is
+// the wrapper set used by the "latest versions only" query policy.
+func (o *Ontology) CurrentWrappers() map[rdf.IRI]rdf.IRI {
+	out := map[rdf.IRI]rdf.IRI{}
+	for _, ds := range o.DataSources() {
+		if w, ok := o.LatestWrapperOfSource(SourceLocalName(ds)); ok {
+			out[ds] = w
+		}
+	}
+	return out
+}

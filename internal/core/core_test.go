@@ -1,0 +1,349 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"bdi/internal/rdf"
+)
+
+func TestNewOntologyInstallsMetamodel(t *testing.T) {
+	o := NewOntology()
+	if o.TriplesInGlobal() == 0 || o.store.GraphLen(SourceGraphName) == 0 {
+		t.Fatal("metamodel should populate G and S")
+	}
+	// Code 6 declarations.
+	if !o.store.ContainsTriple(GlobalGraphName, rdf.T(GConcept, rdf.RDFType, rdf.RDFSClass)) {
+		t.Error("G:Concept must be declared an rdfs:Class")
+	}
+	if !o.store.ContainsTriple(GlobalGraphName, rdf.T(GHasFeature, rdf.RDFSDomain, GConcept)) {
+		t.Error("G:hasFeature domain missing")
+	}
+	// Code 7 declarations.
+	if !o.store.ContainsTriple(SourceGraphName, rdf.T(SHasAttribute, rdf.RDFSRange, SAttribute)) {
+		t.Error("S:hasAttribute range missing")
+	}
+	if MetamodelSize() != o.Store().Len() {
+		t.Error("MetamodelSize should equal a fresh ontology's size")
+	}
+}
+
+func TestURIHelpers(t *testing.T) {
+	if SourceURI("D1") != rdf.IRI(NSSource+"DataSource/D1") {
+		t.Errorf("SourceURI = %v", SourceURI("D1"))
+	}
+	if WrapperURI("w1") != rdf.IRI(NSSource+"Wrapper/w1") {
+		t.Errorf("WrapperURI = %v", WrapperURI("w1"))
+	}
+	attr := AttributeURI("D1", "VoDmonitorId")
+	if attr != rdf.IRI(NSSource+"DataSource/D1/VoDmonitorId") {
+		t.Errorf("AttributeURI = %v", attr)
+	}
+	if AttributeName(attr) != "D1/VoDmonitorId" {
+		t.Errorf("AttributeName = %q", AttributeName(attr))
+	}
+	if !strings.Contains(string(MappingGraphURI("w1")), "graph/w1") {
+		t.Errorf("MappingGraphURI = %v", MappingGraphURI("w1"))
+	}
+}
+
+func TestAddConceptFeatureAndRelations(t *testing.T) {
+	o := NewOntology()
+	c := rdf.IRI("http://ex/App")
+	f := rdf.IRI("http://ex/appId")
+	if err := o.AddConcept(c); err != nil {
+		t.Fatal(err)
+	}
+	if !o.IsConcept(c) {
+		t.Error("concept not recognized")
+	}
+	if err := o.AddIdentifier(c, f, rdf.XSDInteger); err != nil {
+		t.Fatal(err)
+	}
+	if !o.IsFeature(f) || !o.IsIdentifier(f) {
+		t.Error("identifier feature not recognized")
+	}
+	if dt, ok := o.DatatypeOf(f); !ok || dt != rdf.XSDInteger {
+		t.Errorf("datatype = %v, %v", dt, ok)
+	}
+	if got := o.FeaturesOf(c); len(got) != 1 || got[0] != f {
+		t.Errorf("FeaturesOf = %v", got)
+	}
+	if owner, ok := o.ConceptOfFeature(f); !ok || owner != c {
+		t.Errorf("ConceptOfFeature = %v, %v", owner, ok)
+	}
+	if ids := o.IdentifiersOf(c); len(ids) != 1 || ids[0] != f {
+		t.Errorf("IdentifiersOf = %v", ids)
+	}
+}
+
+func TestHasFeatureRejectsSharedFeatures(t *testing.T) {
+	o := NewOntology()
+	c1, c2 := rdf.IRI("http://ex/A"), rdf.IRI("http://ex/B")
+	f := rdf.IRI("http://ex/f")
+	if err := o.AddConcept(c1); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddConcept(c2); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddFeatureTo(c1, f, rdf.XSDString); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.HasFeature(c2, f); err == nil {
+		t.Error("a feature must belong to only one concept (§3.1)")
+	}
+	// Re-linking to the same concept is idempotent.
+	if err := o.HasFeature(c1, f); err != nil {
+		t.Errorf("re-linking to the same concept should succeed: %v", err)
+	}
+}
+
+func TestHasFeatureRequiresDeclaredTypes(t *testing.T) {
+	o := NewOntology()
+	if err := o.HasFeature(rdf.IRI("http://ex/C"), rdf.IRI("http://ex/f")); err == nil {
+		t.Error("undeclared concept should be rejected")
+	}
+	if err := o.AddConcept(rdf.IRI("http://ex/C")); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.HasFeature(rdf.IRI("http://ex/C"), rdf.IRI("http://ex/f")); err == nil {
+		t.Error("undeclared feature should be rejected")
+	}
+}
+
+func TestRelateRequiresConcepts(t *testing.T) {
+	o := NewOntology()
+	a, b := rdf.IRI("http://ex/A"), rdf.IRI("http://ex/B")
+	if err := o.Relate(a, rdf.IRI("http://ex/p"), b); err == nil {
+		t.Error("relating undeclared concepts should fail")
+	}
+	if err := o.AddConcept(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddConcept(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Relate(a, rdf.IRI("http://ex/p"), b); err != nil {
+		t.Fatal(err)
+	}
+	edges := o.ConceptEdges()
+	if len(edges) != 1 {
+		t.Errorf("ConceptEdges = %v", edges)
+	}
+}
+
+func TestSupersedeGlobalGraph(t *testing.T) {
+	o := NewOntology()
+	if err := BuildSupersedeGlobalGraph(o); err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Concepts()) != 5 {
+		t.Errorf("concepts = %v", o.Concepts())
+	}
+	if len(o.Features()) != 5 {
+		t.Errorf("features = %v", o.Features())
+	}
+	if !o.IsIdentifier(SupMonitorID) {
+		t.Error("sup:monitorId must be an identifier")
+	}
+	if o.IsIdentifier(SupLagRatio) {
+		t.Error("sup:lagRatio must not be an identifier")
+	}
+	if len(o.ConceptEdges()) != 4 {
+		t.Errorf("concept edges = %v", o.ConceptEdges())
+	}
+}
+
+func TestNewReleaseAlgorithm1(t *testing.T) {
+	o := NewOntology()
+	if err := BuildSupersedeGlobalGraph(o); err != nil {
+		t.Fatal(err)
+	}
+	res, err := o.NewRelease(SupersedeReleaseW1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.NewSource {
+		t.Error("D1 should be a new source")
+	}
+	if len(res.NewAttributes) != 2 || len(res.ReusedAttributes) != 0 {
+		t.Errorf("attributes: new=%v reused=%v", res.NewAttributes, res.ReusedAttributes)
+	}
+	// Source graph content (Algorithm 1 lines 3-15).
+	if !o.Store().ContainsTriple(SourceGraphName, rdf.T(SourceURI("D1"), rdf.RDFType, SDataSource)) {
+		t.Error("data source D1 not registered")
+	}
+	if !o.Store().ContainsTriple(SourceGraphName, rdf.T(SourceURI("D1"), SHasWrapper, WrapperURI("w1"))) {
+		t.Error("w1 not linked to D1")
+	}
+	if !o.Store().ContainsTriple(SourceGraphName, rdf.T(WrapperURI("w1"), SHasAttribute, AttributeURI("D1", "lagRatio"))) {
+		t.Error("lagRatio attribute not linked to w1")
+	}
+	// Mapping graph content (lines 16-21).
+	if g, ok := o.LAVGraphOf(WrapperURI("w1")); !ok || o.Store().GraphLen(g) != 3 {
+		t.Errorf("LAV graph missing or wrong size: %v %d", g, o.Store().GraphLen(g))
+	}
+	if f, ok := o.FeatureOfAttribute(AttributeURI("D1", "VoDmonitorId")); !ok || f != SupMonitorID {
+		t.Errorf("F(VoDmonitorId) = %v, %v", f, ok)
+	}
+}
+
+func TestNewReleaseReusesAttributesOfSameSource(t *testing.T) {
+	o, err := BuildSupersedeOntology(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := o.TriplesInSource()
+	res, err := o.NewRelease(SupersedeReleaseW4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NewSource {
+		t.Error("D1 already exists, release must not re-register it")
+	}
+	// VoDmonitorId is reused, bufferingRatio is new.
+	if len(res.ReusedAttributes) != 1 || len(res.NewAttributes) != 1 {
+		t.Errorf("reused=%v new=%v", res.ReusedAttributes, res.NewAttributes)
+	}
+	if res.SourceTriplesAdded != o.TriplesInSource()-before {
+		t.Error("SourceTriplesAdded inconsistent")
+	}
+	// w4: wrapper type + hasWrapper + 2 hasAttribute + 1 new attribute type = 5.
+	if res.SourceTriplesAdded != 5 {
+		t.Errorf("SourceTriplesAdded = %d, want 5", res.SourceTriplesAdded)
+	}
+}
+
+func TestNewReleaseValidation(t *testing.T) {
+	o := NewOntology()
+	if err := BuildSupersedeGlobalGraph(o); err != nil {
+		t.Fatal(err)
+	}
+	// Empty subgraph.
+	bad := SupersedeReleaseW1()
+	bad.Subgraph = rdf.NewGraph("")
+	if _, err := o.NewRelease(bad); err == nil {
+		t.Error("empty subgraph should be rejected")
+	}
+	// Subgraph not contained in G.
+	bad2 := SupersedeReleaseW1()
+	bad2.Subgraph = rdf.NewGraph("")
+	bad2.Subgraph.Add(rdf.T("http://ex/X", "http://ex/y", "http://ex/Z"))
+	if _, err := o.NewRelease(bad2); err == nil {
+		t.Error("subgraph outside G should be rejected")
+	}
+	// F maps an unknown attribute.
+	bad3 := SupersedeReleaseW1()
+	bad3.F["unknownAttr"] = SupLagRatio
+	if _, err := o.NewRelease(bad3); err == nil {
+		t.Error("F over unknown attribute should be rejected")
+	}
+	// Duplicate wrapper registration.
+	if _, err := o.NewRelease(SupersedeReleaseW1()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.NewRelease(SupersedeReleaseW1()); err == nil {
+		t.Error("duplicate wrapper registration should be rejected")
+	}
+	// Wrapper spec problems.
+	specs := []WrapperSpec{
+		{},
+		{Name: "w"},
+		{Name: "w", Source: "D", IDAttributes: []string{"a", "a"}},
+		{Name: "w", Source: "D", IDAttributes: []string{""}},
+	}
+	for i, s := range specs {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d should be invalid", i)
+		}
+	}
+}
+
+func TestSupersedeOntologyAccessors(t *testing.T) {
+	o, err := BuildSupersedeOntology(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.DataSources()) != 3 {
+		t.Errorf("data sources = %v", o.DataSources())
+	}
+	if len(o.Wrappers()) != 4 {
+		t.Errorf("wrappers = %v", o.Wrappers())
+	}
+	if got := o.WrappersOfSource("D1"); len(got) != 2 {
+		t.Errorf("wrappers of D1 = %v", got)
+	}
+	if s, ok := o.SourceOfWrapper(WrapperURI("w2")); !ok || s != SourceURI("D2") {
+		t.Errorf("source of w2 = %v", s)
+	}
+	if attrs := o.AttributesOfWrapper(WrapperURI("w3")); len(attrs) != 3 {
+		t.Errorf("attributes of w3 = %v", attrs)
+	}
+	// LAV mapping resolution used by the rewriting algorithms.
+	providers := o.WrappersProvidingFeature(SupMonitor, SupMonitorID)
+	if len(providers) != 3 {
+		t.Errorf("providers of (Monitor, monitorId) = %v", providers)
+	}
+	providers = o.WrappersProvidingFeature(SupInfoMonitor, SupLagRatio)
+	if len(providers) != 2 {
+		t.Errorf("providers of (InfoMonitor, lagRatio) = %v", providers)
+	}
+	edgeProviders := o.WrappersProvidingEdge(SupSoftwareApplication, SupMonitor)
+	if len(edgeProviders) != 1 || edgeProviders[0] != WrapperURI("w3") {
+		t.Errorf("edge providers = %v", edgeProviders)
+	}
+	if attr, ok := o.AttributeOfFeatureInWrapper(WrapperURI("w4"), SupLagRatio); !ok || AttributeName(attr) != "D1/bufferingRatio" {
+		t.Errorf("attribute of lagRatio in w4 = %v, %v", attr, ok)
+	}
+	if attrs := o.AttributesOfFeature(SupMonitorID); len(attrs) != 2 {
+		t.Errorf("attributes of monitorId = %v", attrs)
+	}
+	if w, ok := o.WrapperOfLAVGraph(MappingGraphURI("w2")); !ok || w != WrapperURI("w2") {
+		t.Errorf("wrapper of LAV graph = %v", w)
+	}
+}
+
+func TestStatsAndString(t *testing.T) {
+	o, err := BuildSupersedeOntology(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := o.Stats()
+	if st.Concepts != 5 || st.Features != 5 || st.Wrappers != 3 || st.DataSources != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.LAVGraphTriples == 0 {
+		t.Error("LAV graphs should contain triples")
+	}
+	if !strings.Contains(o.String(), "BDI ontology") {
+		t.Error("String() malformed")
+	}
+}
+
+func TestRemoveWrapperRegistration(t *testing.T) {
+	o, err := BuildSupersedeOntology(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := o.RemoveWrapperRegistration("w4")
+	if removed == 0 {
+		t.Fatal("expected triples to be removed")
+	}
+	if len(o.Wrappers()) != 3 {
+		t.Errorf("wrappers after removal = %v", o.Wrappers())
+	}
+	if _, ok := o.LAVGraphOf(WrapperURI("w4")); ok {
+		t.Error("LAV graph of w4 should be gone")
+	}
+}
+
+func TestDefaultPrefixes(t *testing.T) {
+	pm := DefaultPrefixes()
+	if got := pm.Compact(GHasFeature); got != "G:hasFeature" {
+		t.Errorf("compact = %q", got)
+	}
+	if got := pm.Compact(SupMonitorID); got != "sup:monitorId" {
+		t.Errorf("compact = %q", got)
+	}
+}

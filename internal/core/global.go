@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"bdi/internal/rdf"
+	"bdi/internal/store"
+)
+
+// AddConcept declares a domain concept in G (an instance of G:Concept).
+func (o *Ontology) AddConcept(concept rdf.IRI) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.addToGraph(GlobalGraphName, rdf.T(concept, rdf.RDFType, GConcept))
+}
+
+// AddFeature declares a feature of analysis in G (an instance of G:Feature),
+// optionally typed with an XSD datatype via G:hasDatatype.
+func (o *Ontology) AddFeature(feature rdf.IRI, datatype rdf.IRI) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if err := o.addToGraph(GlobalGraphName, rdf.T(feature, rdf.RDFType, GFeature)); err != nil {
+		return err
+	}
+	if datatype != "" {
+		if err := o.addToGraph(GlobalGraphName, rdf.T(feature, GHasDatatype, datatype)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HasFeature links a concept to a feature via G:hasFeature. To keep query
+// rewriting unambiguous, a feature may belong to only one concept (§3.1);
+// linking a feature to a second concept is an error.
+func (o *Ontology) HasFeature(concept, feature rdf.IRI) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if !o.isTypedLocked(concept, GConcept) {
+		return fmt.Errorf("core: %s is not declared as a G:Concept", o.prefixes.Compact(concept))
+	}
+	if !o.isTypedLocked(feature, GFeature) {
+		return fmt.Errorf("core: %s is not declared as a G:Feature", o.prefixes.Compact(feature))
+	}
+	for _, q := range o.store.Match(store.InGraph(GlobalGraphName, nil, GHasFeature, feature)) {
+		if owner, ok := q.Subject.(rdf.IRI); ok && owner != concept {
+			return fmt.Errorf("core: feature %s already belongs to concept %s (features may belong to only one concept)",
+				o.prefixes.Compact(feature), o.prefixes.Compact(owner))
+		}
+	}
+	return o.addToGraph(GlobalGraphName, rdf.T(concept, GHasFeature, feature))
+}
+
+// AddIdentifier declares a feature, marks it as an identifier (a subclass of
+// sc:identifier) and attaches it to the concept. ID features are what the
+// restricted join .̃/ operates on.
+func (o *Ontology) AddIdentifier(concept, feature rdf.IRI, datatype rdf.IRI) error {
+	if err := o.AddFeature(feature, datatype); err != nil {
+		return err
+	}
+	o.mu.Lock()
+	if err := o.addToGraph(GlobalGraphName, rdf.T(feature, rdf.RDFSSubClassOf, rdf.SchemaIdentifier)); err != nil {
+		o.mu.Unlock()
+		return err
+	}
+	o.mu.Unlock()
+	return o.HasFeature(concept, feature)
+}
+
+// AddFeatureTo declares a (non-identifier) feature and attaches it to a
+// concept in one call.
+func (o *Ontology) AddFeatureTo(concept, feature rdf.IRI, datatype rdf.IRI) error {
+	if err := o.AddFeature(feature, datatype); err != nil {
+		return err
+	}
+	return o.HasFeature(concept, feature)
+}
+
+// SubFeature declares a taxonomy edge between two features (e.g.
+// sup:monitorId rdfs:subClassOf sc:identifier), denoting related semantic
+// domains (§3.1).
+func (o *Ontology) SubFeature(sub, super rdf.IRI) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.addToGraph(GlobalGraphName, rdf.T(sub, rdf.RDFSSubClassOf, super))
+}
+
+// Relate adds a domain-specific object property edge between two concepts
+// (e.g. sc:SoftwareApplication sup:hasMonitor sup:Monitor). Analysts
+// navigate these edges when posing OMQs.
+func (o *Ontology) Relate(subject, property, object rdf.IRI) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if !o.isTypedLocked(subject, GConcept) {
+		return fmt.Errorf("core: %s is not declared as a G:Concept", o.prefixes.Compact(subject))
+	}
+	if !o.isTypedLocked(object, GConcept) {
+		return fmt.Errorf("core: %s is not declared as a G:Concept", o.prefixes.Compact(object))
+	}
+	return o.addToGraph(GlobalGraphName, rdf.T(subject, property, object))
+}
+
+// isTypedLocked reports whether the entity has the given rdf:type in G.
+// Caller must hold at least a read lock.
+func (o *Ontology) isTypedLocked(entity, class rdf.IRI) bool {
+	return o.store.ContainsTriple(GlobalGraphName, rdf.T(entity, rdf.RDFType, class))
+}
+
+// IsConcept reports whether the IRI is declared as a G:Concept.
+func (o *Ontology) IsConcept(iri rdf.IRI) bool {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.isTypedLocked(iri, GConcept)
+}
+
+// IsFeature reports whether the IRI is declared as a G:Feature.
+func (o *Ontology) IsFeature(iri rdf.IRI) bool {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.isTypedLocked(iri, GFeature)
+}
+
+// IsIdentifier reports whether the feature is (transitively) a subclass of
+// sc:identifier.
+func (o *Ontology) IsIdentifier(feature rdf.IRI) bool {
+	return o.engine.IsSubClassOf(feature, rdf.SchemaIdentifier)
+}
+
+// Concepts returns all declared concepts, sorted.
+func (o *Ontology) Concepts() []rdf.IRI {
+	return o.typedInstances(GlobalGraphName, GConcept)
+}
+
+// Features returns all declared features, sorted.
+func (o *Ontology) Features() []rdf.IRI {
+	return o.typedInstances(GlobalGraphName, GFeature)
+}
+
+// FeaturesOf returns the features attached to a concept via G:hasFeature,
+// sorted.
+func (o *Ontology) FeaturesOf(concept rdf.IRI) []rdf.IRI {
+	var out []rdf.IRI
+	for _, q := range o.store.Match(store.InGraph(GlobalGraphName, concept, GHasFeature, nil)) {
+		if f, ok := q.Object.(rdf.IRI); ok {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ConceptOfFeature returns the (single) concept owning the feature.
+func (o *Ontology) ConceptOfFeature(feature rdf.IRI) (rdf.IRI, bool) {
+	for _, q := range o.store.Match(store.InGraph(GlobalGraphName, nil, GHasFeature, feature)) {
+		if c, ok := q.Subject.(rdf.IRI); ok {
+			return c, true
+		}
+	}
+	return "", false
+}
+
+// IdentifiersOf returns the ID features of a concept: features linked via
+// G:hasFeature that are (transitively) subclasses of sc:identifier.
+func (o *Ontology) IdentifiersOf(concept rdf.IRI) []rdf.IRI {
+	var out []rdf.IRI
+	for _, f := range o.FeaturesOf(concept) {
+		if o.IsIdentifier(f) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// DatatypeOf returns the XSD datatype attached to a feature, if any.
+func (o *Ontology) DatatypeOf(feature rdf.IRI) (rdf.IRI, bool) {
+	for _, q := range o.store.Match(store.InGraph(GlobalGraphName, feature, GHasDatatype, nil)) {
+		if dt, ok := q.Object.(rdf.IRI); ok {
+			return dt, true
+		}
+	}
+	return "", false
+}
+
+// ConceptEdges returns the object-property edges between concepts in G
+// (excluding the metamodel properties), sorted by subject/predicate/object.
+func (o *Ontology) ConceptEdges() []rdf.Triple {
+	var out []rdf.Triple
+	for _, q := range o.store.Match(store.InGraph(GlobalGraphName, nil, nil, nil)) {
+		p, ok := q.Predicate.(rdf.IRI)
+		if !ok {
+			continue
+		}
+		if p == rdf.RDFType || p == GHasFeature || p == GHasDatatype || p == rdf.RDFSSubClassOf ||
+			p == rdf.RDFSDomain || p == rdf.RDFSRange || p == rdf.RDFSIsDefinedBy || p == rdf.RDFSLabel ||
+			p == rdf.VANNPreferredNamespacePrefix || p == rdf.VANNPreferredNamespaceURI {
+			continue
+		}
+		s, okS := q.Subject.(rdf.IRI)
+		obj, okO := q.Object.(rdf.IRI)
+		if !okS || !okO {
+			continue
+		}
+		if o.isTypedLocked(s, GConcept) && o.isTypedLocked(obj, GConcept) {
+			out = append(out, q.Triple)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+func (o *Ontology) typedInstances(graph rdf.IRI, class rdf.IRI) []rdf.IRI {
+	var out []rdf.IRI
+	for _, q := range o.store.Match(store.InGraph(graph, nil, rdf.RDFType, class)) {
+		if iri, ok := q.Subject.(rdf.IRI); ok {
+			out = append(out, iri)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"bdi/internal/rdf"
+	"bdi/internal/reasoner"
+	"bdi/internal/sparql"
+	"bdi/internal/store"
+)
+
+// Ontology is the BDI ontology T = ⟨G, S, M⟩: three RDF named graphs stored
+// in a single quad store, managed by the data steward, and queried by the
+// rewriting algorithms. All mutation goes through methods of this type so
+// that the design constraints of §3 (e.g. a feature belongs to exactly one
+// concept) can be enforced.
+type Ontology struct {
+	mu sync.RWMutex
+
+	store    *store.Store
+	engine   *reasoner.Engine
+	eval     *sparql.Evaluator
+	prefixes *rdf.PrefixMap
+}
+
+// NewOntology returns an ontology whose store is initialized with the
+// metadata models for G (Code 6) and S (Code 7).
+func NewOntology() *Ontology {
+	s := store.New()
+	o := &Ontology{
+		store:    s,
+		engine:   reasoner.New(s),
+		eval:     sparql.NewEvaluator(s),
+		prefixes: DefaultPrefixes(),
+	}
+	o.installMetamodel()
+	return o
+}
+
+// Store exposes the underlying quad store (read-mostly; mutate through the
+// Ontology methods).
+func (o *Ontology) Store() *store.Store { return o.store }
+
+// Reasoner returns the RDFS inference engine over the ontology.
+func (o *Ontology) Reasoner() *reasoner.Engine { return o.engine }
+
+// Evaluator returns a SPARQL evaluator bound to the ontology store.
+func (o *Ontology) Evaluator() *sparql.Evaluator { return o.eval }
+
+// Prefixes returns the prefix map used for display and serialization.
+func (o *Ontology) Prefixes() *rdf.PrefixMap { return o.prefixes }
+
+// BindPrefix adds a namespace binding (e.g. the case-study vocabulary).
+func (o *Ontology) BindPrefix(prefix, ns string) { o.prefixes.Bind(prefix, ns) }
+
+// installMetamodel asserts the vocabulary declarations of Codes 6 and 7 into
+// the G and S named graphs.
+func (o *Ontology) installMetamodel() {
+	addG := func(t rdf.Triple) { o.store.MustAdd(rdf.Quad{Triple: t, Graph: GlobalGraphName}) }
+	addS := func(t rdf.Triple) { o.store.MustAdd(rdf.Quad{Triple: t, Graph: SourceGraphName}) }
+
+	globalVocab := rdf.IRI(NSGlobal)
+	addG(rdf.T(globalVocab, rdf.RDFType, rdf.VOAFVocabulary))
+	addG(rdf.Triple{Subject: globalVocab, Predicate: rdf.VANNPreferredNamespacePrefix, Object: rdf.NewLiteral("G")})
+	addG(rdf.Triple{Subject: globalVocab, Predicate: rdf.VANNPreferredNamespaceURI, Object: rdf.NewLiteral(NSGlobal)})
+	addG(rdf.Triple{Subject: globalVocab, Predicate: rdf.RDFSLabel, Object: rdf.NewLiteral("The Global graph vocabulary")})
+	addG(rdf.T(GConcept, rdf.RDFType, rdf.RDFSClass))
+	addG(rdf.T(GConcept, rdf.RDFSIsDefinedBy, globalVocab))
+	addG(rdf.T(GFeature, rdf.RDFType, rdf.RDFSClass))
+	addG(rdf.T(GFeature, rdf.RDFSIsDefinedBy, globalVocab))
+	addG(rdf.T(GHasFeature, rdf.RDFType, rdf.RDFProperty))
+	addG(rdf.T(GHasFeature, rdf.RDFSIsDefinedBy, globalVocab))
+	addG(rdf.T(GHasFeature, rdf.RDFSDomain, GConcept))
+	addG(rdf.T(GHasFeature, rdf.RDFSRange, GFeature))
+	addG(rdf.T(GHasDatatype, rdf.RDFType, rdf.RDFProperty))
+	addG(rdf.T(GHasDatatype, rdf.RDFSIsDefinedBy, globalVocab))
+	addG(rdf.T(GHasDatatype, rdf.RDFSDomain, GFeature))
+	addG(rdf.T(GHasDatatype, rdf.RDFSRange, rdf.RDFSDatatype))
+	// sc:identifier is the root of the identifier-feature taxonomy.
+	addG(rdf.T(rdf.SchemaIdentifier, rdf.RDFType, rdf.RDFSClass))
+
+	sourceVocab := rdf.IRI(NSSource)
+	addS(rdf.T(sourceVocab, rdf.RDFType, rdf.VOAFVocabulary))
+	addS(rdf.Triple{Subject: sourceVocab, Predicate: rdf.VANNPreferredNamespacePrefix, Object: rdf.NewLiteral("S")})
+	addS(rdf.Triple{Subject: sourceVocab, Predicate: rdf.VANNPreferredNamespaceURI, Object: rdf.NewLiteral(NSSource)})
+	addS(rdf.Triple{Subject: sourceVocab, Predicate: rdf.RDFSLabel, Object: rdf.NewLiteral("The Source graph vocabulary")})
+	addS(rdf.T(SDataSource, rdf.RDFType, rdf.RDFSClass))
+	addS(rdf.T(SDataSource, rdf.RDFSIsDefinedBy, sourceVocab))
+	addS(rdf.T(SWrapper, rdf.RDFType, rdf.RDFSClass))
+	addS(rdf.T(SWrapper, rdf.RDFSIsDefinedBy, sourceVocab))
+	addS(rdf.T(SAttribute, rdf.RDFType, rdf.RDFSClass))
+	addS(rdf.T(SAttribute, rdf.RDFSIsDefinedBy, sourceVocab))
+	addS(rdf.T(SHasWrapper, rdf.RDFType, rdf.RDFProperty))
+	addS(rdf.T(SHasWrapper, rdf.RDFSIsDefinedBy, sourceVocab))
+	addS(rdf.T(SHasWrapper, rdf.RDFSDomain, SDataSource))
+	addS(rdf.T(SHasWrapper, rdf.RDFSRange, SWrapper))
+	addS(rdf.T(SHasAttribute, rdf.RDFType, rdf.RDFProperty))
+	addS(rdf.T(SHasAttribute, rdf.RDFSIsDefinedBy, sourceVocab))
+	addS(rdf.T(SHasAttribute, rdf.RDFSDomain, SWrapper))
+	addS(rdf.T(SHasAttribute, rdf.RDFSRange, SAttribute))
+}
+
+// MetamodelSize returns the number of triples installed by the metamodel;
+// growth analyses (§6.4) subtract it to count only application triples.
+func MetamodelSize() int {
+	o := NewOntology()
+	return o.store.Len()
+}
+
+// addToGraph asserts a triple in the given named graph.
+func (o *Ontology) addToGraph(graph rdf.IRI, t rdf.Triple) error {
+	_, err := o.store.AddTriple(graph, t)
+	if err != nil {
+		return fmt.Errorf("core: adding %v to %s: %w", t, graph, err)
+	}
+	return nil
+}
+
+// GlobalGraph returns a materialized copy of G.
+func (o *Ontology) GlobalGraph() *rdf.Graph { return o.store.NamedGraph(GlobalGraphName) }
+
+// SourceGraph returns a materialized copy of S.
+func (o *Ontology) SourceGraph() *rdf.Graph { return o.store.NamedGraph(SourceGraphName) }
+
+// MappingsGraph returns a materialized copy of the owl:sameAs /
+// M:mapping side of M.
+func (o *Ontology) MappingsGraph() *rdf.Graph { return o.store.NamedGraph(MappingsGraphName) }
+
+// TriplesInSource returns the number of triples currently in S. It is the
+// growth metric of §6.4 (Figure 11).
+func (o *Ontology) TriplesInSource() int { return o.store.GraphLen(SourceGraphName) }
+
+// TriplesInGlobal returns the number of triples currently in G.
+func (o *Ontology) TriplesInGlobal() int { return o.store.GraphLen(GlobalGraphName) }
+
+// Stats summarizes the ontology contents.
+type Stats struct {
+	GlobalTriples   int
+	SourceTriples   int
+	MappingTriples  int
+	LAVGraphTriples int
+	Concepts        int
+	Features        int
+	DataSources     int
+	Wrappers        int
+	Attributes      int
+}
+
+// Stats computes ontology statistics.
+func (o *Ontology) Stats() Stats {
+	st := Stats{
+		GlobalTriples:  o.store.GraphLen(GlobalGraphName),
+		SourceTriples:  o.store.GraphLen(SourceGraphName),
+		MappingTriples: o.store.GraphLen(MappingsGraphName),
+		Concepts:       len(o.Concepts()),
+		Features:       len(o.Features()),
+		DataSources:    len(o.DataSources()),
+		Wrappers:       len(o.Wrappers()),
+		Attributes:     len(o.Attributes()),
+	}
+	for _, g := range o.store.Graphs() {
+		if isLAVGraph(g) {
+			st.LAVGraphTriples += o.store.GraphLen(g)
+		}
+	}
+	return st
+}
+
+func isLAVGraph(g rdf.IRI) bool {
+	prefix := NSMapping + "graph/"
+	s := string(g)
+	return len(s) > len(prefix) && s[:len(prefix)] == prefix
+}
+
+// String returns a short description of the ontology.
+func (o *Ontology) String() string {
+	st := o.Stats()
+	return fmt.Sprintf("BDI ontology{G=%d S=%d M=%d concepts=%d features=%d wrappers=%d}",
+		st.GlobalTriples, st.SourceTriples, st.MappingTriples, st.Concepts, st.Features, st.Wrappers)
+}

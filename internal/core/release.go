@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"bdi/internal/rdf"
+	"bdi/internal/store"
+)
+
+// WrapperSpec describes a wrapper being registered through a release: its
+// name, the data source it queries, and its ID / non-ID attributes (the
+// relation w(a_ID, a_nID) of §2.2).
+type WrapperSpec struct {
+	Name            string
+	Source          string
+	IDAttributes    []string
+	NonIDAttributes []string
+}
+
+// Attributes returns all attribute names of the wrapper (IDs first).
+func (w WrapperSpec) Attributes() []string {
+	return append(append([]string(nil), w.IDAttributes...), w.NonIDAttributes...)
+}
+
+// Validate checks the spec for basic problems.
+func (w WrapperSpec) Validate() error {
+	if w.Name == "" {
+		return fmt.Errorf("core: wrapper spec has no name")
+	}
+	if w.Source == "" {
+		return fmt.Errorf("core: wrapper %q has no data source", w.Name)
+	}
+	seen := map[string]bool{}
+	for _, a := range w.Attributes() {
+		if a == "" {
+			return fmt.Errorf("core: wrapper %q has an empty attribute name", w.Name)
+		}
+		if seen[a] {
+			return fmt.Errorf("core: wrapper %q declares attribute %q twice", w.Name, a)
+		}
+		seen[a] = true
+	}
+	return nil
+}
+
+// Release is the construct the data steward creates upon a new source
+// version (§4.1): R = ⟨w, G, F⟩ where w is the wrapper, G is the subgraph of
+// the Global graph the wrapper contributes to, and F maps each wrapper
+// attribute to the feature of G it provides.
+type Release struct {
+	Wrapper WrapperSpec
+	// Subgraph is the fragment of G covered by the wrapper (the LAV mapping
+	// graph).
+	Subgraph *rdf.Graph
+	// F maps wrapper attribute names to feature IRIs in G.
+	F map[string]rdf.IRI
+}
+
+// Validate checks the release: the wrapper spec must be valid, every
+// attribute mapped by F must belong to the wrapper, every target must be a
+// feature vertex of the subgraph, and the subgraph must be a subgraph of G.
+func (r Release) Validate(o *Ontology) error {
+	if err := r.Wrapper.Validate(); err != nil {
+		return err
+	}
+	if r.Subgraph == nil || r.Subgraph.Len() == 0 {
+		return fmt.Errorf("core: release for wrapper %q has an empty LAV subgraph", r.Wrapper.Name)
+	}
+	if !o.GlobalGraph().Subsumes(r.Subgraph) {
+		return fmt.Errorf("core: release subgraph for wrapper %q is not a subgraph of G", r.Wrapper.Name)
+	}
+	attrs := map[string]bool{}
+	for _, a := range r.Wrapper.Attributes() {
+		attrs[a] = true
+	}
+	for attr, feature := range r.F {
+		if !attrs[attr] {
+			return fmt.Errorf("core: release maps unknown attribute %q of wrapper %q", attr, r.Wrapper.Name)
+		}
+		if !o.IsFeature(feature) {
+			return fmt.Errorf("core: release maps attribute %q to %s which is not a G:Feature", attr, o.prefixes.Compact(feature))
+		}
+		if !r.Subgraph.ContainsNode(feature) {
+			return fmt.Errorf("core: release maps attribute %q to feature %s which is not part of the LAV subgraph", attr, o.prefixes.Compact(feature))
+		}
+	}
+	return nil
+}
+
+// ReleaseResult reports what Algorithm 1 changed in the ontology.
+type ReleaseResult struct {
+	// NewSource is true when the data source was registered for the first time.
+	NewSource bool
+	// NewAttributes lists the attribute IRIs added to S (attributes already
+	// present from previous schema versions are reused).
+	NewAttributes []rdf.IRI
+	// ReusedAttributes lists the attribute IRIs that already existed.
+	ReusedAttributes []rdf.IRI
+	// TriplesAdded is the total number of quads added across S and M.
+	TriplesAdded int
+	// SourceTriplesAdded is the number of triples added to S only (the growth
+	// metric of Figure 11).
+	SourceTriplesAdded int
+	// Sequence is the global registration sequence number assigned to the
+	// release (1 for the first release registered in the ontology).
+	Sequence int
+}
+
+// NewRelease implements Algorithm 1 (Adapt to Release): it registers the
+// data source (if new), the wrapper, and its attributes in S; registers the
+// wrapper's LAV named graph in M; and serializes the attribute-to-feature
+// function F via owl:sameAs links.
+func (o *Ontology) NewRelease(r Release) (*ReleaseResult, error) {
+	if err := r.Validate(o); err != nil {
+		return nil, err
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+
+	res := &ReleaseResult{}
+	sBefore := o.store.GraphLen(SourceGraphName)
+	totalBefore := o.store.Len()
+
+	sourceURI := SourceURI(r.Wrapper.Source)
+	// Line 3-5: register the data source if it is new.
+	if !o.store.ContainsTriple(SourceGraphName, rdf.T(sourceURI, rdf.RDFType, SDataSource)) {
+		res.NewSource = true
+		if err := o.addToGraph(SourceGraphName, rdf.T(sourceURI, rdf.RDFType, SDataSource)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Lines 6-8: register the wrapper and link it to its source.
+	wrapperURI := WrapperURI(r.Wrapper.Name)
+	if o.store.ContainsTriple(SourceGraphName, rdf.T(wrapperURI, rdf.RDFType, SWrapper)) {
+		return nil, fmt.Errorf("core: wrapper %q is already registered; releases are immutable", r.Wrapper.Name)
+	}
+	if err := o.addToGraph(SourceGraphName, rdf.T(wrapperURI, rdf.RDFType, SWrapper)); err != nil {
+		return nil, err
+	}
+	if err := o.addToGraph(SourceGraphName, rdf.T(sourceURI, SHasWrapper, wrapperURI)); err != nil {
+		return nil, err
+	}
+
+	// Lines 9-15: register attributes, reusing those already present for the
+	// same data source (attribute URIs are prefixed with the source).
+	for _, a := range r.Wrapper.Attributes() {
+		attrURI := AttributeURI(r.Wrapper.Source, a)
+		if o.store.ContainsTriple(SourceGraphName, rdf.T(attrURI, rdf.RDFType, SAttribute)) {
+			res.ReusedAttributes = append(res.ReusedAttributes, attrURI)
+		} else {
+			res.NewAttributes = append(res.NewAttributes, attrURI)
+			if err := o.addToGraph(SourceGraphName, rdf.T(attrURI, rdf.RDFType, SAttribute)); err != nil {
+				return nil, err
+			}
+		}
+		if err := o.addToGraph(SourceGraphName, rdf.T(wrapperURI, SHasAttribute, attrURI)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Line 16: register the wrapper's LAV named graph in M, together with the
+	// release sequence number used by historical query policies.
+	lavGraph := MappingGraphURI(r.Wrapper.Name)
+	if err := o.addToGraph(MappingsGraphName, rdf.T(wrapperURI, MMapping, lavGraph)); err != nil {
+		return nil, err
+	}
+	seq := len(o.store.Match(store.InGraph(MappingsGraphName, nil, MRegistrationOrder, nil))) + 1
+	res.Sequence = seq
+	if err := o.addToGraph(MappingsGraphName, rdf.Triple{
+		Subject:   wrapperURI,
+		Predicate: MRegistrationOrder,
+		Object:    rdf.NewIntegerLiteral(int64(seq)),
+	}); err != nil {
+		return nil, err
+	}
+	for _, t := range r.Subgraph.Triples {
+		if err := o.addToGraph(lavGraph, t); err != nil {
+			return nil, err
+		}
+	}
+
+	// Lines 17-21: serialize F as owl:sameAs links between S attributes and
+	// G features.
+	attrs := make([]string, 0, len(r.F))
+	for a := range r.F {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	for _, a := range attrs {
+		attrURI := AttributeURI(r.Wrapper.Source, a)
+		if err := o.addToGraph(MappingsGraphName, rdf.T(attrURI, rdf.OWLSameAs, r.F[a])); err != nil {
+			return nil, err
+		}
+	}
+
+	res.SourceTriplesAdded = o.store.GraphLen(SourceGraphName) - sBefore
+	res.TriplesAdded = o.store.Len() - totalBefore
+	return res, nil
+}
+
+// RemoveWrapperRegistration removes a wrapper from S and M. The paper never
+// deletes ontology elements (historic backwards compatibility, §6.2); this
+// operation exists for administrative corrections only and is not used by
+// the evolution workflow.
+func (o *Ontology) RemoveWrapperRegistration(wrapperName string) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	removed := 0
+	wrapperURI := WrapperURI(wrapperName)
+	for _, q := range o.store.Match(store.WildcardGraph(wrapperURI, nil, nil)) {
+		if o.store.Remove(q) {
+			removed++
+		}
+	}
+	for _, q := range o.store.Match(store.WildcardGraph(nil, nil, wrapperURI)) {
+		if o.store.Remove(q) {
+			removed++
+		}
+	}
+	removed += o.store.RemoveGraph(MappingGraphURI(wrapperName))
+	return removed
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+
+	"bdi/internal/rdf"
+)
+
+// The SUPERSEDE running example (paper §2.1 and Figures 2-6). These
+// definitions are shared by tests, examples and experiments.
+var (
+	// Concepts.
+	SupSoftwareApplication = rdf.SchemaSoftwareApplication
+	SupMonitor             = rdf.IRI(NSSupersede + "Monitor")
+	SupFeedbackGathering   = rdf.IRI(NSSupersede + "FeedbackGathering")
+	SupInfoMonitor         = rdf.IRI(NSSupersede + "InfoMonitor")
+	SupUserFeedback        = rdf.IRI(NSSupersede + "UserFeedback")
+
+	// Features.
+	SupApplicationID       = rdf.IRI(NSSupersede + "applicationId")
+	SupMonitorID           = rdf.IRI(NSSupersede + "monitorId")
+	SupFeedbackGatheringID = rdf.IRI(NSSupersede + "feedbackGatheringId")
+	SupLagRatio            = rdf.IRI(NSSupersede + "lagRatio")
+	SupDescription         = rdf.IRI(NSSupersede + "description")
+
+	// Object properties.
+	SupHasMonitor   = rdf.IRI(NSSupersede + "hasMonitor")
+	SupHasFGTool    = rdf.IRI(NSSupersede + "hasFGTool")
+	SupGeneratesQoS = rdf.IRI(NSSupersede + "generatesQoS")
+	SupGeneratesUF  = rdf.IRI(NSSupersede + "generatesUF")
+)
+
+// BuildSupersedeGlobalGraph populates G with the SUPERSEDE conceptual model
+// of Figure 2/3: SoftwareApplication, Monitor, FeedbackGathering,
+// InfoMonitor and UserFeedback with their features and relationships.
+func BuildSupersedeGlobalGraph(o *Ontology) error {
+	steps := []func() error{
+		func() error { return o.AddConcept(SupSoftwareApplication) },
+		func() error { return o.AddConcept(SupMonitor) },
+		func() error { return o.AddConcept(SupFeedbackGathering) },
+		func() error { return o.AddConcept(SupInfoMonitor) },
+		func() error { return o.AddConcept(SupUserFeedback) },
+
+		func() error { return o.AddIdentifier(SupSoftwareApplication, SupApplicationID, rdf.XSDInteger) },
+		func() error { return o.AddIdentifier(SupMonitor, SupMonitorID, rdf.XSDInteger) },
+		func() error { return o.AddIdentifier(SupFeedbackGathering, SupFeedbackGatheringID, rdf.XSDInteger) },
+		// InfoMonitor and UserFeedback are event concepts without identifiers
+		// of their own (as in Figure 3): they are reached through the Monitor
+		// and FeedbackGathering tools that generate them.
+		func() error { return o.AddFeatureTo(SupInfoMonitor, SupLagRatio, rdf.XSDDouble) },
+		func() error { return o.AddFeatureTo(SupUserFeedback, SupDescription, rdf.XSDString) },
+
+		func() error { return o.Relate(SupSoftwareApplication, SupHasMonitor, SupMonitor) },
+		func() error { return o.Relate(SupSoftwareApplication, SupHasFGTool, SupFeedbackGathering) },
+		func() error { return o.Relate(SupMonitor, SupGeneratesQoS, SupInfoMonitor) },
+		func() error { return o.Relate(SupFeedbackGathering, SupGeneratesUF, SupUserFeedback) },
+	}
+	for i, step := range steps {
+		if err := step(); err != nil {
+			return fmt.Errorf("core: building SUPERSEDE global graph (step %d): %w", i, err)
+		}
+	}
+	return nil
+}
+
+// SupersedeReleaseW1 is the release registering wrapper w1 over the VoD
+// monitoring API D1: w1(VoDmonitorId, lagRatio).
+func SupersedeReleaseW1() Release {
+	g := rdf.NewGraph("")
+	g.Add(
+		rdf.T(SupMonitor, SupGeneratesQoS, SupInfoMonitor),
+		rdf.T(SupMonitor, GHasFeature, SupMonitorID),
+		rdf.T(SupInfoMonitor, GHasFeature, SupLagRatio),
+	)
+	return Release{
+		Wrapper: WrapperSpec{
+			Name:            "w1",
+			Source:          "D1",
+			IDAttributes:    []string{"VoDmonitorId"},
+			NonIDAttributes: []string{"lagRatio"},
+		},
+		Subgraph: g,
+		F: map[string]rdf.IRI{
+			"VoDmonitorId": SupMonitorID,
+			"lagRatio":     SupLagRatio,
+		},
+	}
+}
+
+// SupersedeReleaseW2 registers wrapper w2 over the feedback gathering API
+// D2: w2(FGId, tweet).
+func SupersedeReleaseW2() Release {
+	g := rdf.NewGraph("")
+	g.Add(
+		rdf.T(SupFeedbackGathering, SupGeneratesUF, SupUserFeedback),
+		rdf.T(SupFeedbackGathering, GHasFeature, SupFeedbackGatheringID),
+		rdf.T(SupUserFeedback, GHasFeature, SupDescription),
+	)
+	return Release{
+		Wrapper: WrapperSpec{
+			Name:            "w2",
+			Source:          "D2",
+			IDAttributes:    []string{"FGId"},
+			NonIDAttributes: []string{"tweet"},
+		},
+		Subgraph: g,
+		F: map[string]rdf.IRI{
+			"FGId":  SupFeedbackGatheringID,
+			"tweet": SupDescription,
+		},
+	}
+}
+
+// SupersedeReleaseW3 registers wrapper w3 over the relationship API D3:
+// w3(TargetApp, MonitorId, FeedbackId).
+func SupersedeReleaseW3() Release {
+	g := rdf.NewGraph("")
+	g.Add(
+		rdf.T(SupSoftwareApplication, SupHasMonitor, SupMonitor),
+		rdf.T(SupSoftwareApplication, SupHasFGTool, SupFeedbackGathering),
+		rdf.T(SupSoftwareApplication, GHasFeature, SupApplicationID),
+		rdf.T(SupMonitor, GHasFeature, SupMonitorID),
+		rdf.T(SupFeedbackGathering, GHasFeature, SupFeedbackGatheringID),
+	)
+	return Release{
+		Wrapper: WrapperSpec{
+			Name:         "w3",
+			Source:       "D3",
+			IDAttributes: []string{"TargetApp", "MonitorId", "FeedbackId"},
+		},
+		Subgraph: g,
+		F: map[string]rdf.IRI{
+			"TargetApp":  SupApplicationID,
+			"MonitorId":  SupMonitorID,
+			"FeedbackId": SupFeedbackGatheringID,
+		},
+	}
+}
+
+// SupersedeReleaseW4 registers wrapper w4, the evolved schema version of D1
+// in which lagRatio has been renamed to bufferingRatio (§2.1 / §4.1).
+func SupersedeReleaseW4() Release {
+	g := rdf.NewGraph("")
+	g.Add(
+		rdf.T(SupMonitor, SupGeneratesQoS, SupInfoMonitor),
+		rdf.T(SupMonitor, GHasFeature, SupMonitorID),
+		rdf.T(SupInfoMonitor, GHasFeature, SupLagRatio),
+	)
+	return Release{
+		Wrapper: WrapperSpec{
+			Name:            "w4",
+			Source:          "D1",
+			IDAttributes:    []string{"VoDmonitorId"},
+			NonIDAttributes: []string{"bufferingRatio"},
+		},
+		Subgraph: g,
+		F: map[string]rdf.IRI{
+			"VoDmonitorId":   SupMonitorID,
+			"bufferingRatio": SupLagRatio,
+		},
+	}
+}
+
+// BuildSupersedeOntology builds the complete running-example ontology: the
+// Global graph plus releases for w1, w2 and w3. Set withEvolution to also
+// register w4 (the evolved D1 schema).
+func BuildSupersedeOntology(withEvolution bool) (*Ontology, error) {
+	o := NewOntology()
+	if err := BuildSupersedeGlobalGraph(o); err != nil {
+		return nil, err
+	}
+	releases := []Release{SupersedeReleaseW1(), SupersedeReleaseW2(), SupersedeReleaseW3()}
+	if withEvolution {
+		releases = append(releases, SupersedeReleaseW4())
+	}
+	for _, r := range releases {
+		if _, err := o.NewRelease(r); err != nil {
+			return nil, fmt.Errorf("core: registering release for %s: %w", r.Wrapper.Name, err)
+		}
+	}
+	return o, nil
+}

@@ -1,0 +1,164 @@
+package evolution
+
+import (
+	"fmt"
+	"sort"
+
+	"bdi/internal/core"
+	"bdi/internal/rdf"
+)
+
+// AttributeChange describes one parameter-level difference between two
+// schema versions of the same data source.
+type AttributeChange struct {
+	Kind ChangeKind
+	// Attribute is the attribute concerned (the old name for renames and
+	// deletions, the new name for additions).
+	Attribute string
+	// RenamedTo is set for RenameResponseParameter changes.
+	RenamedTo string
+}
+
+// String renders the change.
+func (c AttributeChange) String() string {
+	if c.Kind == RenameResponseParameter {
+		return fmt.Sprintf("%s: %s -> %s", c.Kind, c.Attribute, c.RenamedTo)
+	}
+	return fmt.Sprintf("%s: %s", c.Kind, c.Attribute)
+}
+
+// SchemaDiff computes the parameter-level changes between two attribute
+// lists of the same source. renames maps old attribute names to new ones
+// when the steward (or a matching heuristic such as PARIS) has identified a
+// rename; attributes not covered by renames are classified as additions or
+// deletions.
+func SchemaDiff(oldAttrs, newAttrs []string, renames map[string]string) []AttributeChange {
+	oldSet := map[string]bool{}
+	for _, a := range oldAttrs {
+		oldSet[a] = true
+	}
+	newSet := map[string]bool{}
+	for _, a := range newAttrs {
+		newSet[a] = true
+	}
+	var changes []AttributeChange
+	handledNew := map[string]bool{}
+	// Renames: the old attribute disappears and the mapped new one appears.
+	oldSorted := append([]string(nil), oldAttrs...)
+	sort.Strings(oldSorted)
+	for _, oldA := range oldSorted {
+		newA, isRenamed := renames[oldA]
+		if !isRenamed {
+			continue
+		}
+		if oldSet[oldA] && newSet[newA] && oldA != newA {
+			changes = append(changes, AttributeChange{Kind: RenameResponseParameter, Attribute: oldA, RenamedTo: newA})
+			handledNew[newA] = true
+			oldSet[oldA] = false
+		}
+	}
+	// Deletions.
+	for _, a := range oldSorted {
+		if oldSet[a] && !newSet[a] {
+			changes = append(changes, AttributeChange{Kind: DeleteParameter, Attribute: a})
+		}
+	}
+	// Additions.
+	newSorted := append([]string(nil), newAttrs...)
+	sort.Strings(newSorted)
+	for _, a := range newSorted {
+		if !handledNew[a] && !contains(oldAttrs, a) {
+			changes = append(changes, AttributeChange{Kind: AddParameter, Attribute: a})
+		}
+	}
+	return changes
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// DeriveRelease semi-automatically builds the release for a new schema
+// version: starting from the previous release of the same source, it applies
+// the attribute changes, carrying over the feature mappings of unchanged and
+// renamed attributes. Added attributes must be mapped by the data steward
+// via newMappings (attribute name -> feature); unmapped additions are left
+// out of F (they are registered in S but provide no feature until mapped).
+func DeriveRelease(prev core.Release, newWrapperName string, changes []AttributeChange, newMappings map[string]rdf.IRI) (core.Release, []AttributeChange) {
+	next := core.Release{
+		Wrapper: core.WrapperSpec{
+			Name:            newWrapperName,
+			Source:          prev.Wrapper.Source,
+			IDAttributes:    append([]string(nil), prev.Wrapper.IDAttributes...),
+			NonIDAttributes: append([]string(nil), prev.Wrapper.NonIDAttributes...),
+		},
+		Subgraph: prev.Subgraph.Clone(),
+		F:        map[string]rdf.IRI{},
+	}
+	for attr, feature := range prev.F {
+		next.F[attr] = feature
+	}
+
+	var unresolved []AttributeChange
+	for _, ch := range changes {
+		switch ch.Kind {
+		case RenameResponseParameter:
+			renameAttr(&next.Wrapper, ch.Attribute, ch.RenamedTo)
+			if f, ok := next.F[ch.Attribute]; ok {
+				delete(next.F, ch.Attribute)
+				next.F[ch.RenamedTo] = f
+			}
+		case DeleteParameter:
+			removeAttr(&next.Wrapper, ch.Attribute)
+			delete(next.F, ch.Attribute)
+		case AddParameter:
+			next.Wrapper.NonIDAttributes = append(next.Wrapper.NonIDAttributes, ch.Attribute)
+			if f, ok := newMappings[ch.Attribute]; ok {
+				next.F[ch.Attribute] = f
+			} else {
+				unresolved = append(unresolved, ch)
+			}
+		case ChangeFormatOrType:
+			// Datatype updates do not alter the wrapper schema or F; the
+			// steward updates G:hasDatatype on the feature separately.
+		default:
+			unresolved = append(unresolved, ch)
+		}
+	}
+	return next, unresolved
+}
+
+func renameAttr(spec *core.WrapperSpec, from, to string) {
+	for i, a := range spec.IDAttributes {
+		if a == from {
+			spec.IDAttributes[i] = to
+			return
+		}
+	}
+	for i, a := range spec.NonIDAttributes {
+		if a == from {
+			spec.NonIDAttributes[i] = to
+			return
+		}
+	}
+}
+
+func removeAttr(spec *core.WrapperSpec, name string) {
+	spec.IDAttributes = removeString(spec.IDAttributes, name)
+	spec.NonIDAttributes = removeString(spec.NonIDAttributes, name)
+}
+
+func removeString(xs []string, x string) []string {
+	out := xs[:0]
+	for _, v := range xs {
+		if v != x {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,324 @@
+// Package mdm implements the backend of the Metadata Management System
+// described in §6.1 of the paper: a JSON-over-HTTP API through which the
+// data steward manages the BDI ontology (registering data sources and
+// releases) and data analysts pose ontology-mediated queries. The paper's
+// implementation used a Node.JS frontend and Jersey/Jena in the backend; this
+// package provides the equivalent backend functionality with net/http.
+package mdm
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"bdi/internal/core"
+	"bdi/internal/evolution"
+	"bdi/internal/rdf"
+	"bdi/internal/relational"
+	"bdi/internal/rewriting"
+	"bdi/internal/wrapper"
+)
+
+// Server is the MDM backend. It is safe for concurrent use.
+type Server struct {
+	mu       sync.RWMutex
+	ontology *core.Ontology
+	registry *wrapper.Registry
+	rewriter *rewriting.Rewriter
+}
+
+// NewServer returns an MDM backend over the given ontology and registry.
+func NewServer(o *core.Ontology, reg *wrapper.Registry) *Server {
+	return &Server{ontology: o, registry: reg, rewriter: rewriting.NewRewriter(o)}
+}
+
+// Handler returns the HTTP handler exposing the MDM REST API:
+//
+//	GET  /api/ontology/stats        ontology statistics
+//	GET  /api/ontology/concepts     concepts of G with their features
+//	GET  /api/ontology/sources      data sources, wrappers and attributes of S
+//	GET  /api/ontology/graph        full TriG dump of T
+//	POST /api/releases              register a release (Algorithm 1)
+//	POST /api/queries/rewrite       rewrite an OMQ (SPARQL in, walks out)
+//	POST /api/queries/answer        rewrite and execute an OMQ
+//	GET  /api/changes/catalog       the change taxonomy (Tables 3-5)
+//	GET  /api/health                liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/health", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /api/ontology/stats", s.handleStats)
+	mux.HandleFunc("GET /api/ontology/concepts", s.handleConcepts)
+	mux.HandleFunc("GET /api/ontology/sources", s.handleSources)
+	mux.HandleFunc("GET /api/ontology/graph", s.handleGraphDump)
+	mux.HandleFunc("POST /api/releases", s.handleRelease)
+	mux.HandleFunc("POST /api/queries/rewrite", s.handleRewrite)
+	mux.HandleFunc("POST /api/queries/answer", s.handleAnswer)
+	mux.HandleFunc("GET /api/changes/catalog", s.handleChangeCatalog)
+	mux.HandleFunc("GET /api/changes/applicability", s.handleApplicability)
+	return mux
+}
+
+// ChangeView is one row of the change taxonomy (Tables 3-5).
+type ChangeView struct {
+	Kind    string `json:"kind"`
+	Level   string `json:"level"`
+	Handler string `json:"handler"`
+	Action  string `json:"action"`
+}
+
+func (s *Server) handleChangeCatalog(w http.ResponseWriter, r *http.Request) {
+	var out []ChangeView
+	for _, c := range evolution.Catalog() {
+		out = append(out, ChangeView{
+			Kind:    string(c.Kind),
+			Level:   c.Level.String(),
+			Handler: c.Handler.String(),
+			Action:  c.Action,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleApplicability(w http.ResponseWriter, r *http.Request) {
+	rep := evolution.Applicability(evolution.Table6Profiles())
+	type row struct {
+		API       string  `json:"api"`
+		Partially float64 `json:"partiallyAccommodated"`
+		Fully     float64 `json:"fullyAccommodated"`
+	}
+	resp := struct {
+		APIs               []row   `json:"apis"`
+		AggregatePartially float64 `json:"aggregatePartially"`
+		AggregateFully     float64 `json:"aggregateFully"`
+		AggregateTotal     float64 `json:"aggregateTotal"`
+	}{
+		AggregatePartially: rep.AggregatePartially,
+		AggregateFully:     rep.AggregateFully,
+		AggregateTotal:     rep.AggregateTotal,
+	}
+	for _, p := range rep.Profiles {
+		resp.APIs = append(resp.APIs, row{API: p.Name, Partially: p.PartiallyAccommodated(), Fully: p.FullyAccommodated()})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, s.ontology.Stats())
+}
+
+// ConceptView describes one concept of G for the UI.
+type ConceptView struct {
+	Concept     string   `json:"concept"`
+	Features    []string `json:"features"`
+	Identifiers []string `json:"identifiers"`
+}
+
+func (s *Server) handleConcepts(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []ConceptView
+	for _, c := range s.ontology.Concepts() {
+		view := ConceptView{Concept: string(c)}
+		for _, f := range s.ontology.FeaturesOf(c) {
+			view.Features = append(view.Features, string(f))
+			if s.ontology.IsIdentifier(f) {
+				view.Identifiers = append(view.Identifiers, string(f))
+			}
+		}
+		out = append(out, view)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// SourceView describes one data source of S for the UI.
+type SourceView struct {
+	Source   string              `json:"source"`
+	Wrappers map[string][]string `json:"wrappers"`
+}
+
+func (s *Server) handleSources(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []SourceView
+	for _, ds := range s.ontology.DataSources() {
+		view := SourceView{Source: string(ds), Wrappers: map[string][]string{}}
+		for _, wr := range s.ontology.WrappersOfSource(core.SourceLocalName(ds)) {
+			var attrs []string
+			for _, a := range s.ontology.AttributesOfWrapper(wr) {
+				attrs = append(attrs, core.AttributeName(a))
+			}
+			view.Wrappers[core.WrapperLocalName(wr)] = attrs
+		}
+		out = append(out, view)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGraphDump(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	w.Header().Set("Content-Type", "application/trig")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, s.ontology.Store().DumpTriG(s.ontology.Prefixes()))
+}
+
+// ReleaseRequest is the JSON body of POST /api/releases. The LAV subgraph is
+// given as triples of IRIs; the attribute-to-feature function as a map.
+type ReleaseRequest struct {
+	Wrapper         string            `json:"wrapper"`
+	Source          string            `json:"source"`
+	IDAttributes    []string          `json:"idAttributes"`
+	NonIDAttributes []string          `json:"nonIdAttributes"`
+	Subgraph        [][3]string       `json:"subgraph"`
+	Mappings        map[string]string `json:"mappings"`
+	SampleTuples    []map[string]any  `json:"sampleTuples,omitempty"`
+}
+
+// ReleaseResponse is the JSON answer of POST /api/releases.
+type ReleaseResponse struct {
+	NewSource          bool `json:"newSource"`
+	TriplesAdded       int  `json:"triplesAdded"`
+	SourceTriplesAdded int  `json:"sourceTriplesAdded"`
+	NewAttributes      int  `json:"newAttributes"`
+	ReusedAttributes   int  `json:"reusedAttributes"`
+}
+
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	var req ReleaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	g := rdf.NewGraph("")
+	for _, t := range req.Subgraph {
+		g.Add(rdf.T(rdf.IRI(t[0]), rdf.IRI(t[1]), rdf.IRI(t[2])))
+	}
+	f := map[string]rdf.IRI{}
+	for attr, feature := range req.Mappings {
+		f[attr] = rdf.IRI(feature)
+	}
+	release := core.Release{
+		Wrapper: core.WrapperSpec{
+			Name:            req.Wrapper,
+			Source:          req.Source,
+			IDAttributes:    req.IDAttributes,
+			NonIDAttributes: req.NonIDAttributes,
+		},
+		Subgraph: g,
+		F:        f,
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, err := s.ontology.NewRelease(release)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	// Optionally register an in-memory wrapper with the provided sample data
+	// so that queries are immediately answerable.
+	if len(req.SampleTuples) > 0 {
+		schema := relational.NewSchema(req.IDAttributes, req.NonIDAttributes)
+		rows := make([]relational.Tuple, len(req.SampleTuples))
+		for i, t := range req.SampleTuples {
+			row := relational.Tuple{}
+			for k, v := range t {
+				row[k] = v
+			}
+			rows[i] = row
+		}
+		s.registry.Register(wrapper.NewMemory(req.Wrapper, req.Source, schema, rows))
+	}
+	writeJSON(w, http.StatusCreated, ReleaseResponse{
+		NewSource:          res.NewSource,
+		TriplesAdded:       res.TriplesAdded,
+		SourceTriplesAdded: res.SourceTriplesAdded,
+		NewAttributes:      len(res.NewAttributes),
+		ReusedAttributes:   len(res.ReusedAttributes),
+	})
+}
+
+// QueryRequest is the JSON body of the query endpoints.
+type QueryRequest struct {
+	SPARQL string `json:"sparql"`
+}
+
+// RewriteResponse describes the rewriting outcome.
+type RewriteResponse struct {
+	Walks      []string `json:"walks"`
+	Signatures []string `json:"signatures"`
+	Concepts   []string `json:"concepts"`
+}
+
+func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	res, err := s.rewriter.RewriteSPARQL(req.SPARQL)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rewriteResponse(res))
+}
+
+func rewriteResponse(res *rewriting.Result) RewriteResponse {
+	out := RewriteResponse{Signatures: res.UCQ.Signatures()}
+	for _, walk := range res.UCQ.Walks {
+		out.Walks = append(out.Walks, walk.String())
+	}
+	for _, c := range res.Expanded.Concepts {
+		out.Concepts = append(out.Concepts, string(c))
+	}
+	return out
+}
+
+// AnswerResponse carries the rewriting plus the executed result.
+type AnswerResponse struct {
+	RewriteResponse
+	Columns []string         `json:"columns"`
+	Rows    []map[string]any `json:"rows"`
+}
+
+func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	resolver := wrapper.NewQualifiedResolver(s.registry)
+	answer, res, err := s.rewriter.AnswerSPARQL(req.SPARQL, resolver)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	resp := AnswerResponse{RewriteResponse: rewriteResponse(res), Columns: answer.Schema.Names()}
+	for _, t := range answer.Sorted() {
+		row := map[string]any{}
+		for k, v := range t {
+			row[k] = v
+		}
+		resp.Rows = append(resp.Rows, row)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

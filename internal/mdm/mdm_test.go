@@ -1,0 +1,232 @@
+package mdm
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"bdi/internal/core"
+	"bdi/internal/workload"
+)
+
+const exampleQuery = `
+PREFIX G: <http://www.essi.upc.edu/~snadal/BDIOntology/Global/>
+PREFIX sup: <http://www.essi.upc.edu/~snadal/BDIOntology/SUPERSEDE/>
+PREFIX sc: <http://schema.org/>
+SELECT ?x ?y
+WHERE {
+  VALUES (?x ?y) { (sup:applicationId sup:lagRatio) }
+  sc:SoftwareApplication G:hasFeature sup:applicationId .
+  sc:SoftwareApplication sup:hasMonitor sup:Monitor .
+  sup:Monitor sup:generatesQoS sup:InfoMonitor .
+  sup:InfoMonitor G:hasFeature sup:lagRatio
+}
+`
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	o, err := core.BuildSupersedeOntology(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(o, workload.SupersedeTable1Registry(false))
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func postJSON(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	raw, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHealthAndStats(t *testing.T) {
+	ts := newTestServer(t)
+	var health map[string]string
+	if code := getJSON(t, ts.URL+"/api/health", &health); code != 200 || health["status"] != "ok" {
+		t.Errorf("health = %d %v", code, health)
+	}
+	var stats core.Stats
+	if code := getJSON(t, ts.URL+"/api/ontology/stats", &stats); code != 200 {
+		t.Errorf("stats status = %d", code)
+	}
+	if stats.Concepts != 5 || stats.Wrappers != 3 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestConceptsAndSources(t *testing.T) {
+	ts := newTestServer(t)
+	var concepts []ConceptView
+	if code := getJSON(t, ts.URL+"/api/ontology/concepts", &concepts); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if len(concepts) != 5 {
+		t.Errorf("concepts = %d", len(concepts))
+	}
+	var sources []SourceView
+	if code := getJSON(t, ts.URL+"/api/ontology/sources", &sources); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if len(sources) != 3 {
+		t.Errorf("sources = %d", len(sources))
+	}
+	found := false
+	for _, s := range sources {
+		for w, attrs := range s.Wrappers {
+			if w == "w1" && len(attrs) == 2 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("w1 attributes missing: %+v", sources)
+	}
+}
+
+func TestGraphDumpIsParseableTriG(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/api/ontology/graph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "GRAPH") {
+		t.Error("dump should contain named graph blocks")
+	}
+}
+
+func TestQueryRewriteAndAnswerEndpoints(t *testing.T) {
+	ts := newTestServer(t)
+	var rewrite RewriteResponse
+	if code := postJSON(t, ts.URL+"/api/queries/rewrite", QueryRequest{SPARQL: exampleQuery}, &rewrite); code != 200 {
+		t.Fatalf("rewrite status = %d", code)
+	}
+	if len(rewrite.Walks) != 1 || len(rewrite.Concepts) != 3 {
+		t.Errorf("rewrite = %+v", rewrite)
+	}
+	var answer AnswerResponse
+	if code := postJSON(t, ts.URL+"/api/queries/answer", QueryRequest{SPARQL: exampleQuery}, &answer); code != 200 {
+		t.Fatalf("answer status = %d", code)
+	}
+	if len(answer.Rows) != 3 {
+		t.Errorf("answer rows = %d", len(answer.Rows))
+	}
+	// Malformed queries yield 422.
+	if code := postJSON(t, ts.URL+"/api/queries/answer", QueryRequest{SPARQL: "SELECT nonsense"}, nil); code != 422 {
+		t.Errorf("malformed query status = %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/api/queries/rewrite", QueryRequest{SPARQL: ""}, nil); code != 422 {
+		t.Errorf("empty query status = %d", code)
+	}
+}
+
+func TestReleaseEndpointRegistersW4(t *testing.T) {
+	ts := newTestServer(t)
+	req := ReleaseRequest{
+		Wrapper:         "w4",
+		Source:          "D1",
+		IDAttributes:    []string{"VoDmonitorId"},
+		NonIDAttributes: []string{"bufferingRatio"},
+		Subgraph: [][3]string{
+			{string(core.SupMonitor), string(core.SupGeneratesQoS), string(core.SupInfoMonitor)},
+			{string(core.SupMonitor), string(core.GHasFeature), string(core.SupMonitorID)},
+			{string(core.SupInfoMonitor), string(core.GHasFeature), string(core.SupLagRatio)},
+		},
+		Mappings: map[string]string{
+			"VoDmonitorId":   string(core.SupMonitorID),
+			"bufferingRatio": string(core.SupLagRatio),
+		},
+		SampleTuples: []map[string]any{
+			{"VoDmonitorId": 18, "bufferingRatio": 0.42},
+		},
+	}
+	var resp ReleaseResponse
+	if code := postJSON(t, ts.URL+"/api/releases", req, &resp); code != 201 {
+		t.Fatalf("release status = %d (%+v)", code, resp)
+	}
+	if resp.NewSource {
+		t.Error("D1 already exists")
+	}
+	if resp.ReusedAttributes != 1 || resp.NewAttributes != 1 {
+		t.Errorf("release response = %+v", resp)
+	}
+	// The same OMQ now unions both schema versions and returns the extra row.
+	var answer AnswerResponse
+	if code := postJSON(t, ts.URL+"/api/queries/answer", QueryRequest{SPARQL: exampleQuery}, &answer); code != 200 {
+		t.Fatalf("answer status = %d", code)
+	}
+	if len(answer.Walks) != 2 {
+		t.Errorf("walks after release = %d", len(answer.Walks))
+	}
+	if len(answer.Rows) != 4 {
+		t.Errorf("rows after release = %d", len(answer.Rows))
+	}
+	// Registering the same wrapper again fails.
+	if code := postJSON(t, ts.URL+"/api/releases", req, nil); code != 422 {
+		t.Errorf("duplicate release status = %d", code)
+	}
+	// Malformed JSON fails with 400.
+	resp2, err := http.Post(ts.URL+"/api/releases", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != 400 {
+		t.Errorf("malformed body status = %d", resp2.StatusCode)
+	}
+}
+
+func TestChangeCatalogAndApplicabilityEndpoints(t *testing.T) {
+	ts := newTestServer(t)
+	var catalog []ChangeView
+	if code := getJSON(t, ts.URL+"/api/changes/catalog", &catalog); code != 200 {
+		t.Fatalf("catalog status = %d", code)
+	}
+	if len(catalog) != 21 {
+		t.Errorf("catalog size = %d", len(catalog))
+	}
+	var applicability struct {
+		APIs           []map[string]any `json:"apis"`
+		AggregateTotal float64          `json:"aggregateTotal"`
+	}
+	if code := getJSON(t, ts.URL+"/api/changes/applicability", &applicability); code != 200 {
+		t.Fatalf("applicability status = %d", code)
+	}
+	if len(applicability.APIs) != 5 || applicability.AggregateTotal < 70 || applicability.AggregateTotal > 73 {
+		t.Errorf("applicability = %+v", applicability)
+	}
+}

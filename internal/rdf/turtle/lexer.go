@@ -1,0 +1,292 @@
+// Package turtle implements a parser and serializer for the subset of the
+// Turtle, N-Triples and TriG syntaxes used by the BDI ontology: @prefix
+// directives, IRIs, prefixed names, string/numeric/boolean literals,
+// language tags, datatype annotations, predicate-object lists (';'), object
+// lists (','), blank node labels and GRAPH blocks (TriG).
+package turtle
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF             tokenKind = iota
+	tokIRI                       // <http://...>
+	tokPrefixedName              // ex:foo  or  ex:
+	tokBlankNode                 // _:b1
+	tokLiteral                   // "..."
+	tokLangTag                   // @en
+	tokDatatypeMarker            // ^^
+	tokNumber                    // 42, 4.2, -1e3
+	tokBoolean                   // true / false
+	tokDot                       // .
+	tokSemicolon                 // ;
+	tokComma                     // ,
+	tokPrefixDirective           // @prefix
+	tokBaseDirective             // @base
+	tokA                         // 'a' keyword (rdf:type)
+	tokLBrace                    // {
+	tokRBrace                    // }
+	tokGraphKeyword              // GRAPH
+)
+
+type token struct {
+	kind  tokenKind
+	value string
+	line  int
+	col   int
+}
+
+func (t token) String() string {
+	return fmt.Sprintf("token(%d, %q, line %d col %d)", t.kind, t.value, t.line, t.col)
+}
+
+type lexer struct {
+	input string
+	pos   int
+	line  int
+	col   int
+}
+
+func newLexer(input string) *lexer {
+	return &lexer{input: input, line: 1, col: 1}
+}
+
+func (l *lexer) errorf(format string, args ...any) error {
+	return fmt.Errorf("turtle: line %d col %d: %s", l.line, l.col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peek() byte {
+	if l.pos >= len(l.input) {
+		return 0
+	}
+	return l.input[l.pos]
+}
+
+func (l *lexer) peekAt(offset int) byte {
+	if l.pos+offset >= len(l.input) {
+		return 0
+	}
+	return l.input[l.pos+offset]
+}
+
+func (l *lexer) advance() byte {
+	c := l.input[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipWhitespaceAndComments() {
+	for l.pos < len(l.input) {
+		c := l.peek()
+		if c == '#' {
+			for l.pos < len(l.input) && l.peek() != '\n' {
+				l.advance()
+			}
+			continue
+		}
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.advance()
+			continue
+		}
+		return
+	}
+}
+
+// next returns the next token from the input.
+func (l *lexer) next() (token, error) {
+	l.skipWhitespaceAndComments()
+	startLine, startCol := l.line, l.col
+	if l.pos >= len(l.input) {
+		return token{kind: tokEOF, line: startLine, col: startCol}, nil
+	}
+	c := l.peek()
+	switch {
+	case c == '<':
+		return l.lexIRI(startLine, startCol)
+	case c == '"' || c == '\'':
+		return l.lexString(startLine, startCol)
+	case c == '@':
+		return l.lexAtKeyword(startLine, startCol)
+	case c == '_' && l.peekAt(1) == ':':
+		return l.lexBlankNode(startLine, startCol)
+	case c == '^' && l.peekAt(1) == '^':
+		l.advance()
+		l.advance()
+		return token{kind: tokDatatypeMarker, value: "^^", line: startLine, col: startCol}, nil
+	case c == '.':
+		// A dot may start a decimal like ".5"; in Turtle the statement
+		// terminator is far more common, so only treat as number when a digit
+		// follows immediately and the previous token context requires it.
+		if isDigit(l.peekAt(1)) {
+			return l.lexNumber(startLine, startCol)
+		}
+		l.advance()
+		return token{kind: tokDot, value: ".", line: startLine, col: startCol}, nil
+	case c == ';':
+		l.advance()
+		return token{kind: tokSemicolon, value: ";", line: startLine, col: startCol}, nil
+	case c == ',':
+		l.advance()
+		return token{kind: tokComma, value: ",", line: startLine, col: startCol}, nil
+	case c == '{':
+		l.advance()
+		return token{kind: tokLBrace, value: "{", line: startLine, col: startCol}, nil
+	case c == '}':
+		l.advance()
+		return token{kind: tokRBrace, value: "}", line: startLine, col: startCol}, nil
+	case isDigit(c) || ((c == '+' || c == '-') && isDigit(l.peekAt(1))):
+		return l.lexNumber(startLine, startCol)
+	default:
+		return l.lexName(startLine, startCol)
+	}
+}
+
+func (l *lexer) lexIRI(line, col int) (token, error) {
+	l.advance() // consume '<'
+	var b strings.Builder
+	for l.pos < len(l.input) {
+		c := l.advance()
+		if c == '>' {
+			return token{kind: tokIRI, value: b.String(), line: line, col: col}, nil
+		}
+		if c == '\n' {
+			return token{}, l.errorf("unterminated IRI")
+		}
+		b.WriteByte(c)
+	}
+	return token{}, l.errorf("unterminated IRI")
+}
+
+func (l *lexer) lexString(line, col int) (token, error) {
+	quote := l.advance()
+	long := false
+	if l.peek() == quote && l.peekAt(1) == quote {
+		long = true
+		l.advance()
+		l.advance()
+	}
+	var b strings.Builder
+	for l.pos < len(l.input) {
+		c := l.advance()
+		if c == '\\' && l.pos < len(l.input) {
+			b.WriteByte(c)
+			b.WriteByte(l.advance())
+			continue
+		}
+		if c == quote {
+			if !long {
+				return token{kind: tokLiteral, value: b.String(), line: line, col: col}, nil
+			}
+			if l.peek() == quote && l.peekAt(1) == quote {
+				l.advance()
+				l.advance()
+				return token{kind: tokLiteral, value: b.String(), line: line, col: col}, nil
+			}
+		}
+		b.WriteByte(c)
+	}
+	return token{}, l.errorf("unterminated string literal")
+}
+
+func (l *lexer) lexAtKeyword(line, col int) (token, error) {
+	l.advance() // consume '@'
+	var b strings.Builder
+	for l.pos < len(l.input) && (isLetter(l.peek()) || l.peek() == '-') {
+		b.WriteByte(l.advance())
+	}
+	word := b.String()
+	switch strings.ToLower(word) {
+	case "prefix":
+		return token{kind: tokPrefixDirective, value: word, line: line, col: col}, nil
+	case "base":
+		return token{kind: tokBaseDirective, value: word, line: line, col: col}, nil
+	default:
+		return token{kind: tokLangTag, value: word, line: line, col: col}, nil
+	}
+}
+
+func (l *lexer) lexBlankNode(line, col int) (token, error) {
+	l.advance() // '_'
+	l.advance() // ':'
+	var b strings.Builder
+	for l.pos < len(l.input) && isNameChar(l.peek()) {
+		b.WriteByte(l.advance())
+	}
+	if b.Len() == 0 {
+		return token{}, l.errorf("empty blank node label")
+	}
+	return token{kind: tokBlankNode, value: b.String(), line: line, col: col}, nil
+}
+
+func (l *lexer) lexNumber(line, col int) (token, error) {
+	var b strings.Builder
+	if l.peek() == '+' || l.peek() == '-' {
+		b.WriteByte(l.advance())
+	}
+	seenDot, seenExp := false, false
+	for l.pos < len(l.input) {
+		c := l.peek()
+		switch {
+		case isDigit(c):
+			b.WriteByte(l.advance())
+		case c == '.' && !seenDot && isDigit(l.peekAt(1)):
+			seenDot = true
+			b.WriteByte(l.advance())
+		case (c == 'e' || c == 'E') && !seenExp:
+			seenExp = true
+			b.WriteByte(l.advance())
+			if l.peek() == '+' || l.peek() == '-' {
+				b.WriteByte(l.advance())
+			}
+		default:
+			return token{kind: tokNumber, value: b.String(), line: line, col: col}, nil
+		}
+	}
+	return token{kind: tokNumber, value: b.String(), line: line, col: col}, nil
+}
+
+func (l *lexer) lexName(line, col int) (token, error) {
+	var b strings.Builder
+	for l.pos < len(l.input) {
+		c := l.peek()
+		if isNameChar(c) || c == ':' || c == '/' || c == '~' || c == '#' || c == '%' || c == '+' {
+			b.WriteByte(l.advance())
+			continue
+		}
+		break
+	}
+	word := b.String()
+	if word == "" {
+		return token{}, l.errorf("unexpected character %q", string(l.peek()))
+	}
+	switch word {
+	case "a":
+		return token{kind: tokA, value: word, line: line, col: col}, nil
+	case "true", "false":
+		return token{kind: tokBoolean, value: word, line: line, col: col}, nil
+	case "GRAPH", "graph":
+		return token{kind: tokGraphKeyword, value: word, line: line, col: col}, nil
+	case "PREFIX", "prefix":
+		return token{kind: tokPrefixDirective, value: word, line: line, col: col}, nil
+	case "BASE", "base":
+		return token{kind: tokBaseDirective, value: word, line: line, col: col}, nil
+	}
+	return token{kind: tokPrefixedName, value: word, line: line, col: col}, nil
+}
+
+func isDigit(c byte) bool  { return c >= '0' && c <= '9' }
+func isLetter(c byte) bool { return unicode.IsLetter(rune(c)) }
+func isNameChar(c byte) bool {
+	return isLetter(c) || isDigit(c) || c == '_' || c == '-' || c == '.'
+}

@@ -1,0 +1,441 @@
+package turtle
+
+import (
+	"fmt"
+	"strings"
+
+	"bdi/internal/rdf"
+)
+
+// Document is the result of parsing a Turtle or TriG document: the quads
+// (triples in the default graph carry an empty graph name), plus the prefix
+// bindings encountered.
+type Document struct {
+	Quads    []rdf.Quad
+	Prefixes *rdf.PrefixMap
+	Base     string
+}
+
+// Triples returns only the triples in the default graph.
+func (d *Document) Triples() []rdf.Triple {
+	var out []rdf.Triple
+	for _, q := range d.Quads {
+		if q.Graph == "" {
+			out = append(out, q.Triple)
+		}
+	}
+	return out
+}
+
+// Parse parses a Turtle or TriG document.
+func Parse(input string) (*Document, error) {
+	p := &parser{
+		lex:      newLexer(input),
+		doc:      &Document{Prefixes: rdf.NewPrefixMap()},
+		blankSeq: 0,
+	}
+	if err := p.run(); err != nil {
+		return nil, err
+	}
+	return p.doc, nil
+}
+
+// ParseTriples parses a Turtle document and returns its default-graph
+// triples, failing if any named graph blocks are present.
+func ParseTriples(input string) ([]rdf.Triple, error) {
+	doc, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	for _, q := range doc.Quads {
+		if q.Graph != "" {
+			return nil, fmt.Errorf("turtle: unexpected named graph %s in triples-only document", q.Graph)
+		}
+	}
+	return doc.Triples(), nil
+}
+
+type parser struct {
+	lex      *lexer
+	doc      *Document
+	cur      token
+	peeked   *token
+	blankSeq int
+	graph    rdf.IRI // current named graph ("" = default)
+}
+
+func (p *parser) nextToken() (token, error) {
+	if p.peeked != nil {
+		t := *p.peeked
+		p.peeked = nil
+		p.cur = t
+		return t, nil
+	}
+	t, err := p.lex.next()
+	if err != nil {
+		return token{}, err
+	}
+	p.cur = t
+	return t, nil
+}
+
+func (p *parser) peekToken() (token, error) {
+	if p.peeked != nil {
+		return *p.peeked, nil
+	}
+	t, err := p.lex.next()
+	if err != nil {
+		return token{}, err
+	}
+	p.peeked = &t
+	return t, nil
+}
+
+func (p *parser) run() error {
+	for {
+		t, err := p.peekToken()
+		if err != nil {
+			return err
+		}
+		switch t.kind {
+		case tokEOF:
+			return nil
+		case tokPrefixDirective:
+			if err := p.parsePrefix(); err != nil {
+				return err
+			}
+		case tokBaseDirective:
+			if err := p.parseBase(); err != nil {
+				return err
+			}
+		case tokGraphKeyword:
+			if err := p.parseGraphBlock(); err != nil {
+				return err
+			}
+		default:
+			// Either a TriG graph block "<name> { ... }" or a triple statement.
+			if err := p.parseStatementOrGraph(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func (p *parser) parsePrefix() error {
+	if _, err := p.nextToken(); err != nil { // consume @prefix
+		return err
+	}
+	nameTok, err := p.nextToken()
+	if err != nil {
+		return err
+	}
+	if nameTok.kind != tokPrefixedName && nameTok.kind != tokA {
+		return fmt.Errorf("turtle: expected prefix name, got %v", nameTok)
+	}
+	if !strings.HasSuffix(nameTok.value, ":") {
+		return fmt.Errorf("turtle: prefix name %q must end with ':'", nameTok.value)
+	}
+	prefix := strings.TrimSuffix(nameTok.value, ":")
+	iriTok, err := p.nextToken()
+	if err != nil {
+		return err
+	}
+	if iriTok.kind != tokIRI {
+		return fmt.Errorf("turtle: expected namespace IRI, got %v", iriTok)
+	}
+	p.doc.Prefixes.Bind(prefix, iriTok.value)
+	// Optional trailing dot (required for @prefix, absent for SPARQL-style PREFIX).
+	next, err := p.peekToken()
+	if err != nil {
+		return err
+	}
+	if next.kind == tokDot {
+		_, err = p.nextToken()
+	}
+	return err
+}
+
+func (p *parser) parseBase() error {
+	if _, err := p.nextToken(); err != nil {
+		return err
+	}
+	iriTok, err := p.nextToken()
+	if err != nil {
+		return err
+	}
+	if iriTok.kind != tokIRI {
+		return fmt.Errorf("turtle: expected base IRI, got %v", iriTok)
+	}
+	p.doc.Base = iriTok.value
+	next, err := p.peekToken()
+	if err != nil {
+		return err
+	}
+	if next.kind == tokDot {
+		_, err = p.nextToken()
+	}
+	return err
+}
+
+func (p *parser) parseGraphBlock() error {
+	if _, err := p.nextToken(); err != nil { // consume GRAPH
+		return err
+	}
+	nameTok, err := p.nextToken()
+	if err != nil {
+		return err
+	}
+	name, err := p.resolveIRIToken(nameTok)
+	if err != nil {
+		return err
+	}
+	return p.parseBracedBlock(name)
+}
+
+// parseStatementOrGraph handles both `subject predicate object .` and the
+// TriG form `graphName { ... }`.
+func (p *parser) parseStatementOrGraph() error {
+	subjTok, err := p.nextToken()
+	if err != nil {
+		return err
+	}
+	next, err := p.peekToken()
+	if err != nil {
+		return err
+	}
+	if next.kind == tokLBrace {
+		name, err := p.resolveIRIToken(subjTok)
+		if err != nil {
+			return err
+		}
+		return p.parseBracedBlock(name)
+	}
+	subject, err := p.tokenToTerm(subjTok)
+	if err != nil {
+		return err
+	}
+	return p.parsePredicateObjectList(subject, true)
+}
+
+func (p *parser) parseBracedBlock(name rdf.IRI) error {
+	lb, err := p.nextToken()
+	if err != nil {
+		return err
+	}
+	if lb.kind != tokLBrace {
+		return fmt.Errorf("turtle: expected '{' after graph name, got %v", lb)
+	}
+	prevGraph := p.graph
+	p.graph = name
+	defer func() { p.graph = prevGraph }()
+	for {
+		t, err := p.peekToken()
+		if err != nil {
+			return err
+		}
+		if t.kind == tokRBrace {
+			_, err := p.nextToken()
+			if err != nil {
+				return err
+			}
+			// Optional trailing dot after a graph block.
+			nt, err := p.peekToken()
+			if err != nil {
+				return err
+			}
+			if nt.kind == tokDot {
+				_, err = p.nextToken()
+			}
+			return err
+		}
+		if t.kind == tokEOF {
+			return fmt.Errorf("turtle: unterminated graph block for %s", name)
+		}
+		subjTok, err := p.nextToken()
+		if err != nil {
+			return err
+		}
+		subject, err := p.tokenToTerm(subjTok)
+		if err != nil {
+			return err
+		}
+		if err := p.parsePredicateObjectList(subject, true); err != nil {
+			return err
+		}
+	}
+}
+
+// parsePredicateObjectList parses "pred obj (, obj)* (; pred obj ...)* ."
+// for the given subject. When requireDot is true a final '.' terminates the
+// statement (it may be omitted right before '}' in TriG blocks).
+func (p *parser) parsePredicateObjectList(subject rdf.Term, requireDot bool) error {
+	for {
+		predTok, err := p.nextToken()
+		if err != nil {
+			return err
+		}
+		var predicate rdf.Term
+		if predTok.kind == tokA {
+			predicate = rdf.RDFType
+		} else {
+			predicate, err = p.tokenToTerm(predTok)
+			if err != nil {
+				return err
+			}
+			if predicate.Kind() != rdf.KindIRI {
+				return fmt.Errorf("turtle: predicate must be an IRI, got %v", predicate)
+			}
+		}
+		// Object list.
+		for {
+			object, err := p.parseObject()
+			if err != nil {
+				return err
+			}
+			p.emit(subject, predicate, object)
+			sep, err := p.peekToken()
+			if err != nil {
+				return err
+			}
+			if sep.kind == tokComma {
+				if _, err := p.nextToken(); err != nil {
+					return err
+				}
+				continue
+			}
+			break
+		}
+		sep, err := p.peekToken()
+		if err != nil {
+			return err
+		}
+		switch sep.kind {
+		case tokSemicolon:
+			if _, err := p.nextToken(); err != nil {
+				return err
+			}
+			// A semicolon may be followed directly by '.' (trailing semicolon).
+			nt, err := p.peekToken()
+			if err != nil {
+				return err
+			}
+			if nt.kind == tokDot {
+				_, err := p.nextToken()
+				return err
+			}
+			if nt.kind == tokRBrace || nt.kind == tokEOF {
+				return nil
+			}
+			continue
+		case tokDot:
+			_, err := p.nextToken()
+			return err
+		case tokRBrace, tokEOF:
+			if requireDot && sep.kind == tokEOF {
+				return nil
+			}
+			return nil
+		default:
+			return fmt.Errorf("turtle: expected '.', ';' or ',', got %v", sep)
+		}
+	}
+}
+
+func (p *parser) parseObject() (rdf.Term, error) {
+	tok, err := p.nextToken()
+	if err != nil {
+		return nil, err
+	}
+	switch tok.kind {
+	case tokIRI, tokPrefixedName, tokBlankNode:
+		return p.tokenToTerm(tok)
+	case tokLiteral:
+		lexical := rdf.UnescapeLiteral(tok.value)
+		next, err := p.peekToken()
+		if err != nil {
+			return nil, err
+		}
+		switch next.kind {
+		case tokLangTag:
+			if _, err := p.nextToken(); err != nil {
+				return nil, err
+			}
+			return rdf.NewLangLiteral(lexical, next.value), nil
+		case tokDatatypeMarker:
+			if _, err := p.nextToken(); err != nil {
+				return nil, err
+			}
+			dtTok, err := p.nextToken()
+			if err != nil {
+				return nil, err
+			}
+			dt, err := p.resolveIRIToken(dtTok)
+			if err != nil {
+				return nil, err
+			}
+			return rdf.NewTypedLiteral(lexical, dt), nil
+		default:
+			return rdf.NewLiteral(lexical), nil
+		}
+	case tokNumber:
+		if strings.ContainsAny(tok.value, ".eE") {
+			return rdf.NewTypedLiteral(tok.value, rdf.XSDDecimal), nil
+		}
+		return rdf.NewTypedLiteral(tok.value, rdf.XSDInteger), nil
+	case tokBoolean:
+		return rdf.NewTypedLiteral(tok.value, rdf.XSDBoolean), nil
+	case tokA:
+		return rdf.RDFType, nil
+	default:
+		return nil, fmt.Errorf("turtle: unexpected object token %v", tok)
+	}
+}
+
+func (p *parser) tokenToTerm(tok token) (rdf.Term, error) {
+	switch tok.kind {
+	case tokIRI:
+		return p.resolveIRI(tok.value), nil
+	case tokPrefixedName:
+		iri, _ := p.doc.Prefixes.Expand(tok.value)
+		return iri, nil
+	case tokBlankNode:
+		return rdf.NewBlankNode(tok.value), nil
+	case tokLiteral:
+		return rdf.NewLiteral(rdf.UnescapeLiteral(tok.value)), nil
+	case tokNumber:
+		if strings.ContainsAny(tok.value, ".eE") {
+			return rdf.NewTypedLiteral(tok.value, rdf.XSDDecimal), nil
+		}
+		return rdf.NewTypedLiteral(tok.value, rdf.XSDInteger), nil
+	case tokBoolean:
+		return rdf.NewTypedLiteral(tok.value, rdf.XSDBoolean), nil
+	default:
+		return nil, fmt.Errorf("turtle: cannot convert token %v to a term", tok)
+	}
+}
+
+func (p *parser) resolveIRIToken(tok token) (rdf.IRI, error) {
+	t, err := p.tokenToTerm(tok)
+	if err != nil {
+		return "", err
+	}
+	iri, ok := t.(rdf.IRI)
+	if !ok {
+		return "", fmt.Errorf("turtle: expected an IRI, got %v", t)
+	}
+	return iri, nil
+}
+
+func (p *parser) resolveIRI(value string) rdf.IRI {
+	if p.doc.Base != "" && !strings.Contains(value, "://") && !strings.HasPrefix(value, "urn:") {
+		return rdf.IRI(p.doc.Base + value)
+	}
+	return rdf.IRI(value)
+}
+
+func (p *parser) emit(s, pred, o rdf.Term) {
+	p.doc.Quads = append(p.doc.Quads, rdf.Quad{
+		Triple: rdf.Triple{Subject: s, Predicate: pred, Object: o},
+		Graph:  p.graph,
+	})
+}

@@ -1,0 +1,338 @@
+// Package reasoner implements the RDFS entailment regime assumed by the
+// paper (§2): subclass, subproperty, domain and range inference over the
+// quad store. Two modes are provided:
+//
+//   - Materialize: forward-chaining closure that writes the entailed triples
+//     back into the store (into the same graph as the triples that produced
+//     them), mirroring a triplestore configured with RDFS inference.
+//   - Engine: query-time inference that answers "is X a (transitive)
+//     subclass of Y" and "instances of class C" questions without
+//     materializing, used by the rewriting algorithms for identifier
+//     taxonomy lookups (e.g. sup:monitorId rdfs:subClassOf sc:identifier).
+//
+// Only the RDFS rules that matter for the BDI ontology are implemented
+// (rdfs5, rdfs7, rdfs9, rdfs11, rdfs2, rdfs3); axiomatic triples about the
+// RDF/RDFS vocabulary itself are intentionally not generated to keep the
+// stored graphs small, as the paper's growth analysis (§6.4) counts only
+// application triples.
+package reasoner
+
+import (
+	"sort"
+
+	"bdi/internal/rdf"
+	"bdi/internal/store"
+)
+
+// Engine provides query-time RDFS inference over a store. It caches the
+// subclass and subproperty hierarchies and invalidates the cache whenever
+// the underlying store changes.
+type Engine struct {
+	store *store.Store
+
+	generation uint64
+	subClass   map[string]map[string]bool // class -> all (transitive) superclasses
+	subProp    map[string]map[string]bool // property -> all (transitive) superproperties
+}
+
+// New returns an inference engine over the given store.
+func New(s *store.Store) *Engine {
+	return &Engine{store: s}
+}
+
+// Store returns the underlying store.
+func (e *Engine) Store() *store.Store { return e.store }
+
+func (e *Engine) refresh() {
+	gen := e.store.Generation()
+	if e.subClass != nil && gen == e.generation {
+		return
+	}
+	e.generation = gen
+	e.subClass = transitiveClosure(e.store, rdf.RDFSSubClassOf)
+	e.subProp = transitiveClosure(e.store, rdf.RDFSSubPropertyOf)
+}
+
+// IsSubClassOf reports whether sub is rdfs:subClassOf sup, directly or
+// transitively (reflexivity included: a class is a subclass of itself).
+func (e *Engine) IsSubClassOf(sub, sup rdf.IRI) bool {
+	if sub == sup {
+		return true
+	}
+	e.refresh()
+	return e.subClass[string(sub)][string(sup)]
+}
+
+// IsSubPropertyOf reports whether sub is rdfs:subPropertyOf sup, directly or
+// transitively (reflexive).
+func (e *Engine) IsSubPropertyOf(sub, sup rdf.IRI) bool {
+	if sub == sup {
+		return true
+	}
+	e.refresh()
+	return e.subProp[string(sub)][string(sup)]
+}
+
+// SuperClasses returns all (transitive) superclasses of the given class,
+// sorted, excluding the class itself.
+func (e *Engine) SuperClasses(class rdf.IRI) []rdf.IRI {
+	e.refresh()
+	return sortedKeys(e.subClass[string(class)])
+}
+
+// SubClassesOf returns all classes that are (transitively) subclasses of the
+// given class, excluding the class itself.
+func (e *Engine) SubClassesOf(class rdf.IRI) []rdf.IRI {
+	e.refresh()
+	var out []rdf.IRI
+	for sub, supers := range e.subClass {
+		if supers[string(class)] {
+			out = append(out, rdf.IRI(sub))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// InstancesOf returns all subjects typed (rdf:type) with the given class or
+// any of its subclasses, across all graphs, sorted.
+func (e *Engine) InstancesOf(class rdf.IRI) []rdf.Term {
+	e.refresh()
+	classes := append(e.SubClassesOf(class), class)
+	seen := map[string]rdf.Term{}
+	for _, c := range classes {
+		for _, q := range e.store.Match(store.WildcardGraph(nil, rdf.RDFType, c)) {
+			seen[rdf.TermKey(q.Subject)] = q.Subject
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]rdf.Term, len(keys))
+	for i, k := range keys {
+		out[i] = seen[k]
+	}
+	return out
+}
+
+// HasType reports whether the subject has the given rdf:type, either
+// asserted directly or entailed through the subclass hierarchy.
+func (e *Engine) HasType(subject rdf.Term, class rdf.IRI) bool {
+	for _, q := range e.store.Match(store.WildcardGraph(subject, rdf.RDFType, nil)) {
+		asserted, ok := q.Object.(rdf.IRI)
+		if !ok {
+			continue
+		}
+		if asserted == class || e.IsSubClassOf(asserted, class) {
+			return true
+		}
+	}
+	return false
+}
+
+// TypesOf returns the asserted and entailed types of the subject, sorted.
+func (e *Engine) TypesOf(subject rdf.Term) []rdf.IRI {
+	seen := map[rdf.IRI]bool{}
+	for _, q := range e.store.Match(store.WildcardGraph(subject, rdf.RDFType, nil)) {
+		if c, ok := q.Object.(rdf.IRI); ok {
+			seen[c] = true
+			for _, sup := range e.SuperClasses(c) {
+				seen[sup] = true
+			}
+		}
+	}
+	out := make([]rdf.IRI, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MaterializeOptions controls which RDFS rules Materialize applies.
+type MaterializeOptions struct {
+	// SubClassTransitivity applies rdfs11 (transitive rdfs:subClassOf).
+	SubClassTransitivity bool
+	// SubPropertyTransitivity applies rdfs5 (transitive rdfs:subPropertyOf).
+	SubPropertyTransitivity bool
+	// TypeInheritance applies rdfs9 (instances of a subclass are instances of
+	// its superclasses).
+	TypeInheritance bool
+	// PropertyInheritance applies rdfs7 (statements with a subproperty also
+	// hold for the superproperty).
+	PropertyInheritance bool
+	// DomainRange applies rdfs2 and rdfs3 (type inference from property
+	// domain and range declarations).
+	DomainRange bool
+}
+
+// DefaultMaterializeOptions enables every supported rule.
+func DefaultMaterializeOptions() MaterializeOptions {
+	return MaterializeOptions{
+		SubClassTransitivity:    true,
+		SubPropertyTransitivity: true,
+		TypeInheritance:         true,
+		PropertyInheritance:     true,
+		DomainRange:             true,
+	}
+}
+
+// Materialize computes the RDFS closure of the store under the selected
+// rules and inserts the entailed quads. It returns the number of new quads.
+// The computation iterates to a fixpoint.
+func Materialize(s *store.Store, opts MaterializeOptions) (int, error) {
+	total := 0
+	for {
+		added, err := materializeOnce(s, opts)
+		if err != nil {
+			return total, err
+		}
+		if added == 0 {
+			return total, nil
+		}
+		total += added
+	}
+}
+
+func materializeOnce(s *store.Store, opts MaterializeOptions) (int, error) {
+	var newQuads []rdf.Quad
+
+	subClass := transitiveClosure(s, rdf.RDFSSubClassOf)
+	subProp := transitiveClosure(s, rdf.RDFSSubPropertyOf)
+
+	if opts.SubClassTransitivity {
+		newQuads = append(newQuads, closureQuads(s, rdf.RDFSSubClassOf, subClass)...)
+	}
+	if opts.SubPropertyTransitivity {
+		newQuads = append(newQuads, closureQuads(s, rdf.RDFSSubPropertyOf, subProp)...)
+	}
+
+	if opts.TypeInheritance {
+		for _, q := range s.Match(store.WildcardGraph(nil, rdf.RDFType, nil)) {
+			c, ok := q.Object.(rdf.IRI)
+			if !ok {
+				continue
+			}
+			for sup := range subClass[string(c)] {
+				newQuads = append(newQuads, rdf.Quad{
+					Triple: rdf.NewTriple(q.Subject, rdf.RDFType, rdf.IRI(sup)),
+					Graph:  q.Graph,
+				})
+			}
+		}
+	}
+
+	if opts.PropertyInheritance {
+		for prop, supers := range subProp {
+			for _, q := range s.Match(store.WildcardGraph(nil, rdf.IRI(prop), nil)) {
+				for sup := range supers {
+					newQuads = append(newQuads, rdf.Quad{
+						Triple: rdf.NewTriple(q.Subject, rdf.IRI(sup), q.Object),
+						Graph:  q.Graph,
+					})
+				}
+			}
+		}
+	}
+
+	if opts.DomainRange {
+		for _, decl := range s.Match(store.WildcardGraph(nil, rdf.RDFSDomain, nil)) {
+			prop, okP := decl.Subject.(rdf.IRI)
+			class, okC := decl.Object.(rdf.IRI)
+			if !okP || !okC {
+				continue
+			}
+			for _, q := range s.Match(store.WildcardGraph(nil, prop, nil)) {
+				newQuads = append(newQuads, rdf.Quad{
+					Triple: rdf.NewTriple(q.Subject, rdf.RDFType, class),
+					Graph:  q.Graph,
+				})
+			}
+		}
+		for _, decl := range s.Match(store.WildcardGraph(nil, rdf.RDFSRange, nil)) {
+			prop, okP := decl.Subject.(rdf.IRI)
+			class, okC := decl.Object.(rdf.IRI)
+			if !okP || !okC {
+				continue
+			}
+			for _, q := range s.Match(store.WildcardGraph(nil, prop, nil)) {
+				if q.Object.Kind() == rdf.KindLiteral {
+					continue
+				}
+				newQuads = append(newQuads, rdf.Quad{
+					Triple: rdf.NewTriple(q.Object, rdf.RDFType, class),
+					Graph:  q.Graph,
+				})
+			}
+		}
+	}
+
+	added := 0
+	for _, q := range newQuads {
+		ok, err := s.Add(q)
+		if err != nil {
+			return added, err
+		}
+		if ok {
+			added++
+		}
+	}
+	return added, nil
+}
+
+func closureQuads(s *store.Store, predicate rdf.IRI, closure map[string]map[string]bool) []rdf.Quad {
+	var out []rdf.Quad
+	for sub, supers := range closure {
+		for sup := range supers {
+			t := rdf.T(rdf.IRI(sub), predicate, rdf.IRI(sup))
+			// Place the entailed triple in the default graph unless an asserted
+			// edge already defines where the hierarchy lives; the default graph
+			// keeps entailments out of the per-wrapper named graphs.
+			out = append(out, rdf.Quad{Triple: t})
+			_ = s
+		}
+	}
+	return out
+}
+
+// transitiveClosure computes, for the given predicate (e.g. rdfs:subClassOf),
+// a map from each subject IRI to the set of all IRIs reachable by following
+// the predicate one or more times.
+func transitiveClosure(s *store.Store, predicate rdf.IRI) map[string]map[string]bool {
+	direct := map[string][]string{}
+	for _, q := range s.Match(store.WildcardGraph(nil, predicate, nil)) {
+		sub, okS := q.Subject.(rdf.IRI)
+		sup, okO := q.Object.(rdf.IRI)
+		if !okS || !okO {
+			continue
+		}
+		direct[string(sub)] = append(direct[string(sub)], string(sup))
+	}
+	closure := map[string]map[string]bool{}
+	for node := range direct {
+		reach := map[string]bool{}
+		stack := append([]string{}, direct[node]...)
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if reach[cur] {
+				continue
+			}
+			reach[cur] = true
+			stack = append(stack, direct[cur]...)
+		}
+		closure[node] = reach
+	}
+	return closure
+}
+
+func sortedKeys(m map[string]bool) []rdf.IRI {
+	out := make([]rdf.IRI, 0, len(m))
+	for k := range m {
+		out = append(out, rdf.IRI(k))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,191 @@
+package reasoner
+
+import (
+	"testing"
+
+	"bdi/internal/rdf"
+	"bdi/internal/store"
+)
+
+// taxonomyStore builds a small class hierarchy:
+//
+//	monitorId ⊑ identifier, feedbackGatheringId ⊑ identifier,
+//	applicationId ⊑ identifier, identifier ⊑ feature
+//
+// plus typed instances and a subproperty.
+func taxonomyStore(t *testing.T) *store.Store {
+	t.Helper()
+	s := store.New()
+	add := func(tr rdf.Triple) {
+		t.Helper()
+		if _, err := s.AddTriple("", tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id := rdf.IRI("http://ex/identifier")
+	feature := rdf.IRI("http://ex/Feature")
+	add(rdf.T("http://ex/monitorId", rdf.RDFSSubClassOf, id))
+	add(rdf.T("http://ex/feedbackGatheringId", rdf.RDFSSubClassOf, id))
+	add(rdf.T("http://ex/applicationId", rdf.RDFSSubClassOf, id))
+	add(rdf.T(id, rdf.RDFSSubClassOf, feature))
+	add(rdf.T("http://ex/m1", rdf.RDFType, "http://ex/monitorId"))
+	add(rdf.T("http://ex/f1", rdf.RDFType, "http://ex/feedbackGatheringId"))
+	add(rdf.T("http://ex/hasVoDMonitor", rdf.RDFSSubPropertyOf, "http://ex/hasMonitor"))
+	add(rdf.T("http://ex/app1", "http://ex/hasVoDMonitor", "http://ex/m1"))
+	add(rdf.T("http://ex/hasMonitor", rdf.RDFSDomain, "http://ex/SoftwareApplication"))
+	add(rdf.T("http://ex/hasMonitor", rdf.RDFSRange, "http://ex/Monitor"))
+	add(rdf.T("http://ex/app2", "http://ex/hasMonitor", "http://ex/m2"))
+	return s
+}
+
+func TestIsSubClassOfTransitive(t *testing.T) {
+	e := New(taxonomyStore(t))
+	if !e.IsSubClassOf("http://ex/monitorId", "http://ex/identifier") {
+		t.Error("direct subclass not detected")
+	}
+	if !e.IsSubClassOf("http://ex/monitorId", "http://ex/Feature") {
+		t.Error("transitive subclass not detected")
+	}
+	if !e.IsSubClassOf("http://ex/monitorId", "http://ex/monitorId") {
+		t.Error("subclass relation should be reflexive")
+	}
+	if e.IsSubClassOf("http://ex/identifier", "http://ex/monitorId") {
+		t.Error("subclass relation should not be symmetric")
+	}
+}
+
+func TestSubAndSuperClassListing(t *testing.T) {
+	e := New(taxonomyStore(t))
+	supers := e.SuperClasses("http://ex/monitorId")
+	if len(supers) != 2 {
+		t.Errorf("superclasses = %v", supers)
+	}
+	subs := e.SubClassesOf("http://ex/identifier")
+	if len(subs) != 3 {
+		t.Errorf("subclasses = %v", subs)
+	}
+	all := e.SubClassesOf("http://ex/Feature")
+	if len(all) != 4 {
+		t.Errorf("subclasses of Feature = %v", all)
+	}
+}
+
+func TestIsSubPropertyOf(t *testing.T) {
+	e := New(taxonomyStore(t))
+	if !e.IsSubPropertyOf("http://ex/hasVoDMonitor", "http://ex/hasMonitor") {
+		t.Error("subproperty not detected")
+	}
+	if !e.IsSubPropertyOf("http://ex/hasMonitor", "http://ex/hasMonitor") {
+		t.Error("subproperty should be reflexive")
+	}
+	if e.IsSubPropertyOf("http://ex/hasMonitor", "http://ex/hasVoDMonitor") {
+		t.Error("subproperty should not be symmetric")
+	}
+}
+
+func TestInstancesOfAndHasType(t *testing.T) {
+	e := New(taxonomyStore(t))
+	instances := e.InstancesOf("http://ex/identifier")
+	if len(instances) != 2 {
+		t.Errorf("instances of identifier = %v", instances)
+	}
+	if !e.HasType(rdf.IRI("http://ex/m1"), "http://ex/Feature") {
+		t.Error("m1 should be a Feature via the taxonomy")
+	}
+	if e.HasType(rdf.IRI("http://ex/m1"), "http://ex/SoftwareApplication") {
+		t.Error("m1 should not be a SoftwareApplication")
+	}
+	types := e.TypesOf(rdf.IRI("http://ex/m1"))
+	if len(types) != 3 {
+		t.Errorf("types of m1 = %v", types)
+	}
+}
+
+func TestCacheInvalidationOnStoreChange(t *testing.T) {
+	s := taxonomyStore(t)
+	e := New(s)
+	if e.IsSubClassOf("http://ex/newId", "http://ex/identifier") {
+		t.Error("unknown class should not be a subclass")
+	}
+	if _, err := s.AddTriple("", rdf.T("http://ex/newId", rdf.RDFSSubClassOf, "http://ex/identifier")); err != nil {
+		t.Fatal(err)
+	}
+	if !e.IsSubClassOf("http://ex/newId", "http://ex/identifier") {
+		t.Error("engine should pick up new triples")
+	}
+}
+
+func TestMaterializeTypeInheritance(t *testing.T) {
+	s := taxonomyStore(t)
+	added, err := Materialize(s, DefaultMaterializeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added == 0 {
+		t.Fatal("materialization should add triples")
+	}
+	// rdfs9: m1 is an identifier and a Feature.
+	if !s.ContainsTriple("", rdf.T("http://ex/m1", rdf.RDFType, "http://ex/identifier")) {
+		t.Error("missing entailed type identifier")
+	}
+	if !s.ContainsTriple("", rdf.T("http://ex/m1", rdf.RDFType, "http://ex/Feature")) {
+		t.Error("missing entailed type Feature")
+	}
+	// rdfs11: monitorId ⊑ Feature.
+	if !s.ContainsTriple("", rdf.T("http://ex/monitorId", rdf.RDFSSubClassOf, "http://ex/Feature")) {
+		t.Error("missing transitive subclass edge")
+	}
+	// rdfs7: app1 hasMonitor m1 via the subproperty.
+	if !s.ContainsTriple("", rdf.T("http://ex/app1", "http://ex/hasMonitor", "http://ex/m1")) {
+		t.Error("missing entailed superproperty statement")
+	}
+	// rdfs2/rdfs3: domain and range typing.
+	if !s.ContainsTriple("", rdf.T("http://ex/app2", rdf.RDFType, "http://ex/SoftwareApplication")) {
+		t.Error("missing domain-inferred type")
+	}
+	if !s.ContainsTriple("", rdf.T("http://ex/m2", rdf.RDFType, "http://ex/Monitor")) {
+		t.Error("missing range-inferred type")
+	}
+}
+
+func TestMaterializeIsIdempotent(t *testing.T) {
+	s := taxonomyStore(t)
+	if _, err := Materialize(s, DefaultMaterializeOptions()); err != nil {
+		t.Fatal(err)
+	}
+	size := s.Len()
+	added, err := Materialize(s, DefaultMaterializeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 0 || s.Len() != size {
+		t.Errorf("second materialization added %d quads", added)
+	}
+}
+
+func TestMaterializeSelectiveRules(t *testing.T) {
+	s := taxonomyStore(t)
+	opts := MaterializeOptions{SubClassTransitivity: true}
+	if _, err := Materialize(s, opts); err != nil {
+		t.Fatal(err)
+	}
+	if s.ContainsTriple("", rdf.T("http://ex/m1", rdf.RDFType, "http://ex/identifier")) {
+		t.Error("type inheritance should be disabled")
+	}
+	if !s.ContainsTriple("", rdf.T("http://ex/monitorId", rdf.RDFSSubClassOf, "http://ex/Feature")) {
+		t.Error("subclass transitivity should be applied")
+	}
+}
+
+func TestCyclicHierarchyDoesNotLoop(t *testing.T) {
+	s := store.New()
+	s.MustAdd(rdf.Q("http://ex/A", rdf.RDFSSubClassOf, "http://ex/B", ""))
+	s.MustAdd(rdf.Q("http://ex/B", rdf.RDFSSubClassOf, "http://ex/A", ""))
+	e := New(s)
+	if !e.IsSubClassOf("http://ex/A", "http://ex/B") || !e.IsSubClassOf("http://ex/B", "http://ex/A") {
+		t.Error("cycle members should be mutual subclasses")
+	}
+	if _, err := Materialize(s, DefaultMaterializeOptions()); err != nil {
+		t.Fatal(err)
+	}
+}

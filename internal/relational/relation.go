@@ -1,0 +1,252 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Value is a single cell value. Wrappers deliver JSON-shaped data, so values
+// are strings, numbers, booleans or nil.
+type Value any
+
+// Tuple is a mapping from attribute name to value.
+type Tuple map[string]Value
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	for k, v := range t {
+		c[k] = v
+	}
+	return c
+}
+
+// Project returns a new tuple containing only the named attributes.
+func (t Tuple) Project(names []string) Tuple {
+	out := Tuple{}
+	for _, n := range names {
+		if v, ok := t[n]; ok {
+			out[n] = v
+		}
+	}
+	return out
+}
+
+// Merge returns a new tuple combining t and other; attributes of t win on
+// conflict.
+func (t Tuple) Merge(other Tuple) Tuple {
+	out := other.Clone()
+	for k, v := range t {
+		out[k] = v
+	}
+	return out
+}
+
+// valueKey renders a value canonically for comparisons and deduplication.
+func valueKey(v Value) string {
+	switch x := v.(type) {
+	case nil:
+		return "∅"
+	case float64:
+		// JSON numbers arrive as float64; render integers without decimals so
+		// 12 and 12.0 compare equal across sources.
+		if x == float64(int64(x)) {
+			return fmt.Sprintf("i%d", int64(x))
+		}
+		return fmt.Sprintf("f%g", x)
+	case int:
+		return fmt.Sprintf("i%d", x)
+	case int64:
+		return fmt.Sprintf("i%d", x)
+	case bool:
+		return fmt.Sprintf("b%t", x)
+	default:
+		return "s" + fmt.Sprintf("%v", x)
+	}
+}
+
+// ValuesEqual reports whether two cell values are equal under the
+// cross-source comparison semantics used for equi-joins on IDs.
+func ValuesEqual(a, b Value) bool { return valueKey(a) == valueKey(b) }
+
+// Key returns a canonical key of the tuple over the given attributes.
+func (t Tuple) Key(names []string) string {
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = valueKey(t[n])
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+// Relation is a named bag of tuples with a schema. It is the in-memory
+// representation of a wrapper's output and of intermediate walk results.
+type Relation struct {
+	Name   string
+	Schema Schema
+	Tuples []Tuple
+}
+
+// NewRelation returns an empty relation.
+func NewRelation(name string, schema Schema) *Relation {
+	return &Relation{Name: name, Schema: schema}
+}
+
+// Add appends tuples to the relation.
+func (r *Relation) Add(tuples ...Tuple) {
+	r.Tuples = append(r.Tuples, tuples...)
+}
+
+// Cardinality returns the number of tuples.
+func (r *Relation) Cardinality() int { return len(r.Tuples) }
+
+// Clone returns a deep copy of the relation.
+func (r *Relation) Clone() *Relation {
+	c := NewRelation(r.Name, r.Schema)
+	for _, t := range r.Tuples {
+		c.Add(t.Clone())
+	}
+	return c
+}
+
+// Project applies the restricted projection Π̃: it keeps the named
+// attributes plus every ID attribute of the schema (IDs may never be
+// projected out, as they are needed by the restricted join).
+func (r *Relation) Project(names []string) *Relation {
+	keep := map[string]bool{}
+	for _, n := range names {
+		keep[n] = true
+	}
+	for _, id := range r.Schema.IDNames() {
+		keep[id] = true
+	}
+	var ordered []string
+	for _, a := range r.Schema.Attributes {
+		if keep[a.Name] {
+			ordered = append(ordered, a.Name)
+		}
+	}
+	out := NewRelation(r.Name, r.Schema.Project(ordered))
+	for _, t := range r.Tuples {
+		out.Add(t.Project(ordered))
+	}
+	return out
+}
+
+// StrictProject projects exactly the named attributes (used only at the very
+// end of query answering, when requested-only attributes are returned to the
+// analyst).
+func (r *Relation) StrictProject(names []string) *Relation {
+	out := NewRelation(r.Name, r.Schema.Project(names))
+	for _, t := range r.Tuples {
+		out.Add(t.Project(names))
+	}
+	return out
+}
+
+// Distinct returns a copy of the relation with duplicate tuples removed.
+func (r *Relation) Distinct() *Relation {
+	out := NewRelation(r.Name, r.Schema)
+	names := r.Schema.Names()
+	seen := map[string]bool{}
+	for _, t := range r.Tuples {
+		k := t.Key(names)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out.Add(t.Clone())
+	}
+	return out
+}
+
+// EquiJoin implements the restricted join .̃/: it joins r with other on
+// leftAttr = rightAttr and fails unless both attributes are ID attributes of
+// their respective schemas.
+func (r *Relation) EquiJoin(other *Relation, leftAttr, rightAttr string) (*Relation, error) {
+	if !r.Schema.IsID(leftAttr) {
+		return nil, fmt.Errorf("relational: %q is not an ID attribute of %s%s", leftAttr, r.Name, r.Schema)
+	}
+	if !other.Schema.IsID(rightAttr) {
+		return nil, fmt.Errorf("relational: %q is not an ID attribute of %s%s", rightAttr, other.Name, other.Schema)
+	}
+	out := NewRelation(fmt.Sprintf("(%s⋈%s)", r.Name, other.Name), r.Schema.Merge(other.Schema))
+	// Hash join on the right relation.
+	index := map[string][]Tuple{}
+	for _, t := range other.Tuples {
+		index[valueKey(t[rightAttr])] = append(index[valueKey(t[rightAttr])], t)
+	}
+	for _, lt := range r.Tuples {
+		for _, rt := range index[valueKey(lt[leftAttr])] {
+			out.Add(lt.Merge(rt))
+		}
+	}
+	return out, nil
+}
+
+// Union appends the tuples of other to a copy of r. Schemas are merged;
+// missing attributes are left unset (NULL) in the respective tuples.
+func (r *Relation) Union(other *Relation) *Relation {
+	out := NewRelation(r.Name, r.Schema.Merge(other.Schema))
+	for _, t := range r.Tuples {
+		out.Add(t.Clone())
+	}
+	for _, t := range other.Tuples {
+		out.Add(t.Clone())
+	}
+	return out
+}
+
+// Sorted returns the tuples sorted by their canonical key, for deterministic
+// output.
+func (r *Relation) Sorted() []Tuple {
+	names := r.Schema.Names()
+	out := append([]Tuple(nil), r.Tuples...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key(names) < out[j].Key(names) })
+	return out
+}
+
+// String renders the relation as a small fixed-width table.
+func (r *Relation) String() string {
+	var b strings.Builder
+	names := r.Schema.Names()
+	fmt.Fprintf(&b, "%s%s [%d tuples]\n", r.Name, r.Schema, len(r.Tuples))
+	b.WriteString(strings.Join(names, "\t"))
+	b.WriteByte('\n')
+	for _, t := range r.Sorted() {
+		cells := make([]string, len(names))
+		for i, n := range names {
+			cells[i] = fmt.Sprintf("%v", t[n])
+		}
+		b.WriteString(strings.Join(cells, "\t"))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Rename returns a copy of the relation with attributes renamed according to
+// the given mapping (old name -> new name). Attributes not mentioned keep
+// their names. It is used when aligning wrapper attribute names with the
+// ontology features they provide, so that unions across schema versions
+// produce a single column per feature.
+func (r *Relation) Rename(mapping map[string]string) *Relation {
+	newName := func(n string) string {
+		if nn, ok := mapping[n]; ok {
+			return nn
+		}
+		return n
+	}
+	schema := Schema{}
+	for _, a := range r.Schema.Attributes {
+		schema.Attributes = append(schema.Attributes, Attribute{Name: newName(a.Name), ID: a.ID, Type: a.Type})
+	}
+	out := NewRelation(r.Name, schema)
+	for _, t := range r.Tuples {
+		nt := Tuple{}
+		for k, v := range t {
+			nt[newName(k)] = v
+		}
+		out.Add(nt)
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// UnionOfConjunctiveQueries is the result of the paper's query rewriting: the
+// union of all covering and minimal walks found for an OMQ, plus the
+// attributes the analyst actually requested (projected at execution time).
+type UnionOfConjunctiveQueries struct {
+	Walks []*Walk
+	// RequestedAttributes holds the source-level attributes corresponding to
+	// the features the analyst projected; the final result is restricted to
+	// per-walk subsets of these.
+	RequestedAttributes []string
+	// RequestedFeatures holds the ontology-level feature IRIs that the
+	// analyst projected, aligned with the walk projections through the
+	// attribute-to-feature mapping at execution time.
+	RequestedFeatures []string
+
+	// signatures indexes the walks already added so that equivalence
+	// deduplication stays O(1) per insertion even for the worst-case
+	// experiment, which generates an exponential number of walks.
+	signatures map[string]bool
+}
+
+// NewUCQ returns an empty union of conjunctive queries.
+func NewUCQ() *UnionOfConjunctiveQueries {
+	return &UnionOfConjunctiveQueries{signatures: map[string]bool{}}
+}
+
+// Add appends a walk, skipping walks equivalent to one already present.
+func (u *UnionOfConjunctiveQueries) Add(w *Walk) {
+	if u.signatures == nil {
+		u.signatures = map[string]bool{}
+		for _, existing := range u.Walks {
+			u.signatures[existing.Signature()] = true
+		}
+	}
+	sig := w.Signature()
+	if u.signatures[sig] {
+		return
+	}
+	u.signatures[sig] = true
+	u.Walks = append(u.Walks, w)
+}
+
+// Len returns the number of walks.
+func (u *UnionOfConjunctiveQueries) Len() int { return len(u.Walks) }
+
+// IsEmpty reports whether no walk answers the query.
+func (u *UnionOfConjunctiveQueries) IsEmpty() bool { return len(u.Walks) == 0 }
+
+// Signatures returns the sorted walk signatures, useful for deterministic
+// assertions in tests and experiment output.
+func (u *UnionOfConjunctiveQueries) Signatures() []string {
+	out := make([]string, len(u.Walks))
+	for i, w := range u.Walks {
+		out[i] = w.Signature()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the UCQ as the union of its walks.
+func (u *UnionOfConjunctiveQueries) String() string {
+	if u.IsEmpty() {
+		return "∅"
+	}
+	parts := make([]string, len(u.Walks))
+	for i, w := range u.Walks {
+		parts[i] = w.String()
+	}
+	return strings.Join(parts, "\n  ∪ ")
+}
+
+// WrapperResolver provides access to wrapper outputs and metadata during
+// execution. The wrapper package provides the standard implementation.
+type WrapperResolver interface {
+	// Fetch returns the current output of the named wrapper as a relation in
+	// first normal form whose schema marks ID attributes.
+	Fetch(wrapper string) (*Relation, error)
+}
+
+// Execute evaluates a single walk against the resolver: it fetches each
+// wrapper, applies the restricted projection, then applies the restricted
+// joins in order. Wrappers without join conditions (single-wrapper walks)
+// are returned projected.
+func (w *Walk) Execute(resolver WrapperResolver) (*Relation, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	// Fetch and project every wrapper.
+	relations := map[string]*Relation{}
+	for _, ref := range w.Wrappers {
+		rel, err := resolver.Fetch(ref.Wrapper)
+		if err != nil {
+			return nil, fmt.Errorf("relational: fetching wrapper %s: %w", ref.Wrapper, err)
+		}
+		relations[ref.Wrapper] = rel.Project(ref.Projection)
+	}
+	if len(w.Wrappers) == 1 {
+		return relations[w.Wrappers[0].Wrapper], nil
+	}
+	// Iteratively apply join conditions; each join merges the right wrapper
+	// into the accumulated relation. Conditions are processed in a order that
+	// always joins against an already-joined wrapper when possible.
+	joined := map[string]bool{w.Wrappers[0].Wrapper: true}
+	acc := relations[w.Wrappers[0].Wrapper]
+	remaining := append([]JoinCondition(nil), w.Joins...)
+	for len(remaining) > 0 {
+		progress := false
+		for i, j := range remaining {
+			var nextWrapper, accAttr, nextAttr string
+			switch {
+			case joined[j.LeftWrapper] && joined[j.RightWrapper]:
+				// Both sides already joined: apply as a filter via join keys.
+				nextWrapper, accAttr, nextAttr = "", j.LeftAttr, j.RightAttr
+			case joined[j.LeftWrapper]:
+				nextWrapper, accAttr, nextAttr = j.RightWrapper, j.LeftAttr, j.RightAttr
+			case joined[j.RightWrapper]:
+				nextWrapper, accAttr, nextAttr = j.LeftWrapper, j.RightAttr, j.LeftAttr
+			default:
+				continue
+			}
+			if nextWrapper == "" {
+				acc = filterEqual(acc, accAttr, nextAttr)
+			} else {
+				next, ok := relations[nextWrapper]
+				if !ok {
+					return nil, fmt.Errorf("relational: join references wrapper %s not in walk", nextWrapper)
+				}
+				var err error
+				acc, err = acc.EquiJoin(next, accAttr, nextAttr)
+				if err != nil {
+					return nil, err
+				}
+				joined[nextWrapper] = true
+			}
+			remaining = append(remaining[:i], remaining[i+1:]...)
+			progress = true
+			break
+		}
+		if !progress {
+			return nil, fmt.Errorf("relational: walk joins are disconnected: %v", remaining)
+		}
+	}
+	// Any wrapper never mentioned in a join is combined via cartesian-free
+	// error: the walk is not a connected SPJ expression.
+	for _, ref := range w.Wrappers {
+		if !joined[ref.Wrapper] {
+			return nil, fmt.Errorf("relational: wrapper %s is not connected by any join in the walk", ref.Wrapper)
+		}
+	}
+	return acc, nil
+}
+
+// filterEqual keeps tuples where both attributes are equal. It implements
+// join conditions whose two sides are already part of the accumulated
+// relation.
+func filterEqual(r *Relation, a, b string) *Relation {
+	out := NewRelation(r.Name, r.Schema)
+	for _, t := range r.Tuples {
+		if ValuesEqual(t[a], t[b]) {
+			out.Add(t.Clone())
+		}
+	}
+	return out
+}
+
+// Execute evaluates the union of conjunctive queries: each walk is executed
+// and its result restricted to the requested attributes available in that
+// walk; results are unioned and deduplicated.
+func (u *UnionOfConjunctiveQueries) Execute(resolver WrapperResolver) (*Relation, error) {
+	if u.IsEmpty() {
+		return NewRelation("∅", Schema{}), nil
+	}
+	var result *Relation
+	for _, w := range u.Walks {
+		rel, err := w.Execute(resolver)
+		if err != nil {
+			return nil, err
+		}
+		if len(u.RequestedAttributes) > 0 {
+			var keep []string
+			for _, a := range u.RequestedAttributes {
+				if rel.Schema.Has(a) {
+					keep = append(keep, a)
+				}
+			}
+			rel = rel.StrictProject(keep)
+		}
+		if result == nil {
+			result = rel
+		} else {
+			result = result.Union(rel)
+		}
+	}
+	result.Name = "answer"
+	return result.Distinct(), nil
+}

@@ -1,0 +1,247 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// WrapperRef identifies a wrapper participating in a walk together with the
+// attributes projected from it (Π̃). ID attributes are implicitly retained by
+// the restricted projection semantics.
+type WrapperRef struct {
+	// Wrapper is the wrapper identifier (e.g. its IRI local name or full IRI).
+	Wrapper string
+	// Source is the data source the wrapper belongs to; walks must never join
+	// two wrappers of the same source (they are alternative schema versions).
+	Source string
+	// Projection lists the attribute names projected from this wrapper.
+	Projection []string
+}
+
+// JoinCondition is a restricted equi-join condition between two wrappers of
+// a walk: LeftWrapper.LeftAttr = RightWrapper.RightAttr, both IDs.
+type JoinCondition struct {
+	LeftWrapper  string
+	LeftAttr     string
+	RightWrapper string
+	RightAttr    string
+}
+
+// String renders the condition as "a=b".
+func (j JoinCondition) String() string {
+	return fmt.Sprintf("%s=%s", j.LeftAttr, j.RightAttr)
+}
+
+// Walk is a relational algebra expression over wrappers where wrappers are
+// joined with the restricted equi-join .̃/ and attributes are projected with
+// the restricted projection Π̃ (paper §2.2). A walk is a conjunctive query
+// over the wrappers.
+type Walk struct {
+	Wrappers []WrapperRef
+	Joins    []JoinCondition
+}
+
+// NewWalk returns a walk over a single wrapper with the given projection.
+func NewWalk(wrapper, source string, projection ...string) *Walk {
+	return &Walk{Wrappers: []WrapperRef{{Wrapper: wrapper, Source: source, Projection: projection}}}
+}
+
+// Clone returns a deep copy of the walk.
+func (w *Walk) Clone() *Walk {
+	c := &Walk{
+		Wrappers: make([]WrapperRef, len(w.Wrappers)),
+		Joins:    append([]JoinCondition(nil), w.Joins...),
+	}
+	for i, ref := range w.Wrappers {
+		c.Wrappers[i] = WrapperRef{
+			Wrapper:    ref.Wrapper,
+			Source:     ref.Source,
+			Projection: append([]string(nil), ref.Projection...),
+		}
+	}
+	return c
+}
+
+// WrapperNames returns the distinct wrapper identifiers used by the walk
+// (wrappers(W) in the paper), sorted.
+func (w *Walk) WrapperNames() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, ref := range w.Wrappers {
+		if !seen[ref.Wrapper] {
+			seen[ref.Wrapper] = true
+			out = append(out, ref.Wrapper)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasWrapper reports whether the walk already references the wrapper.
+func (w *Walk) HasWrapper(name string) bool {
+	for _, ref := range w.Wrappers {
+		if ref.Wrapper == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Ref returns the wrapper reference for the given wrapper name.
+func (w *Walk) Ref(name string) (*WrapperRef, bool) {
+	for i := range w.Wrappers {
+		if w.Wrappers[i].Wrapper == name {
+			return &w.Wrappers[i], true
+		}
+	}
+	return nil, false
+}
+
+// AddWrapper adds a wrapper reference, merging projections when the wrapper
+// is already part of the walk.
+func (w *Walk) AddWrapper(ref WrapperRef) {
+	if existing, ok := w.Ref(ref.Wrapper); ok {
+		existing.Projection = mergeUnique(existing.Projection, ref.Projection)
+		if existing.Source == "" {
+			existing.Source = ref.Source
+		}
+		return
+	}
+	w.Wrappers = append(w.Wrappers, WrapperRef{
+		Wrapper:    ref.Wrapper,
+		Source:     ref.Source,
+		Projection: append([]string(nil), ref.Projection...),
+	})
+}
+
+// AddJoin records a restricted join condition between two wrappers already
+// present in (or being added to) the walk. Duplicate conditions are ignored.
+func (w *Walk) AddJoin(j JoinCondition) {
+	for _, existing := range w.Joins {
+		if existing == j {
+			return
+		}
+	}
+	w.Joins = append(w.Joins, j)
+}
+
+// Merge combines two walks: wrapper references are merged (union of
+// projections) and join conditions are concatenated. It corresponds to the
+// MergeWalks operation of Algorithm 5.
+func (w *Walk) Merge(other *Walk) *Walk {
+	out := w.Clone()
+	for _, ref := range other.Wrappers {
+		out.AddWrapper(ref)
+	}
+	for _, j := range other.Joins {
+		out.AddJoin(j)
+	}
+	return out
+}
+
+// MergeProjections collapses duplicate projected attributes per wrapper,
+// mirroring the MergeProjections operator of Algorithm 4.
+func (w *Walk) MergeProjections() {
+	for i := range w.Wrappers {
+		w.Wrappers[i].Projection = mergeUnique(nil, w.Wrappers[i].Projection)
+	}
+}
+
+// Projections returns the union of all projected attribute names, sorted.
+func (w *Walk) Projections() []string {
+	var out []string
+	for _, ref := range w.Wrappers {
+		out = mergeUnique(out, ref.Projection)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SourcesDisjoint reports whether all wrappers of the walk come from
+// pairwise distinct data sources, which is the validity condition
+// ∀ wi,wj ∈ wrappers(W): source(wi) ≠ source(wj) from §2.2.
+func (w *Walk) SourcesDisjoint() bool {
+	seen := map[string]bool{}
+	for _, ref := range w.Wrappers {
+		if ref.Source == "" {
+			continue
+		}
+		if seen[ref.Source] {
+			return false
+		}
+		seen[ref.Source] = true
+	}
+	return true
+}
+
+// Equivalent reports whether two walks are equivalent: they join the same
+// set of wrappers (the paper defines equivalence as joining the same
+// wrappers regardless of order).
+func (w *Walk) Equivalent(other *Walk) bool {
+	a, b := w.WrapperNames(), other.WrapperNames()
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Signature returns a canonical string identifying the walk's wrapper set;
+// equivalent walks share the same signature.
+func (w *Walk) Signature() string {
+	return strings.Join(w.WrapperNames(), "|")
+}
+
+// Validate checks the structural validity of the walk: non-empty, sources
+// pairwise disjoint, and every join condition references wrappers of the
+// walk.
+func (w *Walk) Validate() error {
+	if len(w.Wrappers) == 0 {
+		return fmt.Errorf("relational: walk has no wrappers")
+	}
+	if !w.SourcesDisjoint() {
+		return fmt.Errorf("relational: walk joins two schema versions of the same data source: %v", w.WrapperNames())
+	}
+	for _, j := range w.Joins {
+		if !w.HasWrapper(j.LeftWrapper) || !w.HasWrapper(j.RightWrapper) {
+			return fmt.Errorf("relational: join %v references a wrapper not in the walk", j)
+		}
+	}
+	return nil
+}
+
+// String renders the walk in the paper's notation, e.g.
+// Π̃lagRatio,TargetApp(w1 .̃/ VoDmonitorId=MonitorId w3).
+func (w *Walk) String() string {
+	proj := strings.Join(w.Projections(), ",")
+	names := make([]string, len(w.Wrappers))
+	for i, ref := range w.Wrappers {
+		names[i] = ref.Wrapper
+	}
+	body := strings.Join(names, " ⋈ ")
+	if len(w.Joins) > 0 {
+		conds := make([]string, len(w.Joins))
+		for i, j := range w.Joins {
+			conds[i] = j.String()
+		}
+		body += " on " + strings.Join(conds, " ∧ ")
+	}
+	return fmt.Sprintf("Π̃%s(%s)", proj, body)
+}
+
+func mergeUnique(dst, src []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range append(append([]string(nil), dst...), src...) {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

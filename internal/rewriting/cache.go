@@ -1,0 +1,81 @@
+package rewriting
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Cache memoizes rewriting results per ontology generation. The paper notes
+// (§6.4) that caching can further reduce query cost: rewritings only depend
+// on the ontology, so they stay valid until the data steward registers a new
+// release (or otherwise mutates T), at which point the cache invalidates
+// itself automatically by keying on the store generation.
+type Cache struct {
+	rewriter *Rewriter
+
+	mu         sync.Mutex
+	generation uint64
+	entries    map[string]*Result
+	hits       int
+	misses     int
+}
+
+// NewCache returns a caching front-end for the rewriter.
+func NewCache(r *Rewriter) *Cache {
+	return &Cache{rewriter: r, entries: map[string]*Result{}}
+}
+
+// Rewrite returns the cached result for an equivalent OMQ if the ontology
+// has not changed since it was computed, otherwise it rewrites and caches.
+func (c *Cache) Rewrite(omq *OMQ) (*Result, error) {
+	key := canonicalKey(omq)
+	gen := c.rewriter.Ontology.Store().Generation()
+
+	c.mu.Lock()
+	if gen != c.generation {
+		c.entries = map[string]*Result{}
+		c.generation = gen
+	}
+	if res, ok := c.entries[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return res, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	res, err := c.rewriter.Rewrite(omq)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	// Only store if the ontology did not change while rewriting.
+	if c.rewriter.Ontology.Store().Generation() == c.generation {
+		c.entries[key] = res
+	}
+	c.mu.Unlock()
+	return res, nil
+}
+
+// Stats returns the number of cache hits, misses and live entries.
+func (c *Cache) Stats() (hits, misses, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.entries)
+}
+
+// canonicalKey builds an order-insensitive textual key for an OMQ.
+func canonicalKey(omq *OMQ) string {
+	pi := make([]string, len(omq.Pi))
+	for i, p := range omq.Pi {
+		pi[i] = string(p)
+	}
+	sort.Strings(pi)
+	triples := make([]string, len(omq.Phi.Triples))
+	for i, t := range omq.Phi.Triples {
+		triples[i] = t.String()
+	}
+	sort.Strings(triples)
+	return strings.Join(pi, "|") + "\x00" + strings.Join(triples, "|")
+}

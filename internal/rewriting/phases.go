@@ -1,0 +1,281 @@
+package rewriting
+
+import (
+	"fmt"
+	"sort"
+
+	"bdi/internal/core"
+	"bdi/internal/rdf"
+	"bdi/internal/relational"
+)
+
+// ExpandedQuery is the output of phase #1 (Algorithm 3): the list of
+// query-related concepts in traversal order plus the query expanded with the
+// identifier features of every concept.
+type ExpandedQuery struct {
+	Concepts []rdf.IRI
+	Query    *OMQ
+}
+
+// QueryExpansion implements Algorithm 3 (phase #1): identify the concepts of
+// the query in topological order (step 1) and expand the graph pattern with
+// the ID features of every concept, which are needed to perform joins in the
+// later phases (step 2).
+func QueryExpansion(o *core.Ontology, omq *OMQ) (*ExpandedQuery, error) {
+	concepts, err := QueryConcepts(o, omq)
+	if err != nil {
+		return nil, err
+	}
+	expanded := omq.Clone()
+	for _, c := range concepts {
+		for _, fID := range o.IdentifiersOf(c) {
+			expanded.Phi.Add(rdf.T(c, core.GHasFeature, fID))
+		}
+	}
+	return &ExpandedQuery{Concepts: concepts, Query: expanded}, nil
+}
+
+// PartialWalks groups, for one concept of the query, the alternative partial
+// walks (one per wrapper surviving the pruning step) that provide all the
+// requested features of that concept.
+type PartialWalks struct {
+	Concept rdf.IRI
+	Walks   []*relational.Walk
+}
+
+// IntraConceptGeneration implements Algorithm 4 (phase #2): for each concept
+// of the expanded query, find the wrappers whose LAV mapping provides the
+// requested features (steps 3-5), build one partial walk per wrapper, and
+// prune wrappers that do not provide every requested feature of the concept
+// (step 6).
+func IntraConceptGeneration(o *core.Ontology, eq *ExpandedQuery) ([]PartialWalks, error) {
+	var out []PartialWalks
+	for _, c := range eq.Concepts {
+		// Step 3: the features requested for this concept.
+		features := featuresRequestedFor(eq.Query, c)
+		if len(features) == 0 {
+			return nil, fmt.Errorf("rewriting: concept %s has no requested features after expansion (it lacks an identifier)", o.Prefixes().Compact(c))
+		}
+		// Steps 4-5: per wrapper, project the attributes mapping to the
+		// requested features.
+		walksPerWrapper := map[rdf.IRI]*relational.Walk{}
+		for _, f := range features {
+			for _, w := range o.WrappersProvidingFeature(c, f) {
+				attr, ok := o.AttributeOfFeatureInWrapper(w, f)
+				if !ok {
+					continue
+				}
+				walk, exists := walksPerWrapper[w]
+				if !exists {
+					source, _ := o.SourceOfWrapper(w)
+					walk = relational.NewWalk(core.WrapperLocalName(w), core.SourceLocalName(source))
+					walksPerWrapper[w] = walk
+				}
+				ref, _ := walk.Ref(core.WrapperLocalName(w))
+				ref.Projection = append(ref.Projection, core.AttributeName(attr))
+			}
+		}
+		// Step 6: prune wrappers that do not cover all requested features.
+		pw := PartialWalks{Concept: c}
+		wrapperIRIs := make([]rdf.IRI, 0, len(walksPerWrapper))
+		for w := range walksPerWrapper {
+			wrapperIRIs = append(wrapperIRIs, w)
+		}
+		sort.Slice(wrapperIRIs, func(i, j int) bool { return wrapperIRIs[i] < wrapperIRIs[j] })
+		for _, w := range wrapperIRIs {
+			walk := walksPerWrapper[w]
+			walk.MergeProjections()
+			featuresInWalk := map[rdf.IRI]bool{}
+			ref, _ := walk.Ref(core.WrapperLocalName(w))
+			for _, attrName := range ref.Projection {
+				attrURI := core.AttributeURI(ref.Source, trimSourcePrefix(attrName, ref.Source))
+				if f, ok := o.FeatureOfAttribute(attrURI); ok {
+					featuresInWalk[f] = true
+				}
+			}
+			covers := true
+			for _, f := range features {
+				if !featuresInWalk[f] {
+					covers = false
+					break
+				}
+			}
+			if covers {
+				pw.Walks = append(pw.Walks, walk)
+			}
+		}
+		if len(pw.Walks) == 0 {
+			return nil, fmt.Errorf("rewriting: no wrapper provides all requested features of concept %s", o.Prefixes().Compact(c))
+		}
+		out = append(out, pw)
+	}
+	return out, nil
+}
+
+// trimSourcePrefix removes a leading "source/" from a qualified attribute
+// name so that AttributeURI does not double-prefix it.
+func trimSourcePrefix(attrName, source string) string {
+	prefix := source + "/"
+	if len(attrName) > len(prefix) && attrName[:len(prefix)] == prefix {
+		return attrName[len(prefix):]
+	}
+	return attrName
+}
+
+// InterConceptGeneration implements Algorithm 5 (phase #3): iterate over the
+// per-concept partial walks with a sliding window, compute the cartesian
+// product of the partial-walk lists (step 7), merge each pair (step 8) and,
+// when the two sides share no wrapper, discover the wrapper providing the
+// edge between the two concepts and the ID attributes to join on (steps
+// 9-10). The result is the list of candidate walks joining all concepts.
+func InterConceptGeneration(o *core.Ontology, eq *ExpandedQuery, partials []PartialWalks) ([]*relational.Walk, error) {
+	if len(partials) == 0 {
+		return nil, fmt.Errorf("rewriting: no partial walks to join")
+	}
+	current := partials[0]
+	for i := 1; i < len(partials); i++ {
+		next := partials[i]
+		var joined []*relational.Walk
+		// Step 7: cartesian product of the partial walk lists.
+		for _, left := range current.Walks {
+			for _, right := range next.Walks {
+				// Step 8: merge the two partial walks.
+				merged := left.Merge(right)
+				if sharesWrapper(left, right) {
+					// The join is already materialized by the shared wrapper.
+					joined = appendValidWalk(joined, merged)
+					continue
+				}
+				// Steps 9-10: discover how to join the two concepts.
+				extended, ok := discoverJoin(o, eq, current.Concept, next.Concept, left, right, merged)
+				if ok {
+					joined = appendValidWalk(joined, extended)
+				}
+			}
+		}
+		if len(joined) == 0 {
+			return nil, fmt.Errorf("rewriting: concepts %s and %s cannot be joined with the registered wrappers",
+				o.Prefixes().Compact(current.Concept), o.Prefixes().Compact(next.Concept))
+		}
+		current = PartialWalks{Concept: next.Concept, Walks: joined}
+	}
+	return current.Walks, nil
+}
+
+func sharesWrapper(a, b *relational.Walk) bool {
+	names := map[string]bool{}
+	for _, n := range a.WrapperNames() {
+		names[n] = true
+	}
+	for _, n := range b.WrapperNames() {
+		if names[n] {
+			return true
+		}
+	}
+	return false
+}
+
+func appendValidWalk(walks []*relational.Walk, w *relational.Walk) []*relational.Walk {
+	if err := w.Validate(); err != nil {
+		return walks
+	}
+	return append(walks, w)
+}
+
+// discoverJoin implements steps 9-10 of Algorithm 5 for one direction (and
+// its mirror): find the wrappers providing the edge between the two
+// concepts, the ID feature of the concept on the ID side, and the physical
+// attributes to equi-join on.
+func discoverJoin(o *core.Ontology, eq *ExpandedQuery, currentC, nextC rdf.IRI, left, right, merged *relational.Walk) (*relational.Walk, bool) {
+	if !edgeInQuery(eq.Query, currentC, nextC) && !edgeInQuery(eq.Query, nextC, currentC) {
+		return nil, false
+	}
+	// Step 9: wrappers providing the edge, in both directions.
+	wrappersLtoR := o.WrappersProvidingEdge(currentC, nextC)
+	wrappersRtoL := o.WrappersProvidingEdge(nextC, currentC)
+	switch {
+	case len(wrappersLtoR) > 0:
+		return joinViaEdge(o, nextC, wrappersLtoR, right, merged)
+	case len(wrappersRtoL) > 0:
+		return joinViaEdge(o, currentC, wrappersRtoL, left, merged)
+	default:
+		return nil, false
+	}
+}
+
+// edgeInQuery reports whether the expanded query contains an object-property
+// edge from one concept to the other.
+func edgeInQuery(q *OMQ, from, to rdf.IRI) bool {
+	for _, t := range q.Phi.Triples {
+		s, okS := t.Subject.(rdf.IRI)
+		obj, okO := t.Object.(rdf.IRI)
+		if okS && okO && s == from && obj == to {
+			return true
+		}
+	}
+	return false
+}
+
+// joinViaEdge adds the restricted join between the wrapper(s) providing the
+// concept edge and the wrapper providing the ID of the concept on the "ID
+// side" (idConcept). idSideWalk is the partial walk whose wrapper provides
+// idConcept's data (Algorithm 5, lines 12-17).
+func joinViaEdge(o *core.Ontology, idConcept rdf.IRI, edgeWrappers []rdf.IRI, idSideWalk, merged *relational.Walk) (*relational.Walk, bool) {
+	// Line 12: the ID feature of the concept.
+	ids := o.IdentifiersOf(idConcept)
+	if len(ids) == 0 {
+		return nil, false
+	}
+	fID := ids[0]
+	// Line 13: the wrapper of the ID-side partial walk that provides fID.
+	idWrapper, idAttr, ok := findWrapperWithID(o, idSideWalk, fID)
+	if !ok {
+		return nil, false
+	}
+	out := merged.Clone()
+	added := false
+	// Lines 15-17: for each wrapper contributing the edge, join it with the
+	// ID-side wrapper on the physical attributes of fID.
+	for _, ew := range edgeWrappers {
+		edgeWrapperName := core.WrapperLocalName(ew)
+		if !out.HasWrapper(edgeWrapperName) {
+			// The edge provider is not part of this candidate walk; joining
+			// through it would silently add a wrapper the analyst's concepts do
+			// not require, so skip it (another cartesian-product pair covers it).
+			continue
+		}
+		attLeft, ok := o.AttributeOfFeatureInWrapper(ew, fID)
+		if !ok {
+			continue
+		}
+		if edgeWrapperName == idWrapper {
+			// Same wrapper on both sides: the join is already materialized.
+			added = true
+			continue
+		}
+		out.AddJoin(relational.JoinCondition{
+			LeftWrapper:  edgeWrapperName,
+			LeftAttr:     core.AttributeName(attLeft),
+			RightWrapper: idWrapper,
+			RightAttr:    idAttr,
+		})
+		added = true
+	}
+	if !added {
+		return nil, false
+	}
+	return out, true
+}
+
+// findWrapperWithID returns the wrapper of the walk that provides the given
+// ID feature, along with the qualified physical attribute name (Algorithm 5,
+// lines 13-14).
+func findWrapperWithID(o *core.Ontology, walk *relational.Walk, fID rdf.IRI) (wrapperName, attrName string, ok bool) {
+	for _, name := range walk.WrapperNames() {
+		w := core.WrapperURI(name)
+		if attr, found := o.AttributeOfFeatureInWrapper(w, fID); found {
+			return name, core.AttributeName(attr), true
+		}
+	}
+	return "", "", false
+}

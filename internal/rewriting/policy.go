@@ -1,0 +1,156 @@
+package rewriting
+
+import (
+	"fmt"
+
+	"bdi/internal/core"
+	"bdi/internal/relational"
+)
+
+// VersionPolicy restricts which schema versions (wrappers) a rewriting may
+// use. The default policy (AllVersions) reproduces the paper's behaviour:
+// historical and current schema versions are unioned, so historical queries
+// stay correct. LatestVersionsOnly answers from the newest wrapper of every
+// source; AsOfRelease answers as the ontology stood after the n-th release.
+type VersionPolicy int
+
+// Version policies.
+const (
+	// AllVersions unions every schema version (the paper's default).
+	AllVersions VersionPolicy = iota
+	// LatestVersionsOnly restricts each source to its most recent wrapper.
+	LatestVersionsOnly
+	// AsOfRelease restricts the rewriting to wrappers registered up to (and
+	// including) a given release sequence number.
+	AsOfRelease
+)
+
+// String implements fmt.Stringer.
+func (p VersionPolicy) String() string {
+	switch p {
+	case AllVersions:
+		return "all-versions"
+	case LatestVersionsOnly:
+		return "latest-versions-only"
+	case AsOfRelease:
+		return "as-of-release"
+	default:
+		return fmt.Sprintf("VersionPolicy(%d)", int(p))
+	}
+}
+
+// PolicyOptions selects a version policy and its parameters.
+type PolicyOptions struct {
+	Policy VersionPolicy
+	// Release is the sequence number used by AsOfRelease.
+	Release int
+}
+
+// wrapperAdmitted reports whether a wrapper may participate in walks under
+// the policy.
+func wrapperAdmitted(o *core.Ontology, opts PolicyOptions, wrapperName string) bool {
+	w := core.WrapperURI(wrapperName)
+	switch opts.Policy {
+	case LatestVersionsOnly:
+		sourceIRI, ok := o.SourceOfWrapper(w)
+		if !ok {
+			return false
+		}
+		latest, ok := o.LatestWrapperOfSource(core.SourceLocalName(sourceIRI))
+		return ok && latest == w
+	case AsOfRelease:
+		seq, ok := o.RegistrationOrder(w)
+		return ok && seq <= opts.Release
+	default:
+		return true
+	}
+}
+
+// filterPartialWalks drops partial walks that reference wrappers excluded by
+// the policy. It returns an error when a concept loses all of its providers,
+// mirroring the error Algorithm 4 raises when a concept is uncovered.
+func filterPartialWalks(o *core.Ontology, opts PolicyOptions, partials []PartialWalks) ([]PartialWalks, error) {
+	if opts.Policy == AllVersions {
+		return partials, nil
+	}
+	out := make([]PartialWalks, 0, len(partials))
+	for _, pw := range partials {
+		filtered := PartialWalks{Concept: pw.Concept}
+		for _, walk := range pw.Walks {
+			admitted := true
+			for _, name := range walk.WrapperNames() {
+				if !wrapperAdmitted(o, opts, name) {
+					admitted = false
+					break
+				}
+			}
+			if admitted {
+				filtered.Walks = append(filtered.Walks, walk)
+			}
+		}
+		if len(filtered.Walks) == 0 {
+			return nil, fmt.Errorf("rewriting: under policy %s no wrapper provides concept %s",
+				opts.Policy, o.Prefixes().Compact(pw.Concept))
+		}
+		out = append(out, filtered)
+	}
+	return out, nil
+}
+
+// RewriteWithPolicy runs the three-phase rewriting restricted to the schema
+// versions admitted by the policy.
+func (r *Rewriter) RewriteWithPolicy(omq *OMQ, opts PolicyOptions) (*Result, error) {
+	o := r.Ontology
+	wf, err := WellFormedQuery(o, omq)
+	if err != nil {
+		return nil, err
+	}
+	expanded, err := QueryExpansion(o, wf)
+	if err != nil {
+		return nil, err
+	}
+	partials, err := IntraConceptGeneration(o, expanded)
+	if err != nil {
+		return nil, err
+	}
+	partials, err = filterPartialWalks(o, opts, partials)
+	if err != nil {
+		return nil, err
+	}
+	walks, err := InterConceptGeneration(o, expanded, partials)
+	if err != nil {
+		return nil, err
+	}
+	ucq := relational.NewUCQ()
+	for _, w := range walks {
+		if r.CheckCoverage {
+			if !Coverage(o, w, wf.Phi) || !Minimal(o, w, wf.Phi) {
+				continue
+			}
+		}
+		ucq.Add(w)
+	}
+	if ucq.IsEmpty() {
+		return nil, fmt.Errorf("rewriting: no covering and minimal walk answers the query %s under policy %s", omq, opts.Policy)
+	}
+	for _, f := range wf.Pi {
+		ucq.RequestedFeatures = append(ucq.RequestedFeatures, string(f))
+		for _, attr := range o.AttributesOfFeature(f) {
+			ucq.RequestedAttributes = append(ucq.RequestedAttributes, core.AttributeName(attr))
+		}
+	}
+	return &Result{WellFormed: wf, Expanded: expanded, PartialWalks: partials, UCQ: ucq}, nil
+}
+
+// AnswerWithPolicy rewrites under the policy and executes the result.
+func (r *Rewriter) AnswerWithPolicy(omq *OMQ, opts PolicyOptions, resolver relational.WrapperResolver) (*relational.Relation, *Result, error) {
+	res, err := r.RewriteWithPolicy(omq, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	answer, err := r.ExecuteResult(res, resolver)
+	if err != nil {
+		return nil, res, err
+	}
+	return answer, res, nil
+}

@@ -1,0 +1,169 @@
+package rewriting
+
+import (
+	"testing"
+
+	"bdi/internal/core"
+	"bdi/internal/wrapper"
+)
+
+func TestRewriteWithPolicyAllVersions(t *testing.T) {
+	o := buildOntology(t, true)
+	r := NewRewriter(o)
+	res, err := r.RewriteWithPolicy(runningExampleOMQ(), PolicyOptions{Policy: AllVersions})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UCQ.Len() != 2 {
+		t.Errorf("all-versions walks = %d, want 2", res.UCQ.Len())
+	}
+}
+
+func TestRewriteWithPolicyLatestOnly(t *testing.T) {
+	o := buildOntology(t, true)
+	r := NewRewriter(o)
+	res, err := r.RewriteWithPolicy(runningExampleOMQ(), PolicyOptions{Policy: LatestVersionsOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the latest D1 wrapper (w4) participates: a single walk w3 ⋈ w4.
+	sigs := res.UCQ.Signatures()
+	if len(sigs) != 1 || sigs[0] != "w3|w4" {
+		t.Errorf("latest-only signatures = %v", sigs)
+	}
+	// Executing it returns only the new-version data.
+	resolver := wrapper.NewQualifiedResolver(supersedeRegistry(true))
+	answer, _, err := r.AnswerWithPolicy(runningExampleOMQ(), PolicyOptions{Policy: LatestVersionsOnly}, resolver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if answer.Cardinality() != 1 {
+		t.Errorf("latest-only rows = %d, want 1\n%s", answer.Cardinality(), answer)
+	}
+}
+
+func TestRewriteWithPolicyAsOfRelease(t *testing.T) {
+	o := buildOntology(t, true)
+	r := NewRewriter(o)
+	// Release sequence: w1=1, w2=2, w3=3, w4=4. As of release 3, w4 does not
+	// exist yet, so the rewriting matches the pre-evolution behaviour.
+	seq, ok := o.RegistrationOrder(core.WrapperURI("w3"))
+	if !ok || seq != 3 {
+		t.Fatalf("registration order of w3 = %d, %v", seq, ok)
+	}
+	res, err := r.RewriteWithPolicy(runningExampleOMQ(), PolicyOptions{Policy: AsOfRelease, Release: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs := res.UCQ.Signatures()
+	if len(sigs) != 1 || sigs[0] != "w1|w3" {
+		t.Errorf("as-of-3 signatures = %v", sigs)
+	}
+	// As of release 1 only w1 exists: the query is unanswerable (no provider
+	// for applicationId).
+	if _, err := r.RewriteWithPolicy(runningExampleOMQ(), PolicyOptions{Policy: AsOfRelease, Release: 1}); err == nil {
+		t.Error("as-of-1 should fail: applicationId has no provider yet")
+	}
+}
+
+func TestLatestWrapperAccessors(t *testing.T) {
+	o := buildOntology(t, true)
+	latest, ok := o.LatestWrapperOfSource("D1")
+	if !ok || latest != core.WrapperURI("w4") {
+		t.Errorf("latest D1 wrapper = %v, %v", latest, ok)
+	}
+	current := o.CurrentWrappers()
+	if len(current) != 3 {
+		t.Errorf("current wrappers = %v", current)
+	}
+	if current[core.SourceURI("D2")] != core.WrapperURI("w2") {
+		t.Errorf("current D2 wrapper = %v", current[core.SourceURI("D2")])
+	}
+	if _, ok := o.RegistrationOrder(core.WrapperURI("nonexistent")); ok {
+		t.Error("unknown wrapper should have no registration order")
+	}
+	if _, ok := o.LatestWrapperOfSource("nonexistent"); ok {
+		t.Error("unknown source should have no latest wrapper")
+	}
+}
+
+func TestPolicyStringAndAdmission(t *testing.T) {
+	for _, p := range []VersionPolicy{AllVersions, LatestVersionsOnly, AsOfRelease} {
+		if p.String() == "" {
+			t.Error("policy string empty")
+		}
+	}
+	o := buildOntology(t, true)
+	if !wrapperAdmitted(o, PolicyOptions{Policy: AllVersions}, "w1") {
+		t.Error("all-versions admits everything")
+	}
+	if wrapperAdmitted(o, PolicyOptions{Policy: LatestVersionsOnly}, "w1") {
+		t.Error("w1 is superseded by w4 under latest-only")
+	}
+	if !wrapperAdmitted(o, PolicyOptions{Policy: LatestVersionsOnly}, "w4") {
+		t.Error("w4 is the latest D1 wrapper")
+	}
+	if wrapperAdmitted(o, PolicyOptions{Policy: LatestVersionsOnly}, "unknown") {
+		t.Error("unknown wrappers are not admitted under latest-only")
+	}
+	if !wrapperAdmitted(o, PolicyOptions{Policy: AsOfRelease, Release: 2}, "w2") {
+		t.Error("w2 was registered second")
+	}
+	if wrapperAdmitted(o, PolicyOptions{Policy: AsOfRelease, Release: 2}, "w3") {
+		t.Error("w3 was registered third")
+	}
+}
+
+func TestRewritingCache(t *testing.T) {
+	o := buildOntology(t, false)
+	r := NewRewriter(o)
+	cache := NewCache(r)
+
+	res1, err := cache.Rewrite(runningExampleOMQ())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := cache.Rewrite(runningExampleOMQ())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1 != res2 {
+		t.Error("second call should be served from the cache")
+	}
+	hits, misses, entries := cache.Stats()
+	if hits != 1 || misses != 1 || entries != 1 {
+		t.Errorf("cache stats = %d hits, %d misses, %d entries", hits, misses, entries)
+	}
+
+	// Registering a release mutates the ontology and invalidates the cache.
+	if _, err := o.NewRelease(core.SupersedeReleaseW4()); err != nil {
+		t.Fatal(err)
+	}
+	res3, err := cache.Rewrite(runningExampleOMQ())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3 == res1 {
+		t.Error("cache must invalidate after an ontology change")
+	}
+	if res3.UCQ.Len() != 2 {
+		t.Errorf("post-evolution walks = %d", res3.UCQ.Len())
+	}
+	_, misses, _ = cache.Stats()
+	if misses != 2 {
+		t.Errorf("misses = %d, want 2", misses)
+	}
+}
+
+func TestCacheKeyIsOrderInsensitive(t *testing.T) {
+	a := runningExampleOMQ()
+	b := runningExampleOMQ()
+	// Reverse π and φ orders.
+	b.Pi[0], b.Pi[1] = b.Pi[1], b.Pi[0]
+	for i, j := 0, len(b.Phi.Triples)-1; i < j; i, j = i+1, j-1 {
+		b.Phi.Triples[i], b.Phi.Triples[j] = b.Phi.Triples[j], b.Phi.Triples[i]
+	}
+	if canonicalKey(a) != canonicalKey(b) {
+		t.Error("canonical key should be order-insensitive")
+	}
+}

@@ -1,0 +1,224 @@
+package rewriting
+
+import (
+	"fmt"
+	"sort"
+
+	"bdi/internal/core"
+	"bdi/internal/rdf"
+	"bdi/internal/relational"
+	"bdi/internal/sparql"
+)
+
+// Coverage reports whether the union of the LAV mapping graphs of the walk's
+// wrappers subsumes the query pattern (problem statement, §2.3).
+func Coverage(o *core.Ontology, walk *relational.Walk, phi *rdf.Graph) bool {
+	union := rdf.NewGraph("")
+	for _, name := range walk.WrapperNames() {
+		if lav, ok := o.LAVMappingOf(core.WrapperURI(name)); ok {
+			union.Merge(lav)
+		}
+	}
+	return union.Subsumes(phi)
+}
+
+// Minimal reports whether the walk is minimal with respect to the query
+// pattern: it is covering, and removing any wrapper breaks coverage.
+func Minimal(o *core.Ontology, walk *relational.Walk, phi *rdf.Graph) bool {
+	if !Coverage(o, walk, phi) {
+		return false
+	}
+	names := walk.WrapperNames()
+	if len(names) == 1 {
+		return true
+	}
+	for _, drop := range names {
+		reduced := walkWithout(walk, drop)
+		if reduced == nil {
+			continue
+		}
+		if Coverage(o, reduced, phi) {
+			return false
+		}
+	}
+	return true
+}
+
+func walkWithout(w *relational.Walk, drop string) *relational.Walk {
+	out := &relational.Walk{}
+	for _, ref := range w.Wrappers {
+		if ref.Wrapper == drop {
+			continue
+		}
+		out.AddWrapper(ref)
+	}
+	if len(out.Wrappers) == 0 {
+		return nil
+	}
+	for _, j := range w.Joins {
+		if j.LeftWrapper == drop || j.RightWrapper == drop {
+			continue
+		}
+		out.AddJoin(j)
+	}
+	return out
+}
+
+// Rewriter orchestrates the three-phase query rewriting over a BDI ontology.
+type Rewriter struct {
+	Ontology *core.Ontology
+	// CheckCoverage filters the final walks with the coverage and minimality
+	// properties of §2.3. It is enabled by default; the complexity experiment
+	// disables it to measure the generation phases alone.
+	CheckCoverage bool
+}
+
+// NewRewriter returns a rewriter with coverage checking enabled.
+func NewRewriter(o *core.Ontology) *Rewriter {
+	return &Rewriter{Ontology: o, CheckCoverage: true}
+}
+
+// Result captures the outcome of rewriting an OMQ.
+type Result struct {
+	// WellFormed is the query after Algorithm 2.
+	WellFormed *OMQ
+	// Expanded is the query after Algorithm 3, with the traversal order of
+	// its concepts.
+	Expanded *ExpandedQuery
+	// PartialWalks are the per-concept walks of Algorithm 4.
+	PartialWalks []PartialWalks
+	// UCQ is the union of covering and minimal walks over the wrappers.
+	UCQ *relational.UnionOfConjunctiveQueries
+}
+
+// Rewrite runs Algorithms 2-5 on the given OMQ and returns the union of
+// conjunctive queries over the wrappers.
+func (r *Rewriter) Rewrite(omq *OMQ) (*Result, error) {
+	o := r.Ontology
+	wf, err := WellFormedQuery(o, omq)
+	if err != nil {
+		return nil, err
+	}
+	expanded, err := QueryExpansion(o, wf)
+	if err != nil {
+		return nil, err
+	}
+	partials, err := IntraConceptGeneration(o, expanded)
+	if err != nil {
+		return nil, err
+	}
+	walks, err := InterConceptGeneration(o, expanded, partials)
+	if err != nil {
+		return nil, err
+	}
+
+	ucq := relational.NewUCQ()
+	for _, w := range walks {
+		if r.CheckCoverage {
+			if !Coverage(o, w, wf.Phi) || !Minimal(o, w, wf.Phi) {
+				continue
+			}
+		}
+		ucq.Add(w)
+	}
+	if ucq.IsEmpty() {
+		return nil, fmt.Errorf("rewriting: no covering and minimal walk answers the query %s", omq)
+	}
+
+	// Record the requested features and their source-level attributes so the
+	// executor can project the analyst-visible columns.
+	for _, f := range wf.Pi {
+		ucq.RequestedFeatures = append(ucq.RequestedFeatures, string(f))
+		for _, attr := range o.AttributesOfFeature(f) {
+			ucq.RequestedAttributes = append(ucq.RequestedAttributes, core.AttributeName(attr))
+		}
+	}
+	sort.Strings(ucq.RequestedAttributes)
+
+	return &Result{WellFormed: wf, Expanded: expanded, PartialWalks: partials, UCQ: ucq}, nil
+}
+
+// RewriteSPARQL parses a restricted SPARQL OMQ and rewrites it.
+func (r *Rewriter) RewriteSPARQL(text string) (*Result, error) {
+	q, err := sparql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	omq, err := FromSPARQL(q)
+	if err != nil {
+		return nil, err
+	}
+	return r.Rewrite(omq)
+}
+
+// Answer rewrites the OMQ and executes the resulting union of conjunctive
+// queries against the wrappers, returning one column per projected feature
+// (named by the feature's local name), as in Table 2 of the paper.
+func (r *Rewriter) Answer(omq *OMQ, resolver relational.WrapperResolver) (*relational.Relation, *Result, error) {
+	res, err := r.Rewrite(omq)
+	if err != nil {
+		return nil, nil, err
+	}
+	answer, err := r.ExecuteResult(res, resolver)
+	if err != nil {
+		return nil, res, err
+	}
+	return answer, res, nil
+}
+
+// AnswerSPARQL is Answer for SPARQL text input.
+func (r *Rewriter) AnswerSPARQL(text string, resolver relational.WrapperResolver) (*relational.Relation, *Result, error) {
+	q, err := sparql.Parse(text)
+	if err != nil {
+		return nil, nil, err
+	}
+	omq, err := FromSPARQL(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r.Answer(omq, resolver)
+}
+
+// ExecuteResult executes every walk of the rewriting result, renames the
+// projected attributes to their feature names and unions the per-walk
+// relations.
+func (r *Rewriter) ExecuteResult(res *Result, resolver relational.WrapperResolver) (*relational.Relation, error) {
+	o := r.Ontology
+	features := res.WellFormed.Pi
+	var answer *relational.Relation
+	for _, w := range res.UCQ.Walks {
+		rel, err := w.Execute(resolver)
+		if err != nil {
+			return nil, err
+		}
+		// Build the per-walk rename map: qualified attribute -> feature local
+		// name, considering only the wrappers of this walk.
+		rename := map[string]string{}
+		var keep []string
+		for _, f := range features {
+			for _, name := range w.WrapperNames() {
+				attr, ok := o.AttributeOfFeatureInWrapper(core.WrapperURI(name), f)
+				if !ok {
+					continue
+				}
+				qualified := core.AttributeName(attr)
+				if rel.Schema.Has(qualified) {
+					rename[qualified] = f.LocalName()
+					keep = append(keep, qualified)
+					break
+				}
+			}
+		}
+		projected := rel.StrictProject(keep).Rename(rename)
+		if answer == nil {
+			answer = projected
+		} else {
+			answer = answer.Union(projected)
+		}
+	}
+	if answer == nil {
+		answer = relational.NewRelation("answer", relational.Schema{})
+	}
+	answer.Name = "answer"
+	return answer.Distinct(), nil
+}

@@ -1,0 +1,199 @@
+// Package source simulates the third-party data providers of the paper's
+// setting: REST APIs serving JSON events whose schemas evolve across
+// versions. Each simulated provider exposes (a) deterministic in-process
+// document generators, (b) an http.Handler serving the same payloads over
+// HTTP for end-to-end demonstrations, and (c) ready-made wrappers for each
+// schema version.
+//
+// The simulators stand in for the real VoD monitors, social-network feedback
+// endpoints and the Wordpress REST API used in the paper's evaluation, which
+// are not reachable from an offline reproduction; they reproduce the schema
+// shapes and the version-to-version structural changes that drive the
+// experiments.
+package source
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bdi/internal/wrapper"
+)
+
+// VoDEvent is one monitored video-on-demand quality-of-service event, as in
+// Code 1 of the paper.
+type VoDEvent struct {
+	MonitorID int     `json:"monitorId"`
+	Timestamp int64   `json:"timestamp"`
+	Bitrate   int     `json:"bitrate"`
+	WaitTime  float64 `json:"waitTime"`
+	WatchTime float64 `json:"watchTime"`
+}
+
+// FeedbackEvent is one piece of end-user textual feedback gathered from a
+// social network.
+type FeedbackEvent struct {
+	FeedbackGatheringID int    `json:"feedbackGatheringId"`
+	TweetID             int64  `json:"tweetId"`
+	User                string `json:"user"`
+	Text                string `json:"text"`
+	CreatedAt           int64  `json:"createdAt"`
+}
+
+// AppLink relates a software application to its monitoring and
+// feedback-gathering tools.
+type AppLink struct {
+	AppID               int `json:"appId"`
+	MonitorID           int `json:"monitorId"`
+	FeedbackGatheringID int `json:"feedbackGatheringId"`
+}
+
+// Generator produces deterministic synthetic data for the SUPERSEDE-like
+// ecosystem: `Apps` software applications, each with one VoD monitor and one
+// feedback-gathering tool, `EventsPerMonitor` QoS events and
+// `FeedbackPerTool` feedback items.
+type Generator struct {
+	Apps             int
+	EventsPerMonitor int
+	FeedbackPerTool  int
+	Seed             int64
+	// BaseTimestamp anchors the generated event timestamps (seconds).
+	BaseTimestamp int64
+}
+
+// NewGenerator returns a generator with sensible defaults.
+func NewGenerator(apps int, seed int64) *Generator {
+	return &Generator{
+		Apps:             apps,
+		EventsPerMonitor: 10,
+		FeedbackPerTool:  3,
+		Seed:             seed,
+		BaseTimestamp:    1475010424,
+	}
+}
+
+// MonitorID returns the monitor tool id of the given application (1-based).
+func (g *Generator) MonitorID(app int) int { return 100 + app }
+
+// FeedbackGatheringID returns the feedback tool id of the given application.
+func (g *Generator) FeedbackGatheringID(app int) int { return 500 + app }
+
+// VoDEvents generates the QoS events of every monitor.
+func (g *Generator) VoDEvents() []VoDEvent {
+	rng := rand.New(rand.NewSource(g.Seed))
+	var out []VoDEvent
+	for app := 1; app <= g.Apps; app++ {
+		for e := 0; e < g.EventsPerMonitor; e++ {
+			out = append(out, VoDEvent{
+				MonitorID: g.MonitorID(app),
+				Timestamp: g.BaseTimestamp + int64(e*30),
+				Bitrate:   2 + rng.Intn(8),
+				WaitTime:  round2(rng.Float64() * 8),
+				WatchTime: round2(1 + rng.Float64()*30),
+			})
+		}
+	}
+	return out
+}
+
+// FeedbackEvents generates the textual feedback of every feedback tool.
+func (g *Generator) FeedbackEvents() []FeedbackEvent {
+	rng := rand.New(rand.NewSource(g.Seed + 1))
+	phrases := []string{
+		"I continuously see the loading symbol",
+		"Your video player is great!",
+		"The app crashes when I seek",
+		"Buffering is much better since the update",
+		"Subtitles are out of sync",
+		"Love the new interface",
+	}
+	var out []FeedbackEvent
+	for app := 1; app <= g.Apps; app++ {
+		for e := 0; e < g.FeedbackPerTool; e++ {
+			out = append(out, FeedbackEvent{
+				FeedbackGatheringID: g.FeedbackGatheringID(app),
+				TweetID:             int64(app)*1000 + int64(e),
+				User:                fmt.Sprintf("user%d", rng.Intn(1000)),
+				Text:                phrases[rng.Intn(len(phrases))],
+				CreatedAt:           g.BaseTimestamp + int64(e*60),
+			})
+		}
+	}
+	return out
+}
+
+// AppLinks generates the application-to-tool relationships.
+func (g *Generator) AppLinks() []AppLink {
+	var out []AppLink
+	for app := 1; app <= g.Apps; app++ {
+		out = append(out, AppLink{AppID: app, MonitorID: g.MonitorID(app), FeedbackGatheringID: g.FeedbackGatheringID(app)})
+	}
+	return out
+}
+
+// VoDDocumentsV1 renders the VoD events with the version 1 schema (Code 1).
+func (g *Generator) VoDDocumentsV1() []wrapper.Document {
+	var out []wrapper.Document
+	for _, e := range g.VoDEvents() {
+		out = append(out, wrapper.Document{
+			"monitorId": float64(e.MonitorID),
+			"timestamp": float64(e.Timestamp),
+			"bitrate":   float64(e.Bitrate),
+			"waitTime":  e.WaitTime,
+			"watchTime": e.WatchTime,
+		})
+	}
+	return out
+}
+
+// VoDDocumentsV2 renders the VoD events with the evolved version 2 schema:
+// waitTime and watchTime have been renamed to bufferingTime and playbackTime
+// (a "rename response parameter" change), and a new qualityScore parameter
+// has been added.
+func (g *Generator) VoDDocumentsV2() []wrapper.Document {
+	var out []wrapper.Document
+	for _, e := range g.VoDEvents() {
+		score := 5.0
+		if e.WatchTime > 0 {
+			score = round2(5 * (1 - e.WaitTime/(e.WaitTime+e.WatchTime)))
+		}
+		out = append(out, wrapper.Document{
+			"monitorId":     float64(e.MonitorID),
+			"timestamp":     float64(e.Timestamp),
+			"bitrate":       float64(e.Bitrate),
+			"bufferingTime": e.WaitTime,
+			"playbackTime":  e.WatchTime,
+			"qualityScore":  score,
+		})
+	}
+	return out
+}
+
+// FeedbackDocuments renders the feedback events as JSON documents.
+func (g *Generator) FeedbackDocuments() []wrapper.Document {
+	var out []wrapper.Document
+	for _, e := range g.FeedbackEvents() {
+		out = append(out, wrapper.Document{
+			"feedbackGatheringId": float64(e.FeedbackGatheringID),
+			"tweetId":             float64(e.TweetID),
+			"user":                e.User,
+			"text":                e.Text,
+			"createdAt":           float64(e.CreatedAt),
+		})
+	}
+	return out
+}
+
+// AppLinkDocuments renders the application links as JSON documents.
+func (g *Generator) AppLinkDocuments() []wrapper.Document {
+	var out []wrapper.Document
+	for _, l := range g.AppLinks() {
+		out = append(out, wrapper.Document{
+			"appId":               float64(l.AppID),
+			"monitorId":           float64(l.MonitorID),
+			"feedbackGatheringId": float64(l.FeedbackGatheringID),
+		})
+	}
+	return out
+}
+
+func round2(v float64) float64 { return float64(int(v*100)) / 100 }

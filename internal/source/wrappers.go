@@ -1,0 +1,69 @@
+package source
+
+import (
+	"bdi/internal/relational"
+	"bdi/internal/wrapper"
+)
+
+// Standard wrappers over the simulated ecosystem, one per schema version,
+// mirroring the running example: w1 and w4 over the VoD monitoring API (v1
+// and v2 schemas respectively), w2 over the feedback API, and w3 over the
+// application registry.
+
+// WrapperW1 builds wrapper w1(VoDmonitorId, lagRatio) over the v1 VoD events
+// (the Go analogue of the MongoDB aggregation in Code 2).
+func (e *Ecosystem) WrapperW1() wrapper.Wrapper {
+	return wrapper.NewJSON("w1", "D1",
+		relational.NewSchema([]string{"VoDmonitorId"}, []string{"lagRatio"}),
+		e.VoD.Source("v1", "events"),
+		wrapper.ProjectField{Path: "monitorId", As: "VoDmonitorId"},
+		wrapper.ComputeRatio{Numerator: "waitTime", Denominator: "watchTime", As: "lagRatio"},
+	)
+}
+
+// WrapperW4 builds wrapper w4(VoDmonitorId, bufferingRatio) over the v2 VoD
+// events, i.e. the schema version in which the ratio attribute has been
+// renamed (§2.1).
+func (e *Ecosystem) WrapperW4() wrapper.Wrapper {
+	return wrapper.NewJSON("w4", "D1",
+		relational.NewSchema([]string{"VoDmonitorId"}, []string{"bufferingRatio"}),
+		e.VoD.Source("v2", "events"),
+		wrapper.ProjectField{Path: "monitorId", As: "VoDmonitorId"},
+		wrapper.ComputeRatio{Numerator: "bufferingTime", Denominator: "playbackTime", As: "bufferingRatio"},
+	)
+}
+
+// WrapperW2 builds wrapper w2(FGId, tweet) over the feedback API.
+func (e *Ecosystem) WrapperW2() wrapper.Wrapper {
+	return wrapper.NewJSON("w2", "D2",
+		relational.NewSchema([]string{"FGId"}, []string{"tweet"}),
+		e.Feedback.Source("v1", "feedback"),
+		wrapper.ProjectField{Path: "feedbackGatheringId", As: "FGId"},
+		wrapper.ProjectField{Path: "text", As: "tweet"},
+	)
+}
+
+// WrapperW3 builds wrapper w3(TargetApp, MonitorId, FeedbackId) over the
+// application registry.
+func (e *Ecosystem) WrapperW3() wrapper.Wrapper {
+	return wrapper.NewJSON("w3", "D3",
+		relational.NewSchema([]string{"TargetApp", "MonitorId", "FeedbackId"}, nil),
+		e.Registry.Source("v1", "apps"),
+		wrapper.ProjectField{Path: "appId", As: "TargetApp"},
+		wrapper.ProjectField{Path: "monitorId", As: "MonitorId"},
+		wrapper.ProjectField{Path: "feedbackGatheringId", As: "FeedbackId"},
+	)
+}
+
+// WrapperRegistry returns a wrapper registry with w1, w2, w3 and, when
+// withEvolution is set, w4.
+func (e *Ecosystem) WrapperRegistry(withEvolution bool) *wrapper.Registry {
+	reg := wrapper.NewRegistry()
+	reg.Register(e.WrapperW1())
+	reg.Register(e.WrapperW2())
+	reg.Register(e.WrapperW3())
+	if withEvolution {
+		reg.Register(e.WrapperW4())
+	}
+	return reg
+}

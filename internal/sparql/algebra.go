@@ -1,0 +1,148 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"bdi/internal/rdf"
+)
+
+// The algebra mirrors the structure shown in Code 4 of the paper:
+//
+//	(project (?v1 ... ?vn)
+//	  (join
+//	    (table (vars ?v1 ... ?vn) (row [?v1 attr1] ... ))
+//	    (bgp (triple s1 p1 attr1) ... )))
+//
+// It is deliberately small: the restricted OMQ dialect only ever produces
+// project / join / table / bgp / filter / graph nodes.
+
+// AlgebraNode is a node of the SPARQL algebra tree.
+type AlgebraNode interface {
+	// SExpr renders the node as an s-expression, matching the paper's Code 4
+	// presentation (and Jena ARQ's algebra printing).
+	SExpr(indent int) string
+}
+
+// ProjectNode projects a set of variables over its child.
+type ProjectNode struct {
+	Variables []rdf.Variable
+	Distinct  bool
+	Child     AlgebraNode
+}
+
+// SExpr implements AlgebraNode.
+func (n *ProjectNode) SExpr(indent int) string {
+	vars := make([]string, len(n.Variables))
+	for i, v := range n.Variables {
+		vars[i] = v.String()
+	}
+	op := "project"
+	if n.Distinct {
+		op = "distinct project"
+	}
+	return fmt.Sprintf("%s(%s (%s)\n%s)", pad(indent), op, strings.Join(vars, " "), n.Child.SExpr(indent+2))
+}
+
+// JoinNode joins its children on shared variables.
+type JoinNode struct {
+	Left  AlgebraNode
+	Right AlgebraNode
+}
+
+// SExpr implements AlgebraNode.
+func (n *JoinNode) SExpr(indent int) string {
+	return fmt.Sprintf("%s(join\n%s\n%s)", pad(indent), n.Left.SExpr(indent+2), n.Right.SExpr(indent+2))
+}
+
+// TableNode is the inline VALUES table.
+type TableNode struct {
+	Variables []rdf.Variable
+	Rows      [][]rdf.Term
+}
+
+// SExpr implements AlgebraNode.
+func (n *TableNode) SExpr(indent int) string {
+	vars := make([]string, len(n.Variables))
+	for i, v := range n.Variables {
+		vars[i] = v.String()
+	}
+	var rows []string
+	for _, row := range n.Rows {
+		var cells []string
+		for i, t := range row {
+			if i < len(n.Variables) {
+				cells = append(cells, fmt.Sprintf("[%s %s]", n.Variables[i], t))
+			}
+		}
+		rows = append(rows, fmt.Sprintf("%s(row %s)", pad(indent+2), strings.Join(cells, " ")))
+	}
+	return fmt.Sprintf("%s(table (vars %s)\n%s)", pad(indent), strings.Join(vars, " "), strings.Join(rows, "\n"))
+}
+
+// BGPNode is a basic graph pattern.
+type BGPNode struct {
+	Patterns []TriplePattern
+}
+
+// SExpr implements AlgebraNode.
+func (n *BGPNode) SExpr(indent int) string {
+	var lines []string
+	for _, tp := range n.Patterns {
+		lines = append(lines, fmt.Sprintf("%s(triple %s %s %s)", pad(indent+2), tp.Subject, tp.Predicate, tp.Object))
+	}
+	return fmt.Sprintf("%s(bgp\n%s)", pad(indent), strings.Join(lines, "\n"))
+}
+
+// FilterNode applies filters over its child.
+type FilterNode struct {
+	Filters []Filter
+	Child   AlgebraNode
+}
+
+// SExpr implements AlgebraNode.
+func (n *FilterNode) SExpr(indent int) string {
+	var exprs []string
+	for _, f := range n.Filters {
+		exprs = append(exprs, fmt.Sprintf("(%s %s %s)", f.Op, f.Left, f.Right))
+	}
+	return fmt.Sprintf("%s(filter %s\n%s)", pad(indent), strings.Join(exprs, " "), n.Child.SExpr(indent+2))
+}
+
+// SliceNode applies LIMIT/OFFSET over its child.
+type SliceNode struct {
+	Limit  int
+	Offset int
+	Child  AlgebraNode
+}
+
+// SExpr implements AlgebraNode.
+func (n *SliceNode) SExpr(indent int) string {
+	return fmt.Sprintf("%s(slice %d %d\n%s)", pad(indent), n.Offset, n.Limit, n.Child.SExpr(indent+2))
+}
+
+func pad(indent int) string { return strings.Repeat(" ", indent) }
+
+// Compile converts a parsed query into its algebra tree, mirroring Code 4.
+func Compile(q *Query) AlgebraNode {
+	var node AlgebraNode = &BGPNode{Patterns: q.Where}
+	if !q.Values.IsEmpty() {
+		node = &JoinNode{
+			Left:  &TableNode{Variables: q.Values.Variables, Rows: q.Values.Rows},
+			Right: node,
+		}
+	}
+	if len(q.Filters) > 0 {
+		node = &FilterNode{Filters: q.Filters, Child: node}
+	}
+	node = &ProjectNode{Variables: q.ProjectedVariables(), Distinct: q.Distinct, Child: node}
+	if q.Limit >= 0 || q.Offset > 0 {
+		node = &SliceNode{Limit: q.Limit, Offset: q.Offset, Child: node}
+	}
+	return node
+}
+
+// AlgebraString renders the query's algebra tree as an s-expression.
+func AlgebraString(q *Query) string {
+	return Compile(q).SExpr(0)
+}

@@ -1,0 +1,487 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bdi/internal/rdf"
+	"bdi/internal/reasoner"
+	"bdi/internal/store"
+)
+
+// Binding is a single solution mapping from variable names to terms.
+type Binding map[rdf.Variable]rdf.Term
+
+// Clone returns a copy of the binding.
+func (b Binding) Clone() Binding {
+	c := make(Binding, len(b))
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}
+
+// Get returns the term bound to the variable.
+func (b Binding) Get(v rdf.Variable) (rdf.Term, bool) {
+	t, ok := b[v]
+	return t, ok
+}
+
+// Key returns a canonical representation used for DISTINCT elimination.
+func (b Binding) Key(vars []rdf.Variable) string {
+	parts := make([]string, len(vars))
+	for i, v := range vars {
+		if t, ok := b[v]; ok {
+			parts[i] = rdf.TermKey(t)
+		}
+	}
+	return strings.Join(parts, "\x00")
+}
+
+// Solutions is an ordered sequence of bindings plus the projected variables.
+type Solutions struct {
+	Variables []rdf.Variable
+	Bindings  []Binding
+}
+
+// Len returns the number of solutions.
+func (s *Solutions) Len() int { return len(s.Bindings) }
+
+// Terms returns, for each solution, the terms bound to the projected
+// variables in order.
+func (s *Solutions) Terms() [][]rdf.Term {
+	out := make([][]rdf.Term, len(s.Bindings))
+	for i, b := range s.Bindings {
+		row := make([]rdf.Term, len(s.Variables))
+		for j, v := range s.Variables {
+			row[j] = b[v]
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// Column returns all terms bound to the given variable, in solution order.
+func (s *Solutions) Column(v rdf.Variable) []rdf.Term {
+	out := make([]rdf.Term, 0, len(s.Bindings))
+	for _, b := range s.Bindings {
+		if t, ok := b[v]; ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// String renders the solutions as a simple table.
+func (s *Solutions) String() string {
+	var b strings.Builder
+	for i, v := range s.Variables {
+		if i > 0 {
+			b.WriteByte('\t')
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte('\n')
+	for _, row := range s.Terms() {
+		for i, t := range row {
+			if i > 0 {
+				b.WriteByte('\t')
+			}
+			if t == nil {
+				b.WriteString("UNDEF")
+			} else {
+				b.WriteString(t.String())
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Evaluator evaluates restricted SPARQL queries against a store, optionally
+// applying the RDFS entailment regime (subclass-aware rdf:type and
+// subproperty-aware predicate matching), as assumed in §2 of the paper.
+type Evaluator struct {
+	store      *store.Store
+	engine     *reasoner.Engine
+	Entailment bool
+}
+
+// NewEvaluator returns an evaluator with RDFS entailment enabled.
+func NewEvaluator(s *store.Store) *Evaluator {
+	return &Evaluator{store: s, engine: reasoner.New(s), Entailment: true}
+}
+
+// NewPlainEvaluator returns an evaluator without entailment.
+func NewPlainEvaluator(s *store.Store) *Evaluator {
+	return &Evaluator{store: s, engine: reasoner.New(s), Entailment: false}
+}
+
+// Store returns the underlying store.
+func (e *Evaluator) Store() *store.Store { return e.store }
+
+// Engine returns the reasoner used for entailment.
+func (e *Evaluator) Engine() *reasoner.Engine { return e.engine }
+
+// Select parses and evaluates a query text.
+func (e *Evaluator) Select(queryText string) (*Solutions, error) {
+	q, err := Parse(queryText)
+	if err != nil {
+		return nil, err
+	}
+	return e.Evaluate(q)
+}
+
+// Evaluate evaluates a parsed query.
+func (e *Evaluator) Evaluate(q *Query) (*Solutions, error) {
+	// Seed bindings from the VALUES table (cartesian of rows, usually one).
+	seeds := []Binding{{}}
+	if !q.Values.IsEmpty() {
+		seeds = nil
+		for _, row := range q.Values.Rows {
+			if len(row) != len(q.Values.Variables) {
+				return nil, fmt.Errorf("sparql: VALUES row arity mismatch")
+			}
+			b := Binding{}
+			for i, v := range q.Values.Variables {
+				b[v] = row[i]
+			}
+			seeds = append(seeds, b)
+		}
+	}
+
+	bindings := seeds
+	// Order patterns to keep joins selective: patterns with constants first.
+	patterns := append([]TriplePattern(nil), q.Where...)
+	sort.SliceStable(patterns, func(i, j int) bool {
+		return patternSelectivity(patterns[i]) < patternSelectivity(patterns[j])
+	})
+	for _, tp := range patterns {
+		bindings = e.extend(bindings, tp, q.From)
+		if len(bindings) == 0 {
+			break
+		}
+	}
+
+	// Filters.
+	var filtered []Binding
+	for _, b := range bindings {
+		ok := true
+		for _, f := range q.Filters {
+			if !evalFilter(f, b) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			filtered = append(filtered, b)
+		}
+	}
+
+	vars := q.ProjectedVariables()
+	// Projection + DISTINCT.
+	var projected []Binding
+	seen := map[string]bool{}
+	for _, b := range filtered {
+		pb := Binding{}
+		for _, v := range vars {
+			if t, ok := b[v]; ok {
+				pb[v] = t
+			}
+		}
+		if q.Distinct {
+			k := pb.Key(vars)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		projected = append(projected, pb)
+	}
+
+	// Deterministic ordering.
+	sort.SliceStable(projected, func(i, j int) bool {
+		return projected[i].Key(vars) < projected[j].Key(vars)
+	})
+
+	// OFFSET / LIMIT.
+	if q.Offset > 0 {
+		if q.Offset >= len(projected) {
+			projected = nil
+		} else {
+			projected = projected[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && q.Limit < len(projected) {
+		projected = projected[:q.Limit]
+	}
+
+	return &Solutions{Variables: vars, Bindings: projected}, nil
+}
+
+// Ask reports whether the query has at least one solution.
+func (e *Evaluator) Ask(q *Query) (bool, error) {
+	sols, err := e.Evaluate(q)
+	if err != nil {
+		return false, err
+	}
+	return sols.Len() > 0, nil
+}
+
+func patternSelectivity(tp TriplePattern) int {
+	score := 0
+	for _, t := range []rdf.Term{tp.Subject, tp.Predicate, tp.Object} {
+		if t == nil || t.Kind() == rdf.KindVariable {
+			score++
+		}
+	}
+	return score
+}
+
+// extend joins the current bindings with the matches of a single pattern.
+func (e *Evaluator) extend(bindings []Binding, tp TriplePattern, from rdf.IRI) []Binding {
+	var out []Binding
+	for _, b := range bindings {
+		s := substitute(tp.Subject, b)
+		p := substitute(tp.Predicate, b)
+		o := substitute(tp.Object, b)
+
+		var matches []rdf.Quad
+		switch g := tp.Graph.(type) {
+		case nil:
+			if from != "" {
+				matches = e.match(store.InGraph(from, s, p, o), p, o)
+			} else {
+				// No FROM clause and no GRAPH block: the pattern matches the
+				// union of all graphs, and the graph a triple came from is not
+				// observable, so deduplicate matches on the triple alone.
+				matches = dedupeByTriple(e.match(store.WildcardGraph(s, p, o), p, o))
+			}
+		case rdf.IRI:
+			matches = e.match(store.InGraph(g, s, p, o), p, o)
+		case rdf.Variable:
+			if bound, ok := b[g]; ok {
+				if gi, isIRI := bound.(rdf.IRI); isIRI {
+					matches = e.match(store.InGraph(gi, s, p, o), p, o)
+				}
+			} else {
+				matches = e.match(store.WildcardGraph(s, p, o), p, o)
+			}
+		}
+
+		for _, m := range matches {
+			nb := b.Clone()
+			if !bindTerm(nb, tp.Subject, m.Subject) ||
+				!bindTerm(nb, tp.Predicate, m.Predicate) ||
+				!bindTerm(nb, tp.Object, m.Object) {
+				continue
+			}
+			if gv, ok := tp.Graph.(rdf.Variable); ok {
+				if !bindTerm(nb, gv, m.Graph) {
+					continue
+				}
+			}
+			out = append(out, nb)
+		}
+	}
+	return out
+}
+
+// match queries the store, applying RDFS entailment for rdf:type patterns
+// (subclass closure on the object) and for subproperty closure on the
+// predicate when entailment is enabled.
+func (e *Evaluator) match(p store.Pattern, predicate, object rdf.Term) []rdf.Quad {
+	base := e.store.Match(p)
+	if !e.Entailment {
+		return base
+	}
+	out := base
+	// rdf:type with a concrete class: include instances of subclasses.
+	if predIRI, ok := predicate.(rdf.IRI); ok && predIRI == rdf.RDFType {
+		if classIRI, ok := object.(rdf.IRI); ok {
+			for _, sub := range e.engine.SubClassesOf(classIRI) {
+				p2 := p
+				p2.Object = sub
+				for _, q := range e.store.Match(p2) {
+					q.Object = classIRI // entailed type
+					out = appendUniqueQuad(out, q)
+				}
+			}
+		}
+	}
+	// Concrete predicate: include statements made with its subproperties.
+	if predIRI, ok := predicate.(rdf.IRI); ok && predIRI != rdf.RDFType {
+		for _, sub := range e.subPropertiesOf(predIRI) {
+			p2 := p
+			p2.Predicate = sub
+			for _, q := range e.store.Match(p2) {
+				q.Predicate = predIRI
+				out = appendUniqueQuad(out, q)
+			}
+		}
+	}
+	// rdfs:subClassOf with both ends concrete or one variable: include the
+	// transitive closure (the rewriting algorithms ask e.g. whether a feature
+	// is a subclass of sc:identifier, possibly through intermediate domains).
+	if predIRI, ok := predicate.(rdf.IRI); ok && predIRI == rdf.RDFSSubClassOf {
+		out = e.extendSubClassMatches(p, out)
+	}
+	return out
+}
+
+func (e *Evaluator) extendSubClassMatches(p store.Pattern, out []rdf.Quad) []rdf.Quad {
+	subj, subjConcrete := p.Subject.(rdf.IRI)
+	obj, objConcrete := p.Object.(rdf.IRI)
+	switch {
+	case subjConcrete && objConcrete:
+		if e.engine.IsSubClassOf(subj, obj) && subj != obj {
+			out = appendUniqueQuad(out, rdf.Quad{Triple: rdf.T(subj, rdf.RDFSSubClassOf, obj), Graph: p.Graph})
+		}
+	case subjConcrete:
+		for _, sup := range e.engine.SuperClasses(subj) {
+			out = appendUniqueQuad(out, rdf.Quad{Triple: rdf.T(subj, rdf.RDFSSubClassOf, sup), Graph: p.Graph})
+		}
+	case objConcrete:
+		for _, sub := range e.engine.SubClassesOf(obj) {
+			out = appendUniqueQuad(out, rdf.Quad{Triple: rdf.T(sub, rdf.RDFSSubClassOf, obj), Graph: p.Graph})
+		}
+	}
+	return out
+}
+
+func (e *Evaluator) subPropertiesOf(prop rdf.IRI) []rdf.IRI {
+	var out []rdf.IRI
+	for _, q := range e.store.Match(store.WildcardGraph(nil, rdf.RDFSSubPropertyOf, prop)) {
+		if sub, ok := q.Subject.(rdf.IRI); ok {
+			out = append(out, sub)
+		}
+	}
+	return out
+}
+
+// appendUniqueQuad appends an entailed quad unless a quad with the same
+// triple (regardless of graph) is already present; entailed quads carry a
+// synthetic graph and must not duplicate asserted matches.
+func appendUniqueQuad(quads []rdf.Quad, q rdf.Quad) []rdf.Quad {
+	for _, existing := range quads {
+		if existing.Triple.Equal(q.Triple) {
+			return quads
+		}
+	}
+	return append(quads, q)
+}
+
+// dedupeByTriple removes quads that repeat the same triple in different
+// graphs, keeping the first occurrence.
+func dedupeByTriple(quads []rdf.Quad) []rdf.Quad {
+	seen := map[string]bool{}
+	out := quads[:0]
+	for _, q := range quads {
+		k := rdf.TermKey(q.Subject) + "\x00" + rdf.TermKey(q.Predicate) + "\x00" + rdf.TermKey(q.Object)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, q)
+	}
+	return out
+}
+
+func substitute(t rdf.Term, b Binding) rdf.Term {
+	if v, ok := t.(rdf.Variable); ok {
+		if bound, exists := b[v]; exists {
+			return bound
+		}
+		return nil
+	}
+	return t
+}
+
+func bindTerm(b Binding, patternTerm rdf.Term, value rdf.Term) bool {
+	v, ok := patternTerm.(rdf.Variable)
+	if !ok {
+		if patternTerm == nil {
+			return true
+		}
+		return patternTerm.Equal(value)
+	}
+	if existing, bound := b[v]; bound {
+		return existing.Equal(value)
+	}
+	b[v] = value
+	return true
+}
+
+func bindGraphVar(b Binding, v rdf.Variable, g rdf.IRI) bool {
+	return bindTerm(b, v, g)
+}
+
+func evalFilter(f Filter, b Binding) bool {
+	left := resolveFilterTerm(f.Left, b)
+	right := resolveFilterTerm(f.Right, b)
+	if left == nil || right == nil {
+		return false
+	}
+	// Numeric comparison when both sides are numeric literals.
+	ll, lok := left.(rdf.Literal)
+	rl, rok := right.(rdf.Literal)
+	if lok && rok {
+		if lf, ok1 := ll.Float(); ok1 {
+			if rf, ok2 := rl.Float(); ok2 {
+				return compareFloats(lf, rf, f.Op)
+			}
+		}
+	}
+	switch f.Op {
+	case OpEq:
+		return left.Equal(right)
+	case OpNeq:
+		return !left.Equal(right)
+	default:
+		return compareStrings(left.Value(), right.Value(), f.Op)
+	}
+}
+
+func resolveFilterTerm(t rdf.Term, b Binding) rdf.Term {
+	if v, ok := t.(rdf.Variable); ok {
+		bound, exists := b[v]
+		if !exists {
+			return nil
+		}
+		return bound
+	}
+	return t
+}
+
+func compareFloats(a, b float64, op FilterOp) bool {
+	switch op {
+	case OpEq:
+		return a == b
+	case OpNeq:
+		return a != b
+	case OpLt:
+		return a < b
+	case OpLe:
+		return a <= b
+	case OpGt:
+		return a > b
+	case OpGe:
+		return a >= b
+	}
+	return false
+}
+
+func compareStrings(a, b string, op FilterOp) bool {
+	switch op {
+	case OpLt:
+		return a < b
+	case OpLe:
+		return a <= b
+	case OpGt:
+		return a > b
+	case OpGe:
+		return a >= b
+	}
+	return false
+}

@@ -1,0 +1,50 @@
+package store
+
+import (
+	"fmt"
+	"os"
+
+	"bdi/internal/rdf"
+	"bdi/internal/rdf/turtle"
+)
+
+// LoadTurtle parses a Turtle/TriG document and adds its quads to the store,
+// returning the number of quads added and the prefix map of the document.
+func (s *Store) LoadTurtle(input string) (int, *rdf.PrefixMap, error) {
+	doc, err := turtle.Parse(input)
+	if err != nil {
+		return 0, nil, err
+	}
+	added, err := s.AddAll(doc.Quads)
+	if err != nil {
+		return added, doc.Prefixes, fmt.Errorf("store: loading parsed document: %w", err)
+	}
+	return added, doc.Prefixes, nil
+}
+
+// LoadTurtleFile reads and loads a Turtle/TriG file from disk.
+func (s *Store) LoadTurtleFile(path string) (int, *rdf.PrefixMap, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, fmt.Errorf("store: reading %s: %w", path, err)
+	}
+	return s.LoadTurtle(string(data))
+}
+
+// DumpTriG serializes the entire store as a TriG document.
+func (s *Store) DumpTriG(prefixes *rdf.PrefixMap) string {
+	ser := turtle.NewSerializer()
+	if prefixes != nil {
+		ser.Prefixes = prefixes
+	}
+	return ser.SerializeQuads(s.Quads())
+}
+
+// DumpGraphTurtle serializes a single named graph as Turtle.
+func (s *Store) DumpGraphTurtle(graph rdf.IRI, prefixes *rdf.PrefixMap) string {
+	ser := turtle.NewSerializer()
+	if prefixes != nil {
+		ser.Prefixes = prefixes
+	}
+	return ser.SerializeTriples(s.MatchTriples(InGraph(graph, nil, nil, nil)))
+}

@@ -1,0 +1,427 @@
+// Package store implements the in-memory, indexed, named-graph quad store
+// that backs the BDI ontology. It plays the role of Jena TDB in the paper:
+// it holds the Global graph (G), the Source graph (S) and the Mapping graph
+// (M, one named graph per wrapper) and answers the triple-pattern and basic
+// graph pattern lookups issued by the SPARQL evaluator and the rewriting
+// algorithms.
+//
+// The store keeps four hash indexes (GSPO, GPOS, GOSP and a graph index) so
+// that every single-constant lookup is satisfied without scanning, and it is
+// safe for concurrent use.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"bdi/internal/rdf"
+)
+
+// Pattern is a quad pattern: nil terms act as wildcards, and an empty
+// GraphFilter means "any graph". Use WildcardGraph to match all graphs and
+// DefaultGraph to match only the default graph.
+type Pattern struct {
+	Subject   rdf.Term
+	Predicate rdf.Term
+	Object    rdf.Term
+	// Graph restricts matching to a single graph when GraphSet is true.
+	Graph    rdf.IRI
+	GraphSet bool
+}
+
+// WildcardGraph returns a pattern matching the given triple terms in any graph.
+func WildcardGraph(s, p, o rdf.Term) Pattern {
+	return Pattern{Subject: s, Predicate: p, Object: o}
+}
+
+// InGraph returns a pattern restricted to the given graph.
+func InGraph(g rdf.IRI, s, p, o rdf.Term) Pattern {
+	return Pattern{Subject: s, Predicate: p, Object: o, Graph: g, GraphSet: true}
+}
+
+// Store is an in-memory quad store with named-graph support.
+type Store struct {
+	mu sync.RWMutex
+
+	// quads is the canonical set, keyed by a unique quad key.
+	quads map[string]rdf.Quad
+
+	// Indexes: graph -> subject key -> quad keys, etc. An empty graph key
+	// ("") indexes the default graph; the special allGraphs key indexes the
+	// union of all graphs.
+	bySubject   map[string]map[string][]string
+	byPredicate map[string]map[string][]string
+	byObject    map[string]map[string][]string
+	byGraph     map[string][]string
+
+	generation uint64
+}
+
+const allGraphs = "\x00*"
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		quads:       map[string]rdf.Quad{},
+		bySubject:   map[string]map[string][]string{},
+		byPredicate: map[string]map[string][]string{},
+		byObject:    map[string]map[string][]string{},
+		byGraph:     map[string][]string{},
+	}
+}
+
+// Len returns the total number of quads in the store.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.quads)
+}
+
+// Generation returns a counter incremented on every mutation. It allows
+// callers (e.g. the reasoner) to detect staleness cheaply.
+func (s *Store) Generation() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.generation
+}
+
+// GraphLen returns the number of quads in the given named graph ("" is the
+// default graph).
+func (s *Store) GraphLen(graph rdf.IRI) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byGraph[string(graph)])
+}
+
+// Graphs returns the names of all non-empty named graphs, sorted. The default
+// graph is not included.
+func (s *Store) Graphs() []rdf.IRI {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []rdf.IRI
+	for g, keys := range s.byGraph {
+		if g != "" && len(keys) > 0 {
+			out = append(out, rdf.IRI(g))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Add inserts a quad. Duplicate quads are ignored. It returns true when the
+// quad was newly added.
+func (s *Store) Add(q rdf.Quad) (bool, error) {
+	if err := q.Validate(); err != nil {
+		return false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addLocked(q), nil
+}
+
+// AddTriple inserts a triple into the given named graph.
+func (s *Store) AddTriple(graph rdf.IRI, t rdf.Triple) (bool, error) {
+	return s.Add(rdf.Quad{Triple: t, Graph: graph})
+}
+
+// MustAdd inserts a quad and panics on invalid data. It is intended for
+// static vocabulary initialization.
+func (s *Store) MustAdd(q rdf.Quad) {
+	if _, err := s.Add(q); err != nil {
+		panic(err)
+	}
+}
+
+// AddAll inserts all given quads, returning the number newly added.
+func (s *Store) AddAll(quads []rdf.Quad) (int, error) {
+	added := 0
+	for _, q := range quads {
+		ok, err := s.Add(q)
+		if err != nil {
+			return added, err
+		}
+		if ok {
+			added++
+		}
+	}
+	return added, nil
+}
+
+// AddGraph inserts all triples of the graph value under its name.
+func (s *Store) AddGraph(g *rdf.Graph) (int, error) {
+	if g == nil {
+		return 0, nil
+	}
+	added := 0
+	for _, t := range g.Triples {
+		ok, err := s.AddTriple(g.Name, t)
+		if err != nil {
+			return added, err
+		}
+		if ok {
+			added++
+		}
+	}
+	return added, nil
+}
+
+func (s *Store) addLocked(q rdf.Quad) bool {
+	key := quadKey(q)
+	if _, exists := s.quads[key]; exists {
+		return false
+	}
+	s.quads[key] = q
+	g := string(q.Graph)
+	addIndex(s.bySubject, g, rdf.TermKey(q.Subject), key)
+	addIndex(s.bySubject, allGraphs, rdf.TermKey(q.Subject), key)
+	addIndex(s.byPredicate, g, rdf.TermKey(q.Predicate), key)
+	addIndex(s.byPredicate, allGraphs, rdf.TermKey(q.Predicate), key)
+	addIndex(s.byObject, g, rdf.TermKey(q.Object), key)
+	addIndex(s.byObject, allGraphs, rdf.TermKey(q.Object), key)
+	s.byGraph[g] = append(s.byGraph[g], key)
+	s.generation++
+	return true
+}
+
+// Remove deletes a quad from the store, returning true if it was present.
+func (s *Store) Remove(q rdf.Quad) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := quadKey(q)
+	if _, ok := s.quads[key]; !ok {
+		return false
+	}
+	delete(s.quads, key)
+	g := string(q.Graph)
+	removeIndex(s.bySubject, g, rdf.TermKey(q.Subject), key)
+	removeIndex(s.bySubject, allGraphs, rdf.TermKey(q.Subject), key)
+	removeIndex(s.byPredicate, g, rdf.TermKey(q.Predicate), key)
+	removeIndex(s.byPredicate, allGraphs, rdf.TermKey(q.Predicate), key)
+	removeIndex(s.byObject, g, rdf.TermKey(q.Object), key)
+	removeIndex(s.byObject, allGraphs, rdf.TermKey(q.Object), key)
+	s.byGraph[g] = removeFromSlice(s.byGraph[g], key)
+	s.generation++
+	return true
+}
+
+// RemoveGraph deletes every quad in the given named graph, returning the
+// number removed.
+func (s *Store) RemoveGraph(graph rdf.IRI) int {
+	quads := s.Match(InGraph(graph, nil, nil, nil))
+	for _, q := range quads {
+		s.Remove(q)
+	}
+	return len(quads)
+}
+
+// Contains reports whether the exact quad is present.
+func (s *Store) Contains(q rdf.Quad) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.quads[quadKey(q)]
+	return ok
+}
+
+// ContainsTriple reports whether the triple is present in the given graph.
+func (s *Store) ContainsTriple(graph rdf.IRI, t rdf.Triple) bool {
+	return s.Contains(rdf.Quad{Triple: t, Graph: graph})
+}
+
+// Match returns all quads matching the pattern, in deterministic order.
+// Variables in the pattern are treated as wildcards.
+func (s *Store) Match(p Pattern) []rdf.Quad {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	sTerm := wildcardIfVar(p.Subject)
+	pTerm := wildcardIfVar(p.Predicate)
+	oTerm := wildcardIfVar(p.Object)
+
+	graphKey := allGraphs
+	if p.GraphSet {
+		graphKey = string(p.Graph)
+	}
+
+	// Choose the most selective index available.
+	var candidates []string
+	switch {
+	case sTerm != nil:
+		candidates = s.bySubject[graphKey][rdf.TermKey(sTerm)]
+	case oTerm != nil:
+		candidates = s.byObject[graphKey][rdf.TermKey(oTerm)]
+	case pTerm != nil:
+		candidates = s.byPredicate[graphKey][rdf.TermKey(pTerm)]
+	default:
+		if p.GraphSet {
+			candidates = s.byGraph[string(p.Graph)]
+		} else {
+			candidates = make([]string, 0, len(s.quads))
+			for k := range s.quads {
+				candidates = append(candidates, k)
+			}
+		}
+	}
+
+	var out []rdf.Quad
+	for _, key := range candidates {
+		q, ok := s.quads[key]
+		if !ok {
+			continue
+		}
+		if p.GraphSet && q.Graph != p.Graph {
+			continue
+		}
+		if sTerm != nil && !q.Subject.Equal(sTerm) {
+			continue
+		}
+		if pTerm != nil && !q.Predicate.Equal(pTerm) {
+			continue
+		}
+		if oTerm != nil && !q.Object.Equal(oTerm) {
+			continue
+		}
+		out = append(out, q)
+	}
+	sort.Slice(out, func(i, j int) bool { return quadKey(out[i]) < quadKey(out[j]) })
+	return out
+}
+
+// MatchTriples is like Match but returns bare triples.
+func (s *Store) MatchTriples(p Pattern) []rdf.Triple {
+	quads := s.Match(p)
+	out := make([]rdf.Triple, len(quads))
+	for i, q := range quads {
+		out[i] = q.Triple
+	}
+	return out
+}
+
+// GraphsContaining returns the names of all named graphs that contain the
+// given triple. This implements the SPARQL `GRAPH ?g { ... }` lookups used
+// by the rewriting algorithms to resolve LAV mappings (Algorithm 4 line 8
+// and Algorithm 5 lines 9-10).
+func (s *Store) GraphsContaining(t rdf.Triple) []rdf.IRI {
+	quads := s.Match(WildcardGraph(t.Subject, t.Predicate, t.Object))
+	seen := map[rdf.IRI]bool{}
+	var out []rdf.IRI
+	for _, q := range quads {
+		if q.Graph == "" || seen[q.Graph] {
+			continue
+		}
+		seen[q.Graph] = true
+		out = append(out, q.Graph)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NamedGraph materializes the contents of a named graph as a rdf.Graph value.
+func (s *Store) NamedGraph(name rdf.IRI) *rdf.Graph {
+	g := rdf.NewGraph(name)
+	for _, q := range s.Match(InGraph(name, nil, nil, nil)) {
+		g.Add(q.Triple)
+	}
+	return g
+}
+
+// Quads returns a snapshot of every quad in the store, sorted.
+func (s *Store) Quads() []rdf.Quad {
+	return s.Match(Pattern{})
+}
+
+// Clone returns a deep copy of the store.
+func (s *Store) Clone() *Store {
+	c := New()
+	for _, q := range s.Quads() {
+		c.MustAdd(q)
+	}
+	return c
+}
+
+// Clear removes every quad.
+func (s *Store) Clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.quads = map[string]rdf.Quad{}
+	s.bySubject = map[string]map[string][]string{}
+	s.byPredicate = map[string]map[string][]string{}
+	s.byObject = map[string]map[string][]string{}
+	s.byGraph = map[string][]string{}
+	s.generation++
+}
+
+// Stats summarizes the content of the store.
+type Stats struct {
+	Quads              int
+	NamedGraphs        int
+	DefaultGraphQuads  int
+	DistinctSubjects   int
+	DistinctPredicates int
+	DistinctObjects    int
+}
+
+// Stats returns summary statistics for the store.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{
+		Quads:              len(s.quads),
+		DefaultGraphQuads:  len(s.byGraph[""]),
+		DistinctSubjects:   len(s.bySubject[allGraphs]),
+		DistinctPredicates: len(s.byPredicate[allGraphs]),
+		DistinctObjects:    len(s.byObject[allGraphs]),
+	}
+	for g, keys := range s.byGraph {
+		if g != "" && len(keys) > 0 {
+			st.NamedGraphs++
+		}
+	}
+	return st
+}
+
+// String renders a short description of the store.
+func (s *Store) String() string {
+	st := s.Stats()
+	return fmt.Sprintf("store{quads=%d graphs=%d subjects=%d}", st.Quads, st.NamedGraphs, st.DistinctSubjects)
+}
+
+func wildcardIfVar(t rdf.Term) rdf.Term {
+	if t == nil || t.Kind() == rdf.KindVariable {
+		return nil
+	}
+	return t
+}
+
+func quadKey(q rdf.Quad) string {
+	return string(q.Graph) + "\x00" + rdf.TermKey(q.Subject) + "\x00" + rdf.TermKey(q.Predicate) + "\x00" + rdf.TermKey(q.Object)
+}
+
+func addIndex(idx map[string]map[string][]string, graph, term, key string) {
+	m, ok := idx[graph]
+	if !ok {
+		m = map[string][]string{}
+		idx[graph] = m
+	}
+	m[term] = append(m[term], key)
+}
+
+func removeIndex(idx map[string]map[string][]string, graph, term, key string) {
+	m, ok := idx[graph]
+	if !ok {
+		return
+	}
+	m[term] = removeFromSlice(m[term], key)
+	if len(m[term]) == 0 {
+		delete(m, term)
+	}
+}
+
+func removeFromSlice(s []string, key string) []string {
+	for i, v := range s {
+		if v == key {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}

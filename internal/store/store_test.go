@@ -1,0 +1,314 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"bdi/internal/rdf"
+)
+
+func quadFixture() []rdf.Quad {
+	return []rdf.Quad{
+		rdf.Q("http://ex/app", "http://ex/hasMonitor", "http://ex/monitor", ""),
+		rdf.Q("http://ex/monitor", "http://ex/generatesQoS", "http://ex/info", ""),
+		rdf.Q("http://ex/Monitor", "http://ex/hasFeature", "http://ex/monitorId", "http://ex/w1"),
+		rdf.Q("http://ex/InfoMonitor", "http://ex/hasFeature", "http://ex/lagRatio", "http://ex/w1"),
+		rdf.Q("http://ex/Monitor", "http://ex/hasFeature", "http://ex/monitorId", "http://ex/w3"),
+	}
+}
+
+func loadedStore(t *testing.T) *Store {
+	t.Helper()
+	s := New()
+	for _, q := range quadFixture() {
+		if _, err := s.Add(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestAddAndLen(t *testing.T) {
+	s := loadedStore(t)
+	if s.Len() != 5 {
+		t.Errorf("Len = %d, want 5", s.Len())
+	}
+	// Duplicate insert is a no-op.
+	ok, err := s.Add(quadFixture()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("duplicate add should report false")
+	}
+	if s.Len() != 5 {
+		t.Errorf("Len after duplicate = %d, want 5", s.Len())
+	}
+}
+
+func TestAddRejectsInvalidQuads(t *testing.T) {
+	s := New()
+	bad := rdf.Quad{Triple: rdf.NewTriple(rdf.NewLiteral("s"), rdf.IRI("http://p"), rdf.IRI("http://o"))}
+	if _, err := s.Add(bad); err == nil {
+		t.Error("literal subject should be rejected")
+	}
+	badVar := rdf.Quad{Triple: rdf.NewTriple(rdf.IRI("http://s"), rdf.IRI("http://p"), rdf.NewVariable("o"))}
+	if _, err := s.Add(badVar); err == nil {
+		t.Error("variable object should be rejected")
+	}
+}
+
+func TestMatchBySubjectPredicateObject(t *testing.T) {
+	s := loadedStore(t)
+	cases := []struct {
+		name    string
+		pattern Pattern
+		want    int
+	}{
+		{"all", Pattern{}, 5},
+		{"by subject", WildcardGraph(rdf.IRI("http://ex/Monitor"), nil, nil), 2},
+		{"by predicate", WildcardGraph(nil, rdf.IRI("http://ex/hasFeature"), nil), 3},
+		{"by object", WildcardGraph(nil, nil, rdf.IRI("http://ex/monitorId")), 2},
+		{"in graph", InGraph("http://ex/w1", nil, nil, nil), 2},
+		{"in default graph", InGraph("", nil, nil, nil), 2},
+		{"subject+graph", InGraph("http://ex/w3", rdf.IRI("http://ex/Monitor"), nil, nil), 1},
+		{"no match", WildcardGraph(rdf.IRI("http://ex/absent"), nil, nil), 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := s.Match(c.pattern)
+			if len(got) != c.want {
+				t.Errorf("got %d quads, want %d: %v", len(got), c.want, got)
+			}
+		})
+	}
+}
+
+func TestMatchTreatsVariablesAsWildcards(t *testing.T) {
+	s := loadedStore(t)
+	got := s.Match(WildcardGraph(rdf.NewVariable("s"), rdf.IRI("http://ex/hasFeature"), rdf.NewVariable("o")))
+	if len(got) != 3 {
+		t.Errorf("got %d, want 3", len(got))
+	}
+}
+
+func TestGraphsAndGraphLen(t *testing.T) {
+	s := loadedStore(t)
+	graphs := s.Graphs()
+	if len(graphs) != 2 {
+		t.Fatalf("graphs = %v", graphs)
+	}
+	if graphs[0] != "http://ex/w1" || graphs[1] != "http://ex/w3" {
+		t.Errorf("unexpected graph order: %v", graphs)
+	}
+	if s.GraphLen("http://ex/w1") != 2 {
+		t.Errorf("w1 length = %d", s.GraphLen("http://ex/w1"))
+	}
+	if s.GraphLen("") != 2 {
+		t.Errorf("default graph length = %d", s.GraphLen(""))
+	}
+}
+
+func TestGraphsContaining(t *testing.T) {
+	s := loadedStore(t)
+	tr := rdf.T("http://ex/Monitor", "http://ex/hasFeature", "http://ex/monitorId")
+	graphs := s.GraphsContaining(tr)
+	if len(graphs) != 2 {
+		t.Fatalf("expected 2 graphs, got %v", graphs)
+	}
+	none := s.GraphsContaining(rdf.T("http://ex/a", "http://ex/b", "http://ex/c"))
+	if len(none) != 0 {
+		t.Errorf("expected no graphs, got %v", none)
+	}
+}
+
+func TestRemoveAndRemoveGraph(t *testing.T) {
+	s := loadedStore(t)
+	q := quadFixture()[0]
+	if !s.Remove(q) {
+		t.Error("expected removal to succeed")
+	}
+	if s.Remove(q) {
+		t.Error("second removal should fail")
+	}
+	if s.Contains(q) {
+		t.Error("removed quad still present")
+	}
+	removed := s.RemoveGraph("http://ex/w1")
+	if removed != 2 {
+		t.Errorf("removed %d, want 2", removed)
+	}
+	if s.GraphLen("http://ex/w1") != 0 {
+		t.Error("graph w1 should be empty")
+	}
+	// Indexes must be consistent after removals.
+	if got := s.Match(WildcardGraph(nil, rdf.IRI("http://ex/hasFeature"), nil)); len(got) != 1 {
+		t.Errorf("after removals, hasFeature matches = %d, want 1", len(got))
+	}
+}
+
+func TestNamedGraphMaterialization(t *testing.T) {
+	s := loadedStore(t)
+	g := s.NamedGraph("http://ex/w1")
+	if g.Len() != 2 {
+		t.Errorf("named graph length = %d", g.Len())
+	}
+	if g.Name != "http://ex/w1" {
+		t.Errorf("graph name = %v", g.Name)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	s := loadedStore(t)
+	c := s.Clone()
+	c.MustAdd(rdf.Q("http://ex/new", "http://ex/p", "http://ex/o", ""))
+	if s.Len() == c.Len() {
+		t.Error("clone mutation should not affect original")
+	}
+}
+
+func TestStatsAndString(t *testing.T) {
+	s := loadedStore(t)
+	st := s.Stats()
+	if st.Quads != 5 || st.NamedGraphs != 2 || st.DefaultGraphQuads != 2 {
+		t.Errorf("unexpected stats %+v", st)
+	}
+	if st.DistinctPredicates != 3 {
+		t.Errorf("distinct predicates = %d, want 3", st.DistinctPredicates)
+	}
+	if s.String() == "" {
+		t.Error("String should not be empty")
+	}
+}
+
+func TestGenerationAdvancesOnMutation(t *testing.T) {
+	s := New()
+	g0 := s.Generation()
+	s.MustAdd(rdf.Q("http://ex/s", "http://ex/p", "http://ex/o", ""))
+	if s.Generation() == g0 {
+		t.Error("generation should advance after Add")
+	}
+	g1 := s.Generation()
+	s.Remove(rdf.Q("http://ex/s", "http://ex/p", "http://ex/o", ""))
+	if s.Generation() == g1 {
+		t.Error("generation should advance after Remove")
+	}
+}
+
+func TestClear(t *testing.T) {
+	s := loadedStore(t)
+	s.Clear()
+	if s.Len() != 0 {
+		t.Error("store should be empty after Clear")
+	}
+	if len(s.Graphs()) != 0 {
+		t.Error("no graphs should remain after Clear")
+	}
+}
+
+func TestAddGraphValue(t *testing.T) {
+	s := New()
+	g := rdf.NewGraph("http://ex/mapping1")
+	g.Add(rdf.T("http://ex/a", "http://ex/b", "http://ex/c"))
+	g.Add(rdf.T("http://ex/a", "http://ex/b", "http://ex/d"))
+	n, err := s.AddGraph(g)
+	if err != nil || n != 2 {
+		t.Fatalf("AddGraph = %d, %v", n, err)
+	}
+	if s.GraphLen("http://ex/mapping1") != 2 {
+		t.Error("graph content missing")
+	}
+	if n, err := s.AddGraph(nil); err != nil || n != 0 {
+		t.Errorf("AddGraph(nil) = %d, %v", n, err)
+	}
+}
+
+func TestLoadTurtleAndDump(t *testing.T) {
+	s := New()
+	n, prefixes, err := s.LoadTurtle(`
+@prefix ex: <http://example.org/> .
+ex:s ex:p ex:o .
+GRAPH ex:g { ex:a ex:b ex:c . }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("loaded %d quads, want 2", n)
+	}
+	if _, ok := prefixes.Namespace("ex"); !ok {
+		t.Error("prefix ex should be captured")
+	}
+	dump := s.DumpTriG(prefixes)
+	s2 := New()
+	if _, _, err := s2.LoadTurtle(dump); err != nil {
+		t.Fatalf("reloading dump failed: %v\n%s", err, dump)
+	}
+	if s2.Len() != s.Len() {
+		t.Errorf("dump round trip changed size %d -> %d", s.Len(), s2.Len())
+	}
+	graphDump := s.DumpGraphTurtle("http://example.org/g", prefixes)
+	if graphDump == "" {
+		t.Error("graph dump should not be empty")
+	}
+}
+
+// Property: adding N distinct quads yields Len == N and every quad is
+// matchable by its fully-specified pattern.
+func TestAddMatchProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		s := New()
+		count := int(n%32) + 1
+		for i := 0; i < count; i++ {
+			q := rdf.Q(
+				rdf.IRI(fmt.Sprintf("http://ex/s%d", i)),
+				rdf.IRI("http://ex/p"),
+				rdf.IRI(fmt.Sprintf("http://ex/o%d", i%7)),
+				rdf.IRI(fmt.Sprintf("http://ex/g%d", i%3)),
+			)
+			s.MustAdd(q)
+		}
+		if s.Len() != count {
+			return false
+		}
+		for i := 0; i < count; i++ {
+			q := rdf.Q(
+				rdf.IRI(fmt.Sprintf("http://ex/s%d", i)),
+				rdf.IRI("http://ex/p"),
+				rdf.IRI(fmt.Sprintf("http://ex/o%d", i%7)),
+				rdf.IRI(fmt.Sprintf("http://ex/g%d", i%3)),
+			)
+			if !s.Contains(q) {
+				return false
+			}
+			got := s.Match(InGraph(q.Graph, q.Subject, q.Predicate, q.Object))
+			if len(got) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentReadsAndWrites(t *testing.T) {
+	s := New()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			s.MustAdd(rdf.Q(rdf.IRI(fmt.Sprintf("http://ex/s%d", i)), "http://ex/p", "http://ex/o", ""))
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		s.Match(WildcardGraph(nil, rdf.IRI("http://ex/p"), nil))
+		s.Stats()
+	}
+	<-done
+	if s.Len() != 200 {
+		t.Errorf("Len = %d, want 200", s.Len())
+	}
+}

@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bdi/internal/relational"
+	"bdi/internal/wrapper"
+)
+
+// SupersedeTable1Registry returns the wrapper registry loaded with exactly
+// the data of Table 1 of the paper (w1, w2, w3) plus, optionally, the evolved
+// wrapper w4.
+func SupersedeTable1Registry(withEvolution bool) *wrapper.Registry {
+	reg := wrapper.NewRegistry()
+	reg.Register(wrapper.NewMemory("w1", "D1",
+		relational.NewSchema([]string{"VoDmonitorId"}, []string{"lagRatio"}),
+		[]relational.Tuple{
+			{"VoDmonitorId": 12, "lagRatio": 0.75},
+			{"VoDmonitorId": 12, "lagRatio": 0.90},
+			{"VoDmonitorId": 18, "lagRatio": 0.1},
+		}))
+	reg.Register(wrapper.NewMemory("w2", "D2",
+		relational.NewSchema([]string{"FGId"}, []string{"tweet"}),
+		[]relational.Tuple{
+			{"FGId": 77, "tweet": "I continuously see the loading symbol"},
+			{"FGId": 45, "tweet": "Your video player is great!"},
+		}))
+	reg.Register(wrapper.NewMemory("w3", "D3",
+		relational.NewSchema([]string{"TargetApp", "MonitorId", "FeedbackId"}, nil),
+		[]relational.Tuple{
+			{"TargetApp": 1, "MonitorId": 12, "FeedbackId": 77},
+			{"TargetApp": 2, "MonitorId": 18, "FeedbackId": 45},
+		}))
+	if withEvolution {
+		reg.Register(wrapper.NewMemory("w4", "D1",
+			relational.NewSchema([]string{"VoDmonitorId"}, []string{"bufferingRatio"}),
+			[]relational.Tuple{
+				{"VoDmonitorId": 18, "bufferingRatio": 0.35},
+			}))
+	}
+	return reg
+}
+
+// SupersedeScaledRegistry returns a registry with the SUPERSEDE schema but
+// synthetically scaled data: monitors applications and feedback-gathering
+// tools for `apps` applications with `eventsPerMonitor` VoD events each. The
+// generator is deterministic for a given seed.
+func SupersedeScaledRegistry(apps, eventsPerMonitor int, seed int64, withEvolution bool) *wrapper.Registry {
+	rng := rand.New(rand.NewSource(seed))
+	reg := wrapper.NewRegistry()
+
+	var w1Rows, w4Rows, w2Rows, w3Rows []relational.Tuple
+	for app := 1; app <= apps; app++ {
+		monitorID := 100 + app
+		fgID := 500 + app
+		w3Rows = append(w3Rows, relational.Tuple{"TargetApp": app, "MonitorId": monitorID, "FeedbackId": fgID})
+		w2Rows = append(w2Rows, relational.Tuple{"FGId": fgID, "tweet": fmt.Sprintf("feedback about app %d", app)})
+		for e := 0; e < eventsPerMonitor; e++ {
+			wait := rng.Float64() * 10
+			watch := 1 + rng.Float64()*20
+			if app%2 == 0 && withEvolution {
+				w4Rows = append(w4Rows, relational.Tuple{"VoDmonitorId": monitorID, "bufferingRatio": wait / watch})
+			} else {
+				w1Rows = append(w1Rows, relational.Tuple{"VoDmonitorId": monitorID, "lagRatio": wait / watch})
+			}
+		}
+	}
+	reg.Register(wrapper.NewMemory("w1", "D1",
+		relational.NewSchema([]string{"VoDmonitorId"}, []string{"lagRatio"}), w1Rows))
+	reg.Register(wrapper.NewMemory("w2", "D2",
+		relational.NewSchema([]string{"FGId"}, []string{"tweet"}), w2Rows))
+	reg.Register(wrapper.NewMemory("w3", "D3",
+		relational.NewSchema([]string{"TargetApp", "MonitorId", "FeedbackId"}, nil), w3Rows))
+	if withEvolution {
+		reg.Register(wrapper.NewMemory("w4", "D1",
+			relational.NewSchema([]string{"VoDmonitorId"}, []string{"bufferingRatio"}), w4Rows))
+	}
+	return reg
+}

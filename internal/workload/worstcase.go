@@ -1,0 +1,175 @@
+// Package workload builds the deterministic workloads of the paper's
+// evaluation: the worst-case query-answering experiment of Figure 8, the
+// Wordpress REST API release trace of Figure 11, the real-world API change
+// profiles of Table 6, and the SUPERSEDE running example data (Table 1) used
+// by the examples and benchmarks.
+package workload
+
+import (
+	"fmt"
+
+	"bdi/internal/core"
+	"bdi/internal/rdf"
+	"bdi/internal/relational"
+	"bdi/internal/rewriting"
+	"bdi/internal/wrapper"
+)
+
+// NSWorst is the namespace of the synthetic worst-case vocabulary.
+const NSWorst = "http://www.essi.upc.edu/~snadal/BDIOntology/WorstCase/"
+
+// WorstCase is the synthetic setting of §5.3 / Figure 8: a query navigating
+// over a chain of C concepts where each concept is served by W wrappers from
+// W pairwise distinct data sources, making every combination of one wrapper
+// per concept a covering and minimal walk (W^C walks in total).
+type WorstCase struct {
+	Concepts           int
+	WrappersPerConcept int
+	Ontology           *core.Ontology
+	Query              *rewriting.OMQ
+	Registry           *wrapper.Registry
+}
+
+// conceptIRI returns the IRI of the i-th synthetic concept (0-based).
+func conceptIRI(i int) rdf.IRI { return rdf.IRI(fmt.Sprintf("%sC%d", NSWorst, i)) }
+
+// idFeature returns the identifier feature of the i-th concept. The local
+// name is kept globally unique so that answer columns do not collide.
+func idFeature(i int) rdf.IRI { return rdf.IRI(fmt.Sprintf("%sc%d_id", NSWorst, i)) }
+
+// valueFeature returns the non-identifier feature of the i-th concept.
+func valueFeature(i int) rdf.IRI { return rdf.IRI(fmt.Sprintf("%sc%d_value", NSWorst, i)) }
+
+// edgeProperty returns the object property linking concept i to concept i+1.
+func edgeProperty(i int) rdf.IRI { return rdf.IRI(fmt.Sprintf("%sc%d_next", NSWorst, i)) }
+
+// BuildWorstCase constructs the ontology, OMQ and (small) data registry for
+// the worst-case experiment with the given number of chained concepts and
+// disjoint wrappers per concept.
+func BuildWorstCase(concepts, wrappersPerConcept int) (*WorstCase, error) {
+	if concepts < 1 || wrappersPerConcept < 1 {
+		return nil, fmt.Errorf("workload: concepts and wrappers per concept must be positive")
+	}
+	o := core.NewOntology()
+	reg := wrapper.NewRegistry()
+
+	// Global graph: the chain of concepts with an ID and a value feature each.
+	for i := 0; i < concepts; i++ {
+		if err := o.AddConcept(conceptIRI(i)); err != nil {
+			return nil, err
+		}
+		if err := o.AddIdentifier(conceptIRI(i), idFeature(i), rdf.XSDInteger); err != nil {
+			return nil, err
+		}
+		if err := o.AddFeatureTo(conceptIRI(i), valueFeature(i), rdf.XSDDouble); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i+1 < concepts; i++ {
+		if err := o.Relate(conceptIRI(i), edgeProperty(i), conceptIRI(i+1)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Source graph: wrappersPerConcept wrappers per concept, each from its
+	// own data source, each providing the concept's ID and value and, for
+	// non-terminal concepts, the edge to the next concept together with the
+	// next concept's ID (needed to discover the restricted join).
+	for i := 0; i < concepts; i++ {
+		for j := 0; j < wrappersPerConcept; j++ {
+			name := fmt.Sprintf("w_c%d_%d", i, j)
+			source := fmt.Sprintf("S_c%d_%d", i, j)
+			spec := core.WrapperSpec{
+				Name:            name,
+				Source:          source,
+				IDAttributes:    []string{fmt.Sprintf("c%d_id", i)},
+				NonIDAttributes: []string{fmt.Sprintf("c%d_value", i)},
+			}
+			g := rdf.NewGraph("")
+			g.Add(
+				rdf.T(conceptIRI(i), core.GHasFeature, idFeature(i)),
+				rdf.T(conceptIRI(i), core.GHasFeature, valueFeature(i)),
+			)
+			f := map[string]rdf.IRI{
+				fmt.Sprintf("c%d_id", i):    idFeature(i),
+				fmt.Sprintf("c%d_value", i): valueFeature(i),
+			}
+			if i+1 < concepts {
+				nextID := fmt.Sprintf("c%d_id", i+1)
+				spec.IDAttributes = append(spec.IDAttributes, nextID)
+				g.Add(
+					rdf.T(conceptIRI(i), edgeProperty(i), conceptIRI(i+1)),
+					rdf.T(conceptIRI(i+1), core.GHasFeature, idFeature(i+1)),
+				)
+				f[nextID] = idFeature(i + 1)
+			}
+			if _, err := o.NewRelease(core.Release{Wrapper: spec, Subgraph: g, F: f}); err != nil {
+				return nil, err
+			}
+			reg.Register(worstCaseWrapper(name, source, i, i+1 < concepts))
+		}
+	}
+
+	// The query: project every concept's value feature and navigate the full
+	// chain.
+	var pi []rdf.IRI
+	var pattern []rdf.Triple
+	for i := 0; i < concepts; i++ {
+		pi = append(pi, valueFeature(i))
+		pattern = append(pattern, rdf.T(conceptIRI(i), core.GHasFeature, valueFeature(i)))
+		if i+1 < concepts {
+			pattern = append(pattern, rdf.T(conceptIRI(i), edgeProperty(i), conceptIRI(i+1)))
+		}
+	}
+
+	return &WorstCase{
+		Concepts:           concepts,
+		WrappersPerConcept: wrappersPerConcept,
+		Ontology:           o,
+		Query:              rewriting.NewOMQ(pi, pattern...),
+		Registry:           reg,
+	}, nil
+}
+
+// worstCaseWrapper builds a tiny in-memory wrapper so that the generated
+// walks are also executable (three tuples each, deterministic values).
+func worstCaseWrapper(name, source string, concept int, hasNext bool) wrapper.Wrapper {
+	ids := []string{fmt.Sprintf("c%d_id", concept)}
+	if hasNext {
+		ids = append(ids, fmt.Sprintf("c%d_id", concept+1))
+	}
+	schema := relational.NewSchema(ids, []string{fmt.Sprintf("c%d_value", concept)})
+	var rows []relational.Tuple
+	for k := 0; k < 3; k++ {
+		t := relational.Tuple{
+			fmt.Sprintf("c%d_id", concept):    k,
+			fmt.Sprintf("c%d_value", concept): float64(concept) + float64(k)/10,
+		}
+		if hasNext {
+			t[fmt.Sprintf("c%d_id", concept+1)] = k
+		}
+		rows = append(rows, t)
+	}
+	return wrapper.NewMemory(name, source, schema, rows)
+}
+
+// ExpectedWalks returns the number of covering and minimal walks the
+// worst-case setting should produce: W^C.
+func (w *WorstCase) ExpectedWalks() int {
+	n := 1
+	for i := 0; i < w.Concepts; i++ {
+		n *= w.WrappersPerConcept
+	}
+	return n
+}
+
+// Rewrite runs the query rewriting algorithm over the worst-case setting and
+// returns the number of generated walks.
+func (w *WorstCase) Rewrite() (int, error) {
+	r := rewriting.NewRewriter(w.Ontology)
+	res, err := r.Rewrite(w.Query)
+	if err != nil {
+		return 0, err
+	}
+	return res.UCQ.Len(), nil
+}

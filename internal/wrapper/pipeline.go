@@ -1,0 +1,176 @@
+package wrapper
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Document is a (possibly nested) JSON object produced by a data source.
+type Document = map[string]any
+
+// Op is a single step of a wrapper's projection pipeline. Pipelines mirror
+// the MongoDB aggregation query of Code 2 in the paper: each document is
+// transformed into a flat tuple by projecting, renaming and computing
+// attributes.
+type Op interface {
+	// Apply transforms the output tuple given the input document. It returns
+	// an error when a referenced field is missing or has the wrong type.
+	Apply(doc Document, out map[string]any) error
+	// Describe returns a human-readable description of the step.
+	Describe() string
+}
+
+// ProjectField projects a (possibly nested, dot-separated) document field
+// into an output attribute, optionally renaming it.
+type ProjectField struct {
+	// Path is the document path, e.g. "monitorId" or "user.id".
+	Path string
+	// As is the output attribute name; when empty the last path segment is
+	// used.
+	As string
+	// Optional makes a missing field yield a nil value rather than an error.
+	Optional bool
+}
+
+// Apply implements Op.
+func (p ProjectField) Apply(doc Document, out map[string]any) error {
+	name := p.As
+	if name == "" {
+		segs := strings.Split(p.Path, ".")
+		name = segs[len(segs)-1]
+	}
+	v, ok := lookupPath(doc, p.Path)
+	if !ok {
+		if p.Optional {
+			out[name] = nil
+			return nil
+		}
+		return fmt.Errorf("wrapper: document has no field %q", p.Path)
+	}
+	out[name] = v
+	return nil
+}
+
+// Describe implements Op.
+func (p ProjectField) Describe() string {
+	if p.As != "" && p.As != p.Path {
+		return fmt.Sprintf("project %s as %s", p.Path, p.As)
+	}
+	return "project " + p.Path
+}
+
+// ComputeRatio computes the ratio of two numeric document fields, mirroring
+// the lagRatio = waitTime / watchTime computation of the running example.
+type ComputeRatio struct {
+	Numerator   string
+	Denominator string
+	As          string
+}
+
+// Apply implements Op.
+func (c ComputeRatio) Apply(doc Document, out map[string]any) error {
+	num, err := numericField(doc, c.Numerator)
+	if err != nil {
+		return err
+	}
+	den, err := numericField(doc, c.Denominator)
+	if err != nil {
+		return err
+	}
+	if den == 0 {
+		out[c.As] = nil
+		return nil
+	}
+	out[c.As] = num / den
+	return nil
+}
+
+// Describe implements Op.
+func (c ComputeRatio) Describe() string {
+	return fmt.Sprintf("compute %s = %s / %s", c.As, c.Numerator, c.Denominator)
+}
+
+// Constant sets an output attribute to a fixed value (used e.g. to tag the
+// schema version or the feedback-gathering tool id).
+type Constant struct {
+	As    string
+	Value any
+}
+
+// Apply implements Op.
+func (c Constant) Apply(doc Document, out map[string]any) error {
+	out[c.As] = c.Value
+	return nil
+}
+
+// Describe implements Op.
+func (c Constant) Describe() string { return fmt.Sprintf("set %s = %v", c.As, c.Value) }
+
+// Concat concatenates the string values of several document paths.
+type Concat struct {
+	Paths     []string
+	Separator string
+	As        string
+}
+
+// Apply implements Op.
+func (c Concat) Apply(doc Document, out map[string]any) error {
+	parts := make([]string, 0, len(c.Paths))
+	for _, p := range c.Paths {
+		v, ok := lookupPath(doc, p)
+		if !ok {
+			return fmt.Errorf("wrapper: document has no field %q", p)
+		}
+		parts = append(parts, fmt.Sprintf("%v", v))
+	}
+	out[c.As] = strings.Join(parts, c.Separator)
+	return nil
+}
+
+// Describe implements Op.
+func (c Concat) Describe() string {
+	return fmt.Sprintf("concat(%s) as %s", strings.Join(c.Paths, ", "), c.As)
+}
+
+// lookupPath resolves a dot-separated path in a nested document.
+func lookupPath(doc Document, path string) (any, bool) {
+	segs := strings.Split(path, ".")
+	var cur any = doc
+	for _, s := range segs {
+		m, ok := cur.(map[string]any)
+		if !ok {
+			return nil, false
+		}
+		cur, ok = m[s]
+		if !ok {
+			return nil, false
+		}
+	}
+	return cur, true
+}
+
+func numericField(doc Document, path string) (float64, error) {
+	v, ok := lookupPath(doc, path)
+	if !ok {
+		return 0, fmt.Errorf("wrapper: document has no field %q", path)
+	}
+	switch x := v.(type) {
+	case float64:
+		return x, nil
+	case float32:
+		return float64(x), nil
+	case int:
+		return float64(x), nil
+	case int64:
+		return float64(x), nil
+	case string:
+		f, err := strconv.ParseFloat(x, 64)
+		if err != nil {
+			return 0, fmt.Errorf("wrapper: field %q is not numeric: %q", path, x)
+		}
+		return f, nil
+	default:
+		return 0, fmt.Errorf("wrapper: field %q is not numeric (%T)", path, v)
+	}
+}

@@ -1,0 +1,197 @@
+// Package wrapper implements the mediator/wrapper layer of the paper: a
+// wrapper hides the query complexity of a concrete data source (a REST API
+// returning JSON, a file, an in-memory event buffer, ...) and exposes a flat
+// relation in first normal form with ID and non-ID attributes. Wrappers are
+// the only components that touch source data; the ontology is only concerned
+// with how wrappers are joined and which attributes they project.
+package wrapper
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"bdi/internal/relational"
+)
+
+// Wrapper is a view over one schema version of a data source.
+type Wrapper interface {
+	// Name returns the wrapper identifier (unique across the system).
+	Name() string
+	// Source returns the identifier of the data source the wrapper queries.
+	Source() string
+	// Schema describes the attributes projected by the wrapper's query.
+	Schema() relational.Schema
+	// Rows executes the wrapper's query and returns its output tuples.
+	Rows() ([]relational.Tuple, error)
+}
+
+// Relation executes the wrapper and materializes its output as a relation.
+func Relation(w Wrapper) (*relational.Relation, error) {
+	rows, err := w.Rows()
+	if err != nil {
+		return nil, fmt.Errorf("wrapper %s: %w", w.Name(), err)
+	}
+	rel := relational.NewRelation(w.Name(), w.Schema())
+	rel.Add(rows...)
+	return rel, nil
+}
+
+// Memory is a wrapper over a fixed set of in-memory tuples; it is used in
+// tests and examples where the source data is given literally (e.g. Table 1
+// of the paper).
+type Memory struct {
+	name   string
+	source string
+	schema relational.Schema
+	rows   []relational.Tuple
+}
+
+// NewMemory returns an in-memory wrapper.
+func NewMemory(name, source string, schema relational.Schema, rows []relational.Tuple) *Memory {
+	return &Memory{name: name, source: source, schema: schema, rows: rows}
+}
+
+// Name implements Wrapper.
+func (m *Memory) Name() string { return m.name }
+
+// Source implements Wrapper.
+func (m *Memory) Source() string { return m.source }
+
+// Schema implements Wrapper.
+func (m *Memory) Schema() relational.Schema { return m.schema }
+
+// Rows implements Wrapper.
+func (m *Memory) Rows() ([]relational.Tuple, error) {
+	out := make([]relational.Tuple, len(m.rows))
+	for i, t := range m.rows {
+		out[i] = t.Clone()
+	}
+	return out, nil
+}
+
+// Append adds tuples to the in-memory wrapper (useful for event simulation).
+func (m *Memory) Append(rows ...relational.Tuple) { m.rows = append(m.rows, rows...) }
+
+// Registry holds the wrappers known to the system, keyed both by their plain
+// name and by any aliases (e.g. the wrapper IRI in the Source graph). It
+// implements relational.WrapperResolver so that walks can be executed
+// directly against it.
+type Registry struct {
+	mu       sync.RWMutex
+	wrappers map[string]Wrapper
+	aliases  map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{wrappers: map[string]Wrapper{}, aliases: map[string]string{}}
+}
+
+// Register adds a wrapper to the registry. Registering a wrapper with an
+// existing name replaces the previous one (a new schema version supersedes
+// an old registration under the same name).
+func (r *Registry) Register(w Wrapper) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.wrappers[w.Name()] = w
+}
+
+// Alias maps an alternative identifier (e.g. a wrapper IRI) to a registered
+// wrapper name.
+func (r *Registry) Alias(alias, name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.aliases[alias] = name
+}
+
+// Get returns the wrapper registered under the given name or alias.
+func (r *Registry) Get(name string) (Wrapper, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if w, ok := r.wrappers[name]; ok {
+		return w, true
+	}
+	if target, ok := r.aliases[name]; ok {
+		w, ok := r.wrappers[target]
+		return w, ok
+	}
+	return nil, false
+}
+
+// Names returns the registered wrapper names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.wrappers))
+	for n := range r.wrappers {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BySource returns the wrappers belonging to the given data source, sorted
+// by name. Multiple wrappers of one source represent its schema versions.
+func (r *Registry) BySource(source string) []Wrapper {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []Wrapper
+	for _, w := range r.wrappers {
+		if w.Source() == source {
+			out = append(out, w)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// Len returns the number of registered wrappers.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.wrappers)
+}
+
+// Fetch implements relational.WrapperResolver.
+func (r *Registry) Fetch(name string) (*relational.Relation, error) {
+	w, ok := r.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("wrapper: %q is not registered", name)
+	}
+	return Relation(w)
+}
+
+var _ relational.WrapperResolver = (*Registry)(nil)
+
+// Qualified wraps a resolver so that every attribute of every fetched
+// relation is renamed to "<source>/<attribute>". The ontology's Source graph
+// names attributes with their data source prefix (§3.2), and the rewriting
+// algorithms emit walks over those qualified names; this adapter lets such
+// walks execute directly against wrappers that use plain column names.
+type Qualified struct {
+	Registry *Registry
+}
+
+// NewQualifiedResolver returns a resolver producing source-qualified
+// attribute names.
+func NewQualifiedResolver(r *Registry) *Qualified { return &Qualified{Registry: r} }
+
+// Fetch implements relational.WrapperResolver.
+func (q *Qualified) Fetch(name string) (*relational.Relation, error) {
+	w, ok := q.Registry.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("wrapper: %q is not registered", name)
+	}
+	rel, err := Relation(w)
+	if err != nil {
+		return nil, err
+	}
+	mapping := map[string]string{}
+	for _, a := range rel.Schema.Names() {
+		mapping[a] = w.Source() + "/" + a
+	}
+	return rel.Rename(mapping), nil
+}
+
+var _ relational.WrapperResolver = (*Qualified)(nil)

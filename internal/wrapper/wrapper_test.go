@@ -1,0 +1,270 @@
+package wrapper
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"bdi/internal/relational"
+)
+
+// vodDocuments mirrors the JSON payload of Code 1 in the paper.
+func vodDocuments() []Document {
+	return []Document{
+		{"monitorId": float64(12), "timestamp": float64(1475010424), "bitrate": float64(6), "waitTime": float64(3), "watchTime": float64(4)},
+		{"monitorId": float64(12), "timestamp": float64(1475010425), "bitrate": float64(5), "waitTime": float64(9), "watchTime": float64(10)},
+		{"monitorId": float64(18), "timestamp": float64(1475010426), "bitrate": float64(8), "waitTime": float64(1), "watchTime": float64(10)},
+	}
+}
+
+// newW1 builds the running example's wrapper w1: it projects VoDmonitorId
+// (renamed from monitorId) and computes lagRatio = waitTime / watchTime,
+// mirroring the MongoDB aggregation of Code 2.
+func newW1(docs DocumentSource) *JSON {
+	return NewJSON("w1", "D1",
+		relational.NewSchema([]string{"VoDmonitorId"}, []string{"lagRatio"}),
+		docs,
+		ProjectField{Path: "monitorId", As: "VoDmonitorId"},
+		ComputeRatio{Numerator: "waitTime", Denominator: "watchTime", As: "lagRatio"},
+	)
+}
+
+func TestJSONWrapperPipeline(t *testing.T) {
+	w := newW1(StaticDocuments(vodDocuments()))
+	rows, err := w.Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0]["VoDmonitorId"] != float64(12) {
+		t.Errorf("VoDmonitorId = %v", rows[0]["VoDmonitorId"])
+	}
+	if rows[0]["lagRatio"] != 0.75 {
+		t.Errorf("lagRatio = %v, want 0.75", rows[0]["lagRatio"])
+	}
+	// The raw fields must not leak into the tuple.
+	if _, ok := rows[0]["waitTime"]; ok {
+		t.Error("undeclared attribute leaked into the tuple")
+	}
+	if len(w.Pipeline()) != 2 {
+		t.Errorf("pipeline description = %v", w.Pipeline())
+	}
+}
+
+func TestJSONWrapperErrorOnMissingField(t *testing.T) {
+	bad := StaticDocuments([]Document{{"other": 1.0}})
+	w := newW1(bad)
+	if _, err := w.Rows(); err == nil {
+		t.Error("expected error for missing field")
+	}
+	w.SkipBadDocuments = true
+	rows, err := w.Rows()
+	if err != nil || len(rows) != 0 {
+		t.Errorf("skip-bad-documents: rows=%v err=%v", rows, err)
+	}
+}
+
+func TestComputeRatioEdgeCases(t *testing.T) {
+	out := map[string]any{}
+	op := ComputeRatio{Numerator: "a", Denominator: "b", As: "r"}
+	if err := op.Apply(Document{"a": 1.0, "b": 0.0}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out["r"] != nil {
+		t.Error("division by zero should yield nil")
+	}
+	if err := op.Apply(Document{"a": "3", "b": "4"}, out); err != nil {
+		t.Fatalf("numeric strings should be accepted: %v", err)
+	}
+	if out["r"] != 0.75 {
+		t.Errorf("r = %v", out["r"])
+	}
+	if err := op.Apply(Document{"a": "x", "b": 1.0}, out); err == nil {
+		t.Error("non-numeric field should error")
+	}
+	if err := op.Apply(Document{"b": 1.0}, out); err == nil {
+		t.Error("missing numerator should error")
+	}
+}
+
+func TestProjectFieldNestedAndOptional(t *testing.T) {
+	doc := Document{"user": map[string]any{"id": float64(7), "name": "ana"}}
+	out := map[string]any{}
+	if err := (ProjectField{Path: "user.id", As: "userId"}).Apply(doc, out); err != nil {
+		t.Fatal(err)
+	}
+	if out["userId"] != float64(7) {
+		t.Errorf("userId = %v", out["userId"])
+	}
+	if err := (ProjectField{Path: "user.missing"}).Apply(doc, out); err == nil {
+		t.Error("missing nested field should error")
+	}
+	if err := (ProjectField{Path: "user.missing", As: "m", Optional: true}).Apply(doc, out); err != nil {
+		t.Errorf("optional missing field should not error: %v", err)
+	}
+	if v, ok := out["m"]; !ok || v != nil {
+		t.Error("optional missing field should be nil")
+	}
+	// Default output name is the last path segment.
+	if err := (ProjectField{Path: "user.name"}).Apply(doc, out); err != nil {
+		t.Fatal(err)
+	}
+	if out["name"] != "ana" {
+		t.Errorf("name = %v", out["name"])
+	}
+}
+
+func TestConstantAndConcat(t *testing.T) {
+	out := map[string]any{}
+	if err := (Constant{As: "version", Value: "v2"}).Apply(Document{}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out["version"] != "v2" {
+		t.Errorf("version = %v", out["version"])
+	}
+	doc := Document{"first": "sergi", "last": "nadal"}
+	if err := (Concat{Paths: []string{"first", "last"}, Separator: " ", As: "author"}).Apply(doc, out); err != nil {
+		t.Fatal(err)
+	}
+	if out["author"] != "sergi nadal" {
+		t.Errorf("author = %v", out["author"])
+	}
+	if err := (Concat{Paths: []string{"missing"}, As: "x"}).Apply(doc, out); err == nil {
+		t.Error("missing concat path should error")
+	}
+	if !strings.Contains((Constant{As: "a", Value: 1}).Describe(), "a") {
+		t.Error("describe missing attribute name")
+	}
+}
+
+func TestMemoryWrapperAndRegistry(t *testing.T) {
+	schema := relational.NewSchema([]string{"FGId"}, []string{"tweet"})
+	w2 := NewMemory("w2", "D2", schema, []relational.Tuple{
+		{"FGId": 77, "tweet": "I continuously see the loading symbol"},
+		{"FGId": 45, "tweet": "Your video player is great!"},
+	})
+	reg := NewRegistry()
+	reg.Register(w2)
+	reg.Register(newW1(StaticDocuments(vodDocuments())))
+	reg.Alias("http://example.org/Wrapper/w2", "w2")
+
+	if reg.Len() != 2 {
+		t.Errorf("registry size = %d", reg.Len())
+	}
+	if _, ok := reg.Get("w2"); !ok {
+		t.Error("w2 not found by name")
+	}
+	if _, ok := reg.Get("http://example.org/Wrapper/w2"); !ok {
+		t.Error("w2 not found by alias")
+	}
+	if _, ok := reg.Get("unknown"); ok {
+		t.Error("unknown wrapper should not resolve")
+	}
+	if got := reg.Names(); len(got) != 2 || got[0] != "w1" {
+		t.Errorf("names = %v", got)
+	}
+	if got := reg.BySource("D1"); len(got) != 1 || got[0].Name() != "w1" {
+		t.Errorf("by source = %v", got)
+	}
+	rel, err := reg.Fetch("w2")
+	if err != nil || rel.Cardinality() != 2 {
+		t.Errorf("fetch w2 = %v, %v", rel, err)
+	}
+	if _, err := reg.Fetch("missing"); err == nil {
+		t.Error("fetching unknown wrapper should error")
+	}
+	// Appending events to the memory wrapper is visible on the next fetch.
+	w2.Append(relational.Tuple{"FGId": 99, "tweet": "new"})
+	rel, _ = reg.Fetch("w2")
+	if rel.Cardinality() != 3 {
+		t.Error("appended tuple not visible")
+	}
+}
+
+func TestQualifiedResolver(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register(newW1(StaticDocuments(vodDocuments())))
+	q := NewQualifiedResolver(reg)
+	rel, err := q.Fetch("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Schema.Has("D1/VoDmonitorId") || !rel.Schema.Has("D1/lagRatio") {
+		t.Errorf("qualified schema = %v", rel.Schema)
+	}
+	if !rel.Schema.IsID("D1/VoDmonitorId") {
+		t.Error("ID flag lost during qualification")
+	}
+	if _, err := q.Fetch("missing"); err == nil {
+		t.Error("unknown wrapper should error")
+	}
+}
+
+func TestHTTPSourceAndDecode(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/array" {
+			w.Write([]byte(`[{"monitorId": 12, "waitTime": 3, "watchTime": 4}]`))
+			return
+		}
+		if r.URL.Path == "/enveloped" {
+			w.Write([]byte(`{"posts": [{"id": 1}, {"id": 2}]}`))
+			return
+		}
+		if r.URL.Path == "/single" {
+			w.Write([]byte(`{"id": 5}`))
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer srv.Close()
+
+	docs, err := NewHTTPSource(srv.URL + "/array").Documents()
+	if err != nil || len(docs) != 1 {
+		t.Fatalf("array fetch = %v, %v", docs, err)
+	}
+	env := NewHTTPSource(srv.URL + "/enveloped")
+	env.Envelope = "posts"
+	docs, err = env.Documents()
+	if err != nil || len(docs) != 2 {
+		t.Fatalf("enveloped fetch = %v, %v", docs, err)
+	}
+	docs, err = NewHTTPSource(srv.URL + "/single").Documents()
+	if err != nil || len(docs) != 1 {
+		t.Fatalf("single fetch = %v, %v", docs, err)
+	}
+	if _, err := NewHTTPSource(srv.URL + "/404").Documents(); err == nil {
+		t.Error("404 should be an error")
+	}
+	// A full wrapper over HTTP.
+	w := newW1(NewHTTPSource(srv.URL + "/array"))
+	rows, err := w.Rows()
+	if err != nil || len(rows) != 1 || rows[0]["lagRatio"] != 0.75 {
+		t.Errorf("HTTP wrapper rows = %v, %v", rows, err)
+	}
+}
+
+func TestDecodeDocumentsErrors(t *testing.T) {
+	if _, err := DecodeDocuments([]byte(`"just a string"`), ""); err == nil {
+		t.Error("scalar JSON should error")
+	}
+	if _, err := DecodeDocuments([]byte(`{"a": 1}`), "missing"); err == nil {
+		t.Error("missing envelope should error")
+	}
+	if _, err := DecodeDocuments([]byte(`not json`), "x"); err == nil {
+		t.Error("invalid JSON should error")
+	}
+}
+
+func TestDocumentFunc(t *testing.T) {
+	called := 0
+	src := DocumentFunc(func() ([]Document, error) {
+		called++
+		return []Document{{"id": 1.0}}, nil
+	})
+	if _, err := src.Documents(); err != nil || called != 1 {
+		t.Error("DocumentFunc not invoked")
+	}
+}
