@@ -1,0 +1,3 @@
+module bdi
+
+go 1.24

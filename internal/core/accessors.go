@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"bdi/internal/rdf"
 	"bdi/internal/store"
@@ -31,7 +31,7 @@ func (o *Ontology) WrappersOfSource(source string) []rdf.IRI {
 			out = append(out, w)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -54,7 +54,7 @@ func (o *Ontology) AttributesOfWrapper(wrapper rdf.IRI) []rdf.IRI {
 			out = append(out, a)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -108,7 +108,7 @@ func (o *Ontology) AttributesOfFeature(feature rdf.IRI) []rdf.IRI {
 			out = append(out, a)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -137,7 +137,7 @@ func (o *Ontology) WrappersProvidingFeature(concept, feature rdf.IRI) []rdf.IRI 
 			out = append(out, w)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -159,7 +159,7 @@ func (o *Ontology) WrappersProvidingEdge(from, to rdf.IRI) []rdf.IRI {
 			out = append(out, w)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

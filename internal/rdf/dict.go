@@ -1,0 +1,144 @@
+package rdf
+
+import "sync"
+
+// TermID is a dense integer identifier for a term interned in a Dict. The
+// zero value is never assigned to a term and acts as a "not interned"
+// sentinel, which lets callers use TermID-keyed structures without a
+// separate presence flag.
+type TermID uint32
+
+// Dict is an append-only interning table mapping terms to dense TermIDs and
+// back. It plays the role of a triplestore node table (Jena TDB's NodeTable):
+// every term is translated to an integer exactly once, after which equality
+// checks, index keys and dedup sets operate on fixed-width integers instead
+// of rebuilding string keys.
+//
+// Interning is keyed on term identity as defined by Term.Equal: literals
+// with an empty datatype are canonicalized to xsd:string before lookup, so
+// two literals that Equal each other always intern to the same TermID.
+// IDs are assigned in first-intern order and are never reused or freed; a
+// Dict only grows. It is safe for concurrent use.
+type Dict struct {
+	mu     sync.RWMutex
+	iris   map[IRI]TermID
+	blanks map[BlankNode]TermID
+	vars   map[Variable]TermID
+	lits   map[Literal]TermID
+	terms  []Term // terms[id-1] is the term assigned id
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{
+		iris:   map[IRI]TermID{},
+		blanks: map[BlankNode]TermID{},
+		vars:   map[Variable]TermID{},
+		lits:   map[Literal]TermID{},
+	}
+}
+
+// Len returns the number of interned terms.
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.terms)
+}
+
+// canonLiteral maps a literal to its canonical interning key: an empty
+// datatype means xsd:string (mirroring Literal.Equal).
+func canonLiteral(l Literal) Literal {
+	if l.Datatype == "" {
+		l.Datatype = XSDString
+	}
+	return l
+}
+
+// Intern returns the TermID for t, assigning a fresh one on first sight.
+// Interning nil returns 0.
+func (d *Dict) Intern(t Term) TermID {
+	if t == nil {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch t.Kind() {
+	case KindIRI:
+		k := IRI(t.Value())
+		if id, ok := d.iris[k]; ok {
+			return id
+		}
+		id := d.assign(k)
+		d.iris[k] = id
+		return id
+	case KindBlank:
+		k := BlankNode(t.Value())
+		if id, ok := d.blanks[k]; ok {
+			return id
+		}
+		id := d.assign(k)
+		d.blanks[k] = id
+		return id
+	case KindVariable:
+		k := Variable(t.Value())
+		if id, ok := d.vars[k]; ok {
+			return id
+		}
+		id := d.assign(k)
+		d.vars[k] = id
+		return id
+	default:
+		k := canonLiteral(t.(Literal))
+		if id, ok := d.lits[k]; ok {
+			return id
+		}
+		id := d.assign(k)
+		d.lits[k] = id
+		return id
+	}
+}
+
+func (d *Dict) assign(t Term) TermID {
+	d.terms = append(d.terms, t)
+	return TermID(len(d.terms))
+}
+
+// Lookup returns the TermID previously assigned to t, or (0, false) when t
+// has never been interned. Unlike TermKey-based maps it allocates nothing:
+// the typed maps are keyed directly on the concrete term values.
+func (d *Dict) Lookup(t Term) (TermID, bool) {
+	if t == nil {
+		return 0, false
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	switch t.Kind() {
+	case KindIRI:
+		id, ok := d.iris[IRI(t.Value())]
+		return id, ok
+	case KindBlank:
+		id, ok := d.blanks[BlankNode(t.Value())]
+		return id, ok
+	case KindVariable:
+		id, ok := d.vars[Variable(t.Value())]
+		return id, ok
+	default:
+		l, ok := t.(Literal)
+		if !ok {
+			return 0, false
+		}
+		id, ok := d.lits[canonLiteral(l)]
+		return id, ok
+	}
+}
+
+// Term returns the canonical term assigned the given id, or (nil, false) for
+// 0 or an id that was never assigned.
+func (d *Dict) Term(id TermID) (Term, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if id == 0 || int(id) > len(d.terms) {
+		return nil, false
+	}
+	return d.terms[id-1], true
+}

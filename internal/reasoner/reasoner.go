@@ -18,6 +18,7 @@
 package reasoner
 
 import (
+	"slices"
 	"sort"
 
 	"bdi/internal/rdf"
@@ -90,29 +91,35 @@ func (e *Engine) SubClassesOf(class rdf.IRI) []rdf.IRI {
 			out = append(out, rdf.IRI(sub))
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
 // InstancesOf returns all subjects typed (rdf:type) with the given class or
-// any of its subclasses, across all graphs, sorted.
+// any of its subclasses, across all graphs, sorted. Dedup across classes is
+// keyed on the store dictionary's subject TermIDs; term keys are derived
+// only once per distinct subject, for the final ordering.
 func (e *Engine) InstancesOf(class rdf.IRI) []rdf.Term {
 	e.refresh()
 	classes := append(e.SubClassesOf(class), class)
-	seen := map[string]rdf.Term{}
+	seen := map[rdf.TermID]rdf.Term{}
 	for _, c := range classes {
-		for _, q := range e.store.Match(store.WildcardGraph(nil, rdf.RDFType, c)) {
-			seen[rdf.TermKey(q.Subject)] = q.Subject
+		for _, m := range e.store.MatchWithIDs(store.WildcardGraph(nil, rdf.RDFType, c)) {
+			seen[m.ID.Subject] = m.Subject
 		}
 	}
-	keys := make([]string, 0, len(seen))
-	for k := range seen {
-		keys = append(keys, k)
+	type keyed struct {
+		key  string
+		term rdf.Term
 	}
-	sort.Strings(keys)
-	out := make([]rdf.Term, len(keys))
-	for i, k := range keys {
-		out[i] = seen[k]
+	ks := make([]keyed, 0, len(seen))
+	for _, t := range seen {
+		ks = append(ks, keyed{key: rdf.TermKey(t), term: t})
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].key < ks[j].key })
+	out := make([]rdf.Term, len(ks))
+	for i, k := range ks {
+		out[i] = k.term
 	}
 	return out
 }
@@ -147,7 +154,7 @@ func (e *Engine) TypesOf(subject rdf.Term) []rdf.IRI {
 	for c := range seen {
 		out = append(out, c)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -299,21 +306,27 @@ func closureQuads(s *store.Store, predicate rdf.IRI, closure map[string]map[stri
 
 // transitiveClosure computes, for the given predicate (e.g. rdfs:subClassOf),
 // a map from each subject IRI to the set of all IRIs reachable by following
-// the predicate one or more times.
+// the predicate one or more times. The graph walk runs entirely on
+// dictionary TermIDs; IRIs are materialized only for the resulting maps,
+// which the Engine exposes keyed by IRI string.
 func transitiveClosure(s *store.Store, predicate rdf.IRI) map[string]map[string]bool {
-	direct := map[string][]string{}
-	for _, q := range s.Match(store.WildcardGraph(nil, predicate, nil)) {
-		sub, okS := q.Subject.(rdf.IRI)
-		sup, okO := q.Object.(rdf.IRI)
-		if !okS || !okO {
+	direct := map[rdf.TermID][]rdf.TermID{}
+	names := map[rdf.TermID]string{}
+	for _, m := range s.MatchWithIDs(store.WildcardGraph(nil, predicate, nil)) {
+		if _, okS := m.Subject.(rdf.IRI); !okS {
 			continue
 		}
-		direct[string(sub)] = append(direct[string(sub)], string(sup))
+		if _, okO := m.Object.(rdf.IRI); !okO {
+			continue
+		}
+		direct[m.ID.Subject] = append(direct[m.ID.Subject], m.ID.Object)
+		names[m.ID.Subject] = m.Subject.Value()
+		names[m.ID.Object] = m.Object.Value()
 	}
 	closure := map[string]map[string]bool{}
 	for node := range direct {
-		reach := map[string]bool{}
-		stack := append([]string{}, direct[node]...)
+		reach := map[rdf.TermID]bool{}
+		stack := append([]rdf.TermID{}, direct[node]...)
 		for len(stack) > 0 {
 			cur := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
@@ -323,7 +336,11 @@ func transitiveClosure(s *store.Store, predicate rdf.IRI) map[string]map[string]
 			reach[cur] = true
 			stack = append(stack, direct[cur]...)
 		}
-		closure[node] = reach
+		set := make(map[string]bool, len(reach))
+		for id := range reach {
+			set[names[id]] = true
+		}
+		closure[names[node]] = set
 	}
 	return closure
 }
@@ -333,6 +350,6 @@ func sortedKeys(m map[string]bool) []rdf.IRI {
 	for k := range m {
 		out = append(out, rdf.IRI(k))
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }

@@ -9,7 +9,7 @@ package rewriting
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"bdi/internal/core"
@@ -160,6 +160,6 @@ func featuresRequestedFor(omq *OMQ, c rdf.IRI) []rdf.IRI {
 			out = append(out, f)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }

@@ -2,7 +2,7 @@ package rewriting
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"bdi/internal/core"
 	"bdi/internal/rdf"
@@ -81,7 +81,7 @@ func IntraConceptGeneration(o *core.Ontology, eq *ExpandedQuery) ([]PartialWalks
 		for w := range walksPerWrapper {
 			wrapperIRIs = append(wrapperIRIs, w)
 		}
-		sort.Slice(wrapperIRIs, func(i, j int) bool { return wrapperIRIs[i] < wrapperIRIs[j] })
+		slices.Sort(wrapperIRIs)
 		for _, w := range wrapperIRIs {
 			walk := walksPerWrapper[w]
 			walk.MergeProjections()

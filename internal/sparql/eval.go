@@ -180,8 +180,11 @@ func (e *Evaluator) Evaluate(q *Query) (*Solutions, error) {
 	}
 
 	vars := q.ProjectedVariables()
-	// Projection + DISTINCT.
+	// Projection + DISTINCT. Each projected binding's canonical key is
+	// computed exactly once and reused by both DISTINCT elimination and the
+	// ordering below, rather than re-derived inside the sort comparator.
 	var projected []Binding
+	var projectedKeys []string
 	seen := map[string]bool{}
 	for _, b := range filtered {
 		pb := Binding{}
@@ -190,20 +193,32 @@ func (e *Evaluator) Evaluate(q *Query) (*Solutions, error) {
 				pb[v] = t
 			}
 		}
+		k := pb.Key(vars)
 		if q.Distinct {
-			k := pb.Key(vars)
 			if seen[k] {
 				continue
 			}
 			seen[k] = true
 		}
 		projected = append(projected, pb)
+		projectedKeys = append(projectedKeys, k)
 	}
 
 	// Deterministic ordering.
-	sort.SliceStable(projected, func(i, j int) bool {
-		return projected[i].Key(vars) < projected[j].Key(vars)
-	})
+	if len(projected) > 1 {
+		order := make([]int, len(projected))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(i, j int) bool {
+			return projectedKeys[order[i]] < projectedKeys[order[j]]
+		})
+		ordered := make([]Binding, len(projected))
+		for i, j := range order {
+			ordered[i] = projected[j]
+		}
+		projected = ordered
+	}
 
 	// OFFSET / LIMIT.
 	if q.Offset > 0 {
@@ -256,7 +271,7 @@ func (e *Evaluator) extend(bindings []Binding, tp TriplePattern, from rdf.IRI) [
 				// No FROM clause and no GRAPH block: the pattern matches the
 				// union of all graphs, and the graph a triple came from is not
 				// observable, so deduplicate matches on the triple alone.
-				matches = dedupeByTriple(e.match(store.WildcardGraph(s, p, o), p, o))
+				matches = e.matchUnion(store.WildcardGraph(s, p, o), p, o)
 			}
 		case rdf.IRI:
 			matches = e.match(store.InGraph(g, s, p, o), p, o)
@@ -292,7 +307,31 @@ func (e *Evaluator) extend(bindings []Binding, tp TriplePattern, from rdf.IRI) [
 // (subclass closure on the object) and for subproperty closure on the
 // predicate when entailment is enabled.
 func (e *Evaluator) match(p store.Pattern, predicate, object rdf.Term) []rdf.Quad {
-	base := e.store.Match(p)
+	return e.entail(p, predicate, object, e.store.Match(p))
+}
+
+// matchUnion is match for union-of-all-graphs patterns: quads repeating the
+// same triple in different graphs are collapsed to the first occurrence,
+// keyed on the integer TermIDs the store already carries for each match.
+// Entailed quads are appended afterwards by entail, whose appendUniqueQuad
+// guard dedupes them against the base triples.
+func (e *Evaluator) matchUnion(p store.Pattern, predicate, object rdf.Term) []rdf.Quad {
+	ms := e.store.MatchWithIDs(p)
+	seen := make(map[[3]rdf.TermID]bool, len(ms))
+	base := make([]rdf.Quad, 0, len(ms))
+	for _, m := range ms {
+		k := [3]rdf.TermID{m.ID.Subject, m.ID.Predicate, m.ID.Object}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		base = append(base, m.Quad)
+	}
+	return e.entail(p, predicate, object, base)
+}
+
+// entail extends base matches with RDFS-entailed quads for the pattern.
+func (e *Evaluator) entail(p store.Pattern, predicate, object rdf.Term, base []rdf.Quad) []rdf.Quad {
 	if !e.Entailment {
 		return base
 	}
@@ -370,22 +409,6 @@ func appendUniqueQuad(quads []rdf.Quad, q rdf.Quad) []rdf.Quad {
 		}
 	}
 	return append(quads, q)
-}
-
-// dedupeByTriple removes quads that repeat the same triple in different
-// graphs, keeping the first occurrence.
-func dedupeByTriple(quads []rdf.Quad) []rdf.Quad {
-	seen := map[string]bool{}
-	out := quads[:0]
-	for _, q := range quads {
-		k := rdf.TermKey(q.Subject) + "\x00" + rdf.TermKey(q.Predicate) + "\x00" + rdf.TermKey(q.Object)
-		if seen[k] {
-			continue
-		}
-		seen[k] = true
-		out = append(out, q)
-	}
-	return out
 }
 
 func substitute(t rdf.Term, b Binding) rdf.Term {

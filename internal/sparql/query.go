@@ -11,7 +11,7 @@ package sparql
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"bdi/internal/rdf"
@@ -144,7 +144,7 @@ func (q *Query) ProjectedVariables() []rdf.Variable {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

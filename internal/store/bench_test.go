@@ -1,0 +1,164 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"bdi/internal/rdf"
+)
+
+// benchStore builds a store with n quads spread over a mix of the default
+// graph and 8 named graphs, with realistic term reuse: ~n distinct subjects,
+// 16 predicates and n/8 distinct objects, so that 1-constant lookups return
+// multi-quad result sets and 2-constant lookups stay selective.
+func benchStore(n int) *Store {
+	s := New()
+	for i := 0; i < n; i++ {
+		g := rdf.IRI("")
+		if i%2 == 1 {
+			g = rdf.IRI(fmt.Sprintf("http://bench/g%d", i%8))
+		}
+		s.MustAdd(rdf.Quad{
+			Triple: rdf.T(
+				rdf.IRI(fmt.Sprintf("http://bench/s%d", i)),
+				rdf.IRI(fmt.Sprintf("http://bench/p%d", i%16)),
+				rdf.IRI(fmt.Sprintf("http://bench/o%d", i%(n/8+1))),
+			),
+			Graph: g,
+		})
+	}
+	return s
+}
+
+func benchSizes() []int { return []int{10000, 100000} }
+
+// BenchmarkStoreMatch1Const measures single-constant subject lookups, the
+// dominant shape issued by BGP evaluation and LAV resolution.
+func BenchmarkStoreMatch1Const(b *testing.B) {
+	for _, n := range benchSizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := benchStore(n)
+			pats := make([]Pattern, 64)
+			for i := range pats {
+				pats[i] = WildcardGraph(rdf.IRI(fmt.Sprintf("http://bench/s%d", i*37%n)), nil, nil)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := s.Match(pats[i%len(pats)]); len(got) == 0 {
+					b.Fatal("expected a match")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreMatch1ConstPredicate measures predicate-bound lookups, which
+// return large result sets (n/16 quads) and stress the sort.
+func BenchmarkStoreMatch1ConstPredicate(b *testing.B) {
+	for _, n := range benchSizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := benchStore(n)
+			p := WildcardGraph(nil, rdf.IRI("http://bench/p3"), nil)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := s.Match(p); len(got) == 0 {
+					b.Fatal("expected a match")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreMatch2Const measures subject+predicate lookups, the shape of
+// fully-bound attribute probes.
+func BenchmarkStoreMatch2Const(b *testing.B) {
+	for _, n := range benchSizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := benchStore(n)
+			pats := make([]Pattern, 64)
+			for i := range pats {
+				j := i * 53 % n
+				pats[i] = WildcardGraph(
+					rdf.IRI(fmt.Sprintf("http://bench/s%d", j)),
+					rdf.IRI(fmt.Sprintf("http://bench/p%d", j%16)),
+					nil,
+				)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := s.Match(pats[i%len(pats)]); len(got) == 0 {
+					b.Fatal("expected a match")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreMatchFullScan measures the wildcard-everything scan used by
+// Quads()/Clone().
+func BenchmarkStoreMatchFullScan(b *testing.B) {
+	for _, n := range benchSizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := benchStore(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := s.Match(Pattern{}); len(got) != n {
+					b.Fatalf("scan returned %d quads", len(got))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreMatchMixedGraph measures graph-restricted lookups plus
+// GraphsContaining, the mixed-graph shape of Algorithm 4/5 LAV resolution.
+func BenchmarkStoreMatchMixedGraph(b *testing.B) {
+	for _, n := range benchSizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := benchStore(n)
+			triples := make([]rdf.Triple, 64)
+			for i := range triples {
+				j := (i*2+1)*41%n | 1
+				triples[i] = rdf.T(
+					rdf.IRI(fmt.Sprintf("http://bench/s%d", j)),
+					rdf.IRI(fmt.Sprintf("http://bench/p%d", j%16)),
+					rdf.IRI(fmt.Sprintf("http://bench/o%d", j%(n/8+1))),
+				)
+			}
+			g := rdf.IRI("http://bench/g3")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Match(InGraph(g, nil, rdf.IRI("http://bench/p3"), nil))
+				s.GraphsContaining(triples[i%len(triples)])
+			}
+		})
+	}
+}
+
+// BenchmarkStoreAddAll measures bulk loading, exercising interning and the
+// batched lock path.
+func BenchmarkStoreAddAll(b *testing.B) {
+	n := 10000
+	quads := make([]rdf.Quad, n)
+	for i := 0; i < n; i++ {
+		quads[i] = rdf.Q(
+			rdf.IRI(fmt.Sprintf("http://bench/s%d", i)),
+			rdf.IRI(fmt.Sprintf("http://bench/p%d", i%16)),
+			rdf.IRI(fmt.Sprintf("http://bench/o%d", i%1251)),
+			rdf.IRI(fmt.Sprintf("http://bench/g%d", i%8)),
+		)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		if added, err := s.AddAll(quads); err != nil || added != n {
+			b.Fatalf("AddAll = %d, %v", added, err)
+		}
+	}
+}

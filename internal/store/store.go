@@ -5,14 +5,19 @@
 // graph pattern lookups issued by the SPARQL evaluator and the rewriting
 // algorithms.
 //
-// The store keeps four hash indexes (GSPO, GPOS, GOSP and a graph index) so
-// that every single-constant lookup is satisfied without scanning, and it is
-// safe for concurrent use.
+// Like TDB's node table, the store dictionary-encodes every term into a
+// dense uint32 TermID at Add time (see rdf.Dict); the GSPO/GPOS/GOSP
+// indexes and the canonical quad set are keyed on 4-integer composite keys,
+// so pattern matching compares integers instead of rebuilding string keys.
+// Every single-constant lookup is satisfied without scanning, results are
+// returned in a deterministic order (via a per-quad sort key precomputed at
+// Add time), and the store is safe for concurrent use.
 package store
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"strings"
 	"sync"
 
 	"bdi/internal/rdf"
@@ -40,36 +45,77 @@ func InGraph(g rdf.IRI, s, p, o rdf.Term) Pattern {
 	return Pattern{Subject: s, Predicate: p, Object: o, Graph: g, GraphSet: true}
 }
 
+// QuadID is the dictionary-encoded identity of a stored quad: the TermIDs of
+// its graph name, subject, predicate and object. Two quads are equal iff
+// their QuadIDs are equal, so QuadID is usable directly as a map key.
+type QuadID struct {
+	Graph     rdf.TermID
+	Subject   rdf.TermID
+	Predicate rdf.TermID
+	Object    rdf.TermID
+}
+
+// MatchedQuad is a quad together with its dictionary encoding, returned by
+// MatchWithIDs so hot-path consumers can dedupe and join on integer IDs
+// without re-deriving string keys.
+type MatchedQuad struct {
+	rdf.Quad
+	ID QuadID
+}
+
+// entry is the stored representation of a quad: the quad itself, its
+// integer identity, and the sort key that defines the deterministic output
+// order (precomputed once at Add time so Match never re-derives it inside a
+// sort comparator).
+type entry struct {
+	id      QuadID
+	quad    rdf.Quad
+	sortKey string
+}
+
+// allGraphsID is the reserved index key for the union-of-all-graphs
+// indexes. Real TermIDs start at 1, so 0 is never a graph's ID.
+const allGraphsID rdf.TermID = 0
+
 // Store is an in-memory quad store with named-graph support.
 type Store struct {
 	mu sync.RWMutex
 
-	// quads is the canonical set, keyed by a unique quad key.
-	quads map[string]rdf.Quad
+	// dict interns every term (including graph names) appearing in the store.
+	dict *rdf.Dict
 
-	// Indexes: graph -> subject key -> quad keys, etc. An empty graph key
-	// ("") indexes the default graph; the special allGraphs key indexes the
-	// union of all graphs.
-	bySubject   map[string]map[string][]string
-	byPredicate map[string]map[string][]string
-	byObject    map[string]map[string][]string
-	byGraph     map[string][]string
+	// quads is the canonical set, keyed by dictionary-encoded identity.
+	quads map[QuadID]*entry
+
+	// Indexes: graph ID -> term ID -> entries. The allGraphsID key indexes
+	// the union of all graphs; the default graph is indexed under the ID of
+	// the empty IRI like any other graph.
+	bySubject   map[rdf.TermID]map[rdf.TermID][]*entry
+	byPredicate map[rdf.TermID]map[rdf.TermID][]*entry
+	byObject    map[rdf.TermID]map[rdf.TermID][]*entry
+	byGraph     map[rdf.TermID][]*entry
 
 	generation uint64
 }
 
-const allGraphs = "\x00*"
-
 // New returns an empty store.
 func New() *Store {
 	return &Store{
-		quads:       map[string]rdf.Quad{},
-		bySubject:   map[string]map[string][]string{},
-		byPredicate: map[string]map[string][]string{},
-		byObject:    map[string]map[string][]string{},
-		byGraph:     map[string][]string{},
+		dict:        rdf.NewDict(),
+		quads:       map[QuadID]*entry{},
+		bySubject:   map[rdf.TermID]map[rdf.TermID][]*entry{},
+		byPredicate: map[rdf.TermID]map[rdf.TermID][]*entry{},
+		byObject:    map[rdf.TermID]map[rdf.TermID][]*entry{},
+		byGraph:     map[rdf.TermID][]*entry{},
 	}
 }
+
+// Dict returns the store's term dictionary. Consumers may use it to resolve
+// TermIDs from MatchWithIDs back to terms, or to pre-encode terms they probe
+// repeatedly. The dictionary is append-only and safe for concurrent use.
+// Clear replaces the dictionary: cached TermIDs and Dict references are only
+// valid against the store state they were obtained from.
+func (s *Store) Dict() *rdf.Dict { return s.dict }
 
 // Len returns the total number of quads in the store.
 func (s *Store) Len() int {
@@ -91,7 +137,11 @@ func (s *Store) Generation() uint64 {
 func (s *Store) GraphLen(graph rdf.IRI) int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.byGraph[string(graph)])
+	gid, ok := s.dict.Lookup(graph)
+	if !ok {
+		return 0
+	}
+	return len(s.byGraph[gid])
 }
 
 // Graphs returns the names of all non-empty named graphs, sorted. The default
@@ -100,12 +150,15 @@ func (s *Store) Graphs() []rdf.IRI {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var out []rdf.IRI
-	for g, keys := range s.byGraph {
-		if g != "" && len(keys) > 0 {
-			out = append(out, rdf.IRI(g))
+	for _, entries := range s.byGraph {
+		if len(entries) == 0 {
+			continue
+		}
+		if g := entries[0].quad.Graph; g != "" {
+			out = append(out, g)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -133,94 +186,149 @@ func (s *Store) MustAdd(q rdf.Quad) {
 	}
 }
 
-// AddAll inserts all given quads, returning the number newly added.
+// AddAll inserts all given quads under a single critical section, returning
+// the number newly added. On a validation error it stops, reporting how many
+// quads had been added up to that point.
 func (s *Store) AddAll(quads []rdf.Quad) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	added := 0
 	for _, q := range quads {
-		ok, err := s.Add(q)
-		if err != nil {
+		if err := q.Validate(); err != nil {
 			return added, err
 		}
-		if ok {
+		if s.addLocked(q) {
 			added++
 		}
 	}
 	return added, nil
 }
 
-// AddGraph inserts all triples of the graph value under its name.
+// AddGraph inserts all triples of the graph value under its name, in one
+// critical section.
 func (s *Store) AddGraph(g *rdf.Graph) (int, error) {
 	if g == nil {
 		return 0, nil
 	}
-	added := 0
-	for _, t := range g.Triples {
-		ok, err := s.AddTriple(g.Name, t)
-		if err != nil {
-			return added, err
-		}
-		if ok {
-			added++
-		}
+	quads := make([]rdf.Quad, len(g.Triples))
+	for i, t := range g.Triples {
+		quads[i] = rdf.Quad{Triple: t, Graph: g.Name}
 	}
-	return added, nil
+	return s.AddAll(quads)
 }
 
 func (s *Store) addLocked(q rdf.Quad) bool {
-	key := quadKey(q)
-	if _, exists := s.quads[key]; exists {
+	id := QuadID{
+		Graph:     s.dict.Intern(q.Graph),
+		Subject:   s.dict.Intern(q.Subject),
+		Predicate: s.dict.Intern(q.Predicate),
+		Object:    s.dict.Intern(q.Object),
+	}
+	if _, exists := s.quads[id]; exists {
 		return false
 	}
-	s.quads[key] = q
-	g := string(q.Graph)
-	addIndex(s.bySubject, g, rdf.TermKey(q.Subject), key)
-	addIndex(s.bySubject, allGraphs, rdf.TermKey(q.Subject), key)
-	addIndex(s.byPredicate, g, rdf.TermKey(q.Predicate), key)
-	addIndex(s.byPredicate, allGraphs, rdf.TermKey(q.Predicate), key)
-	addIndex(s.byObject, g, rdf.TermKey(q.Object), key)
-	addIndex(s.byObject, allGraphs, rdf.TermKey(q.Object), key)
-	s.byGraph[g] = append(s.byGraph[g], key)
+	e := &entry{id: id, quad: q, sortKey: quadSortKey(q)}
+	s.quads[id] = e
+	addIndex(s.bySubject, id.Graph, id.Subject, e)
+	addIndex(s.bySubject, allGraphsID, id.Subject, e)
+	addIndex(s.byPredicate, id.Graph, id.Predicate, e)
+	addIndex(s.byPredicate, allGraphsID, id.Predicate, e)
+	addIndex(s.byObject, id.Graph, id.Object, e)
+	addIndex(s.byObject, allGraphsID, id.Object, e)
+	s.byGraph[id.Graph] = append(s.byGraph[id.Graph], e)
 	s.generation++
 	return true
+}
+
+// quadIDLocked resolves the dictionary encoding of q without interning. The
+// second result is false when any term has never been seen by the store, in
+// which case the quad cannot be present.
+func (s *Store) quadIDLocked(q rdf.Quad) (QuadID, bool) {
+	gid, ok := s.dict.Lookup(q.Graph)
+	if !ok {
+		return QuadID{}, false
+	}
+	sid, ok := s.dict.Lookup(q.Subject)
+	if !ok {
+		return QuadID{}, false
+	}
+	pid, ok := s.dict.Lookup(q.Predicate)
+	if !ok {
+		return QuadID{}, false
+	}
+	oid, ok := s.dict.Lookup(q.Object)
+	if !ok {
+		return QuadID{}, false
+	}
+	return QuadID{Graph: gid, Subject: sid, Predicate: pid, Object: oid}, true
 }
 
 // Remove deletes a quad from the store, returning true if it was present.
 func (s *Store) Remove(q rdf.Quad) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	key := quadKey(q)
-	if _, ok := s.quads[key]; !ok {
+	id, ok := s.quadIDLocked(q)
+	if !ok {
 		return false
 	}
-	delete(s.quads, key)
-	g := string(q.Graph)
-	removeIndex(s.bySubject, g, rdf.TermKey(q.Subject), key)
-	removeIndex(s.bySubject, allGraphs, rdf.TermKey(q.Subject), key)
-	removeIndex(s.byPredicate, g, rdf.TermKey(q.Predicate), key)
-	removeIndex(s.byPredicate, allGraphs, rdf.TermKey(q.Predicate), key)
-	removeIndex(s.byObject, g, rdf.TermKey(q.Object), key)
-	removeIndex(s.byObject, allGraphs, rdf.TermKey(q.Object), key)
-	s.byGraph[g] = removeFromSlice(s.byGraph[g], key)
+	e, ok := s.quads[id]
+	if !ok {
+		return false
+	}
+	delete(s.quads, id)
+	removeIndex(s.bySubject, id.Graph, id.Subject, e)
+	removeIndex(s.bySubject, allGraphsID, id.Subject, e)
+	removeIndex(s.byPredicate, id.Graph, id.Predicate, e)
+	removeIndex(s.byPredicate, allGraphsID, id.Predicate, e)
+	removeIndex(s.byObject, id.Graph, id.Object, e)
+	removeIndex(s.byObject, allGraphsID, id.Object, e)
+	s.byGraph[id.Graph] = removeEntry(s.byGraph[id.Graph], e)
+	if len(s.byGraph[id.Graph]) == 0 {
+		delete(s.byGraph, id.Graph)
+	}
 	s.generation++
 	return true
 }
 
-// RemoveGraph deletes every quad in the given named graph, returning the
-// number removed.
+// RemoveGraph deletes every quad in the given named graph under a single
+// critical section, returning the number removed. The per-graph index
+// submaps are dropped wholesale; only the union indexes need per-quad
+// maintenance.
 func (s *Store) RemoveGraph(graph rdf.IRI) int {
-	quads := s.Match(InGraph(graph, nil, nil, nil))
-	for _, q := range quads {
-		s.Remove(q)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gid, ok := s.dict.Lookup(graph)
+	if !ok {
+		return 0
 	}
-	return len(quads)
+	entries := s.byGraph[gid]
+	if len(entries) == 0 {
+		return 0
+	}
+	delete(s.byGraph, gid)
+	delete(s.bySubject, gid)
+	delete(s.byPredicate, gid)
+	delete(s.byObject, gid)
+	for _, e := range entries {
+		delete(s.quads, e.id)
+		removeIndex(s.bySubject, allGraphsID, e.id.Subject, e)
+		removeIndex(s.byPredicate, allGraphsID, e.id.Predicate, e)
+		removeIndex(s.byObject, allGraphsID, e.id.Object, e)
+	}
+	s.generation++
+	return len(entries)
 }
 
 // Contains reports whether the exact quad is present.
 func (s *Store) Contains(q rdf.Quad) bool {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	_, ok := s.quads[quadKey(q)]
-	return ok
+	id, ok := s.quadIDLocked(q)
+	if !ok {
+		return false
+	}
+	_, present := s.quads[id]
+	return present
 }
 
 // ContainsTriple reports whether the triple is present in the given graph.
@@ -228,62 +336,34 @@ func (s *Store) ContainsTriple(graph rdf.IRI, t rdf.Triple) bool {
 	return s.Contains(rdf.Quad{Triple: t, Graph: graph})
 }
 
-// Match returns all quads matching the pattern, in deterministic order.
-// Variables in the pattern are treated as wildcards.
+// Match returns all quads matching the pattern, in deterministic order
+// (ascending ⟨graph, subject, predicate, object⟩ term-key order). Variables
+// in the pattern are treated as wildcards.
 func (s *Store) Match(p Pattern) []rdf.Quad {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-
-	sTerm := wildcardIfVar(p.Subject)
-	pTerm := wildcardIfVar(p.Predicate)
-	oTerm := wildcardIfVar(p.Object)
-
-	graphKey := allGraphs
-	if p.GraphSet {
-		graphKey = string(p.Graph)
+	entries := s.matchEntries(p)
+	if len(entries) == 0 {
+		return nil
 	}
-
-	// Choose the most selective index available.
-	var candidates []string
-	switch {
-	case sTerm != nil:
-		candidates = s.bySubject[graphKey][rdf.TermKey(sTerm)]
-	case oTerm != nil:
-		candidates = s.byObject[graphKey][rdf.TermKey(oTerm)]
-	case pTerm != nil:
-		candidates = s.byPredicate[graphKey][rdf.TermKey(pTerm)]
-	default:
-		if p.GraphSet {
-			candidates = s.byGraph[string(p.Graph)]
-		} else {
-			candidates = make([]string, 0, len(s.quads))
-			for k := range s.quads {
-				candidates = append(candidates, k)
-			}
-		}
+	out := make([]rdf.Quad, len(entries))
+	for i, e := range entries {
+		out[i] = e.quad
 	}
+	return out
+}
 
-	var out []rdf.Quad
-	for _, key := range candidates {
-		q, ok := s.quads[key]
-		if !ok {
-			continue
-		}
-		if p.GraphSet && q.Graph != p.Graph {
-			continue
-		}
-		if sTerm != nil && !q.Subject.Equal(sTerm) {
-			continue
-		}
-		if pTerm != nil && !q.Predicate.Equal(pTerm) {
-			continue
-		}
-		if oTerm != nil && !q.Object.Equal(oTerm) {
-			continue
-		}
-		out = append(out, q)
+// MatchWithIDs is Match, additionally reporting each quad's dictionary
+// encoding. It is the hot-path variant: consumers can key dedup sets and
+// join maps on the fixed-width QuadID components instead of building string
+// keys per quad.
+func (s *Store) MatchWithIDs(p Pattern) []MatchedQuad {
+	entries := s.matchEntries(p)
+	if len(entries) == 0 {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return quadKey(out[i]) < quadKey(out[j]) })
+	out := make([]MatchedQuad, len(entries))
+	for i, e := range entries {
+		out[i] = MatchedQuad{Quad: e.quad, ID: e.id}
+	}
 	return out
 }
 
@@ -297,22 +377,117 @@ func (s *Store) MatchTriples(p Pattern) []rdf.Triple {
 	return out
 }
 
+// matchEntries returns the entries matching p, sorted by their precomputed
+// sort key. The returned slice is freshly allocated (index slices are never
+// handed out or reordered).
+func (s *Store) matchEntries(p Pattern) []*entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	sTerm := wildcardIfVar(p.Subject)
+	pTerm := wildcardIfVar(p.Predicate)
+	oTerm := wildcardIfVar(p.Object)
+
+	// Resolve pattern constants to dictionary IDs. A constant the dictionary
+	// has never seen cannot match any stored quad.
+	var sid, pid, oid rdf.TermID
+	var ok bool
+	if sTerm != nil {
+		if sid, ok = s.dict.Lookup(sTerm); !ok {
+			return nil
+		}
+	}
+	if pTerm != nil {
+		if pid, ok = s.dict.Lookup(pTerm); !ok {
+			return nil
+		}
+	}
+	if oTerm != nil {
+		if oid, ok = s.dict.Lookup(oTerm); !ok {
+			return nil
+		}
+	}
+	gid := allGraphsID
+	if p.GraphSet {
+		if gid, ok = s.dict.Lookup(p.Graph); !ok {
+			return nil
+		}
+	}
+
+	// Choose the most selective index available. Candidates drawn from a
+	// graph-keyed index are already restricted to the requested graph.
+	var candidates []*entry
+	switch {
+	case sid != 0:
+		candidates = s.bySubject[gid][sid]
+	case oid != 0:
+		candidates = s.byObject[gid][oid]
+	case pid != 0:
+		candidates = s.byPredicate[gid][pid]
+	case p.GraphSet:
+		candidates = s.byGraph[gid]
+	default:
+		out := make([]*entry, 0, len(s.quads))
+		for _, e := range s.quads {
+			out = append(out, e)
+		}
+		sortEntries(out)
+		return out
+	}
+
+	// Singleton bucket: no copy or sort needed. matchEntries callers only
+	// read the returned slice, so handing out the index-owned bucket is safe.
+	if len(candidates) == 1 {
+		e := candidates[0]
+		if (sid != 0 && e.id.Subject != sid) ||
+			(pid != 0 && e.id.Predicate != pid) ||
+			(oid != 0 && e.id.Object != oid) {
+			return nil
+		}
+		return candidates
+	}
+
+	out := make([]*entry, 0, len(candidates))
+	for _, e := range candidates {
+		if sid != 0 && e.id.Subject != sid {
+			continue
+		}
+		if pid != 0 && e.id.Predicate != pid {
+			continue
+		}
+		if oid != 0 && e.id.Object != oid {
+			continue
+		}
+		out = append(out, e)
+	}
+	sortEntries(out)
+	return out
+}
+
+func sortEntries(entries []*entry) {
+	if len(entries) < 2 {
+		return
+	}
+	slices.SortFunc(entries, func(a, b *entry) int { return strings.Compare(a.sortKey, b.sortKey) })
+}
+
 // GraphsContaining returns the names of all named graphs that contain the
 // given triple. This implements the SPARQL `GRAPH ?g { ... }` lookups used
 // by the rewriting algorithms to resolve LAV mappings (Algorithm 4 line 8
 // and Algorithm 5 lines 9-10).
 func (s *Store) GraphsContaining(t rdf.Triple) []rdf.IRI {
-	quads := s.Match(WildcardGraph(t.Subject, t.Predicate, t.Object))
-	seen := map[rdf.IRI]bool{}
+	entries := s.matchEntries(WildcardGraph(t.Subject, t.Predicate, t.Object))
+	seen := map[rdf.TermID]bool{}
 	var out []rdf.IRI
-	for _, q := range quads {
-		if q.Graph == "" || seen[q.Graph] {
+	// Entries are sorted by quad sort key, whose leading component is the
+	// graph name, so the output is already in ascending graph order.
+	for _, e := range entries {
+		if e.quad.Graph == "" || seen[e.id.Graph] {
 			continue
 		}
-		seen[q.Graph] = true
-		out = append(out, q.Graph)
+		seen[e.id.Graph] = true
+		out = append(out, e.quad.Graph)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -333,21 +508,25 @@ func (s *Store) Quads() []rdf.Quad {
 // Clone returns a deep copy of the store.
 func (s *Store) Clone() *Store {
 	c := New()
-	for _, q := range s.Quads() {
-		c.MustAdd(q)
+	if _, err := c.AddAll(s.Quads()); err != nil {
+		// Stored quads were validated on the way in; re-adding cannot fail.
+		panic(err)
 	}
 	return c
 }
 
-// Clear removes every quad.
+// Clear removes every quad and resets the dictionary. All TermIDs and Dict
+// references obtained before the Clear are invalidated: re-added terms are
+// assigned fresh IDs in a fresh dictionary.
 func (s *Store) Clear() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.quads = map[string]rdf.Quad{}
-	s.bySubject = map[string]map[string][]string{}
-	s.byPredicate = map[string]map[string][]string{}
-	s.byObject = map[string]map[string][]string{}
-	s.byGraph = map[string][]string{}
+	s.dict = rdf.NewDict()
+	s.quads = map[QuadID]*entry{}
+	s.bySubject = map[rdf.TermID]map[rdf.TermID][]*entry{}
+	s.byPredicate = map[rdf.TermID]map[rdf.TermID][]*entry{}
+	s.byObject = map[rdf.TermID]map[rdf.TermID][]*entry{}
+	s.byGraph = map[rdf.TermID][]*entry{}
 	s.generation++
 }
 
@@ -367,13 +546,17 @@ func (s *Store) Stats() Stats {
 	defer s.mu.RUnlock()
 	st := Stats{
 		Quads:              len(s.quads),
-		DefaultGraphQuads:  len(s.byGraph[""]),
-		DistinctSubjects:   len(s.bySubject[allGraphs]),
-		DistinctPredicates: len(s.byPredicate[allGraphs]),
-		DistinctObjects:    len(s.byObject[allGraphs]),
+		DistinctSubjects:   len(s.bySubject[allGraphsID]),
+		DistinctPredicates: len(s.byPredicate[allGraphsID]),
+		DistinctObjects:    len(s.byObject[allGraphsID]),
 	}
-	for g, keys := range s.byGraph {
-		if g != "" && len(keys) > 0 {
+	for _, entries := range s.byGraph {
+		if len(entries) == 0 {
+			continue
+		}
+		if entries[0].quad.Graph == "" {
+			st.DefaultGraphQuads = len(entries)
+		} else {
 			st.NamedGraphs++
 		}
 	}
@@ -393,34 +576,44 @@ func wildcardIfVar(t rdf.Term) rdf.Term {
 	return t
 }
 
-func quadKey(q rdf.Quad) string {
+// quadSortKey derives the deterministic ordering key of a quad: the graph
+// name and the three term keys, NUL-separated so concatenation order equals
+// component-wise lexicographic order. It is computed once per quad at Add
+// time and never inside a sort comparator.
+func quadSortKey(q rdf.Quad) string {
 	return string(q.Graph) + "\x00" + rdf.TermKey(q.Subject) + "\x00" + rdf.TermKey(q.Predicate) + "\x00" + rdf.TermKey(q.Object)
 }
 
-func addIndex(idx map[string]map[string][]string, graph, term, key string) {
+func addIndex(idx map[rdf.TermID]map[rdf.TermID][]*entry, graph, term rdf.TermID, e *entry) {
 	m, ok := idx[graph]
 	if !ok {
-		m = map[string][]string{}
+		m = map[rdf.TermID][]*entry{}
 		idx[graph] = m
 	}
-	m[term] = append(m[term], key)
+	m[term] = append(m[term], e)
 }
 
-func removeIndex(idx map[string]map[string][]string, graph, term, key string) {
+func removeIndex(idx map[rdf.TermID]map[rdf.TermID][]*entry, graph, term rdf.TermID, e *entry) {
 	m, ok := idx[graph]
 	if !ok {
 		return
 	}
-	m[term] = removeFromSlice(m[term], key)
+	m[term] = removeEntry(m[term], e)
 	if len(m[term]) == 0 {
 		delete(m, term)
 	}
 }
 
-func removeFromSlice(s []string, key string) []string {
+// removeEntry returns s without e. It copies instead of shifting in place so
+// that the original backing array is never mutated: slice headers previously
+// read from the index (e.g. by a concurrent Match that released the lock
+// after copying candidates) keep seeing their snapshot.
+func removeEntry(s []*entry, e *entry) []*entry {
 	for i, v := range s {
-		if v == key {
-			return append(s[:i], s[i+1:]...)
+		if v == e {
+			out := make([]*entry, 0, len(s)-1)
+			out = append(out, s[:i]...)
+			return append(out, s[i+1:]...)
 		}
 	}
 	return s
