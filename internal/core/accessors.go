@@ -35,14 +35,31 @@ func (o *Ontology) WrappersOfSource(source string) []rdf.IRI {
 	return out
 }
 
-// SourceOfWrapper returns the data source IRI a wrapper belongs to.
+// SourceOfWrapper returns the data source IRI a wrapper belongs to,
+// memoized per store generation.
 func (o *Ontology) SourceOfWrapper(wrapper rdf.IRI) (rdf.IRI, bool) {
+	wid, ok := o.store.Dict().LookupIRI(wrapper)
+	if !ok {
+		return "", false
+	}
+	qc := o.queryCache()
+	qc.mu.Lock()
+	if s, cached := qc.sourceOf[wid]; cached {
+		qc.mu.Unlock()
+		return s, s != ""
+	}
+	qc.mu.Unlock()
+	var found rdf.IRI
 	for _, q := range o.store.Match(store.InGraph(SourceGraphName, nil, SHasWrapper, wrapper)) {
 		if s, ok := q.Subject.(rdf.IRI); ok {
-			return s, true
+			found = s
+			break
 		}
 	}
-	return "", false
+	qc.mu.Lock()
+	qc.sourceOf[wid] = found
+	qc.mu.Unlock()
+	return found, found != ""
 }
 
 // AttributesOfWrapper returns the attribute IRIs projected by a wrapper,
@@ -89,19 +106,46 @@ func (o *Ontology) WrapperOfLAVGraph(graph rdf.IRI) (rdf.IRI, bool) {
 }
 
 // FeatureOfAttribute resolves F for one attribute: the feature the attribute
-// is owl:sameAs-linked to.
+// is owl:sameAs-linked to. Memoized per store generation.
 func (o *Ontology) FeatureOfAttribute(attr rdf.IRI) (rdf.IRI, bool) {
+	aid, ok := o.store.Dict().LookupIRI(attr)
+	if !ok {
+		return "", false
+	}
+	qc := o.queryCache()
+	qc.mu.Lock()
+	if f, cached := qc.featureOfAttr[aid]; cached {
+		qc.mu.Unlock()
+		return f, f != ""
+	}
+	qc.mu.Unlock()
+	var found rdf.IRI
 	for _, q := range o.store.Match(store.InGraph(MappingsGraphName, attr, rdf.OWLSameAs, nil)) {
 		if f, ok := q.Object.(rdf.IRI); ok {
-			return f, true
+			found = f
+			break
 		}
 	}
-	return "", false
+	qc.mu.Lock()
+	qc.featureOfAttr[aid] = found
+	qc.mu.Unlock()
+	return found, found != ""
 }
 
 // AttributesOfFeature returns the inverse of F: all source attributes that
-// map to the given feature, sorted.
+// map to the given feature, sorted. Memoized per store generation.
 func (o *Ontology) AttributesOfFeature(feature rdf.IRI) []rdf.IRI {
+	fid, ok := o.store.Dict().LookupIRI(feature)
+	if !ok {
+		return nil
+	}
+	qc := o.queryCache()
+	qc.mu.Lock()
+	if attrs, cached := qc.attrsOf[fid]; cached {
+		qc.mu.Unlock()
+		return slices.Clone(attrs)
+	}
+	qc.mu.Unlock()
 	var out []rdf.IRI
 	for _, q := range o.store.Match(store.InGraph(MappingsGraphName, nil, rdf.OWLSameAs, feature)) {
 		if a, ok := q.Subject.(rdf.IRI); ok {
@@ -109,58 +153,126 @@ func (o *Ontology) AttributesOfFeature(feature rdf.IRI) []rdf.IRI {
 		}
 	}
 	slices.Sort(out)
-	return out
+	qc.mu.Lock()
+	qc.attrsOf[fid] = out
+	qc.mu.Unlock()
+	return slices.Clone(out)
 }
 
 // AttributeOfFeatureInWrapper resolves, for a given wrapper and feature, the
 // wrapper attribute providing it (Algorithm 4, line 10: the attribute that
-// is owl:sameAs the feature and S:hasAttribute-linked to the wrapper).
+// is owl:sameAs the feature and S:hasAttribute-linked to the wrapper). The
+// resolution is memoized per store generation: phase #3 asks the same
+// (wrapper, feature) pairs once per candidate walk.
 func (o *Ontology) AttributeOfFeatureInWrapper(wrapper, feature rdf.IRI) (rdf.IRI, bool) {
+	d := o.store.Dict()
+	wid, okW := d.LookupIRI(wrapper)
+	fid, okF := d.LookupIRI(feature)
+	if !okW || !okF {
+		// An un-interned wrapper or feature appears in no triple; the slow
+		// path below would find nothing.
+		return "", false
+	}
+	key := [2]rdf.TermID{wid, fid}
+	qc := o.queryCache()
+	qc.mu.Lock()
+	if attr, ok := qc.attrOf[key]; ok {
+		qc.mu.Unlock()
+		return attr, attr != ""
+	}
+	qc.mu.Unlock()
+	var found rdf.IRI
 	for _, attr := range o.AttributesOfFeature(feature) {
 		if o.store.ContainsTriple(SourceGraphName, rdf.T(wrapper, SHasAttribute, attr)) {
-			return attr, true
+			found = attr
+			break
 		}
 	}
-	return "", false
+	qc.mu.Lock()
+	qc.attrOf[key] = found
+	qc.mu.Unlock()
+	return found, found != ""
 }
 
 // WrappersProvidingFeature returns the wrappers whose LAV mapping graph
 // contains the triple ⟨concept, G:hasFeature, feature⟩ (Algorithm 4, line 8).
+// Memoized per store generation, with the graph→wrapper resolution served
+// from the cached mapping maps instead of a store probe per graph.
 func (o *Ontology) WrappersProvidingFeature(concept, feature rdf.IRI) []rdf.IRI {
+	d := o.store.Dict()
+	cid, okC := d.LookupIRI(concept)
+	fid, okF := d.LookupIRI(feature)
+	if !okC || !okF {
+		return nil
+	}
+	key := [2]rdf.TermID{cid, fid}
+	qc := o.queryCache()
+	qc.mu.Lock()
+	if ws, ok := qc.providers[key]; ok {
+		qc.mu.Unlock()
+		return slices.Clone(ws)
+	}
+	qc.ensureMappingMapsLocked(o)
+	graphWrapper := qc.graphWrapper
+	qc.mu.Unlock()
+
 	target := rdf.T(concept, GHasFeature, feature)
 	var out []rdf.IRI
 	for _, g := range o.store.GraphsContaining(target) {
 		if !isLAVGraph(g) {
 			continue
 		}
-		if w, ok := o.WrapperOfLAVGraph(g); ok {
+		if w, ok := graphWrapper[g]; ok {
 			out = append(out, w)
 		}
 	}
 	slices.Sort(out)
-	return out
+	qc.mu.Lock()
+	qc.providers[key] = out
+	qc.mu.Unlock()
+	return slices.Clone(out)
 }
 
 // WrappersProvidingEdge returns the wrappers whose LAV mapping graph
 // contains any edge from one concept to another (Algorithm 5, lines 9-10).
+// One subject+object index probe replaces the per-graph scan of the naive
+// formulation, and the result is memoized per store generation (phase #3
+// asks the same concept pairs for every walk combination).
 func (o *Ontology) WrappersProvidingEdge(from, to rdf.IRI) []rdf.IRI {
+	d := o.store.Dict()
+	fid, okF := d.LookupIRI(from)
+	tid, okT := d.LookupIRI(to)
+	if !okF || !okT {
+		return nil
+	}
+	key := [2]rdf.TermID{fid, tid}
+	qc := o.queryCache()
+	qc.mu.Lock()
+	if ws, ok := qc.edges[key]; ok {
+		qc.mu.Unlock()
+		return slices.Clone(ws)
+	}
+	qc.ensureMappingMapsLocked(o)
+	graphWrapper := qc.graphWrapper
+	qc.mu.Unlock()
+
 	seen := map[rdf.IRI]bool{}
 	var out []rdf.IRI
-	for _, g := range o.store.Graphs() {
+	for _, q := range o.store.Match(store.WildcardGraph(from, nil, to)) {
+		g := q.Graph
 		if !isLAVGraph(g) {
 			continue
 		}
-		matches := o.store.Match(store.InGraph(g, from, nil, to))
-		if len(matches) == 0 {
-			continue
-		}
-		if w, ok := o.WrapperOfLAVGraph(g); ok && !seen[w] {
+		if w, ok := graphWrapper[g]; ok && !seen[w] {
 			seen[w] = true
 			out = append(out, w)
 		}
 	}
 	slices.Sort(out)
-	return out
+	qc.mu.Lock()
+	qc.edges[key] = out
+	qc.mu.Unlock()
+	return slices.Clone(out)
 }
 
 // WrapperLocalName converts a wrapper IRI into the wrapper name used by the

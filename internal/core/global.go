@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"bdi/internal/rdf"
@@ -161,15 +162,31 @@ func (o *Ontology) ConceptOfFeature(feature rdf.IRI) (rdf.IRI, bool) {
 }
 
 // IdentifiersOf returns the ID features of a concept: features linked via
-// G:hasFeature that are (transitively) subclasses of sc:identifier.
+// G:hasFeature that are (transitively) subclasses of sc:identifier. The
+// result is memoized per store generation (phase #3 resolves the ID feature
+// of the same concept for every candidate walk).
 func (o *Ontology) IdentifiersOf(concept rdf.IRI) []rdf.IRI {
+	cid, ok := o.store.Dict().LookupIRI(concept)
+	if !ok {
+		return nil
+	}
+	qc := o.queryCache()
+	qc.mu.Lock()
+	if ids, cached := qc.identifiersOf[cid]; cached {
+		qc.mu.Unlock()
+		return slices.Clone(ids)
+	}
+	qc.mu.Unlock()
 	var out []rdf.IRI
 	for _, f := range o.FeaturesOf(concept) {
 		if o.IsIdentifier(f) {
 			out = append(out, f)
 		}
 	}
-	return out
+	qc.mu.Lock()
+	qc.identifiersOf[cid] = out
+	qc.mu.Unlock()
+	return slices.Clone(out)
 }
 
 // DatatypeOf returns the XSD datatype attached to a feature, if any.

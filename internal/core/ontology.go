@@ -22,6 +22,10 @@ type Ontology struct {
 	engine   *reasoner.Engine
 	eval     *sparql.Evaluator
 	prefixes *rdf.PrefixMap
+
+	// qc memoizes rewriting-time lookups for one store generation (see
+	// querycache.go); replaced wholesale when the store mutates.
+	qc *queryCache
 }
 
 // NewOntology returns an ontology whose store is initialized with the

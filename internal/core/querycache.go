@@ -1,0 +1,123 @@
+package core
+
+import (
+	"slices"
+	"sync"
+
+	"bdi/internal/rdf"
+	"bdi/internal/store"
+)
+
+// queryCache memoizes the ontology lookups that dominate query rewriting —
+// the wrapper↔mapping-graph correspondence, per-triple covering-wrapper
+// sets, edge-providing wrappers and per-(wrapper, feature) attribute
+// resolution — keyed on dictionary TermIDs. A cache instance is valid for
+// exactly one store generation; any mutation of the ontology store retires
+// the whole instance (writes into a retired instance are harmless: it is
+// unreachable from the ontology).
+type queryCache struct {
+	generation uint64
+
+	mu sync.Mutex
+	// wrapperGraph is LAVGraphOf as a map: wrapper -> its first mapping
+	// graph; graphWrapper is WrapperOfLAVGraph: graph -> the first wrapper
+	// claiming it; coveringByGraph inverts wrapperGraph (all wrappers whose
+	// mapping lives in the graph). nil until the first lookup builds them.
+	wrapperGraph    map[rdf.IRI]rdf.IRI
+	graphWrapper    map[rdf.IRI]rdf.IRI
+	coveringByGraph map[rdf.IRI][]rdf.IRI
+
+	covering      map[[3]rdf.TermID][]rdf.IRI // ground triple -> covering wrappers
+	edges         map[[2]rdf.TermID][]rdf.IRI // (from, to) -> edge-providing wrappers
+	attrOf        map[[2]rdf.TermID]rdf.IRI   // (wrapper, feature) -> attribute, "" = none
+	identifiersOf map[rdf.TermID][]rdf.IRI    // concept -> identifier features
+	providers     map[[2]rdf.TermID][]rdf.IRI // (concept, feature) -> providing wrappers
+	featureOfAttr map[rdf.TermID]rdf.IRI      // attribute -> feature, "" = none
+	attrsOf       map[rdf.TermID][]rdf.IRI    // feature -> attributes
+	sourceOf      map[rdf.TermID]rdf.IRI      // wrapper -> data source, "" = none
+}
+
+// queryCache returns the cache for the current store generation, retiring
+// any stale instance.
+func (o *Ontology) queryCache() *queryCache {
+	gen := o.store.Generation()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.qc == nil || o.qc.generation != gen {
+		o.qc = &queryCache{
+			generation:    gen,
+			covering:      map[[3]rdf.TermID][]rdf.IRI{},
+			edges:         map[[2]rdf.TermID][]rdf.IRI{},
+			attrOf:        map[[2]rdf.TermID]rdf.IRI{},
+			identifiersOf: map[rdf.TermID][]rdf.IRI{},
+			providers:     map[[2]rdf.TermID][]rdf.IRI{},
+			featureOfAttr: map[rdf.TermID]rdf.IRI{},
+			attrsOf:       map[rdf.TermID][]rdf.IRI{},
+			sourceOf:      map[rdf.TermID]rdf.IRI{},
+		}
+	}
+	return o.qc
+}
+
+// ensureMappingMapsLocked builds the wrapper↔graph maps from one sorted scan
+// of the M:mapping triples. The scan is subject-major in ascending term-key
+// order, so "first object per subject" and "first subject per object"
+// reproduce LAVGraphOf's and WrapperOfLAVGraph's first-match semantics.
+func (qc *queryCache) ensureMappingMapsLocked(o *Ontology) {
+	if qc.wrapperGraph != nil {
+		return
+	}
+	qc.wrapperGraph = map[rdf.IRI]rdf.IRI{}
+	qc.graphWrapper = map[rdf.IRI]rdf.IRI{}
+	qc.coveringByGraph = map[rdf.IRI][]rdf.IRI{}
+	for _, q := range o.store.Match(store.InGraph(MappingsGraphName, nil, MMapping, nil)) {
+		w, okW := q.Subject.(rdf.IRI)
+		g, okG := q.Object.(rdf.IRI)
+		if !okW || !okG {
+			continue
+		}
+		if _, seen := qc.wrapperGraph[w]; !seen {
+			qc.wrapperGraph[w] = g
+			qc.coveringByGraph[g] = append(qc.coveringByGraph[g], w)
+		}
+		if _, seen := qc.graphWrapper[g]; !seen {
+			qc.graphWrapper[g] = w
+		}
+	}
+}
+
+// WrappersCoveringTriple returns the wrappers whose LAV mapping graph
+// contains the given ground triple, sorted. The result is memoized per store
+// generation and must not be mutated; triples with variables or terms the
+// store has never seen are covered by no wrapper.
+func (o *Ontology) WrappersCoveringTriple(t rdf.Triple) []rdf.IRI {
+	d := o.store.Dict()
+	sid, okS := d.Lookup(t.Subject)
+	pid, okP := d.Lookup(t.Predicate)
+	oid, okO := d.Lookup(t.Object)
+	if !okS || !okP || !okO {
+		return nil
+	}
+	key := [3]rdf.TermID{sid, pid, oid}
+	qc := o.queryCache()
+	qc.mu.Lock()
+	if ws, ok := qc.covering[key]; ok {
+		qc.mu.Unlock()
+		return ws
+	}
+	qc.ensureMappingMapsLocked(o)
+	qc.mu.Unlock()
+
+	var out []rdf.IRI
+	for _, g := range o.store.GraphsContaining(t) {
+		qc.mu.Lock()
+		ws := qc.coveringByGraph[g]
+		qc.mu.Unlock()
+		out = append(out, ws...)
+	}
+	slices.Sort(out)
+	qc.mu.Lock()
+	qc.covering[key] = out
+	qc.mu.Unlock()
+	return out
+}

@@ -26,11 +26,15 @@ type Server struct {
 	ontology *core.Ontology
 	registry *wrapper.Registry
 	rewriter *rewriting.Rewriter
+	cache    *rewriting.Cache
 }
 
 // NewServer returns an MDM backend over the given ontology and registry.
+// Query endpoints are served through a rewriting cache that invalidates
+// itself on every ontology release.
 func NewServer(o *core.Ontology, reg *wrapper.Registry) *Server {
-	return &Server{ontology: o, registry: reg, rewriter: rewriting.NewRewriter(o)}
+	r := rewriting.NewRewriter(o)
+	return &Server{ontology: o, registry: reg, rewriter: r, cache: rewriting.NewCache(r)}
 }
 
 // Handler returns the HTTP handler exposing the MDM REST API:
@@ -42,6 +46,7 @@ func NewServer(o *core.Ontology, reg *wrapper.Registry) *Server {
 //	POST /api/releases              register a release (Algorithm 1)
 //	POST /api/queries/rewrite       rewrite an OMQ (SPARQL in, walks out)
 //	POST /api/queries/answer        rewrite and execute an OMQ
+//	GET  /api/queries/cache         rewriting-cache effectiveness counters
 //	GET  /api/changes/catalog       the change taxonomy (Tables 3-5)
 //	GET  /api/health                liveness probe
 func (s *Server) Handler() http.Handler {
@@ -56,6 +61,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/releases", s.handleRelease)
 	mux.HandleFunc("POST /api/queries/rewrite", s.handleRewrite)
 	mux.HandleFunc("POST /api/queries/answer", s.handleAnswer)
+	mux.HandleFunc("GET /api/queries/cache", s.handleCacheStats)
 	mux.HandleFunc("GET /api/changes/catalog", s.handleChangeCatalog)
 	mux.HandleFunc("GET /api/changes/applicability", s.handleApplicability)
 	return mux
@@ -262,12 +268,34 @@ func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	res, err := s.rewriter.RewriteSPARQL(req.SPARQL)
+	res, err := s.rewriteCached(req.SPARQL)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, rewriteResponse(res))
+}
+
+// rewriteCached parses a SPARQL OMQ and rewrites it through the
+// generation-keyed cache.
+func (s *Server) rewriteCached(sparqlText string) (*rewriting.Result, error) {
+	omq, err := rewriting.ParseOMQ(sparqlText)
+	if err != nil {
+		return nil, err
+	}
+	return s.cache.Rewrite(omq)
+}
+
+// CacheStatsResponse reports rewriting-cache effectiveness.
+type CacheStatsResponse struct {
+	Hits    int `json:"hits"`
+	Misses  int `json:"misses"`
+	Entries int `json:"entries"`
+}
+
+func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
+	hits, misses, entries := s.cache.Stats()
+	writeJSON(w, http.StatusOK, CacheStatsResponse{Hits: hits, Misses: misses, Entries: entries})
 }
 
 func rewriteResponse(res *rewriting.Result) RewriteResponse {
@@ -297,7 +325,12 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	resolver := wrapper.NewQualifiedResolver(s.registry)
-	answer, res, err := s.rewriter.AnswerSPARQL(req.SPARQL, resolver)
+	res, err := s.rewriteCached(req.SPARQL)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	answer, err := s.rewriter.ExecuteResult(res, resolver)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return

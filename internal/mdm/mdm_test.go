@@ -230,3 +230,25 @@ func TestChangeCatalogAndApplicabilityEndpoints(t *testing.T) {
 		t.Errorf("applicability = %+v", applicability)
 	}
 }
+
+// TestQueryCacheStats exercises the cached rewrite path: the second
+// identical rewrite must be a hit, and the cache endpoint must report it.
+func TestQueryCacheStats(t *testing.T) {
+	ts := newTestServer(t)
+	for i := 0; i < 2; i++ {
+		var rewrite RewriteResponse
+		if code := postJSON(t, ts.URL+"/api/queries/rewrite", QueryRequest{SPARQL: exampleQuery}, &rewrite); code != 200 {
+			t.Fatalf("rewrite %d status = %d", i, code)
+		}
+		if len(rewrite.Walks) == 0 {
+			t.Fatalf("rewrite %d returned no walks", i)
+		}
+	}
+	var stats CacheStatsResponse
+	if code := getJSON(t, ts.URL+"/api/queries/cache", &stats); code != 200 {
+		t.Fatalf("cache stats status = %d", code)
+	}
+	if stats.Hits != 1 || stats.Misses != 1 || stats.Entries != 1 {
+		t.Errorf("cache stats = %+v, want 1 hit, 1 miss, 1 entry", stats)
+	}
+}

@@ -25,7 +25,8 @@ type Dict struct {
 	blanks map[BlankNode]TermID
 	vars   map[Variable]TermID
 	lits   map[Literal]TermID
-	terms  []Term // terms[id-1] is the term assigned id
+	terms  []Term   // terms[id-1] is the term assigned id
+	keys   []string // keys[id-1] is TermKey(terms[id-1]), computed once
 }
 
 // NewDict returns an empty dictionary.
@@ -100,6 +101,7 @@ func (d *Dict) Intern(t Term) TermID {
 
 func (d *Dict) assign(t Term) TermID {
 	d.terms = append(d.terms, t)
+	d.keys = append(d.keys, termKey(t))
 	return TermID(len(d.terms))
 }
 
@@ -141,4 +143,38 @@ func (d *Dict) Term(id TermID) (Term, bool) {
 		return nil, false
 	}
 	return d.terms[id-1], true
+}
+
+// LookupIRI is Lookup specialized to IRIs. Taking the concrete type avoids
+// boxing the IRI into a Term interface value, which keeps hot accessor paths
+// allocation-free.
+func (d *Dict) LookupIRI(iri IRI) (TermID, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	id, ok := d.iris[iri]
+	return id, ok
+}
+
+// Keys returns the dictionary's key table: keys[id-1] is the TermKey of the
+// term assigned id. The dictionary is append-only, so the returned slice is
+// a stable snapshot for every id assigned before the call; callers must not
+// mutate it. Hot loops use it to resolve keys without per-id locking.
+func (d *Dict) Keys() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.keys
+}
+
+// Key returns the TermKey of the term assigned the given id, or ("", false)
+// for 0 or an id that was never assigned. The key is computed once at intern
+// time, so hot paths (sort keys, DISTINCT elimination, deterministic
+// ordering) can compare or concatenate per-term keys without re-deriving
+// them from the term.
+func (d *Dict) Key(id TermID) (string, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if id == 0 || int(id) > len(d.keys) {
+		return "", false
+	}
+	return d.keys[id-1], true
 }

@@ -106,3 +106,49 @@ func TestDictConcurrentIntern(t *testing.T) {
 		t.Errorf("Len = %d, want 50 distinct terms", d.Len())
 	}
 }
+
+func TestDictKeysAndLookupIRI(t *testing.T) {
+	d := NewDict()
+	terms := []Term{
+		IRI("http://ex/a"),
+		NewLiteral("hello"),
+		BlankNode("b1"),
+		Variable("v"),
+	}
+	for _, term := range terms {
+		id := d.Intern(term)
+		if k, ok := d.Key(id); !ok || k != TermKey(term) {
+			t.Errorf("Key(%v) = %q, %v; want %q", term, k, ok, TermKey(term))
+		}
+	}
+	if _, ok := d.Key(0); ok {
+		t.Error("Key(0) should report false")
+	}
+	if _, ok := d.Key(TermID(len(terms) + 1)); ok {
+		t.Error("Key of unassigned id should report false")
+	}
+	keys := d.Keys()
+	if len(keys) != len(terms) {
+		t.Fatalf("Keys() length = %d, want %d", len(keys), len(terms))
+	}
+	for i, term := range terms {
+		if keys[i] != TermKey(term) {
+			t.Errorf("Keys()[%d] = %q, want %q", i, keys[i], TermKey(term))
+		}
+	}
+	// The snapshot stays valid for already-assigned ids after growth.
+	d.Intern(IRI("http://ex/later"))
+	if keys[0] != TermKey(terms[0]) {
+		t.Error("snapshot invalidated by later interning")
+	}
+	id, ok := d.LookupIRI("http://ex/a")
+	if !ok {
+		t.Fatal("LookupIRI missed an interned IRI")
+	}
+	if id2, _ := d.Lookup(IRI("http://ex/a")); id2 != id {
+		t.Errorf("LookupIRI = %d, Lookup = %d", id, id2)
+	}
+	if _, ok := d.LookupIRI("http://ex/absent"); ok {
+		t.Error("LookupIRI found an absent IRI")
+	}
+}

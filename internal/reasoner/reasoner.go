@@ -20,20 +20,34 @@ package reasoner
 import (
 	"slices"
 	"sort"
+	"strings"
+	"sync"
 
 	"bdi/internal/rdf"
 	"bdi/internal/store"
 )
 
 // Engine provides query-time RDFS inference over a store. It caches the
-// subclass and subproperty hierarchies and invalidates the cache whenever
-// the underlying store changes.
+// subclass and subproperty hierarchies — both as IRI-keyed maps and as
+// dictionary-TermID closure sets for ID-native consumers — and invalidates
+// the cache whenever the underlying store changes. It is safe for
+// concurrent use: the closure refresh and the lazy per-class memo maps are
+// guarded by one mutex.
 type Engine struct {
 	store *store.Store
 
+	mu         sync.Mutex
 	generation uint64
 	subClass   map[string]map[string]bool // class -> all (transitive) superclasses
 	subProp    map[string]map[string]bool // property -> all (transitive) superproperties
+
+	// ID-native views of the subclass closure, rebuilt with the maps above.
+	// closure is keyed sub -> supers; names resolves closure members back to
+	// their IRI string for deterministic (ascending IRI) ordering.
+	subClassIDs  map[rdf.TermID]map[rdf.TermID]bool
+	closureNames map[rdf.TermID]string
+	subsOfID     map[rdf.TermID][]rdf.TermID // class -> subclasses (memoized, IRI order)
+	supersOfID   map[rdf.TermID][]rdf.TermID // class -> superclasses (memoized, IRI order)
 }
 
 // New returns an inference engine over the given store.
@@ -44,14 +58,22 @@ func New(s *store.Store) *Engine {
 // Store returns the underlying store.
 func (e *Engine) Store() *store.Store { return e.store }
 
-func (e *Engine) refresh() {
+// refreshLocked rebuilds the closures when the store generation moved.
+// Callers must hold e.mu.
+func (e *Engine) refreshLocked() {
 	gen := e.store.Generation()
 	if e.subClass != nil && gen == e.generation {
 		return
 	}
 	e.generation = gen
-	e.subClass = transitiveClosure(e.store, rdf.RDFSSubClassOf)
-	e.subProp = transitiveClosure(e.store, rdf.RDFSSubPropertyOf)
+	var propNames map[rdf.TermID]string
+	var subPropIDs map[rdf.TermID]map[rdf.TermID]bool
+	e.subClassIDs, e.closureNames = transitiveClosureIDs(e.store, rdf.RDFSSubClassOf)
+	subPropIDs, propNames = transitiveClosureIDs(e.store, rdf.RDFSSubPropertyOf)
+	e.subClass = nameClosure(e.subClassIDs, e.closureNames)
+	e.subProp = nameClosure(subPropIDs, propNames)
+	e.subsOfID = map[rdf.TermID][]rdf.TermID{}
+	e.supersOfID = map[rdf.TermID][]rdf.TermID{}
 }
 
 // IsSubClassOf reports whether sub is rdfs:subClassOf sup, directly or
@@ -60,7 +82,9 @@ func (e *Engine) IsSubClassOf(sub, sup rdf.IRI) bool {
 	if sub == sup {
 		return true
 	}
-	e.refresh()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.refreshLocked()
 	return e.subClass[string(sub)][string(sup)]
 }
 
@@ -70,21 +94,31 @@ func (e *Engine) IsSubPropertyOf(sub, sup rdf.IRI) bool {
 	if sub == sup {
 		return true
 	}
-	e.refresh()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.refreshLocked()
 	return e.subProp[string(sub)][string(sup)]
 }
 
 // SuperClasses returns all (transitive) superclasses of the given class,
 // sorted, excluding the class itself.
 func (e *Engine) SuperClasses(class rdf.IRI) []rdf.IRI {
-	e.refresh()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.refreshLocked()
 	return sortedKeys(e.subClass[string(class)])
 }
 
 // SubClassesOf returns all classes that are (transitively) subclasses of the
 // given class, excluding the class itself.
 func (e *Engine) SubClassesOf(class rdf.IRI) []rdf.IRI {
-	e.refresh()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.refreshLocked()
+	return e.subClassesOfLocked(class)
+}
+
+func (e *Engine) subClassesOfLocked(class rdf.IRI) []rdf.IRI {
 	var out []rdf.IRI
 	for sub, supers := range e.subClass {
 		if supers[string(class)] {
@@ -95,13 +129,76 @@ func (e *Engine) SubClassesOf(class rdf.IRI) []rdf.IRI {
 	return out
 }
 
+// IsSubClassOfIDs is IsSubClassOf on dictionary TermIDs (reflexive). IDs the
+// dictionary never assigned to a class trivially report false unless equal.
+func (e *Engine) IsSubClassOfIDs(sub, sup rdf.TermID) bool {
+	if sub == sup {
+		return true
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.refreshLocked()
+	return e.subClassIDs[sub][sup]
+}
+
+// SubClassIDsOf returns the TermIDs of all (transitive) subclasses of the
+// class with the given id, in ascending IRI order. Like SubClassesOf it
+// excludes the class itself unless the hierarchy is cyclic. The returned
+// slice is memoized per store generation and must not be mutated.
+func (e *Engine) SubClassIDsOf(class rdf.TermID) []rdf.TermID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.refreshLocked()
+	if subs, ok := e.subsOfID[class]; ok {
+		return subs
+	}
+	var subs []rdf.TermID
+	for sub, supers := range e.subClassIDs {
+		if supers[class] {
+			subs = append(subs, sub)
+		}
+	}
+	e.sortByNameLocked(subs)
+	e.subsOfID[class] = subs
+	return subs
+}
+
+// SuperClassIDsOf returns the TermIDs of all (transitive) superclasses of
+// the class with the given id, in ascending IRI order; the same memoization
+// and mutation rules as SubClassIDsOf apply.
+func (e *Engine) SuperClassIDsOf(class rdf.TermID) []rdf.TermID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.refreshLocked()
+	if supers, ok := e.supersOfID[class]; ok {
+		return supers
+	}
+	var supers []rdf.TermID
+	for sup := range e.subClassIDs[class] {
+		supers = append(supers, sup)
+	}
+	e.sortByNameLocked(supers)
+	e.supersOfID[class] = supers
+	return supers
+}
+
+// sortByNameLocked orders closure members by their IRI string, matching the
+// deterministic order of the IRI-based accessors. Callers must hold e.mu.
+func (e *Engine) sortByNameLocked(ids []rdf.TermID) {
+	slices.SortFunc(ids, func(a, b rdf.TermID) int {
+		return strings.Compare(e.closureNames[a], e.closureNames[b])
+	})
+}
+
 // InstancesOf returns all subjects typed (rdf:type) with the given class or
 // any of its subclasses, across all graphs, sorted. Dedup across classes is
 // keyed on the store dictionary's subject TermIDs; term keys are derived
 // only once per distinct subject, for the final ordering.
 func (e *Engine) InstancesOf(class rdf.IRI) []rdf.Term {
-	e.refresh()
-	classes := append(e.SubClassesOf(class), class)
+	e.mu.Lock()
+	e.refreshLocked()
+	classes := append(e.subClassesOfLocked(class), class)
+	e.mu.Unlock()
 	seen := map[rdf.TermID]rdf.Term{}
 	for _, c := range classes {
 		for _, m := range e.store.MatchWithIDs(store.WildcardGraph(nil, rdf.RDFType, c)) {
@@ -206,8 +303,8 @@ func Materialize(s *store.Store, opts MaterializeOptions) (int, error) {
 func materializeOnce(s *store.Store, opts MaterializeOptions) (int, error) {
 	var newQuads []rdf.Quad
 
-	subClass := transitiveClosure(s, rdf.RDFSSubClassOf)
-	subProp := transitiveClosure(s, rdf.RDFSSubPropertyOf)
+	subClass := nameClosure(transitiveClosureIDs(s, rdf.RDFSSubClassOf))
+	subProp := nameClosure(transitiveClosureIDs(s, rdf.RDFSSubPropertyOf))
 
 	if opts.SubClassTransitivity {
 		newQuads = append(newQuads, closureQuads(s, rdf.RDFSSubClassOf, subClass)...)
@@ -304,12 +401,12 @@ func closureQuads(s *store.Store, predicate rdf.IRI, closure map[string]map[stri
 	return out
 }
 
-// transitiveClosure computes, for the given predicate (e.g. rdfs:subClassOf),
-// a map from each subject IRI to the set of all IRIs reachable by following
-// the predicate one or more times. The graph walk runs entirely on
-// dictionary TermIDs; IRIs are materialized only for the resulting maps,
-// which the Engine exposes keyed by IRI string.
-func transitiveClosure(s *store.Store, predicate rdf.IRI) map[string]map[string]bool {
+// transitiveClosureIDs computes, for the given predicate (e.g.
+// rdfs:subClassOf), a map from each subject TermID to the set of all TermIDs
+// reachable by following the predicate one or more times, along with the IRI
+// string of every closure member. The graph walk runs entirely on dictionary
+// TermIDs; only IRI subjects and objects participate.
+func transitiveClosureIDs(s *store.Store, predicate rdf.IRI) (map[rdf.TermID]map[rdf.TermID]bool, map[rdf.TermID]string) {
 	direct := map[rdf.TermID][]rdf.TermID{}
 	names := map[rdf.TermID]string{}
 	for _, m := range s.MatchWithIDs(store.WildcardGraph(nil, predicate, nil)) {
@@ -323,7 +420,7 @@ func transitiveClosure(s *store.Store, predicate rdf.IRI) map[string]map[string]
 		names[m.ID.Subject] = m.Subject.Value()
 		names[m.ID.Object] = m.Object.Value()
 	}
-	closure := map[string]map[string]bool{}
+	closure := map[rdf.TermID]map[rdf.TermID]bool{}
 	for node := range direct {
 		reach := map[rdf.TermID]bool{}
 		stack := append([]rdf.TermID{}, direct[node]...)
@@ -336,13 +433,23 @@ func transitiveClosure(s *store.Store, predicate rdf.IRI) map[string]map[string]
 			reach[cur] = true
 			stack = append(stack, direct[cur]...)
 		}
+		closure[node] = reach
+	}
+	return closure, names
+}
+
+// nameClosure converts an ID-keyed closure into the IRI-string form exposed
+// by the Engine's public accessors.
+func nameClosure(closure map[rdf.TermID]map[rdf.TermID]bool, names map[rdf.TermID]string) map[string]map[string]bool {
+	out := make(map[string]map[string]bool, len(closure))
+	for node, reach := range closure {
 		set := make(map[string]bool, len(reach))
 		for id := range reach {
 			set[names[id]] = true
 		}
-		closure[names[node]] = set
+		out[names[node]] = set
 	}
-	return closure
+	return out
 }
 
 func sortedKeys(m map[string]bool) []rdf.IRI {

@@ -1,6 +1,8 @@
 package reasoner
 
 import (
+	"slices"
+	"sync"
 	"testing"
 
 	"bdi/internal/rdf"
@@ -188,4 +190,96 @@ func TestCyclicHierarchyDoesNotLoop(t *testing.T) {
 	if _, err := Materialize(s, DefaultMaterializeOptions()); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestIDClosureSets checks that the TermID-based closure accessors agree
+// with the IRI-based ones, stay in ascending IRI order, and survive store
+// mutations (generation-keyed invalidation).
+func TestIDClosureSets(t *testing.T) {
+	s := taxonomyStore(t)
+	e := New(s)
+	dict := s.Dict()
+	lookup := func(iri rdf.IRI) rdf.TermID {
+		t.Helper()
+		id, ok := dict.Lookup(iri)
+		if !ok {
+			t.Fatalf("%s not interned", iri)
+		}
+		return id
+	}
+	identifier := lookup("http://ex/identifier")
+	monitorID := lookup("http://ex/monitorId")
+	feature := lookup("http://ex/Feature")
+
+	if !e.IsSubClassOfIDs(monitorID, identifier) || !e.IsSubClassOfIDs(monitorID, feature) {
+		t.Error("ID subclass closure missing direct/transitive edges")
+	}
+	if !e.IsSubClassOfIDs(monitorID, monitorID) {
+		t.Error("ID subclass relation should be reflexive")
+	}
+	if e.IsSubClassOfIDs(identifier, monitorID) {
+		t.Error("ID subclass relation inverted")
+	}
+
+	toIRIs := func(ids []rdf.TermID) []rdf.IRI {
+		out := make([]rdf.IRI, len(ids))
+		for i, id := range ids {
+			term, ok := dict.Term(id)
+			if !ok {
+				t.Fatalf("id %d not in dict", id)
+			}
+			out[i] = term.(rdf.IRI)
+		}
+		return out
+	}
+	if got, want := toIRIs(e.SubClassIDsOf(identifier)), e.SubClassesOf("http://ex/identifier"); !slices.Equal(got, want) {
+		t.Errorf("SubClassIDsOf = %v, want %v", got, want)
+	}
+	if got, want := toIRIs(e.SuperClassIDsOf(monitorID)), e.SuperClasses("http://ex/monitorId"); !slices.Equal(got, want) {
+		t.Errorf("SuperClassIDsOf = %v, want %v", got, want)
+	}
+
+	// Mutating the store invalidates the ID closures too.
+	if _, err := s.AddTriple("", rdf.T("http://ex/newId", rdf.RDFSSubClassOf, "http://ex/identifier")); err != nil {
+		t.Fatal(err)
+	}
+	newID := lookup("http://ex/newId")
+	if !e.IsSubClassOfIDs(newID, feature) {
+		t.Error("closure not refreshed after store mutation")
+	}
+	if got, want := toIRIs(e.SubClassIDsOf(identifier)), e.SubClassesOf("http://ex/identifier"); !slices.Equal(got, want) {
+		t.Errorf("after mutation: SubClassIDsOf = %v, want %v", got, want)
+	}
+}
+
+// TestConcurrentIDClosureAccess pins the concurrency contract: parallel
+// cold lookups of the memoized ID closures (as issued by concurrent SPARQL
+// evaluations) must not race. Run with -race.
+func TestConcurrentIDClosureAccess(t *testing.T) {
+	s := taxonomyStore(t)
+	e := New(s)
+	dict := s.Dict()
+	var ids []rdf.TermID
+	for _, iri := range []rdf.IRI{"http://ex/identifier", "http://ex/monitorId", "http://ex/Feature", "http://ex/applicationId"} {
+		id, ok := dict.Lookup(iri)
+		if !ok {
+			t.Fatalf("%s not interned", iri)
+		}
+		ids = append(ids, id)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := ids[(g+i)%len(ids)]
+				e.SubClassIDsOf(id)
+				e.SuperClassIDsOf(id)
+				e.IsSubClassOfIDs(ids[0], id)
+				e.SubClassesOf("http://ex/identifier")
+			}
+		}(g)
+	}
+	wg.Wait()
 }

@@ -163,12 +163,8 @@ func InterConceptGeneration(o *core.Ontology, eq *ExpandedQuery, partials []Part
 }
 
 func sharesWrapper(a, b *relational.Walk) bool {
-	names := map[string]bool{}
-	for _, n := range a.WrapperNames() {
-		names[n] = true
-	}
-	for _, n := range b.WrapperNames() {
-		if names[n] {
+	for _, ref := range a.Wrappers {
+		if b.HasWrapper(ref.Wrapper) {
 			return true
 		}
 	}
@@ -232,13 +228,15 @@ func joinViaEdge(o *core.Ontology, idConcept rdf.IRI, edgeWrappers []rdf.IRI, id
 	if !ok {
 		return nil, false
 	}
-	out := merged.Clone()
-	added := false
 	// Lines 15-17: for each wrapper contributing the edge, join it with the
-	// ID-side wrapper on the physical attributes of fID.
+	// ID-side wrapper on the physical attributes of fID. Joins are collected
+	// first so the (allocation-heavy) walk clone only happens for candidate
+	// walks that actually join.
+	var joins []relational.JoinCondition
+	added := false
 	for _, ew := range edgeWrappers {
 		edgeWrapperName := core.WrapperLocalName(ew)
-		if !out.HasWrapper(edgeWrapperName) {
+		if !merged.HasWrapper(edgeWrapperName) {
 			// The edge provider is not part of this candidate walk; joining
 			// through it would silently add a wrapper the analyst's concepts do
 			// not require, so skip it (another cartesian-product pair covers it).
@@ -253,7 +251,7 @@ func joinViaEdge(o *core.Ontology, idConcept rdf.IRI, edgeWrappers []rdf.IRI, id
 			added = true
 			continue
 		}
-		out.AddJoin(relational.JoinCondition{
+		joins = append(joins, relational.JoinCondition{
 			LeftWrapper:  edgeWrapperName,
 			LeftAttr:     core.AttributeName(attLeft),
 			RightWrapper: idWrapper,
@@ -263,6 +261,10 @@ func joinViaEdge(o *core.Ontology, idConcept rdf.IRI, edgeWrappers []rdf.IRI, id
 	}
 	if !added {
 		return nil, false
+	}
+	out := merged.Clone()
+	for _, j := range joins {
+		out.AddJoin(j)
 	}
 	return out, true
 }

@@ -13,55 +13,84 @@ import (
 // Coverage reports whether the union of the LAV mapping graphs of the walk's
 // wrappers subsumes the query pattern (problem statement, §2.3).
 func Coverage(o *core.Ontology, walk *relational.Walk, phi *rdf.Graph) bool {
-	union := rdf.NewGraph("")
-	for _, name := range walk.WrapperNames() {
-		if lav, ok := o.LAVMappingOf(core.WrapperURI(name)); ok {
-			union.Merge(lav)
-		}
-	}
-	return union.Subsumes(phi)
+	return newCoverageChecker(o, phi).covers(walkWrapperURIs(walk), -1)
 }
 
 // Minimal reports whether the walk is minimal with respect to the query
 // pattern: it is covering, and removing any wrapper breaks coverage.
 func Minimal(o *core.Ontology, walk *relational.Walk, phi *rdf.Graph) bool {
-	if !Coverage(o, walk, phi) {
-		return false
-	}
+	return newCoverageChecker(o, phi).minimal(walkWrapperURIs(walk))
+}
+
+// walkWrapperURIs resolves a walk's wrapper names to their IRIs, once per
+// walk.
+func walkWrapperURIs(walk *relational.Walk) []rdf.IRI {
 	names := walk.WrapperNames()
-	if len(names) == 1 {
-		return true
+	uris := make([]rdf.IRI, len(names))
+	for i, name := range names {
+		uris[i] = core.WrapperURI(name)
 	}
-	for _, drop := range names {
-		reduced := walkWithout(walk, drop)
-		if reduced == nil {
-			continue
+	return uris
+}
+
+// coverageChecker holds, for each triple of a query pattern, the set of
+// wrappers whose LAV mapping graph contains it. Built once per pattern (the
+// per-triple wrapper sets are memoized by the ontology per store
+// generation), it turns every coverage and minimality check into pure set
+// membership — no mapping graphs are materialized or merged per walk.
+type coverageChecker struct {
+	sets []map[rdf.IRI]bool
+}
+
+func newCoverageChecker(o *core.Ontology, phi *rdf.Graph) *coverageChecker {
+	if phi == nil {
+		return &coverageChecker{}
+	}
+	c := &coverageChecker{sets: make([]map[rdf.IRI]bool, len(phi.Triples))}
+	for i, t := range phi.Triples {
+		covering := o.WrappersCoveringTriple(t)
+		set := make(map[rdf.IRI]bool, len(covering))
+		for _, w := range covering {
+			set[w] = true
 		}
-		if Coverage(o, reduced, phi) {
+		c.sets[i] = set
+	}
+	return c
+}
+
+// covers reports whether the wrappers minus the one at index drop (-1 to
+// drop nothing) jointly cover every triple of the pattern.
+func (c *coverageChecker) covers(uris []rdf.IRI, drop int) bool {
+	for _, set := range c.sets {
+		covered := false
+		for i, uri := range uris {
+			if i != drop && set[uri] {
+				covered = true
+				break
+			}
+		}
+		if !covered {
 			return false
 		}
 	}
 	return true
 }
 
-func walkWithout(w *relational.Walk, drop string) *relational.Walk {
-	out := &relational.Walk{}
-	for _, ref := range w.Wrappers {
-		if ref.Wrapper == drop {
-			continue
+// minimal reports whether the wrappers are covering and no single wrapper
+// can be dropped without breaking coverage.
+func (c *coverageChecker) minimal(uris []rdf.IRI) bool {
+	if !c.covers(uris, -1) {
+		return false
+	}
+	if len(uris) == 1 {
+		return true
+	}
+	for drop := range uris {
+		if c.covers(uris, drop) {
+			return false
 		}
-		out.AddWrapper(ref)
 	}
-	if len(out.Wrappers) == 0 {
-		return nil
-	}
-	for _, j := range w.Joins {
-		if j.LeftWrapper == drop || j.RightWrapper == drop {
-			continue
-		}
-		out.AddJoin(j)
-	}
-	return out
+	return true
 }
 
 // Rewriter orchestrates the three-phase query rewriting over a BDI ontology.
@@ -113,9 +142,10 @@ func (r *Rewriter) Rewrite(omq *OMQ) (*Result, error) {
 	}
 
 	ucq := relational.NewUCQ()
+	checker := newCoverageChecker(o, wf.Phi)
 	for _, w := range walks {
 		if r.CheckCoverage {
-			if !Coverage(o, w, wf.Phi) || !Minimal(o, w, wf.Phi) {
+			if !checker.minimal(walkWrapperURIs(w)) {
 				continue
 			}
 		}

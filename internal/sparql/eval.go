@@ -1,9 +1,9 @@
 package sparql
 
 import (
-	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"bdi/internal/rdf"
 	"bdi/internal/reasoner"
@@ -102,10 +102,19 @@ func (s *Solutions) String() string {
 // Evaluator evaluates restricted SPARQL queries against a store, optionally
 // applying the RDFS entailment regime (subclass-aware rdf:type and
 // subproperty-aware predicate matching), as assumed in §2 of the paper.
+//
+// Queries are compiled into a slot-based plan (see plan.go) and evaluated
+// entirely in dictionary-TermID space: intermediate bindings are flat
+// []rdf.TermID rows, joins extend rows through store.MatchIDs and integer
+// equality, and terms are rehydrated only at projection time. Entailment
+// expansion sets are cached per store generation.
 type Evaluator struct {
 	store      *store.Store
 	engine     *reasoner.Engine
 	Entailment bool
+
+	mu  sync.Mutex
+	ent *entailCache
 }
 
 // NewEvaluator returns an evaluator with RDFS entailment enabled.
@@ -135,72 +144,191 @@ func (e *Evaluator) Select(queryText string) (*Solutions, error) {
 
 // Evaluate evaluates a parsed query.
 func (e *Evaluator) Evaluate(q *Query) (*Solutions, error) {
-	// Seed bindings from the VALUES table (cartesian of rows, usually one).
-	seeds := []Binding{{}}
-	if !q.Values.IsEmpty() {
-		seeds = nil
-		for _, row := range q.Values.Rows {
-			if len(row) != len(q.Values.Variables) {
-				return nil, fmt.Errorf("sparql: VALUES row arity mismatch")
+	pl, err := e.compile(q)
+	if err != nil {
+		return nil, err
+	}
+	if pl.empty {
+		return &Solutions{Variables: pl.vars}, nil
+	}
+	return e.run(pl), nil
+}
+
+// Ask reports whether the query has at least one solution.
+func (e *Evaluator) Ask(q *Query) (bool, error) {
+	sols, err := e.Evaluate(q)
+	if err != nil {
+		return false, err
+	}
+	return sols.Len() > 0, nil
+}
+
+// entailCache holds the per-generation state of entailment expansion: the
+// vocabulary TermIDs and, per queried predicate, its direct subproperties.
+// Subclass closure sets are memoized by the reasoner engine (also per
+// generation), so the evaluator only caches what the engine does not.
+type entailCache struct {
+	generation   uint64
+	typeID       rdf.TermID
+	subClassOfID rdf.TermID
+	subPropOfID  rdf.TermID
+	subProps     map[rdf.TermID][]rdf.TermID
+}
+
+// entailment returns the current entailment cache, rebuilding it when the
+// store generation moved (a mutation may add hierarchy edges or intern the
+// RDFS vocabulary for the first time).
+func (e *Evaluator) entailment() *entailCache {
+	gen := e.store.Generation()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.ent == nil || e.ent.generation != gen {
+		d := e.store.Dict()
+		c := &entailCache{generation: gen, subProps: map[rdf.TermID][]rdf.TermID{}}
+		c.typeID, _ = d.Lookup(rdf.RDFType)
+		c.subClassOfID, _ = d.Lookup(rdf.RDFSSubClassOf)
+		c.subPropOfID, _ = d.Lookup(rdf.RDFSSubPropertyOf)
+		e.ent = c
+	}
+	return e.ent
+}
+
+// subPropsOf returns the direct subproperties of the predicate with the
+// given id, in the deterministic first-occurrence order of the
+// rdfs:subPropertyOf matches, computed once per predicate per generation.
+func (e *Evaluator) subPropsOf(c *entailCache, pid rdf.TermID) []rdf.TermID {
+	e.mu.Lock()
+	if subs, ok := c.subProps[pid]; ok {
+		e.mu.Unlock()
+		return subs
+	}
+	e.mu.Unlock()
+	var subs []rdf.TermID
+	if c.subPropOfID != 0 {
+		if t, ok := e.store.Dict().Term(pid); ok && t.Kind() == rdf.KindIRI {
+			var seen map[rdf.TermID]bool
+			for _, m := range e.store.MatchWithIDs(store.WildcardGraph(nil, rdf.RDFSSubPropertyOf, t)) {
+				if _, isIRI := m.Subject.(rdf.IRI); !isIRI {
+					continue
+				}
+				if seen[m.ID.Subject] {
+					continue
+				}
+				if seen == nil {
+					seen = map[rdf.TermID]bool{}
+				}
+				seen[m.ID.Subject] = true
+				subs = append(subs, m.ID.Subject)
 			}
-			b := Binding{}
-			for i, v := range q.Values.Variables {
-				b[v] = row[i]
-			}
-			seeds = append(seeds, b)
 		}
 	}
+	e.mu.Lock()
+	c.subProps[pid] = subs
+	e.mu.Unlock()
+	return subs
+}
 
-	bindings := seeds
-	// Order patterns to keep joins selective: patterns with constants first.
-	patterns := append([]TriplePattern(nil), q.Where...)
-	sort.SliceStable(patterns, func(i, j int) bool {
-		return patternSelectivity(patterns[i]) < patternSelectivity(patterns[j])
-	})
-	for _, tp := range patterns {
-		bindings = e.extend(bindings, tp, q.From)
-		if len(bindings) == 0 {
+// rowArena hands out fixed-width rows from chunked backing buffers, so row
+// extension costs an amortized bump allocation instead of one allocation per
+// row. Previously handed-out rows keep referencing their original chunk.
+type rowArena struct {
+	width int
+	buf   []rdf.TermID
+}
+
+const arenaChunkRows = 512
+
+// alloc returns a fresh zero row of the arena's width.
+func (a *rowArena) alloc() []rdf.TermID {
+	if a.width == 0 {
+		return nil
+	}
+	if len(a.buf)+a.width > cap(a.buf) {
+		a.buf = make([]rdf.TermID, 0, a.width*arenaChunkRows)
+	}
+	n := len(a.buf)
+	a.buf = a.buf[:n+a.width]
+	return a.buf[n : n+a.width : n+a.width]
+}
+
+// release returns the most recently allocated row to the arena; it must only
+// be called for a row that was never retained.
+func (a *rowArena) release() {
+	a.buf = a.buf[:len(a.buf)-a.width]
+}
+
+// exec is the per-evaluation state of the ID-native pipeline.
+type exec struct {
+	e     *Evaluator
+	pl    *plan
+	ent   *entailCache // nil when entailment is off
+	arena rowArena
+	// matchBuf is recycled across the per-row probes of dynamic patterns
+	// (it is fully consumed before the next probe); entailBuf likewise
+	// across entailment sub-queries. Static matches use their own storage.
+	matchBuf  []store.QuadID
+	entailBuf []store.QuadID
+}
+
+// run executes a compiled plan: join the patterns over flat TermID rows,
+// filter, project, deduplicate, order deterministically and materialize the
+// solutions.
+func (e *Evaluator) run(pl *plan) *Solutions {
+	ec := &exec{e: e, pl: pl, arena: rowArena{width: pl.slotCount}}
+	if e.Entailment {
+		ec.ent = e.entailment()
+	}
+
+	rows := pl.seeds
+	if rows == nil {
+		rows = [][]rdf.TermID{ec.arena.alloc()}
+	}
+	for i := range pl.patterns {
+		rows = ec.extend(rows, &pl.patterns[i])
+		if len(rows) == 0 {
 			break
 		}
 	}
 
 	// Filters.
-	var filtered []Binding
-	for _, b := range bindings {
-		ok := true
-		for _, f := range q.Filters {
-			if !evalFilter(f, b) {
-				ok = false
-				break
+	if len(pl.filters) > 0 {
+		kept := rows[:0]
+		for _, row := range rows {
+			if ec.filtersHold(row) {
+				kept = append(kept, row)
 			}
 		}
-		if ok {
-			filtered = append(filtered, b)
-		}
+		rows = kept
 	}
 
-	vars := q.ProjectedVariables()
-	// Projection + DISTINCT. Each projected binding's canonical key is
-	// computed exactly once and reused by both DISTINCT elimination and the
-	// ordering below, rather than re-derived inside the sort comparator.
-	var projected []Binding
+	// Projection + DISTINCT, keyed on the concatenated per-term sort keys
+	// (identical bytes to the map-based evaluator's canonical binding key,
+	// so DISTINCT semantics and the deterministic order are preserved).
+	var projected [][]rdf.TermID
 	var projectedKeys []string
-	seen := map[string]bool{}
-	for _, b := range filtered {
-		pb := Binding{}
-		for _, v := range vars {
-			if t, ok := b[v]; ok {
-				pb[v] = t
+	var seen map[string]bool
+	if pl.distinct {
+		seen = map[string]bool{}
+	}
+	var scratch []byte
+	for _, row := range rows {
+		scratch = scratch[:0]
+		for i, s := range pl.projSlots {
+			if i > 0 {
+				scratch = append(scratch, 0)
 			}
+			scratch = append(scratch, pl.lt.key(row[s])...)
 		}
-		k := pb.Key(vars)
-		if q.Distinct {
-			if seen[k] {
-				continue
-			}
+		// The map lookup on string(scratch) does not allocate; the key
+		// string is materialized only for rows that survive DISTINCT.
+		if pl.distinct && seen[string(scratch)] {
+			continue
+		}
+		k := string(scratch)
+		if pl.distinct {
 			seen[k] = true
 		}
-		projected = append(projected, pb)
+		projected = append(projected, row)
 		projectedKeys = append(projectedKeys, k)
 	}
 
@@ -213,7 +341,7 @@ func (e *Evaluator) Evaluate(q *Query) (*Solutions, error) {
 		sort.SliceStable(order, func(i, j int) bool {
 			return projectedKeys[order[i]] < projectedKeys[order[j]]
 		})
-		ordered := make([]Binding, len(projected))
+		ordered := make([][]rdf.TermID, len(projected))
 		for i, j := range order {
 			ordered[i] = projected[j]
 		}
@@ -221,228 +349,286 @@ func (e *Evaluator) Evaluate(q *Query) (*Solutions, error) {
 	}
 
 	// OFFSET / LIMIT.
-	if q.Offset > 0 {
-		if q.Offset >= len(projected) {
+	if pl.offset > 0 {
+		if pl.offset >= len(projected) {
 			projected = nil
 		} else {
-			projected = projected[q.Offset:]
+			projected = projected[pl.offset:]
 		}
 	}
-	if q.Limit >= 0 && q.Limit < len(projected) {
-		projected = projected[:q.Limit]
+	if pl.limit >= 0 && pl.limit < len(projected) {
+		projected = projected[:pl.limit]
 	}
 
-	return &Solutions{Variables: vars, Bindings: projected}, nil
-}
-
-// Ask reports whether the query has at least one solution.
-func (e *Evaluator) Ask(q *Query) (bool, error) {
-	sols, err := e.Evaluate(q)
-	if err != nil {
-		return false, err
-	}
-	return sols.Len() > 0, nil
-}
-
-func patternSelectivity(tp TriplePattern) int {
-	score := 0
-	for _, t := range []rdf.Term{tp.Subject, tp.Predicate, tp.Object} {
-		if t == nil || t.Kind() == rdf.KindVariable {
-			score++
-		}
-	}
-	return score
-}
-
-// extend joins the current bindings with the matches of a single pattern.
-func (e *Evaluator) extend(bindings []Binding, tp TriplePattern, from rdf.IRI) []Binding {
-	var out []Binding
-	for _, b := range bindings {
-		s := substitute(tp.Subject, b)
-		p := substitute(tp.Predicate, b)
-		o := substitute(tp.Object, b)
-
-		var matches []rdf.Quad
-		switch g := tp.Graph.(type) {
-		case nil:
-			if from != "" {
-				matches = e.match(store.InGraph(from, s, p, o), p, o)
-			} else {
-				// No FROM clause and no GRAPH block: the pattern matches the
-				// union of all graphs, and the graph a triple came from is not
-				// observable, so deduplicate matches on the triple alone.
-				matches = e.matchUnion(store.WildcardGraph(s, p, o), p, o)
-			}
-		case rdf.IRI:
-			matches = e.match(store.InGraph(g, s, p, o), p, o)
-		case rdf.Variable:
-			if bound, ok := b[g]; ok {
-				if gi, isIRI := bound.(rdf.IRI); isIRI {
-					matches = e.match(store.InGraph(gi, s, p, o), p, o)
-				}
-			} else {
-				matches = e.match(store.WildcardGraph(s, p, o), p, o)
+	// Materialize terms, only now and only for the surviving rows.
+	bindings := make([]Binding, len(projected))
+	for i, row := range projected {
+		b := Binding{}
+		for j, v := range pl.vars {
+			if id := row[pl.projSlots[j]]; id != 0 {
+				b[v] = pl.lt.term(id)
 			}
 		}
+		bindings[i] = b
+	}
+	return &Solutions{Variables: pl.vars, Bindings: bindings}
+}
 
+// extend joins the current rows with the matches of a single pattern.
+func (ec *exec) extend(rows [][]rdf.TermID, pp *planPattern) [][]rdf.TermID {
+	var out [][]rdf.TermID
+	var staticMatches []store.QuadID
+	if pp.static {
+		// The match list cannot depend on the row: compute it once.
+		staticMatches = ec.patternMatches(pp, nil, nil)
+		if len(staticMatches) == 0 {
+			return nil
+		}
+	}
+	for _, row := range rows {
+		matches := staticMatches
+		if !pp.static {
+			matches = ec.patternMatches(pp, row, ec.matchBuf[:0])
+		}
 		for _, m := range matches {
-			nb := b.Clone()
-			if !bindTerm(nb, tp.Subject, m.Subject) ||
-				!bindTerm(nb, tp.Predicate, m.Predicate) ||
-				!bindTerm(nb, tp.Object, m.Object) {
-				continue
+			if nr, ok := ec.bindMatch(row, pp, m); ok {
+				out = append(out, nr)
 			}
-			if gv, ok := tp.Graph.(rdf.Variable); ok {
-				if !bindTerm(nb, gv, m.Graph) {
-					continue
-				}
-			}
-			out = append(out, nb)
+		}
+		if !pp.static {
+			// The probe result is fully consumed; recycle its storage
+			// (grown by entailment if needed) for the next row.
+			ec.matchBuf = matches[:0]
 		}
 	}
 	return out
 }
 
-// match queries the store, applying RDFS entailment for rdf:type patterns
-// (subclass closure on the object) and for subproperty closure on the
-// predicate when entailment is enabled.
-func (e *Evaluator) match(p store.Pattern, predicate, object rdf.Term) []rdf.Quad {
-	return e.entail(p, predicate, object, e.store.Match(p))
-}
-
-// matchUnion is match for union-of-all-graphs patterns: quads repeating the
-// same triple in different graphs are collapsed to the first occurrence,
-// keyed on the integer TermIDs the store already carries for each match.
-// Entailed quads are appended afterwards by entail, whose appendUniqueQuad
-// guard dedupes them against the base triples.
-func (e *Evaluator) matchUnion(p store.Pattern, predicate, object rdf.Term) []rdf.Quad {
-	ms := e.store.MatchWithIDs(p)
-	seen := make(map[[3]rdf.TermID]bool, len(ms))
-	base := make([]rdf.Quad, 0, len(ms))
-	for _, m := range ms {
-		k := [3]rdf.TermID{m.ID.Subject, m.ID.Predicate, m.ID.Object}
-		if seen[k] {
-			continue
-		}
-		seen[k] = true
-		base = append(base, m.Quad)
+// patternMatches returns the quads matching the pattern under the row's
+// bindings, base matches first (store order) and entailed quads appended in
+// deterministic expansion order. row may be nil for static patterns; buf, if
+// non-nil, provides recycled storage for the result.
+func (ec *exec) patternMatches(pp *planPattern, row []rdf.TermID, buf []store.QuadID) []store.QuadID {
+	ip := store.IDPattern{
+		Subject:   pp.s.valueIn(row),
+		Predicate: pp.p.valueIn(row),
+		Object:    pp.o.valueIn(row),
 	}
-	return e.entail(p, predicate, object, base)
-}
-
-// entail extends base matches with RDFS-entailed quads for the pattern.
-func (e *Evaluator) entail(p store.Pattern, predicate, object rdf.Term, base []rdf.Quad) []rdf.Quad {
-	if !e.Entailment {
+	union := false
+	// Match order is observable only when an unbound graph variable will be
+	// bound from entailment-deduplicated matches (the first quad carrying a
+	// triple wins and donates its graph); everywhere else the pipeline's
+	// final projected-key ordering makes probes order-insensitive, so the
+	// store's per-probe sort is skipped.
+	ordered := false
+	synthGraph := ec.pl.emptyGraphID
+	switch pp.graphMode {
+	case graphUnion:
+		union = true
+	case graphFixed:
+		ip.Graph, ip.GraphSet = pp.graphID, true
+		synthGraph = pp.graphID
+	case graphVar:
+		if g := slotValue(row, pp.graphSlot); g != 0 {
+			// A graph variable bound to anything but an IRI matches nothing
+			// (and triggers no entailment), mirroring SPARQL's graph-name
+			// typing.
+			if t := ec.pl.lt.term(g); t == nil || t.Kind() != rdf.KindIRI {
+				return nil
+			}
+			ip.Graph, ip.GraphSet = g, true
+			synthGraph = g
+		} else {
+			ordered = ec.ent != nil
+		}
+	}
+	var base []store.QuadID
+	if ordered {
+		base = ec.e.store.AppendMatchIDs(buf, ip)
+	} else {
+		base = ec.e.store.AppendMatchIDsUnordered(buf, ip)
+	}
+	if union {
+		base = collapseTriples(base)
+	}
+	if ec.ent == nil {
 		return base
 	}
+	return ec.entail(ip, base, synthGraph, ordered)
+}
+
+// slotValue reads a slot of a row; nil rows (static patterns) have no
+// bindings.
+func slotValue(row []rdf.TermID, slot int) rdf.TermID {
+	if row == nil {
+		return 0
+	}
+	return row[slot]
+}
+
+// collapseTriples deduplicates union-of-graphs matches on the triple alone,
+// keeping the first occurrence (ascending graph order). The input slice is
+// returned as-is when no duplicates exist.
+func collapseTriples(ms []store.QuadID) []store.QuadID {
+	if len(ms) < 2 {
+		return ms
+	}
+	seen := make(map[[3]rdf.TermID]bool, len(ms))
+	for i, m := range ms {
+		k := [3]rdf.TermID{m.Subject, m.Predicate, m.Object}
+		if seen[k] {
+			// First duplicate: copy the prefix and filter the rest.
+			out := append(make([]store.QuadID, 0, len(ms)-1), ms[:i]...)
+			for _, m2 := range ms[i+1:] {
+				k2 := [3]rdf.TermID{m2.Subject, m2.Predicate, m2.Object}
+				if seen[k2] {
+					continue
+				}
+				seen[k2] = true
+				out = append(out, m2)
+			}
+			return out
+		}
+		seen[k] = true
+	}
+	return ms
+}
+
+// entail extends base matches with RDFS-entailed quads for the pattern:
+// subclass-aware rdf:type, subproperty-aware concrete predicates, and the
+// transitive rdfs:subClassOf closure. Entailed quads deduplicate against
+// everything already present on the triple alone (entailed quads carry a
+// synthetic graph and must not duplicate asserted matches).
+func (ec *exec) entail(ip store.IDPattern, base []store.QuadID, synthGraph rdf.TermID, ordered bool) []store.QuadID {
+	c := ec.ent
+	pid := ip.Predicate
+	if pid == 0 {
+		return base
+	}
+	// sub2 probes an expansion pattern into the recycled entailment buffer;
+	// each result is fully consumed before the next probe.
+	sub2 := func(p2 store.IDPattern) []store.QuadID {
+		if ordered {
+			ec.entailBuf = ec.e.store.AppendMatchIDs(ec.entailBuf[:0], p2)
+		} else {
+			ec.entailBuf = ec.e.store.AppendMatchIDsUnordered(ec.entailBuf[:0], p2)
+		}
+		return ec.entailBuf
+	}
 	out := base
+	var seen map[[3]rdf.TermID]bool
+	add := func(m store.QuadID) {
+		if seen == nil {
+			seen = make(map[[3]rdf.TermID]bool, len(out)+8)
+			for _, q := range out {
+				seen[[3]rdf.TermID{q.Subject, q.Predicate, q.Object}] = true
+			}
+		}
+		k := [3]rdf.TermID{m.Subject, m.Predicate, m.Object}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		out = append(out, m)
+	}
+
 	// rdf:type with a concrete class: include instances of subclasses.
-	if predIRI, ok := predicate.(rdf.IRI); ok && predIRI == rdf.RDFType {
-		if classIRI, ok := object.(rdf.IRI); ok {
-			for _, sub := range e.engine.SubClassesOf(classIRI) {
-				p2 := p
+	if pid == c.typeID {
+		if oid := ip.Object; oid != 0 {
+			for _, sub := range ec.e.engine.SubClassIDsOf(oid) {
+				p2 := ip
 				p2.Object = sub
-				for _, q := range e.store.Match(p2) {
-					q.Object = classIRI // entailed type
-					out = appendUniqueQuad(out, q)
+				for _, m := range sub2(p2) {
+					m.Object = oid // entailed type
+					add(m)
 				}
 			}
 		}
+		return out
 	}
+
 	// Concrete predicate: include statements made with its subproperties.
-	if predIRI, ok := predicate.(rdf.IRI); ok && predIRI != rdf.RDFType {
-		for _, sub := range e.subPropertiesOf(predIRI) {
-			p2 := p
-			p2.Predicate = sub
-			for _, q := range e.store.Match(p2) {
-				q.Predicate = predIRI
-				out = appendUniqueQuad(out, q)
+	for _, sub := range ec.e.subPropsOf(c, pid) {
+		p2 := ip
+		p2.Predicate = sub
+		for _, m := range sub2(p2) {
+			m.Predicate = pid
+			add(m)
+		}
+	}
+
+	// rdfs:subClassOf: include the transitive closure (the rewriting
+	// algorithms ask e.g. whether a feature is a subclass of sc:identifier,
+	// possibly through intermediate domains). Closure quads are synthesized
+	// from the reasoner without consulting the graph restriction; they carry
+	// the pattern's graph.
+	if pid == c.subClassOfID {
+		sid, oid := ip.Subject, ip.Object
+		switch {
+		case sid != 0 && oid != 0:
+			if sid != oid && ec.e.engine.IsSubClassOfIDs(sid, oid) {
+				add(store.QuadID{Graph: synthGraph, Subject: sid, Predicate: pid, Object: oid})
+			}
+		case sid != 0:
+			for _, sup := range ec.e.engine.SuperClassIDsOf(sid) {
+				add(store.QuadID{Graph: synthGraph, Subject: sid, Predicate: pid, Object: sup})
+			}
+		case oid != 0:
+			for _, sub := range ec.e.engine.SubClassIDsOf(oid) {
+				add(store.QuadID{Graph: synthGraph, Subject: sub, Predicate: pid, Object: oid})
 			}
 		}
 	}
-	// rdfs:subClassOf with both ends concrete or one variable: include the
-	// transitive closure (the rewriting algorithms ask e.g. whether a feature
-	// is a subclass of sc:identifier, possibly through intermediate domains).
-	if predIRI, ok := predicate.(rdf.IRI); ok && predIRI == rdf.RDFSSubClassOf {
-		out = e.extendSubClassMatches(p, out)
-	}
 	return out
 }
 
-func (e *Evaluator) extendSubClassMatches(p store.Pattern, out []rdf.Quad) []rdf.Quad {
-	subj, subjConcrete := p.Subject.(rdf.IRI)
-	obj, objConcrete := p.Object.(rdf.IRI)
-	switch {
-	case subjConcrete && objConcrete:
-		if e.engine.IsSubClassOf(subj, obj) && subj != obj {
-			out = appendUniqueQuad(out, rdf.Quad{Triple: rdf.T(subj, rdf.RDFSSubClassOf, obj), Graph: p.Graph})
+// bindMatch extends a row with one matched quad, binding the pattern's
+// variable positions in subject, predicate, object, graph order and
+// rejecting the match on any conflict with an existing binding.
+func (ec *exec) bindMatch(row []rdf.TermID, pp *planPattern, m store.QuadID) ([]rdf.TermID, bool) {
+	nr := ec.arena.alloc()
+	copy(nr, row)
+	bind := func(pt planTerm, val rdf.TermID) bool {
+		if pt.slot < 0 {
+			return true // constants were matched by the store / entailment
 		}
-	case subjConcrete:
-		for _, sup := range e.engine.SuperClasses(subj) {
-			out = appendUniqueQuad(out, rdf.Quad{Triple: rdf.T(subj, rdf.RDFSSubClassOf, sup), Graph: p.Graph})
+		if cur := nr[pt.slot]; cur != 0 {
+			return cur == val
 		}
-	case objConcrete:
-		for _, sub := range e.engine.SubClassesOf(obj) {
-			out = appendUniqueQuad(out, rdf.Quad{Triple: rdf.T(sub, rdf.RDFSSubClassOf, obj), Graph: p.Graph})
-		}
+		nr[pt.slot] = val
+		return true
 	}
-	return out
-}
-
-func (e *Evaluator) subPropertiesOf(prop rdf.IRI) []rdf.IRI {
-	var out []rdf.IRI
-	for _, q := range e.store.Match(store.WildcardGraph(nil, rdf.RDFSSubPropertyOf, prop)) {
-		if sub, ok := q.Subject.(rdf.IRI); ok {
-			out = append(out, sub)
-		}
+	ok := bind(pp.s, m.Subject) && bind(pp.p, m.Predicate) && bind(pp.o, m.Object)
+	if ok && pp.graphSlot >= 0 {
+		ok = bind(planTerm{slot: pp.graphSlot}, m.Graph)
 	}
-	return out
-}
-
-// appendUniqueQuad appends an entailed quad unless a quad with the same
-// triple (regardless of graph) is already present; entailed quads carry a
-// synthetic graph and must not duplicate asserted matches.
-func appendUniqueQuad(quads []rdf.Quad, q rdf.Quad) []rdf.Quad {
-	for _, existing := range quads {
-		if existing.Triple.Equal(q.Triple) {
-			return quads
-		}
-	}
-	return append(quads, q)
-}
-
-func substitute(t rdf.Term, b Binding) rdf.Term {
-	if v, ok := t.(rdf.Variable); ok {
-		if bound, exists := b[v]; exists {
-			return bound
-		}
-		return nil
-	}
-	return t
-}
-
-func bindTerm(b Binding, patternTerm rdf.Term, value rdf.Term) bool {
-	v, ok := patternTerm.(rdf.Variable)
 	if !ok {
-		if patternTerm == nil {
-			return true
+		ec.arena.release()
+		return nil, false
+	}
+	return nr, true
+}
+
+// filtersHold evaluates every FILTER against the row.
+func (ec *exec) filtersHold(row []rdf.TermID) bool {
+	for _, f := range ec.pl.filters {
+		left, right := f.leftTerm, f.rightTerm
+		if f.leftSlot >= 0 {
+			left = ec.pl.lt.term(row[f.leftSlot])
 		}
-		return patternTerm.Equal(value)
+		if f.rightSlot >= 0 {
+			right = ec.pl.lt.term(row[f.rightSlot])
+		}
+		if !filterSatisfied(f.op, left, right) {
+			return false
+		}
 	}
-	if existing, bound := b[v]; bound {
-		return existing.Equal(value)
-	}
-	b[v] = value
 	return true
 }
 
-func bindGraphVar(b Binding, v rdf.Variable, g rdf.IRI) bool {
-	return bindTerm(b, v, g)
-}
-
-func evalFilter(f Filter, b Binding) bool {
-	left := resolveFilterTerm(f.Left, b)
-	right := resolveFilterTerm(f.Right, b)
+// filterSatisfied applies a FILTER comparison to two resolved terms; an
+// unresolved (nil) operand fails the filter.
+func filterSatisfied(op FilterOp, left, right rdf.Term) bool {
 	if left == nil || right == nil {
 		return false
 	}
@@ -452,29 +638,18 @@ func evalFilter(f Filter, b Binding) bool {
 	if lok && rok {
 		if lf, ok1 := ll.Float(); ok1 {
 			if rf, ok2 := rl.Float(); ok2 {
-				return compareFloats(lf, rf, f.Op)
+				return compareFloats(lf, rf, op)
 			}
 		}
 	}
-	switch f.Op {
+	switch op {
 	case OpEq:
 		return left.Equal(right)
 	case OpNeq:
 		return !left.Equal(right)
 	default:
-		return compareStrings(left.Value(), right.Value(), f.Op)
+		return compareStrings(left.Value(), right.Value(), op)
 	}
-}
-
-func resolveFilterTerm(t rdf.Term, b Binding) rdf.Term {
-	if v, ok := t.(rdf.Variable); ok {
-		bound, exists := b[v]
-		if !exists {
-			return nil
-		}
-		return bound
-	}
-	return t
 }
 
 func compareFloats(a, b float64, op FilterOp) bool {

@@ -1,0 +1,355 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+
+	"bdi/internal/rdf"
+	"bdi/internal/store"
+)
+
+// localIDBase is the first evaluator-local TermID. Query-only terms (VALUES
+// constants, GRAPH names or filter operands the store dictionary has never
+// seen) are assigned IDs from this range so that every term handled by the
+// pipeline — store-resident or not — is a plain integer. Local IDs can never
+// collide with dictionary IDs until the store interns 2^31 terms, and they
+// match nothing in the indexes, which is exactly the semantics of a term
+// that is absent from the store.
+const localIDBase rdf.TermID = 1 << 31
+
+// localTerms resolves terms to TermIDs against the store dictionary with an
+// evaluator-local overflow table, and resolves IDs back to terms and sort
+// keys. It is created per compiled plan and is not safe for concurrent use.
+type localTerms struct {
+	dict     *rdf.Dict
+	dictKeys []string              // lock-free snapshot of the dict key table
+	ids      map[string]rdf.TermID // TermKey -> local ID
+	terms    []rdf.Term
+	keys     []string
+}
+
+func newLocalTerms(dict *rdf.Dict) *localTerms {
+	return &localTerms{dict: dict, dictKeys: dict.Keys()}
+}
+
+// resolve returns the TermID for t, assigning a local ID when the store
+// dictionary does not know the term. resolve(nil) is 0, the wildcard.
+func (lt *localTerms) resolve(t rdf.Term) rdf.TermID {
+	if t == nil {
+		return 0
+	}
+	if id, ok := lt.dict.Lookup(t); ok {
+		return id
+	}
+	k := rdf.TermKey(t)
+	if id, ok := lt.ids[k]; ok {
+		return id
+	}
+	if lt.ids == nil {
+		lt.ids = map[string]rdf.TermID{}
+	}
+	id := localIDBase + rdf.TermID(len(lt.terms))
+	lt.ids[k] = id
+	lt.terms = append(lt.terms, t)
+	lt.keys = append(lt.keys, k)
+	return id
+}
+
+// term rehydrates an ID back into a term; 0 yields nil.
+func (lt *localTerms) term(id rdf.TermID) rdf.Term {
+	if id == 0 {
+		return nil
+	}
+	if id >= localIDBase {
+		return lt.terms[id-localIDBase]
+	}
+	t, _ := lt.dict.Term(id)
+	return t
+}
+
+// key returns the TermKey of the term behind id; 0 yields "", matching the
+// empty component an unbound variable contributes to a solution's sort key.
+// Dictionary keys come from the compile-time snapshot when possible (the
+// dictionary is append-only, so snapshot entries never change) and fall back
+// to a locked lookup for terms interned after compilation.
+func (lt *localTerms) key(id rdf.TermID) string {
+	if id == 0 {
+		return ""
+	}
+	if id >= localIDBase {
+		return lt.keys[id-localIDBase]
+	}
+	if int(id) <= len(lt.dictKeys) {
+		return lt.dictKeys[id-1]
+	}
+	k, _ := lt.dict.Key(id)
+	return k
+}
+
+// Graph addressing modes of a compiled pattern.
+const (
+	// graphUnion matches the union of all graphs and collapses quads that
+	// repeat the same triple in different graphs (no FROM, no GRAPH block:
+	// the originating graph is not observable).
+	graphUnion = iota
+	// graphFixed restricts matching to one graph (FROM clause or a GRAPH
+	// block naming an IRI).
+	graphFixed
+	// graphVar is a GRAPH ?g block: restricted per row when ?g is bound,
+	// otherwise matching all graphs and binding ?g per match.
+	graphVar
+)
+
+// planTerm is one position of a compiled pattern: a variable's slot index,
+// or a constant resolved to its TermID (0 = wildcard).
+type planTerm struct {
+	slot int // >= 0: variable slot; < 0: constant
+	id   rdf.TermID
+}
+
+func (pt planTerm) isVar() bool { return pt.slot >= 0 }
+
+// valueIn returns the pattern term's value under the row: the constant's ID,
+// or whatever the slot currently holds (0 when unbound; a nil row — used for
+// static patterns — binds nothing).
+func (pt planTerm) valueIn(row []rdf.TermID) rdf.TermID {
+	if pt.slot >= 0 {
+		if row == nil {
+			return 0
+		}
+		return row[pt.slot]
+	}
+	return pt.id
+}
+
+// planPattern is a triple pattern compiled to slots and TermIDs.
+type planPattern struct {
+	s, p, o   planTerm
+	graphMode int
+	graphID   rdf.TermID // graphFixed: the restriction (possibly local)
+	graphSlot int        // graphVar: ?g's slot
+
+	varCount int // variable/wildcard positions among s, p, o (legacy selectivity)
+	estimate int // store.Count cardinality estimate at compile time
+	order    int // position in the WHERE clause (stable tie-break)
+	// static is true when no position reads a slot bound by the seeds or an
+	// earlier pattern, so the match list is identical for every row and is
+	// computed once.
+	static bool
+}
+
+// planFilter is a FILTER comparison compiled to slots; constant operands
+// keep their term.
+type planFilter struct {
+	op                  FilterOp
+	leftSlot, rightSlot int // -1 when the operand is a constant
+	leftTerm, rightTerm rdf.Term
+}
+
+// plan is a compiled query: every variable has a dense slot, every constant
+// is a TermID, and patterns are ordered by selectivity. Intermediate results
+// are flat []rdf.TermID rows (one uint32 per slot); terms are rehydrated
+// only at projection time.
+type plan struct {
+	vars      []rdf.Variable // projected variables
+	projSlots []int          // slot of each projected variable
+	slotCount int
+	patterns  []planPattern
+	filters   []planFilter
+	seeds     [][]rdf.TermID // VALUES rows as slot rows (nil: one empty seed)
+	distinct  bool
+	offset    int
+	limit     int
+	// empty marks a plan whose result is known to be empty without touching
+	// any index: a constant in a subject/predicate/object position is absent
+	// from the store dictionary, so neither base matching nor RDFS
+	// entailment can produce a row. (Unknown graph constants do not qualify:
+	// subclass-closure quads are synthesized into the pattern's graph
+	// without consulting it.)
+	empty bool
+	lt    *localTerms
+	// emptyGraphID is the ID of IRI(""), the graph closure-synthesized quads
+	// carry when the pattern has no graph restriction.
+	emptyGraphID rdf.TermID
+}
+
+// compile translates a parsed query into a plan against the current store
+// state. Constants are resolved to TermIDs exactly once; join order is
+// chosen by (variable count, cardinality estimate, query order), where the
+// estimate comes from store.Count's index bucket sizes.
+func (e *Evaluator) compile(q *Query) (*plan, error) {
+	lt := newLocalTerms(e.store.Dict())
+	pl := &plan{
+		lt:       lt,
+		distinct: q.Distinct,
+		offset:   q.Offset,
+		limit:    q.Limit,
+		vars:     q.ProjectedVariables(),
+	}
+
+	slotOf := map[rdf.Variable]int{}
+	slot := func(v rdf.Variable) int {
+		if s, ok := slotOf[v]; ok {
+			return s
+		}
+		s := pl.slotCount
+		slotOf[v] = s
+		pl.slotCount++
+		return s
+	}
+
+	// VALUES variables first (validating arity before anything else, like
+	// the map-based evaluator did).
+	if !q.Values.IsEmpty() {
+		for _, row := range q.Values.Rows {
+			if len(row) != len(q.Values.Variables) {
+				return nil, fmt.Errorf("sparql: VALUES row arity mismatch")
+			}
+		}
+		for _, v := range q.Values.Variables {
+			slot(v)
+		}
+	}
+
+	// Compile patterns: assign slots, resolve constants, estimate
+	// cardinality.
+	term := func(t rdf.Term) planTerm {
+		if v, ok := t.(rdf.Variable); ok {
+			return planTerm{slot: slot(v)}
+		}
+		if t == nil {
+			return planTerm{slot: -1}
+		}
+		id, ok := e.store.Dict().Lookup(t)
+		if !ok {
+			pl.empty = true
+			return planTerm{slot: -1, id: lt.resolve(t)}
+		}
+		return planTerm{slot: -1, id: id}
+	}
+	for i, tp := range q.Where {
+		pp := planPattern{
+			s:         term(tp.Subject),
+			p:         term(tp.Predicate),
+			o:         term(tp.Object),
+			graphSlot: -1,
+			order:     i,
+		}
+		countPat := store.Pattern{
+			Subject:   wildcardVar(tp.Subject),
+			Predicate: wildcardVar(tp.Predicate),
+			Object:    wildcardVar(tp.Object),
+		}
+		switch g := tp.Graph.(type) {
+		case nil:
+			if q.From != "" {
+				pp.graphMode = graphFixed
+				pp.graphID = lt.resolve(q.From)
+				countPat.Graph, countPat.GraphSet = q.From, true
+			} else {
+				pp.graphMode = graphUnion
+			}
+		case rdf.IRI:
+			pp.graphMode = graphFixed
+			pp.graphID = lt.resolve(g)
+			countPat.Graph, countPat.GraphSet = g, true
+		case rdf.Variable:
+			pp.graphMode = graphVar
+			pp.graphSlot = slot(g)
+		}
+		for _, t := range []rdf.Term{tp.Subject, tp.Predicate, tp.Object} {
+			if t == nil || t.Kind() == rdf.KindVariable {
+				pp.varCount++
+			}
+		}
+		pp.estimate = e.store.Count(countPat)
+		pl.patterns = append(pl.patterns, pp)
+	}
+
+	// Join order: most selective first. The variable count is the legacy
+	// primary key (constants-first, preserving the previous evaluator's
+	// ordering class); the store.Count estimate refines ties, and the query
+	// order keeps the sort stable.
+	sort.SliceStable(pl.patterns, func(i, j int) bool {
+		a, b := &pl.patterns[i], &pl.patterns[j]
+		if a.varCount != b.varCount {
+			return a.varCount < b.varCount
+		}
+		return a.estimate < b.estimate
+	})
+
+	// Mark static patterns: seeds bind the VALUES variables, every pattern
+	// binds its variables for the patterns after it.
+	bound := make([]bool, 0, 8)
+	markBound := func(s int) {
+		for len(bound) <= s {
+			bound = append(bound, false)
+		}
+		bound[s] = true
+	}
+	isBound := func(s int) bool { return s >= 0 && s < len(bound) && bound[s] }
+	if !q.Values.IsEmpty() {
+		for _, v := range q.Values.Variables {
+			markBound(slotOf[v])
+		}
+	}
+	for i := range pl.patterns {
+		pp := &pl.patterns[i]
+		pp.static = !(pp.s.isVar() && isBound(pp.s.slot) ||
+			pp.p.isVar() && isBound(pp.p.slot) ||
+			pp.o.isVar() && isBound(pp.o.slot) ||
+			isBound(pp.graphSlot))
+		for _, pt := range []planTerm{pp.s, pp.p, pp.o} {
+			if pt.isVar() {
+				markBound(pt.slot)
+			}
+		}
+		if pp.graphSlot >= 0 {
+			markBound(pp.graphSlot)
+		}
+	}
+
+	// Filters and projection may mention variables no pattern binds.
+	for _, f := range q.Filters {
+		pf := planFilter{op: f.Op, leftSlot: -1, rightSlot: -1}
+		if v, ok := f.Left.(rdf.Variable); ok {
+			pf.leftSlot = slot(v)
+		} else {
+			pf.leftTerm = f.Left
+		}
+		if v, ok := f.Right.(rdf.Variable); ok {
+			pf.rightSlot = slot(v)
+		} else {
+			pf.rightTerm = f.Right
+		}
+		pl.filters = append(pl.filters, pf)
+	}
+	pl.projSlots = make([]int, len(pl.vars))
+	for i, v := range pl.vars {
+		pl.projSlots[i] = slot(v)
+	}
+
+	// Seed rows from the VALUES table (slot count is final here).
+	if !q.Values.IsEmpty() {
+		pl.seeds = make([][]rdf.TermID, len(q.Values.Rows))
+		for i, row := range q.Values.Rows {
+			r := make([]rdf.TermID, pl.slotCount)
+			for j, v := range q.Values.Variables {
+				r[slotOf[v]] = lt.resolve(row[j])
+			}
+			pl.seeds[i] = r
+		}
+	}
+
+	pl.emptyGraphID = lt.resolve(rdf.IRI(""))
+	return pl, nil
+}
+
+// wildcardVar maps variables to nil so a pattern can be handed to
+// store.Count with only its constants bound.
+func wildcardVar(t rdf.Term) rdf.Term {
+	if t == nil || t.Kind() == rdf.KindVariable {
+		return nil
+	}
+	return t
+}

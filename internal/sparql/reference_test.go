@@ -1,0 +1,305 @@
+package sparql
+
+// This file preserves the pre-slot-pipeline evaluator — map-based bindings,
+// per-binding store queries and linear entailment dedup — verbatim in
+// behavior, as the differential oracle for the ID-native pipeline: the
+// parity tests in parity_test.go assert byte-for-byte identical
+// Solutions.String() output across the query-feature matrix. It is compiled
+// for tests only.
+
+import (
+	"fmt"
+	"sort"
+
+	"bdi/internal/rdf"
+	"bdi/internal/store"
+)
+
+// referenceEvaluate is the legacy Evaluator.Evaluate.
+func referenceEvaluate(e *Evaluator, q *Query) (*Solutions, error) {
+	// Seed bindings from the VALUES table (cartesian of rows, usually one).
+	seeds := []Binding{{}}
+	if !q.Values.IsEmpty() {
+		seeds = nil
+		for _, row := range q.Values.Rows {
+			if len(row) != len(q.Values.Variables) {
+				return nil, fmt.Errorf("sparql: VALUES row arity mismatch")
+			}
+			b := Binding{}
+			for i, v := range q.Values.Variables {
+				b[v] = row[i]
+			}
+			seeds = append(seeds, b)
+		}
+	}
+
+	bindings := seeds
+	// Order patterns to keep joins selective: patterns with constants first.
+	patterns := append([]TriplePattern(nil), q.Where...)
+	sort.SliceStable(patterns, func(i, j int) bool {
+		return refSelectivity(patterns[i]) < refSelectivity(patterns[j])
+	})
+	for _, tp := range patterns {
+		bindings = refExtend(e, bindings, tp, q.From)
+		if len(bindings) == 0 {
+			break
+		}
+	}
+
+	// Filters.
+	var filtered []Binding
+	for _, b := range bindings {
+		ok := true
+		for _, f := range q.Filters {
+			if !refEvalFilter(f, b) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			filtered = append(filtered, b)
+		}
+	}
+
+	vars := q.ProjectedVariables()
+	// Projection + DISTINCT.
+	var projected []Binding
+	var projectedKeys []string
+	seen := map[string]bool{}
+	for _, b := range filtered {
+		pb := Binding{}
+		for _, v := range vars {
+			if t, ok := b[v]; ok {
+				pb[v] = t
+			}
+		}
+		k := pb.Key(vars)
+		if q.Distinct {
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		projected = append(projected, pb)
+		projectedKeys = append(projectedKeys, k)
+	}
+
+	// Deterministic ordering.
+	if len(projected) > 1 {
+		order := make([]int, len(projected))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(i, j int) bool {
+			return projectedKeys[order[i]] < projectedKeys[order[j]]
+		})
+		ordered := make([]Binding, len(projected))
+		for i, j := range order {
+			ordered[i] = projected[j]
+		}
+		projected = ordered
+	}
+
+	// OFFSET / LIMIT.
+	if q.Offset > 0 {
+		if q.Offset >= len(projected) {
+			projected = nil
+		} else {
+			projected = projected[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && q.Limit < len(projected) {
+		projected = projected[:q.Limit]
+	}
+
+	return &Solutions{Variables: vars, Bindings: projected}, nil
+}
+
+func refSelectivity(tp TriplePattern) int {
+	score := 0
+	for _, t := range []rdf.Term{tp.Subject, tp.Predicate, tp.Object} {
+		if t == nil || t.Kind() == rdf.KindVariable {
+			score++
+		}
+	}
+	return score
+}
+
+// refExtend joins the current bindings with the matches of a single pattern.
+func refExtend(e *Evaluator, bindings []Binding, tp TriplePattern, from rdf.IRI) []Binding {
+	var out []Binding
+	for _, b := range bindings {
+		s := refSubstitute(tp.Subject, b)
+		p := refSubstitute(tp.Predicate, b)
+		o := refSubstitute(tp.Object, b)
+
+		var matches []rdf.Quad
+		switch g := tp.Graph.(type) {
+		case nil:
+			if from != "" {
+				matches = refMatch(e, store.InGraph(from, s, p, o), p, o)
+			} else {
+				matches = refMatchUnion(e, store.WildcardGraph(s, p, o), p, o)
+			}
+		case rdf.IRI:
+			matches = refMatch(e, store.InGraph(g, s, p, o), p, o)
+		case rdf.Variable:
+			if bound, ok := b[g]; ok {
+				if gi, isIRI := bound.(rdf.IRI); isIRI {
+					matches = refMatch(e, store.InGraph(gi, s, p, o), p, o)
+				}
+			} else {
+				matches = refMatch(e, store.WildcardGraph(s, p, o), p, o)
+			}
+		}
+
+		for _, m := range matches {
+			nb := b.Clone()
+			if !refBindTerm(nb, tp.Subject, m.Subject) ||
+				!refBindTerm(nb, tp.Predicate, m.Predicate) ||
+				!refBindTerm(nb, tp.Object, m.Object) {
+				continue
+			}
+			if gv, ok := tp.Graph.(rdf.Variable); ok {
+				if !refBindTerm(nb, gv, m.Graph) {
+					continue
+				}
+			}
+			out = append(out, nb)
+		}
+	}
+	return out
+}
+
+func refMatch(e *Evaluator, p store.Pattern, predicate, object rdf.Term) []rdf.Quad {
+	return refEntail(e, p, predicate, object, e.store.Match(p))
+}
+
+func refMatchUnion(e *Evaluator, p store.Pattern, predicate, object rdf.Term) []rdf.Quad {
+	ms := e.store.MatchWithIDs(p)
+	seen := make(map[[3]rdf.TermID]bool, len(ms))
+	base := make([]rdf.Quad, 0, len(ms))
+	for _, m := range ms {
+		k := [3]rdf.TermID{m.ID.Subject, m.ID.Predicate, m.ID.Object}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		base = append(base, m.Quad)
+	}
+	return refEntail(e, p, predicate, object, base)
+}
+
+func refEntail(e *Evaluator, p store.Pattern, predicate, object rdf.Term, base []rdf.Quad) []rdf.Quad {
+	if !e.Entailment {
+		return base
+	}
+	out := base
+	if predIRI, ok := predicate.(rdf.IRI); ok && predIRI == rdf.RDFType {
+		if classIRI, ok := object.(rdf.IRI); ok {
+			for _, sub := range e.engine.SubClassesOf(classIRI) {
+				p2 := p
+				p2.Object = sub
+				for _, q := range e.store.Match(p2) {
+					q.Object = classIRI // entailed type
+					out = refAppendUniqueQuad(out, q)
+				}
+			}
+		}
+	}
+	if predIRI, ok := predicate.(rdf.IRI); ok && predIRI != rdf.RDFType {
+		for _, sub := range refSubPropertiesOf(e, predIRI) {
+			p2 := p
+			p2.Predicate = sub
+			for _, q := range e.store.Match(p2) {
+				q.Predicate = predIRI
+				out = refAppendUniqueQuad(out, q)
+			}
+		}
+	}
+	if predIRI, ok := predicate.(rdf.IRI); ok && predIRI == rdf.RDFSSubClassOf {
+		out = refExtendSubClassMatches(e, p, out)
+	}
+	return out
+}
+
+func refExtendSubClassMatches(e *Evaluator, p store.Pattern, out []rdf.Quad) []rdf.Quad {
+	subj, subjConcrete := p.Subject.(rdf.IRI)
+	obj, objConcrete := p.Object.(rdf.IRI)
+	switch {
+	case subjConcrete && objConcrete:
+		if e.engine.IsSubClassOf(subj, obj) && subj != obj {
+			out = refAppendUniqueQuad(out, rdf.Quad{Triple: rdf.T(subj, rdf.RDFSSubClassOf, obj), Graph: p.Graph})
+		}
+	case subjConcrete:
+		for _, sup := range e.engine.SuperClasses(subj) {
+			out = refAppendUniqueQuad(out, rdf.Quad{Triple: rdf.T(subj, rdf.RDFSSubClassOf, sup), Graph: p.Graph})
+		}
+	case objConcrete:
+		for _, sub := range e.engine.SubClassesOf(obj) {
+			out = refAppendUniqueQuad(out, rdf.Quad{Triple: rdf.T(sub, rdf.RDFSSubClassOf, obj), Graph: p.Graph})
+		}
+	}
+	return out
+}
+
+func refSubPropertiesOf(e *Evaluator, prop rdf.IRI) []rdf.IRI {
+	var out []rdf.IRI
+	for _, q := range e.store.Match(store.WildcardGraph(nil, rdf.RDFSSubPropertyOf, prop)) {
+		if sub, ok := q.Subject.(rdf.IRI); ok {
+			out = append(out, sub)
+		}
+	}
+	return out
+}
+
+func refAppendUniqueQuad(quads []rdf.Quad, q rdf.Quad) []rdf.Quad {
+	for _, existing := range quads {
+		if existing.Triple.Equal(q.Triple) {
+			return quads
+		}
+	}
+	return append(quads, q)
+}
+
+func refSubstitute(t rdf.Term, b Binding) rdf.Term {
+	if v, ok := t.(rdf.Variable); ok {
+		if bound, exists := b[v]; exists {
+			return bound
+		}
+		return nil
+	}
+	return t
+}
+
+func refBindTerm(b Binding, patternTerm rdf.Term, value rdf.Term) bool {
+	v, ok := patternTerm.(rdf.Variable)
+	if !ok {
+		if patternTerm == nil {
+			return true
+		}
+		return patternTerm.Equal(value)
+	}
+	if existing, bound := b[v]; bound {
+		return existing.Equal(value)
+	}
+	b[v] = value
+	return true
+}
+
+func refEvalFilter(f Filter, b Binding) bool {
+	left := refResolveFilterTerm(f.Left, b)
+	right := refResolveFilterTerm(f.Right, b)
+	return filterSatisfied(f.Op, left, right)
+}
+
+func refResolveFilterTerm(t rdf.Term, b Binding) rdf.Term {
+	if v, ok := t.(rdf.Variable); ok {
+		bound, exists := b[v]
+		if !exists {
+			return nil
+		}
+		return bound
+	}
+	return t
+}

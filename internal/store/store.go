@@ -40,6 +40,19 @@ func WildcardGraph(s, p, o rdf.Term) Pattern {
 	return Pattern{Subject: s, Predicate: p, Object: o}
 }
 
+// IDPattern is a quad pattern expressed directly in dictionary TermIDs, the
+// hot-path form used by the ID-native SPARQL join pipeline: 0 terms act as
+// wildcards, and GraphSet restricts matching to the graph with ID Graph.
+// An ID the dictionary never assigned (e.g. an evaluator-local ID for a
+// query-only term) simply matches nothing.
+type IDPattern struct {
+	Subject   rdf.TermID
+	Predicate rdf.TermID
+	Object    rdf.TermID
+	Graph     rdf.TermID
+	GraphSet  bool
+}
+
 // InGraph returns a pattern restricted to the given graph.
 func InGraph(g rdf.IRI, s, p, o rdf.Term) Pattern {
 	return Pattern{Subject: s, Predicate: p, Object: o, Graph: g, GraphSet: true}
@@ -170,7 +183,7 @@ func (s *Store) Add(q rdf.Quad) (bool, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.addLocked(q), nil
+	return s.addLocked(q, &entry{}), nil
 }
 
 // AddTriple inserts a triple into the given named graph.
@@ -188,16 +201,22 @@ func (s *Store) MustAdd(q rdf.Quad) {
 
 // AddAll inserts all given quads under a single critical section, returning
 // the number newly added. On a validation error it stops, reporting how many
-// quads had been added up to that point.
+// quads had been added up to that point. Entries for the whole batch are
+// slab-allocated up front (one allocation instead of one per quad);
+// duplicate quads hand their unused slot to the next candidate.
 func (s *Store) AddAll(quads []rdf.Quad) (int, error) {
+	if len(quads) == 0 {
+		return 0, nil
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	slab := make([]entry, len(quads))
 	added := 0
 	for _, q := range quads {
 		if err := q.Validate(); err != nil {
 			return added, err
 		}
-		if s.addLocked(q) {
+		if s.addLocked(q, &slab[added]) {
 			added++
 		}
 	}
@@ -217,7 +236,10 @@ func (s *Store) AddGraph(g *rdf.Graph) (int, error) {
 	return s.AddAll(quads)
 }
 
-func (s *Store) addLocked(q rdf.Quad) bool {
+// addLocked inserts q using e as the entry storage, so bulk loaders can
+// slab-allocate entries for a whole batch. e must be zero-valued; it is left
+// untouched when the quad is a duplicate (so the caller can reuse the slot).
+func (s *Store) addLocked(q rdf.Quad, e *entry) bool {
 	id := QuadID{
 		Graph:     s.dict.Intern(q.Graph),
 		Subject:   s.dict.Intern(q.Subject),
@@ -227,7 +249,9 @@ func (s *Store) addLocked(q rdf.Quad) bool {
 	if _, exists := s.quads[id]; exists {
 		return false
 	}
-	e := &entry{id: id, quad: q, sortKey: quadSortKey(q)}
+	e.id = id
+	e.quad = q
+	e.sortKey = s.sortKeyLocked(q, id)
 	s.quads[id] = e
 	addIndex(s.bySubject, id.Graph, id.Subject, e)
 	addIndex(s.bySubject, allGraphsID, id.Subject, e)
@@ -383,50 +407,88 @@ func (s *Store) MatchTriples(p Pattern) []rdf.Triple {
 func (s *Store) matchEntries(p Pattern) []*entry {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	ip, ok := s.idPatternLocked(p)
+	if !ok {
+		return nil
+	}
+	return s.matchEntriesLocked(ip)
+}
 
+// idPatternLocked resolves a term pattern to its dictionary encoding. The
+// second result is false when a constant has never been interned, in which
+// case the pattern cannot match any stored quad.
+func (s *Store) idPatternLocked(p Pattern) (IDPattern, bool) {
 	sTerm := wildcardIfVar(p.Subject)
 	pTerm := wildcardIfVar(p.Predicate)
 	oTerm := wildcardIfVar(p.Object)
 
-	// Resolve pattern constants to dictionary IDs. A constant the dictionary
-	// has never seen cannot match any stored quad.
-	var sid, pid, oid rdf.TermID
+	var ip IDPattern
 	var ok bool
 	if sTerm != nil {
-		if sid, ok = s.dict.Lookup(sTerm); !ok {
-			return nil
+		if ip.Subject, ok = s.dict.Lookup(sTerm); !ok {
+			return IDPattern{}, false
 		}
 	}
 	if pTerm != nil {
-		if pid, ok = s.dict.Lookup(pTerm); !ok {
-			return nil
+		if ip.Predicate, ok = s.dict.Lookup(pTerm); !ok {
+			return IDPattern{}, false
 		}
 	}
 	if oTerm != nil {
-		if oid, ok = s.dict.Lookup(oTerm); !ok {
-			return nil
+		if ip.Object, ok = s.dict.Lookup(oTerm); !ok {
+			return IDPattern{}, false
 		}
 	}
+	if p.GraphSet {
+		ip.GraphSet = true
+		if ip.Graph, ok = s.dict.Lookup(p.Graph); !ok {
+			return IDPattern{}, false
+		}
+	}
+	return ip, true
+}
+
+// selectBucketLocked chooses the most selective index bucket for the
+// pattern (candidates drawn from a graph-keyed index are already restricted
+// to the requested graph). scan reports that no term or graph bound the
+// pattern, so the caller must walk the full quad set; none reports the
+// reserved-union-key guard (GraphSet with graph ID 0 would alias the union
+// indexes; no real graph ever has ID 0).
+func (s *Store) selectBucketLocked(p IDPattern) (candidates []*entry, scan, none bool) {
 	gid := allGraphsID
 	if p.GraphSet {
-		if gid, ok = s.dict.Lookup(p.Graph); !ok {
-			return nil
+		if p.Graph == allGraphsID {
+			return nil, false, true
 		}
+		gid = p.Graph
 	}
-
-	// Choose the most selective index available. Candidates drawn from a
-	// graph-keyed index are already restricted to the requested graph.
-	var candidates []*entry
 	switch {
-	case sid != 0:
-		candidates = s.bySubject[gid][sid]
-	case oid != 0:
-		candidates = s.byObject[gid][oid]
-	case pid != 0:
-		candidates = s.byPredicate[gid][pid]
+	case p.Subject != 0:
+		return s.bySubject[gid][p.Subject], false, false
+	case p.Object != 0:
+		return s.byObject[gid][p.Object], false, false
+	case p.Predicate != 0:
+		return s.byPredicate[gid][p.Predicate], false, false
 	case p.GraphSet:
-		candidates = s.byGraph[gid]
+		return s.byGraph[gid], false, false
 	default:
+		return nil, true, false
+	}
+}
+
+// entryMatches applies the residual term filter to a bucket candidate.
+func entryMatches(e *entry, p IDPattern) bool {
+	return (p.Subject == 0 || e.id.Subject == p.Subject) &&
+		(p.Predicate == 0 || e.id.Predicate == p.Predicate) &&
+		(p.Object == 0 || e.id.Object == p.Object)
+}
+
+func (s *Store) matchEntriesLocked(p IDPattern) []*entry {
+	candidates, scan, none := s.selectBucketLocked(p)
+	if none {
+		return nil
+	}
+	if scan {
 		out := make([]*entry, 0, len(s.quads))
 		for _, e := range s.quads {
 			out = append(out, e)
@@ -438,10 +500,7 @@ func (s *Store) matchEntries(p Pattern) []*entry {
 	// Singleton bucket: no copy or sort needed. matchEntries callers only
 	// read the returned slice, so handing out the index-owned bucket is safe.
 	if len(candidates) == 1 {
-		e := candidates[0]
-		if (sid != 0 && e.id.Subject != sid) ||
-			(pid != 0 && e.id.Predicate != pid) ||
-			(oid != 0 && e.id.Object != oid) {
+		if !entryMatches(candidates[0], p) {
 			return nil
 		}
 		return candidates
@@ -449,19 +508,108 @@ func (s *Store) matchEntries(p Pattern) []*entry {
 
 	out := make([]*entry, 0, len(candidates))
 	for _, e := range candidates {
-		if sid != 0 && e.id.Subject != sid {
-			continue
+		if entryMatches(e, p) {
+			out = append(out, e)
 		}
-		if pid != 0 && e.id.Predicate != pid {
-			continue
-		}
-		if oid != 0 && e.id.Object != oid {
-			continue
-		}
-		out = append(out, e)
 	}
 	sortEntries(out)
 	return out
+}
+
+// MatchIDs returns the dictionary encodings of all quads matching the ID
+// pattern, in the same deterministic order as Match. It is the core lookup
+// of the ID-native SPARQL pipeline: patterns arrive pre-resolved, results
+// stay integers, and terms are never materialized.
+func (s *Store) MatchIDs(p IDPattern) []QuadID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	entries := s.matchEntriesLocked(p)
+	if len(entries) == 0 {
+		return nil
+	}
+	out := make([]QuadID, len(entries))
+	for i, e := range entries {
+		out[i] = e.id
+	}
+	return out
+}
+
+// AppendMatchIDs is MatchIDs appending into dst (which may be nil or a
+// recycled buffer), so repeated probes — one per row in a join pipeline —
+// can reuse one allocation.
+func (s *Store) AppendMatchIDs(dst []QuadID, p IDPattern) []QuadID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	entries := s.matchEntriesLocked(p)
+	for _, e := range entries {
+		dst = append(dst, e.id)
+	}
+	return dst
+}
+
+// AppendMatchIDsUnordered is AppendMatchIDs without the deterministic
+// ordering guarantee: matching IDs stream straight off the most selective
+// index bucket with no entry copy and no sort. Consumers whose downstream
+// processing is order-insensitive (e.g. the SPARQL pipeline, which orders
+// final solutions on projected sort keys) use it to skip the per-probe sort.
+func (s *Store) AppendMatchIDsUnordered(dst []QuadID, p IDPattern) []QuadID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	candidates, scan, none := s.selectBucketLocked(p)
+	if none {
+		return dst
+	}
+	if scan {
+		for _, e := range s.quads {
+			dst = append(dst, e.id)
+		}
+		return dst
+	}
+	for _, e := range candidates {
+		if entryMatches(e, p) {
+			dst = append(dst, e.id)
+		}
+	}
+	return dst
+}
+
+// Count estimates the number of quads matching p by reading index bucket
+// sizes only: no matches are materialized, filtered or sorted. The estimate
+// is exact for patterns with at most one bound term and an upper bound (the
+// smallest applicable bucket) otherwise; a constant the dictionary has never
+// seen yields 0. It is intended for join-order planning.
+func (s *Store) Count(p Pattern) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ip, ok := s.idPatternLocked(p)
+	if !ok {
+		return 0
+	}
+	gid := allGraphsID
+	if ip.GraphSet {
+		gid = ip.Graph
+	}
+	n := -1
+	if ip.Subject != 0 {
+		n = len(s.bySubject[gid][ip.Subject])
+	}
+	if ip.Predicate != 0 {
+		if m := len(s.byPredicate[gid][ip.Predicate]); n < 0 || m < n {
+			n = m
+		}
+	}
+	if ip.Object != 0 {
+		if m := len(s.byObject[gid][ip.Object]); n < 0 || m < n {
+			n = m
+		}
+	}
+	if n >= 0 {
+		return n
+	}
+	if ip.GraphSet {
+		return len(s.byGraph[gid])
+	}
+	return len(s.quads)
 }
 
 func sortEntries(entries []*entry) {
@@ -492,10 +640,16 @@ func (s *Store) GraphsContaining(t rdf.Triple) []rdf.IRI {
 }
 
 // NamedGraph materializes the contents of a named graph as a rdf.Graph value.
+// Stored quads are unique per graph, so the triples are appended directly
+// instead of going through Graph.Add's linear duplicate scan.
 func (s *Store) NamedGraph(name rdf.IRI) *rdf.Graph {
 	g := rdf.NewGraph(name)
-	for _, q := range s.Match(InGraph(name, nil, nil, nil)) {
-		g.Add(q.Triple)
+	quads := s.Match(InGraph(name, nil, nil, nil))
+	if len(quads) > 0 {
+		g.Triples = make([]rdf.Triple, len(quads))
+		for i, q := range quads {
+			g.Triples[i] = q.Triple
+		}
 	}
 	return g
 }
@@ -576,12 +730,26 @@ func wildcardIfVar(t rdf.Term) rdf.Term {
 	return t
 }
 
-// quadSortKey derives the deterministic ordering key of a quad: the graph
+// sortKeyLocked derives the deterministic ordering key of a quad: the graph
 // name and the three term keys, NUL-separated so concatenation order equals
 // component-wise lexicographic order. It is computed once per quad at Add
-// time and never inside a sort comparator.
-func quadSortKey(q rdf.Quad) string {
-	return string(q.Graph) + "\x00" + rdf.TermKey(q.Subject) + "\x00" + rdf.TermKey(q.Predicate) + "\x00" + rdf.TermKey(q.Object)
+// time and never inside a sort comparator. The per-term keys come from the
+// dictionary's cache (the terms were just interned), so repeated terms cost
+// a copy instead of a fresh key derivation.
+func (s *Store) sortKeyLocked(q rdf.Quad, id QuadID) string {
+	sk, _ := s.dict.Key(id.Subject)
+	pk, _ := s.dict.Key(id.Predicate)
+	ok, _ := s.dict.Key(id.Object)
+	var b strings.Builder
+	b.Grow(len(q.Graph) + len(sk) + len(pk) + len(ok) + 3)
+	b.WriteString(string(q.Graph))
+	b.WriteByte(0)
+	b.WriteString(sk)
+	b.WriteByte(0)
+	b.WriteString(pk)
+	b.WriteByte(0)
+	b.WriteString(ok)
+	return b.String()
 }
 
 func addIndex(idx map[rdf.TermID]map[rdf.TermID][]*entry, graph, term rdf.TermID, e *entry) {
