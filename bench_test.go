@@ -111,6 +111,35 @@ func BenchmarkFigure8QueryAnsweringWorstCase(b *testing.B) {
 	}
 }
 
+// BenchmarkFigure8Parallel runs the worst-case rewriting workload from all
+// GOMAXPROCS goroutines against one shared ontology. The store's lock-free
+// snapshot reads plus the mutex-guarded (but hit-dominated) generation
+// caches should let aggregate throughput scale with cores: compare ns/op
+// here (wall time per rewrite across all goroutines) against the
+// single-goroutine BenchmarkFigure8QueryAnsweringWorstCase.
+func BenchmarkFigure8Parallel(b *testing.B) {
+	for _, wrappers := range []int{2, 4} {
+		wc, err := workload.BuildWorstCase(5, wrappers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("wrappersPerConcept=%d", wrappers), func(b *testing.B) {
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					walks, err := wc.Rewrite()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if walks != wc.ExpectedWalks() {
+						b.Fatalf("walks = %d, want %d", walks, wc.ExpectedWalks())
+					}
+				}
+			})
+		})
+	}
+}
+
 // BenchmarkFigure8ScalingInConcepts complements Figure 8 by scaling the
 // query length at a fixed number of wrappers per concept.
 func BenchmarkFigure8ScalingInConcepts(b *testing.B) {

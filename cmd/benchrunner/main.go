@@ -8,6 +8,7 @@
 //	benchrunner -figure 8       query answering time vs wrappers per concept
 //	benchrunner -figure 11      Source-graph growth per Wordpress release
 //	benchrunner -ablation lav-gav | entailment | attribute-reuse | rewrite-cache
+//	benchrunner -parallel       figure 8 under concurrent query load
 //	benchrunner -all            everything above
 //
 // Absolute timings depend on the host; the shapes (who wins, growth trends,
@@ -18,7 +19,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"bdi/internal/core"
@@ -38,6 +41,8 @@ func main() {
 	table := flag.Int("table", 0, "regenerate a table of the paper (3, 4, 5 or 6)")
 	figure := flag.Int("figure", 0, "regenerate a figure of the paper (8 or 11)")
 	ablation := flag.String("ablation", "", "run an ablation: lav-gav, entailment, attribute-reuse or rewrite-cache")
+	parallel := flag.Bool("parallel", false, "run figure 8 under concurrent query load (snapshot-isolated reads)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel: number of concurrent query goroutines")
 	all := flag.Bool("all", false, "regenerate every table, figure and ablation")
 	maxWrappers := flag.Int("max-wrappers", 8, "figure 8: maximum number of wrappers per concept")
 	concepts := flag.Int("concepts", 5, "figure 8: number of chained concepts in the query")
@@ -82,6 +87,10 @@ func main() {
 	}
 	if *all || *ablation == "rewrite-cache" {
 		printRewriteCacheAblation()
+		ran = true
+	}
+	if *all || *parallel {
+		printFigure8Parallel(*concepts, min(*maxWrappers, 4), *workers)
 		ran = true
 	}
 	if !ran {
@@ -165,6 +174,68 @@ func printFigure8(concepts, maxWrappers int) {
 		fmt.Printf("%-10d %12d %14s %16s\n", w, walks, elapsed.Round(time.Microsecond), predicted.Round(time.Microsecond))
 	}
 	fmt.Println("-> expected shape: exponential growth tracking the W^C prediction (thin line in the paper)")
+}
+
+// printFigure8Parallel measures aggregate rewriting throughput when the
+// worst-case OMQ is posed by `workers` goroutines at once against one
+// shared ontology. Reads are snapshot-isolated and lock-free in the store,
+// so the parallel/sequential throughput ratio should track the available
+// cores (on a single-core host it stays ~1×, demonstrating that the
+// snapshot read path adds no contention overhead).
+func printFigure8Parallel(concepts, maxWrappers, workers int) {
+	header(fmt.Sprintf("Figure 8 (parallel) — %d-concept query under %d concurrent query goroutines", concepts, workers))
+	fmt.Printf("%-10s %12s %14s %14s %10s\n", "wrappers", "rewrites", "sequential", "parallel", "speedup")
+	for w := 1; w <= maxWrappers; w++ {
+		wc, err := workload.BuildWorstCase(concepts, w)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figure 8 parallel:", err)
+			os.Exit(1)
+		}
+		// One untimed warmup so the sequential baseline and the parallel run
+		// both measure warm generation-keyed caches.
+		if _, err := wc.Rewrite(); err != nil {
+			fmt.Fprintln(os.Stderr, "figure 8 parallel:", err)
+			os.Exit(1)
+		}
+		// Sequential baseline: `rounds` rewrites back to back.
+		rounds := workers * 4
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			if _, err := wc.Rewrite(); err != nil {
+				fmt.Fprintln(os.Stderr, "figure 8 parallel:", err)
+				os.Exit(1)
+			}
+		}
+		sequential := time.Since(start)
+
+		// Parallel: the same number of rewrites spread over the workers.
+		var wg sync.WaitGroup
+		errs := make(chan error, workers)
+		start = time.Now()
+		for g := 0; g < workers; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < rounds/workers; i++ {
+					if _, err := wc.Rewrite(); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		parallelTime := time.Since(start)
+		close(errs)
+		for err := range errs {
+			fmt.Fprintln(os.Stderr, "figure 8 parallel:", err)
+			os.Exit(1)
+		}
+		speedup := float64(sequential) / float64(parallelTime)
+		fmt.Printf("%-10d %12d %14s %14s %9.2fx\n",
+			w, rounds, sequential.Round(time.Microsecond), parallelTime.Round(time.Microsecond), speedup)
+	}
+	fmt.Println("-> expected shape: speedup tracking GOMAXPROCS (readers never block on the store; caches are hit-dominated)")
 }
 
 // printFigure11 regenerates Figure 11: triples added to S per Wordpress

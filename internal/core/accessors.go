@@ -38,11 +38,11 @@ func (o *Ontology) WrappersOfSource(source string) []rdf.IRI {
 // SourceOfWrapper returns the data source IRI a wrapper belongs to,
 // memoized per store generation.
 func (o *Ontology) SourceOfWrapper(wrapper rdf.IRI) (rdf.IRI, bool) {
-	wid, ok := o.store.Dict().LookupIRI(wrapper)
+	qc := o.queryCache()
+	wid, ok := qc.snap.Dict().LookupIRI(wrapper)
 	if !ok {
 		return "", false
 	}
-	qc := o.queryCache()
 	qc.mu.Lock()
 	if s, cached := qc.sourceOf[wid]; cached {
 		qc.mu.Unlock()
@@ -50,7 +50,7 @@ func (o *Ontology) SourceOfWrapper(wrapper rdf.IRI) (rdf.IRI, bool) {
 	}
 	qc.mu.Unlock()
 	var found rdf.IRI
-	for _, q := range o.store.Match(store.InGraph(SourceGraphName, nil, SHasWrapper, wrapper)) {
+	for _, q := range qc.snap.Match(store.InGraph(SourceGraphName, nil, SHasWrapper, wrapper)) {
 		if s, ok := q.Subject.(rdf.IRI); ok {
 			found = s
 			break
@@ -108,11 +108,11 @@ func (o *Ontology) WrapperOfLAVGraph(graph rdf.IRI) (rdf.IRI, bool) {
 // FeatureOfAttribute resolves F for one attribute: the feature the attribute
 // is owl:sameAs-linked to. Memoized per store generation.
 func (o *Ontology) FeatureOfAttribute(attr rdf.IRI) (rdf.IRI, bool) {
-	aid, ok := o.store.Dict().LookupIRI(attr)
+	qc := o.queryCache()
+	aid, ok := qc.snap.Dict().LookupIRI(attr)
 	if !ok {
 		return "", false
 	}
-	qc := o.queryCache()
 	qc.mu.Lock()
 	if f, cached := qc.featureOfAttr[aid]; cached {
 		qc.mu.Unlock()
@@ -120,7 +120,7 @@ func (o *Ontology) FeatureOfAttribute(attr rdf.IRI) (rdf.IRI, bool) {
 	}
 	qc.mu.Unlock()
 	var found rdf.IRI
-	for _, q := range o.store.Match(store.InGraph(MappingsGraphName, attr, rdf.OWLSameAs, nil)) {
+	for _, q := range qc.snap.Match(store.InGraph(MappingsGraphName, attr, rdf.OWLSameAs, nil)) {
 		if f, ok := q.Object.(rdf.IRI); ok {
 			found = f
 			break
@@ -135,11 +135,11 @@ func (o *Ontology) FeatureOfAttribute(attr rdf.IRI) (rdf.IRI, bool) {
 // AttributesOfFeature returns the inverse of F: all source attributes that
 // map to the given feature, sorted. Memoized per store generation.
 func (o *Ontology) AttributesOfFeature(feature rdf.IRI) []rdf.IRI {
-	fid, ok := o.store.Dict().LookupIRI(feature)
+	qc := o.queryCache()
+	fid, ok := qc.snap.Dict().LookupIRI(feature)
 	if !ok {
 		return nil
 	}
-	qc := o.queryCache()
 	qc.mu.Lock()
 	if attrs, cached := qc.attrsOf[fid]; cached {
 		qc.mu.Unlock()
@@ -147,7 +147,7 @@ func (o *Ontology) AttributesOfFeature(feature rdf.IRI) []rdf.IRI {
 	}
 	qc.mu.Unlock()
 	var out []rdf.IRI
-	for _, q := range o.store.Match(store.InGraph(MappingsGraphName, nil, rdf.OWLSameAs, feature)) {
+	for _, q := range qc.snap.Match(store.InGraph(MappingsGraphName, nil, rdf.OWLSameAs, feature)) {
 		if a, ok := q.Subject.(rdf.IRI); ok {
 			out = append(out, a)
 		}
@@ -165,7 +165,8 @@ func (o *Ontology) AttributesOfFeature(feature rdf.IRI) []rdf.IRI {
 // resolution is memoized per store generation: phase #3 asks the same
 // (wrapper, feature) pairs once per candidate walk.
 func (o *Ontology) AttributeOfFeatureInWrapper(wrapper, feature rdf.IRI) (rdf.IRI, bool) {
-	d := o.store.Dict()
+	qc := o.queryCache()
+	d := qc.snap.Dict()
 	wid, okW := d.LookupIRI(wrapper)
 	fid, okF := d.LookupIRI(feature)
 	if !okW || !okF {
@@ -174,7 +175,6 @@ func (o *Ontology) AttributeOfFeatureInWrapper(wrapper, feature rdf.IRI) (rdf.IR
 		return "", false
 	}
 	key := [2]rdf.TermID{wid, fid}
-	qc := o.queryCache()
 	qc.mu.Lock()
 	if attr, ok := qc.attrOf[key]; ok {
 		qc.mu.Unlock()
@@ -183,7 +183,7 @@ func (o *Ontology) AttributeOfFeatureInWrapper(wrapper, feature rdf.IRI) (rdf.IR
 	qc.mu.Unlock()
 	var found rdf.IRI
 	for _, attr := range o.AttributesOfFeature(feature) {
-		if o.store.ContainsTriple(SourceGraphName, rdf.T(wrapper, SHasAttribute, attr)) {
+		if qc.snap.ContainsTriple(SourceGraphName, rdf.T(wrapper, SHasAttribute, attr)) {
 			found = attr
 			break
 		}
@@ -199,14 +199,14 @@ func (o *Ontology) AttributeOfFeatureInWrapper(wrapper, feature rdf.IRI) (rdf.IR
 // Memoized per store generation, with the graph→wrapper resolution served
 // from the cached mapping maps instead of a store probe per graph.
 func (o *Ontology) WrappersProvidingFeature(concept, feature rdf.IRI) []rdf.IRI {
-	d := o.store.Dict()
+	qc := o.queryCache()
+	d := qc.snap.Dict()
 	cid, okC := d.LookupIRI(concept)
 	fid, okF := d.LookupIRI(feature)
 	if !okC || !okF {
 		return nil
 	}
 	key := [2]rdf.TermID{cid, fid}
-	qc := o.queryCache()
 	qc.mu.Lock()
 	if ws, ok := qc.providers[key]; ok {
 		qc.mu.Unlock()
@@ -218,7 +218,7 @@ func (o *Ontology) WrappersProvidingFeature(concept, feature rdf.IRI) []rdf.IRI 
 
 	target := rdf.T(concept, GHasFeature, feature)
 	var out []rdf.IRI
-	for _, g := range o.store.GraphsContaining(target) {
+	for _, g := range qc.snap.GraphsContaining(target) {
 		if !isLAVGraph(g) {
 			continue
 		}
@@ -239,14 +239,14 @@ func (o *Ontology) WrappersProvidingFeature(concept, feature rdf.IRI) []rdf.IRI 
 // formulation, and the result is memoized per store generation (phase #3
 // asks the same concept pairs for every walk combination).
 func (o *Ontology) WrappersProvidingEdge(from, to rdf.IRI) []rdf.IRI {
-	d := o.store.Dict()
+	qc := o.queryCache()
+	d := qc.snap.Dict()
 	fid, okF := d.LookupIRI(from)
 	tid, okT := d.LookupIRI(to)
 	if !okF || !okT {
 		return nil
 	}
 	key := [2]rdf.TermID{fid, tid}
-	qc := o.queryCache()
 	qc.mu.Lock()
 	if ws, ok := qc.edges[key]; ok {
 		qc.mu.Unlock()
@@ -258,7 +258,7 @@ func (o *Ontology) WrappersProvidingEdge(from, to rdf.IRI) []rdf.IRI {
 
 	seen := map[rdf.IRI]bool{}
 	var out []rdf.IRI
-	for _, q := range o.store.Match(store.WildcardGraph(from, nil, to)) {
+	for _, q := range qc.snap.Match(store.WildcardGraph(from, nil, to)) {
 		g := q.Graph
 		if !isLAVGraph(g) {
 			continue

@@ -166,11 +166,11 @@ func (o *Ontology) ConceptOfFeature(feature rdf.IRI) (rdf.IRI, bool) {
 // result is memoized per store generation (phase #3 resolves the ID feature
 // of the same concept for every candidate walk).
 func (o *Ontology) IdentifiersOf(concept rdf.IRI) []rdf.IRI {
-	cid, ok := o.store.Dict().LookupIRI(concept)
+	qc := o.queryCache()
+	cid, ok := qc.snap.Dict().LookupIRI(concept)
 	if !ok {
 		return nil
 	}
-	qc := o.queryCache()
 	qc.mu.Lock()
 	if ids, cached := qc.identifiersOf[cid]; cached {
 		qc.mu.Unlock()

@@ -14,9 +14,12 @@ import (
 // resolution — keyed on dictionary TermIDs. A cache instance is valid for
 // exactly one store generation; any mutation of the ontology store retires
 // the whole instance (writes into a retired instance are harmless: it is
-// unreachable from the ontology).
+// unreachable from the ontology). The instance carries the store.Snapshot
+// it was created against, and every probe that fills it reads from that
+// snapshot, so all memoized answers of one instance describe one consistent
+// store state.
 type queryCache struct {
-	generation uint64
+	snap store.Snapshot
 
 	mu sync.Mutex
 	// wrapperGraph is LAVGraphOf as a map: wrapper -> its first mapping
@@ -38,14 +41,15 @@ type queryCache struct {
 }
 
 // queryCache returns the cache for the current store generation, retiring
-// any stale instance.
+// any stale instance. The new instance pins the snapshot it was created
+// against.
 func (o *Ontology) queryCache() *queryCache {
-	gen := o.store.Generation()
+	sn := o.store.Snapshot()
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	if o.qc == nil || o.qc.generation != gen {
+	if o.qc == nil || o.qc.snap != sn {
 		o.qc = &queryCache{
-			generation:    gen,
+			snap:          sn,
 			covering:      map[[3]rdf.TermID][]rdf.IRI{},
 			edges:         map[[2]rdf.TermID][]rdf.IRI{},
 			attrOf:        map[[2]rdf.TermID]rdf.IRI{},
@@ -60,9 +64,10 @@ func (o *Ontology) queryCache() *queryCache {
 }
 
 // ensureMappingMapsLocked builds the wrapper↔graph maps from one sorted scan
-// of the M:mapping triples. The scan is subject-major in ascending term-key
-// order, so "first object per subject" and "first subject per object"
-// reproduce LAVGraphOf's and WrapperOfLAVGraph's first-match semantics.
+// of the M:mapping triples, read from the cache's pinned snapshot. The scan
+// is subject-major in ascending term-key order, so "first object per
+// subject" and "first subject per object" reproduce LAVGraphOf's and
+// WrapperOfLAVGraph's first-match semantics.
 func (qc *queryCache) ensureMappingMapsLocked(o *Ontology) {
 	if qc.wrapperGraph != nil {
 		return
@@ -70,7 +75,7 @@ func (qc *queryCache) ensureMappingMapsLocked(o *Ontology) {
 	qc.wrapperGraph = map[rdf.IRI]rdf.IRI{}
 	qc.graphWrapper = map[rdf.IRI]rdf.IRI{}
 	qc.coveringByGraph = map[rdf.IRI][]rdf.IRI{}
-	for _, q := range o.store.Match(store.InGraph(MappingsGraphName, nil, MMapping, nil)) {
+	for _, q := range qc.snap.Match(store.InGraph(MappingsGraphName, nil, MMapping, nil)) {
 		w, okW := q.Subject.(rdf.IRI)
 		g, okG := q.Object.(rdf.IRI)
 		if !okW || !okG {
@@ -91,7 +96,8 @@ func (qc *queryCache) ensureMappingMapsLocked(o *Ontology) {
 // generation and must not be mutated; triples with variables or terms the
 // store has never seen are covered by no wrapper.
 func (o *Ontology) WrappersCoveringTriple(t rdf.Triple) []rdf.IRI {
-	d := o.store.Dict()
+	qc := o.queryCache()
+	d := qc.snap.Dict()
 	sid, okS := d.Lookup(t.Subject)
 	pid, okP := d.Lookup(t.Predicate)
 	oid, okO := d.Lookup(t.Object)
@@ -99,7 +105,6 @@ func (o *Ontology) WrappersCoveringTriple(t rdf.Triple) []rdf.IRI {
 		return nil
 	}
 	key := [3]rdf.TermID{sid, pid, oid}
-	qc := o.queryCache()
 	qc.mu.Lock()
 	if ws, ok := qc.covering[key]; ok {
 		qc.mu.Unlock()
@@ -109,7 +114,7 @@ func (o *Ontology) WrappersCoveringTriple(t rdf.Triple) []rdf.IRI {
 	qc.mu.Unlock()
 
 	var out []rdf.IRI
-	for _, g := range o.store.GraphsContaining(t) {
+	for _, g := range qc.snap.GraphsContaining(t) {
 		qc.mu.Lock()
 		ws := qc.coveringByGraph[g]
 		qc.mu.Unlock()

@@ -111,6 +111,14 @@ type ReleaseResult struct {
 // data source (if new), the wrapper, and its attributes in S; registers the
 // wrapper's LAV named graph in M; and serializes the attribute-to-feature
 // function F via owl:sameAs links.
+//
+// The whole release is written as one atomic store batch: existence checks
+// (source registration, attribute reuse, the sequence number) only consult
+// pre-release state — within-release duplicates are impossible because the
+// wrapper spec validates attribute uniqueness — so every quad is collected
+// first and published with a single AddAll. Readers therefore never
+// observe a half-registered release, and the store merges each touched
+// index bucket once instead of once per triple.
 func (o *Ontology) NewRelease(r Release) (*ReleaseResult, error) {
 	if err := r.Validate(o); err != nil {
 		return nil, err
@@ -119,66 +127,55 @@ func (o *Ontology) NewRelease(r Release) (*ReleaseResult, error) {
 	defer o.mu.Unlock()
 
 	res := &ReleaseResult{}
-	sBefore := o.store.GraphLen(SourceGraphName)
-	totalBefore := o.store.Len()
+	sn := o.store.Snapshot()
+	sBefore := sn.GraphLen(SourceGraphName)
+	totalBefore := sn.Len()
+	var pending []rdf.Quad
+	add := func(graph rdf.IRI, t rdf.Triple) {
+		pending = append(pending, rdf.Quad{Triple: t, Graph: graph})
+	}
 
 	sourceURI := SourceURI(r.Wrapper.Source)
 	// Line 3-5: register the data source if it is new.
-	if !o.store.ContainsTriple(SourceGraphName, rdf.T(sourceURI, rdf.RDFType, SDataSource)) {
+	if !sn.ContainsTriple(SourceGraphName, rdf.T(sourceURI, rdf.RDFType, SDataSource)) {
 		res.NewSource = true
-		if err := o.addToGraph(SourceGraphName, rdf.T(sourceURI, rdf.RDFType, SDataSource)); err != nil {
-			return nil, err
-		}
+		add(SourceGraphName, rdf.T(sourceURI, rdf.RDFType, SDataSource))
 	}
 
 	// Lines 6-8: register the wrapper and link it to its source.
 	wrapperURI := WrapperURI(r.Wrapper.Name)
-	if o.store.ContainsTriple(SourceGraphName, rdf.T(wrapperURI, rdf.RDFType, SWrapper)) {
+	if sn.ContainsTriple(SourceGraphName, rdf.T(wrapperURI, rdf.RDFType, SWrapper)) {
 		return nil, fmt.Errorf("core: wrapper %q is already registered; releases are immutable", r.Wrapper.Name)
 	}
-	if err := o.addToGraph(SourceGraphName, rdf.T(wrapperURI, rdf.RDFType, SWrapper)); err != nil {
-		return nil, err
-	}
-	if err := o.addToGraph(SourceGraphName, rdf.T(sourceURI, SHasWrapper, wrapperURI)); err != nil {
-		return nil, err
-	}
+	add(SourceGraphName, rdf.T(wrapperURI, rdf.RDFType, SWrapper))
+	add(SourceGraphName, rdf.T(sourceURI, SHasWrapper, wrapperURI))
 
 	// Lines 9-15: register attributes, reusing those already present for the
 	// same data source (attribute URIs are prefixed with the source).
 	for _, a := range r.Wrapper.Attributes() {
 		attrURI := AttributeURI(r.Wrapper.Source, a)
-		if o.store.ContainsTriple(SourceGraphName, rdf.T(attrURI, rdf.RDFType, SAttribute)) {
+		if sn.ContainsTriple(SourceGraphName, rdf.T(attrURI, rdf.RDFType, SAttribute)) {
 			res.ReusedAttributes = append(res.ReusedAttributes, attrURI)
 		} else {
 			res.NewAttributes = append(res.NewAttributes, attrURI)
-			if err := o.addToGraph(SourceGraphName, rdf.T(attrURI, rdf.RDFType, SAttribute)); err != nil {
-				return nil, err
-			}
+			add(SourceGraphName, rdf.T(attrURI, rdf.RDFType, SAttribute))
 		}
-		if err := o.addToGraph(SourceGraphName, rdf.T(wrapperURI, SHasAttribute, attrURI)); err != nil {
-			return nil, err
-		}
+		add(SourceGraphName, rdf.T(wrapperURI, SHasAttribute, attrURI))
 	}
 
 	// Line 16: register the wrapper's LAV named graph in M, together with the
 	// release sequence number used by historical query policies.
 	lavGraph := MappingGraphURI(r.Wrapper.Name)
-	if err := o.addToGraph(MappingsGraphName, rdf.T(wrapperURI, MMapping, lavGraph)); err != nil {
-		return nil, err
-	}
-	seq := len(o.store.Match(store.InGraph(MappingsGraphName, nil, MRegistrationOrder, nil))) + 1
+	add(MappingsGraphName, rdf.T(wrapperURI, MMapping, lavGraph))
+	seq := len(sn.Match(store.InGraph(MappingsGraphName, nil, MRegistrationOrder, nil))) + 1
 	res.Sequence = seq
-	if err := o.addToGraph(MappingsGraphName, rdf.Triple{
+	add(MappingsGraphName, rdf.Triple{
 		Subject:   wrapperURI,
 		Predicate: MRegistrationOrder,
 		Object:    rdf.NewIntegerLiteral(int64(seq)),
-	}); err != nil {
-		return nil, err
-	}
+	})
 	for _, t := range r.Subgraph.Triples {
-		if err := o.addToGraph(lavGraph, t); err != nil {
-			return nil, err
-		}
+		add(lavGraph, t)
 	}
 
 	// Lines 17-21: serialize F as owl:sameAs links between S attributes and
@@ -190,13 +187,18 @@ func (o *Ontology) NewRelease(r Release) (*ReleaseResult, error) {
 	sort.Strings(attrs)
 	for _, a := range attrs {
 		attrURI := AttributeURI(r.Wrapper.Source, a)
-		if err := o.addToGraph(MappingsGraphName, rdf.T(attrURI, rdf.OWLSameAs, r.F[a])); err != nil {
-			return nil, err
-		}
+		add(MappingsGraphName, rdf.T(attrURI, rdf.OWLSameAs, r.F[a]))
 	}
 
-	res.SourceTriplesAdded = o.store.GraphLen(SourceGraphName) - sBefore
-	res.TriplesAdded = o.store.Len() - totalBefore
+	// One snapshot publication for the whole release. Quads already present
+	// from earlier releases (e.g. an owl:sameAs link of a reused attribute)
+	// are skipped by the store, exactly as the per-triple path ignored them.
+	if _, err := o.store.AddAll(pending); err != nil {
+		return nil, fmt.Errorf("core: registering release of wrapper %q: %w", r.Wrapper.Name, err)
+	}
+	after := o.store.Snapshot()
+	res.SourceTriplesAdded = after.GraphLen(SourceGraphName) - sBefore
+	res.TriplesAdded = after.Len() - totalBefore
 	return res, nil
 }
 

@@ -4,6 +4,22 @@
 // releases) and data analysts pose ontology-mediated queries. The paper's
 // implementation used a Node.JS frontend and Jersey/Jena in the backend; this
 // package provides the equivalent backend functionality with net/http.
+//
+// # Concurrency
+//
+// The quad store underneath the ontology serves reads from immutable,
+// generation-tagged snapshots: a query pins the current snapshot with one
+// atomic load and never takes a store lock, so any number of analyst
+// queries evaluate in parallel, each against one consistent store
+// generation, even while a release is being registered. The server's own
+// RWMutex is therefore not protecting the store — it provides API-level
+// atomicity: POST /api/releases performs several ontology mutations that
+// must appear as one release (write lock), and the multi-probe read
+// handlers (stats, concepts, sources, query endpoints) take the read lock
+// so they never interleave with a half-registered release. Query handlers
+// share the read lock and run concurrently with each other; the
+// generation-keyed rewriting cache invalidates itself automatically when a
+// release bumps the store generation.
 package mdm
 
 import (

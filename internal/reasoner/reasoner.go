@@ -10,6 +10,12 @@
 //     materializing, used by the rewriting algorithms for identifier
 //     taxonomy lookups (e.g. sup:monitorId rdfs:subClassOf sc:identifier).
 //
+// Query-time inference is snapshot-aware: ClosureAt computes (and caches)
+// the hierarchy closures for one pinned store.Snapshot, so a consumer that
+// pins a snapshot — e.g. one SPARQL evaluation — sees base matches and
+// entailed quads from the same store generation even while writers publish
+// new ones.
+//
 // Only the RDFS rules that matter for the BDI ontology are implemented
 // (rdfs5, rdfs7, rdfs9, rdfs11, rdfs2, rdfs3); axiomatic triples about the
 // RDF/RDFS vocabulary itself are intentionally not generated to keep the
@@ -28,26 +34,14 @@ import (
 )
 
 // Engine provides query-time RDFS inference over a store. It caches the
-// subclass and subproperty hierarchies — both as IRI-keyed maps and as
-// dictionary-TermID closure sets for ID-native consumers — and invalidates
-// the cache whenever the underlying store changes. It is safe for
-// concurrent use: the closure refresh and the lazy per-class memo maps are
-// guarded by one mutex.
+// subclass and subproperty hierarchies of one store generation as an
+// immutable Closure and rebuilds it whenever a consumer asks for a
+// different generation. It is safe for concurrent use.
 type Engine struct {
 	store *store.Store
 
-	mu         sync.Mutex
-	generation uint64
-	subClass   map[string]map[string]bool // class -> all (transitive) superclasses
-	subProp    map[string]map[string]bool // property -> all (transitive) superproperties
-
-	// ID-native views of the subclass closure, rebuilt with the maps above.
-	// closure is keyed sub -> supers; names resolves closure members back to
-	// their IRI string for deterministic (ascending IRI) ordering.
-	subClassIDs  map[rdf.TermID]map[rdf.TermID]bool
-	closureNames map[rdf.TermID]string
-	subsOfID     map[rdf.TermID][]rdf.TermID // class -> subclasses (memoized, IRI order)
-	supersOfID   map[rdf.TermID][]rdf.TermID // class -> superclasses (memoized, IRI order)
+	mu sync.Mutex
+	cl *Closure
 }
 
 // New returns an inference engine over the given store.
@@ -58,69 +52,93 @@ func New(s *store.Store) *Engine {
 // Store returns the underlying store.
 func (e *Engine) Store() *store.Store { return e.store }
 
-// refreshLocked rebuilds the closures when the store generation moved.
-// Callers must hold e.mu.
-func (e *Engine) refreshLocked() {
-	gen := e.store.Generation()
-	if e.subClass != nil && gen == e.generation {
-		return
+// Closure holds the subclass/subproperty hierarchy closures of one store
+// snapshot — both as IRI-keyed maps and as dictionary-TermID closure sets
+// for ID-native consumers. A Closure never changes after construction
+// (the lazily memoized per-class orderings are guarded by a mutex) and is
+// safe for concurrent use.
+type Closure struct {
+	snap     store.Snapshot
+	subClass map[string]map[string]bool // class -> all (transitive) superclasses
+	subProp  map[string]map[string]bool // property -> all (transitive) superproperties
+
+	// ID-native views of the subclass closure. closure is keyed
+	// sub -> supers; names resolves closure members back to their IRI string
+	// for deterministic (ascending IRI) ordering.
+	subClassIDs  map[rdf.TermID]map[rdf.TermID]bool
+	closureNames map[rdf.TermID]string
+
+	mu         sync.Mutex
+	subsOfID   map[rdf.TermID][]rdf.TermID // class -> subclasses (memoized, IRI order)
+	supersOfID map[rdf.TermID][]rdf.TermID // class -> superclasses (memoized, IRI order)
+}
+
+// ClosureAt returns the hierarchy closure of the given snapshot, serving
+// the cached instance when it was built from that exact snapshot and
+// rebuilding otherwise (the cache is keyed on snapshot identity, so a
+// foreign store's snapshot can never be served this store's hierarchy).
+// Consumers that need base matches and entailment to agree must probe the
+// same snapshot they pass here.
+func (e *Engine) ClosureAt(sn store.Snapshot) *Closure {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.cl != nil && e.cl.snap == sn {
+		return e.cl
 	}
-	e.generation = gen
+	e.cl = buildClosure(sn)
+	return e.cl
+}
+
+// closure pins the store's current snapshot and returns its closure.
+func (e *Engine) closure() *Closure {
+	return e.ClosureAt(e.store.Snapshot())
+}
+
+// buildClosure computes the hierarchy closures of one snapshot.
+func buildClosure(sn store.Snapshot) *Closure {
+	c := &Closure{
+		snap:       sn,
+		subsOfID:   map[rdf.TermID][]rdf.TermID{},
+		supersOfID: map[rdf.TermID][]rdf.TermID{},
+	}
 	var propNames map[rdf.TermID]string
 	var subPropIDs map[rdf.TermID]map[rdf.TermID]bool
-	e.subClassIDs, e.closureNames = transitiveClosureIDs(e.store, rdf.RDFSSubClassOf)
-	subPropIDs, propNames = transitiveClosureIDs(e.store, rdf.RDFSSubPropertyOf)
-	e.subClass = nameClosure(e.subClassIDs, e.closureNames)
-	e.subProp = nameClosure(subPropIDs, propNames)
-	e.subsOfID = map[rdf.TermID][]rdf.TermID{}
-	e.supersOfID = map[rdf.TermID][]rdf.TermID{}
+	c.subClassIDs, c.closureNames = transitiveClosureIDs(sn, rdf.RDFSSubClassOf)
+	subPropIDs, propNames = transitiveClosureIDs(sn, rdf.RDFSSubPropertyOf)
+	c.subClass = nameClosure(c.subClassIDs, c.closureNames)
+	c.subProp = nameClosure(subPropIDs, propNames)
+	return c
 }
 
 // IsSubClassOf reports whether sub is rdfs:subClassOf sup, directly or
 // transitively (reflexivity included: a class is a subclass of itself).
-func (e *Engine) IsSubClassOf(sub, sup rdf.IRI) bool {
+func (c *Closure) IsSubClassOf(sub, sup rdf.IRI) bool {
 	if sub == sup {
 		return true
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.refreshLocked()
-	return e.subClass[string(sub)][string(sup)]
+	return c.subClass[string(sub)][string(sup)]
 }
 
-// IsSubPropertyOf reports whether sub is rdfs:subPropertyOf sup, directly or
-// transitively (reflexive).
-func (e *Engine) IsSubPropertyOf(sub, sup rdf.IRI) bool {
+// IsSubPropertyOf reports whether sub is rdfs:subPropertyOf sup, directly
+// or transitively (reflexive).
+func (c *Closure) IsSubPropertyOf(sub, sup rdf.IRI) bool {
 	if sub == sup {
 		return true
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.refreshLocked()
-	return e.subProp[string(sub)][string(sup)]
+	return c.subProp[string(sub)][string(sup)]
 }
 
 // SuperClasses returns all (transitive) superclasses of the given class,
 // sorted, excluding the class itself.
-func (e *Engine) SuperClasses(class rdf.IRI) []rdf.IRI {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.refreshLocked()
-	return sortedKeys(e.subClass[string(class)])
+func (c *Closure) SuperClasses(class rdf.IRI) []rdf.IRI {
+	return sortedKeys(c.subClass[string(class)])
 }
 
-// SubClassesOf returns all classes that are (transitively) subclasses of the
-// given class, excluding the class itself.
-func (e *Engine) SubClassesOf(class rdf.IRI) []rdf.IRI {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.refreshLocked()
-	return e.subClassesOfLocked(class)
-}
-
-func (e *Engine) subClassesOfLocked(class rdf.IRI) []rdf.IRI {
+// SubClassesOf returns all classes that are (transitively) subclasses of
+// the given class, excluding the class itself.
+func (c *Closure) SubClassesOf(class rdf.IRI) []rdf.IRI {
 	var out []rdf.IRI
-	for sub, supers := range e.subClass {
+	for sub, supers := range c.subClass {
 		if supers[string(class)] {
 			out = append(out, rdf.IRI(sub))
 		}
@@ -129,79 +147,110 @@ func (e *Engine) subClassesOfLocked(class rdf.IRI) []rdf.IRI {
 	return out
 }
 
-// IsSubClassOfIDs is IsSubClassOf on dictionary TermIDs (reflexive). IDs the
-// dictionary never assigned to a class trivially report false unless equal.
-func (e *Engine) IsSubClassOfIDs(sub, sup rdf.TermID) bool {
+// IsSubClassOfIDs is IsSubClassOf on dictionary TermIDs (reflexive). IDs
+// the dictionary never assigned to a class trivially report false unless
+// equal.
+func (c *Closure) IsSubClassOfIDs(sub, sup rdf.TermID) bool {
 	if sub == sup {
 		return true
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.refreshLocked()
-	return e.subClassIDs[sub][sup]
+	return c.subClassIDs[sub][sup]
 }
 
 // SubClassIDsOf returns the TermIDs of all (transitive) subclasses of the
 // class with the given id, in ascending IRI order. Like SubClassesOf it
 // excludes the class itself unless the hierarchy is cyclic. The returned
-// slice is memoized per store generation and must not be mutated.
-func (e *Engine) SubClassIDsOf(class rdf.TermID) []rdf.TermID {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.refreshLocked()
-	if subs, ok := e.subsOfID[class]; ok {
+// slice is memoized and must not be mutated.
+func (c *Closure) SubClassIDsOf(class rdf.TermID) []rdf.TermID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if subs, ok := c.subsOfID[class]; ok {
 		return subs
 	}
 	var subs []rdf.TermID
-	for sub, supers := range e.subClassIDs {
+	for sub, supers := range c.subClassIDs {
 		if supers[class] {
 			subs = append(subs, sub)
 		}
 	}
-	e.sortByNameLocked(subs)
-	e.subsOfID[class] = subs
+	c.sortByNameLocked(subs)
+	c.subsOfID[class] = subs
 	return subs
 }
 
 // SuperClassIDsOf returns the TermIDs of all (transitive) superclasses of
 // the class with the given id, in ascending IRI order; the same memoization
 // and mutation rules as SubClassIDsOf apply.
-func (e *Engine) SuperClassIDsOf(class rdf.TermID) []rdf.TermID {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.refreshLocked()
-	if supers, ok := e.supersOfID[class]; ok {
+func (c *Closure) SuperClassIDsOf(class rdf.TermID) []rdf.TermID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if supers, ok := c.supersOfID[class]; ok {
 		return supers
 	}
 	var supers []rdf.TermID
-	for sup := range e.subClassIDs[class] {
+	for sup := range c.subClassIDs[class] {
 		supers = append(supers, sup)
 	}
-	e.sortByNameLocked(supers)
-	e.supersOfID[class] = supers
+	c.sortByNameLocked(supers)
+	c.supersOfID[class] = supers
 	return supers
 }
 
 // sortByNameLocked orders closure members by their IRI string, matching the
-// deterministic order of the IRI-based accessors. Callers must hold e.mu.
-func (e *Engine) sortByNameLocked(ids []rdf.TermID) {
+// deterministic order of the IRI-based accessors. Callers must hold c.mu.
+func (c *Closure) sortByNameLocked(ids []rdf.TermID) {
 	slices.SortFunc(ids, func(a, b rdf.TermID) int {
-		return strings.Compare(e.closureNames[a], e.closureNames[b])
+		return strings.Compare(c.closureNames[a], c.closureNames[b])
 	})
 }
 
+// IsSubClassOf reports whether sub is rdfs:subClassOf sup at the store's
+// current generation, directly or transitively (reflexive).
+func (e *Engine) IsSubClassOf(sub, sup rdf.IRI) bool { return e.closure().IsSubClassOf(sub, sup) }
+
+// IsSubPropertyOf reports whether sub is rdfs:subPropertyOf sup at the
+// store's current generation, directly or transitively (reflexive).
+func (e *Engine) IsSubPropertyOf(sub, sup rdf.IRI) bool { return e.closure().IsSubPropertyOf(sub, sup) }
+
+// SuperClasses returns all (transitive) superclasses of the given class,
+// sorted, excluding the class itself.
+func (e *Engine) SuperClasses(class rdf.IRI) []rdf.IRI { return e.closure().SuperClasses(class) }
+
+// SubClassesOf returns all classes that are (transitively) subclasses of the
+// given class, excluding the class itself.
+func (e *Engine) SubClassesOf(class rdf.IRI) []rdf.IRI { return e.closure().SubClassesOf(class) }
+
+// IsSubClassOfIDs is IsSubClassOf on dictionary TermIDs (reflexive).
+func (e *Engine) IsSubClassOfIDs(sub, sup rdf.TermID) bool {
+	return e.closure().IsSubClassOfIDs(sub, sup)
+}
+
+// SubClassIDsOf returns the TermIDs of all (transitive) subclasses of the
+// class with the given id, in ascending IRI order. The returned slice is
+// memoized per store generation and must not be mutated.
+func (e *Engine) SubClassIDsOf(class rdf.TermID) []rdf.TermID {
+	return e.closure().SubClassIDsOf(class)
+}
+
+// SuperClassIDsOf returns the TermIDs of all (transitive) superclasses of
+// the class with the given id, in ascending IRI order; the same memoization
+// and mutation rules as SubClassIDsOf apply.
+func (e *Engine) SuperClassIDsOf(class rdf.TermID) []rdf.TermID {
+	return e.closure().SuperClassIDsOf(class)
+}
+
 // InstancesOf returns all subjects typed (rdf:type) with the given class or
-// any of its subclasses, across all graphs, sorted. Dedup across classes is
-// keyed on the store dictionary's subject TermIDs; term keys are derived
-// only once per distinct subject, for the final ordering.
+// any of its subclasses, across all graphs, sorted. The walk runs against
+// one pinned snapshot; dedup across classes is keyed on the dictionary's
+// subject TermIDs, and term keys are derived only once per distinct
+// subject, for the final ordering.
 func (e *Engine) InstancesOf(class rdf.IRI) []rdf.Term {
-	e.mu.Lock()
-	e.refreshLocked()
-	classes := append(e.subClassesOfLocked(class), class)
-	e.mu.Unlock()
+	sn := e.store.Snapshot()
+	cl := e.ClosureAt(sn)
+	classes := append(cl.SubClassesOf(class), class)
 	seen := map[rdf.TermID]rdf.Term{}
 	for _, c := range classes {
-		for _, m := range e.store.MatchWithIDs(store.WildcardGraph(nil, rdf.RDFType, c)) {
+		for _, m := range sn.MatchWithIDs(store.WildcardGraph(nil, rdf.RDFType, c)) {
 			seen[m.ID.Subject] = m.Subject
 		}
 	}
@@ -224,12 +273,14 @@ func (e *Engine) InstancesOf(class rdf.IRI) []rdf.Term {
 // HasType reports whether the subject has the given rdf:type, either
 // asserted directly or entailed through the subclass hierarchy.
 func (e *Engine) HasType(subject rdf.Term, class rdf.IRI) bool {
-	for _, q := range e.store.Match(store.WildcardGraph(subject, rdf.RDFType, nil)) {
+	sn := e.store.Snapshot()
+	cl := e.ClosureAt(sn)
+	for _, q := range sn.Match(store.WildcardGraph(subject, rdf.RDFType, nil)) {
 		asserted, ok := q.Object.(rdf.IRI)
 		if !ok {
 			continue
 		}
-		if asserted == class || e.IsSubClassOf(asserted, class) {
+		if asserted == class || cl.IsSubClassOf(asserted, class) {
 			return true
 		}
 	}
@@ -238,11 +289,13 @@ func (e *Engine) HasType(subject rdf.Term, class rdf.IRI) bool {
 
 // TypesOf returns the asserted and entailed types of the subject, sorted.
 func (e *Engine) TypesOf(subject rdf.Term) []rdf.IRI {
+	sn := e.store.Snapshot()
+	cl := e.ClosureAt(sn)
 	seen := map[rdf.IRI]bool{}
-	for _, q := range e.store.Match(store.WildcardGraph(subject, rdf.RDFType, nil)) {
+	for _, q := range sn.Match(store.WildcardGraph(subject, rdf.RDFType, nil)) {
 		if c, ok := q.Object.(rdf.IRI); ok {
 			seen[c] = true
-			for _, sup := range e.SuperClasses(c) {
+			for _, sup := range cl.SuperClasses(c) {
 				seen[sup] = true
 			}
 		}
@@ -285,7 +338,8 @@ func DefaultMaterializeOptions() MaterializeOptions {
 
 // Materialize computes the RDFS closure of the store under the selected
 // rules and inserts the entailed quads. It returns the number of new quads.
-// The computation iterates to a fixpoint.
+// The computation iterates to a fixpoint; each iteration reads from one
+// pinned snapshot and writes its conclusions back in a batch.
 func Materialize(s *store.Store, opts MaterializeOptions) (int, error) {
 	total := 0
 	for {
@@ -302,19 +356,20 @@ func Materialize(s *store.Store, opts MaterializeOptions) (int, error) {
 
 func materializeOnce(s *store.Store, opts MaterializeOptions) (int, error) {
 	var newQuads []rdf.Quad
+	sn := s.Snapshot()
 
-	subClass := nameClosure(transitiveClosureIDs(s, rdf.RDFSSubClassOf))
-	subProp := nameClosure(transitiveClosureIDs(s, rdf.RDFSSubPropertyOf))
+	subClass := nameClosure(transitiveClosureIDs(sn, rdf.RDFSSubClassOf))
+	subProp := nameClosure(transitiveClosureIDs(sn, rdf.RDFSSubPropertyOf))
 
 	if opts.SubClassTransitivity {
-		newQuads = append(newQuads, closureQuads(s, rdf.RDFSSubClassOf, subClass)...)
+		newQuads = append(newQuads, closureQuads(rdf.RDFSSubClassOf, subClass)...)
 	}
 	if opts.SubPropertyTransitivity {
-		newQuads = append(newQuads, closureQuads(s, rdf.RDFSSubPropertyOf, subProp)...)
+		newQuads = append(newQuads, closureQuads(rdf.RDFSSubPropertyOf, subProp)...)
 	}
 
 	if opts.TypeInheritance {
-		for _, q := range s.Match(store.WildcardGraph(nil, rdf.RDFType, nil)) {
+		for _, q := range sn.Match(store.WildcardGraph(nil, rdf.RDFType, nil)) {
 			c, ok := q.Object.(rdf.IRI)
 			if !ok {
 				continue
@@ -330,7 +385,7 @@ func materializeOnce(s *store.Store, opts MaterializeOptions) (int, error) {
 
 	if opts.PropertyInheritance {
 		for prop, supers := range subProp {
-			for _, q := range s.Match(store.WildcardGraph(nil, rdf.IRI(prop), nil)) {
+			for _, q := range sn.Match(store.WildcardGraph(nil, rdf.IRI(prop), nil)) {
 				for sup := range supers {
 					newQuads = append(newQuads, rdf.Quad{
 						Triple: rdf.NewTriple(q.Subject, rdf.IRI(sup), q.Object),
@@ -342,26 +397,26 @@ func materializeOnce(s *store.Store, opts MaterializeOptions) (int, error) {
 	}
 
 	if opts.DomainRange {
-		for _, decl := range s.Match(store.WildcardGraph(nil, rdf.RDFSDomain, nil)) {
+		for _, decl := range sn.Match(store.WildcardGraph(nil, rdf.RDFSDomain, nil)) {
 			prop, okP := decl.Subject.(rdf.IRI)
 			class, okC := decl.Object.(rdf.IRI)
 			if !okP || !okC {
 				continue
 			}
-			for _, q := range s.Match(store.WildcardGraph(nil, prop, nil)) {
+			for _, q := range sn.Match(store.WildcardGraph(nil, prop, nil)) {
 				newQuads = append(newQuads, rdf.Quad{
 					Triple: rdf.NewTriple(q.Subject, rdf.RDFType, class),
 					Graph:  q.Graph,
 				})
 			}
 		}
-		for _, decl := range s.Match(store.WildcardGraph(nil, rdf.RDFSRange, nil)) {
+		for _, decl := range sn.Match(store.WildcardGraph(nil, rdf.RDFSRange, nil)) {
 			prop, okP := decl.Subject.(rdf.IRI)
 			class, okC := decl.Object.(rdf.IRI)
 			if !okP || !okC {
 				continue
 			}
-			for _, q := range s.Match(store.WildcardGraph(nil, prop, nil)) {
+			for _, q := range sn.Match(store.WildcardGraph(nil, prop, nil)) {
 				if q.Object.Kind() == rdf.KindLiteral {
 					continue
 				}
@@ -373,20 +428,13 @@ func materializeOnce(s *store.Store, opts MaterializeOptions) (int, error) {
 		}
 	}
 
-	added := 0
-	for _, q := range newQuads {
-		ok, err := s.Add(q)
-		if err != nil {
-			return added, err
-		}
-		if ok {
-			added++
-		}
-	}
-	return added, nil
+	// One atomic batch: duplicates are skipped and not counted, exactly like
+	// the historical per-quad Add loop, but the store publishes one snapshot
+	// (and bumps the generation once) instead of once per entailed quad.
+	return s.AddAll(newQuads)
 }
 
-func closureQuads(s *store.Store, predicate rdf.IRI, closure map[string]map[string]bool) []rdf.Quad {
+func closureQuads(predicate rdf.IRI, closure map[string]map[string]bool) []rdf.Quad {
 	var out []rdf.Quad
 	for sub, supers := range closure {
 		for sup := range supers {
@@ -395,7 +443,6 @@ func closureQuads(s *store.Store, predicate rdf.IRI, closure map[string]map[stri
 			// edge already defines where the hierarchy lives; the default graph
 			// keeps entailments out of the per-wrapper named graphs.
 			out = append(out, rdf.Quad{Triple: t})
-			_ = s
 		}
 	}
 	return out
@@ -405,11 +452,12 @@ func closureQuads(s *store.Store, predicate rdf.IRI, closure map[string]map[stri
 // rdfs:subClassOf), a map from each subject TermID to the set of all TermIDs
 // reachable by following the predicate one or more times, along with the IRI
 // string of every closure member. The graph walk runs entirely on dictionary
-// TermIDs; only IRI subjects and objects participate.
-func transitiveClosureIDs(s *store.Store, predicate rdf.IRI) (map[rdf.TermID]map[rdf.TermID]bool, map[rdf.TermID]string) {
+// TermIDs against one pinned snapshot; only IRI subjects and objects
+// participate.
+func transitiveClosureIDs(sn store.Snapshot, predicate rdf.IRI) (map[rdf.TermID]map[rdf.TermID]bool, map[rdf.TermID]string) {
 	direct := map[rdf.TermID][]rdf.TermID{}
 	names := map[rdf.TermID]string{}
-	for _, m := range s.MatchWithIDs(store.WildcardGraph(nil, predicate, nil)) {
+	for _, m := range sn.MatchWithIDs(store.WildcardGraph(nil, predicate, nil)) {
 		if _, okS := m.Subject.(rdf.IRI); !okS {
 			continue
 		}

@@ -5,6 +5,14 @@
 // generation) and joined across concepts (Algorithm 5, inter-concept
 // generation), producing a union of conjunctive queries (walks) over the
 // wrappers that can be executed by the relational layer.
+//
+// This is the read-dominated hot path of Figure 8: a rewrite issues many
+// small ontology lookups (covering wrappers per triple, edge providers,
+// identifier features, attribute resolution), all served by
+// internal/core's generation-keyed query cache over lock-free store
+// snapshots — so concurrent rewrites never block each other, and Cache
+// (cache.go) memoizes whole rewriting results until the next release bumps
+// the store generation.
 package rewriting
 
 import (

@@ -108,6 +108,12 @@ func (s *Solutions) String() string {
 // []rdf.TermID rows, joins extend rows through store.MatchIDs and integer
 // equality, and terms are rehydrated only at projection time. Entailment
 // expansion sets are cached per store generation.
+//
+// Every evaluation pins one store.Snapshot up front — compilation,
+// matching, entailment and the reasoner closures all read from that pinned
+// generation — so a query returns an answer consistent with a single store
+// state even while writers publish new snapshots concurrently. The
+// Evaluator is safe for concurrent use.
 type Evaluator struct {
 	store      *store.Store
 	engine     *reasoner.Engine
@@ -142,16 +148,25 @@ func (e *Evaluator) Select(queryText string) (*Solutions, error) {
 	return e.Evaluate(q)
 }
 
-// Evaluate evaluates a parsed query.
+// Evaluate evaluates a parsed query against the store's current snapshot.
 func (e *Evaluator) Evaluate(q *Query) (*Solutions, error) {
-	pl, err := e.compile(q)
+	return e.EvaluateAt(e.store.Snapshot(), q)
+}
+
+// EvaluateAt evaluates a parsed query against a pinned snapshot: every
+// probe — base matching, entailment expansion, reasoner closures and
+// join-order estimates — reads from sn, so the answer reflects exactly one
+// store generation. Callers coordinating several queries (or a query plus
+// other reads) pin one snapshot and pass it to each.
+func (e *Evaluator) EvaluateAt(sn store.Snapshot, q *Query) (*Solutions, error) {
+	pl, err := e.compile(q, sn)
 	if err != nil {
 		return nil, err
 	}
 	if pl.empty {
 		return &Solutions{Variables: pl.vars}, nil
 	}
-	return e.run(pl), nil
+	return e.run(pl, sn), nil
 }
 
 // Ask reports whether the query has at least one solution.
@@ -163,28 +178,33 @@ func (e *Evaluator) Ask(q *Query) (bool, error) {
 	return sols.Len() > 0, nil
 }
 
-// entailCache holds the per-generation state of entailment expansion: the
+// entailCache holds the per-snapshot state of entailment expansion: the
 // vocabulary TermIDs and, per queried predicate, its direct subproperties.
 // Subclass closure sets are memoized by the reasoner engine (also per
-// generation), so the evaluator only caches what the engine does not.
+// snapshot), so the evaluator only caches what the engine does not. The
+// cache is keyed on snapshot identity, not the bare generation number, so
+// an EvaluateAt against a foreign store can never be served another
+// store's expansions.
 type entailCache struct {
-	generation   uint64
+	snap         store.Snapshot
 	typeID       rdf.TermID
 	subClassOfID rdf.TermID
 	subPropOfID  rdf.TermID
 	subProps     map[rdf.TermID][]rdf.TermID
 }
 
-// entailment returns the current entailment cache, rebuilding it when the
-// store generation moved (a mutation may add hierarchy edges or intern the
-// RDFS vocabulary for the first time).
-func (e *Evaluator) entailment() *entailCache {
-	gen := e.store.Generation()
+// entailment returns the entailment cache for the pinned snapshot,
+// rebuilding it when the snapshot moved (a mutation may add hierarchy
+// edges or intern the RDFS vocabulary for the first time). Concurrent
+// evaluations pinning the same snapshot share one instance; an evaluation
+// pinning an older snapshot than the cached one rebuilds — each instance
+// is consistent with exactly the snapshot it was built from.
+func (e *Evaluator) entailment(sn store.Snapshot) *entailCache {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.ent == nil || e.ent.generation != gen {
-		d := e.store.Dict()
-		c := &entailCache{generation: gen, subProps: map[rdf.TermID][]rdf.TermID{}}
+	if e.ent == nil || e.ent.snap != sn {
+		d := sn.Dict()
+		c := &entailCache{snap: sn, subProps: map[rdf.TermID][]rdf.TermID{}}
 		c.typeID, _ = d.Lookup(rdf.RDFType)
 		c.subClassOfID, _ = d.Lookup(rdf.RDFSSubClassOf)
 		c.subPropOfID, _ = d.Lookup(rdf.RDFSSubPropertyOf)
@@ -196,7 +216,9 @@ func (e *Evaluator) entailment() *entailCache {
 // subPropsOf returns the direct subproperties of the predicate with the
 // given id, in the deterministic first-occurrence order of the
 // rdfs:subPropertyOf matches, computed once per predicate per generation.
-func (e *Evaluator) subPropsOf(c *entailCache, pid rdf.TermID) []rdf.TermID {
+// The probe runs against the evaluation's pinned snapshot (whose generation
+// matches the cache instance).
+func (e *Evaluator) subPropsOf(c *entailCache, sn store.Snapshot, pid rdf.TermID) []rdf.TermID {
 	e.mu.Lock()
 	if subs, ok := c.subProps[pid]; ok {
 		e.mu.Unlock()
@@ -205,9 +227,9 @@ func (e *Evaluator) subPropsOf(c *entailCache, pid rdf.TermID) []rdf.TermID {
 	e.mu.Unlock()
 	var subs []rdf.TermID
 	if c.subPropOfID != 0 {
-		if t, ok := e.store.Dict().Term(pid); ok && t.Kind() == rdf.KindIRI {
+		if t, ok := sn.Dict().Term(pid); ok && t.Kind() == rdf.KindIRI {
 			var seen map[rdf.TermID]bool
-			for _, m := range e.store.MatchWithIDs(store.WildcardGraph(nil, rdf.RDFSSubPropertyOf, t)) {
+			for _, m := range sn.MatchWithIDs(store.WildcardGraph(nil, rdf.RDFSSubPropertyOf, t)) {
 				if _, isIRI := m.Subject.(rdf.IRI); !isIRI {
 					continue
 				}
@@ -257,11 +279,15 @@ func (a *rowArena) release() {
 	a.buf = a.buf[:len(a.buf)-a.width]
 }
 
-// exec is the per-evaluation state of the ID-native pipeline.
+// exec is the per-evaluation state of the ID-native pipeline. sn is the
+// evaluation's pinned snapshot: every probe of the run reads from it, so
+// the whole query observes one store generation.
 type exec struct {
 	e     *Evaluator
 	pl    *plan
-	ent   *entailCache // nil when entailment is off
+	sn    store.Snapshot
+	ent   *entailCache      // nil when entailment is off
+	cl    *reasoner.Closure // hierarchy closure at sn, built on first use
 	arena rowArena
 	// matchBuf is recycled across the per-row probes of dynamic patterns
 	// (it is fully consumed before the next probe); entailBuf likewise
@@ -273,10 +299,10 @@ type exec struct {
 // run executes a compiled plan: join the patterns over flat TermID rows,
 // filter, project, deduplicate, order deterministically and materialize the
 // solutions.
-func (e *Evaluator) run(pl *plan) *Solutions {
-	ec := &exec{e: e, pl: pl, arena: rowArena{width: pl.slotCount}}
+func (e *Evaluator) run(pl *plan, sn store.Snapshot) *Solutions {
+	ec := &exec{e: e, pl: pl, sn: sn, arena: rowArena{width: pl.slotCount}}
 	if e.Entailment {
-		ec.ent = e.entailment()
+		ec.ent = e.entailment(sn)
 	}
 
 	rows := pl.seeds
@@ -415,12 +441,6 @@ func (ec *exec) patternMatches(pp *planPattern, row []rdf.TermID, buf []store.Qu
 		Object:    pp.o.valueIn(row),
 	}
 	union := false
-	// Match order is observable only when an unbound graph variable will be
-	// bound from entailment-deduplicated matches (the first quad carrying a
-	// triple wins and donates its graph); everywhere else the pipeline's
-	// final projected-key ordering makes probes order-insensitive, so the
-	// store's per-probe sort is skipped.
-	ordered := false
 	synthGraph := ec.pl.emptyGraphID
 	switch pp.graphMode {
 	case graphUnion:
@@ -438,23 +458,29 @@ func (ec *exec) patternMatches(pp *planPattern, row []rdf.TermID, buf []store.Qu
 			}
 			ip.Graph, ip.GraphSet = g, true
 			synthGraph = g
-		} else {
-			ordered = ec.ent != nil
 		}
 	}
-	var base []store.QuadID
-	if ordered {
-		base = ec.e.store.AppendMatchIDs(buf, ip)
-	} else {
-		base = ec.e.store.AppendMatchIDsUnordered(buf, ip)
-	}
+	// Index buckets are pre-sorted, so every probe is deterministic-order at
+	// streaming cost; the historical ordered/unordered split is gone.
+	base := ec.sn.AppendMatchIDs(buf, ip)
 	if union {
 		base = collapseTriples(base)
 	}
 	if ec.ent == nil {
 		return base
 	}
-	return ec.entail(ip, base, synthGraph, ordered)
+	return ec.entail(ip, base, synthGraph)
+}
+
+// closure returns the reasoner's hierarchy closure at the evaluation's
+// pinned snapshot, building it on first use: queries whose patterns never
+// touch rdf:type or rdfs:subClassOf entailment skip the closure walk
+// entirely.
+func (ec *exec) closure() *reasoner.Closure {
+	if ec.cl == nil {
+		ec.cl = ec.e.engine.ClosureAt(ec.sn)
+	}
+	return ec.cl
 }
 
 // slotValue reads a slot of a row; nil rows (static patterns) have no
@@ -499,7 +525,7 @@ func collapseTriples(ms []store.QuadID) []store.QuadID {
 // transitive rdfs:subClassOf closure. Entailed quads deduplicate against
 // everything already present on the triple alone (entailed quads carry a
 // synthetic graph and must not duplicate asserted matches).
-func (ec *exec) entail(ip store.IDPattern, base []store.QuadID, synthGraph rdf.TermID, ordered bool) []store.QuadID {
+func (ec *exec) entail(ip store.IDPattern, base []store.QuadID, synthGraph rdf.TermID) []store.QuadID {
 	c := ec.ent
 	pid := ip.Predicate
 	if pid == 0 {
@@ -508,11 +534,7 @@ func (ec *exec) entail(ip store.IDPattern, base []store.QuadID, synthGraph rdf.T
 	// sub2 probes an expansion pattern into the recycled entailment buffer;
 	// each result is fully consumed before the next probe.
 	sub2 := func(p2 store.IDPattern) []store.QuadID {
-		if ordered {
-			ec.entailBuf = ec.e.store.AppendMatchIDs(ec.entailBuf[:0], p2)
-		} else {
-			ec.entailBuf = ec.e.store.AppendMatchIDsUnordered(ec.entailBuf[:0], p2)
-		}
+		ec.entailBuf = ec.sn.AppendMatchIDs(ec.entailBuf[:0], p2)
 		return ec.entailBuf
 	}
 	out := base
@@ -535,7 +557,7 @@ func (ec *exec) entail(ip store.IDPattern, base []store.QuadID, synthGraph rdf.T
 	// rdf:type with a concrete class: include instances of subclasses.
 	if pid == c.typeID {
 		if oid := ip.Object; oid != 0 {
-			for _, sub := range ec.e.engine.SubClassIDsOf(oid) {
+			for _, sub := range ec.closure().SubClassIDsOf(oid) {
 				p2 := ip
 				p2.Object = sub
 				for _, m := range sub2(p2) {
@@ -548,7 +570,7 @@ func (ec *exec) entail(ip store.IDPattern, base []store.QuadID, synthGraph rdf.T
 	}
 
 	// Concrete predicate: include statements made with its subproperties.
-	for _, sub := range ec.e.subPropsOf(c, pid) {
+	for _, sub := range ec.e.subPropsOf(c, ec.sn, pid) {
 		p2 := ip
 		p2.Predicate = sub
 		for _, m := range sub2(p2) {
@@ -566,15 +588,15 @@ func (ec *exec) entail(ip store.IDPattern, base []store.QuadID, synthGraph rdf.T
 		sid, oid := ip.Subject, ip.Object
 		switch {
 		case sid != 0 && oid != 0:
-			if sid != oid && ec.e.engine.IsSubClassOfIDs(sid, oid) {
+			if sid != oid && ec.closure().IsSubClassOfIDs(sid, oid) {
 				add(store.QuadID{Graph: synthGraph, Subject: sid, Predicate: pid, Object: oid})
 			}
 		case sid != 0:
-			for _, sup := range ec.e.engine.SuperClassIDsOf(sid) {
+			for _, sup := range ec.closure().SuperClassIDsOf(sid) {
 				add(store.QuadID{Graph: synthGraph, Subject: sid, Predicate: pid, Object: sup})
 			}
 		case oid != 0:
-			for _, sub := range ec.e.engine.SubClassIDsOf(oid) {
+			for _, sub := range ec.closure().SubClassIDsOf(oid) {
 				add(store.QuadID{Graph: synthGraph, Subject: sub, Predicate: pid, Object: oid})
 			}
 		}

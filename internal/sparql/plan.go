@@ -173,12 +173,12 @@ type plan struct {
 	emptyGraphID rdf.TermID
 }
 
-// compile translates a parsed query into a plan against the current store
-// state. Constants are resolved to TermIDs exactly once; join order is
-// chosen by (variable count, cardinality estimate, query order), where the
-// estimate comes from store.Count's index bucket sizes.
-func (e *Evaluator) compile(q *Query) (*plan, error) {
-	lt := newLocalTerms(e.store.Dict())
+// compile translates a parsed query into a plan against a pinned snapshot.
+// Constants are resolved to TermIDs exactly once; join order is chosen by
+// (variable count, cardinality estimate, query order), where the estimate
+// comes from the snapshot's index bucket sizes.
+func (e *Evaluator) compile(q *Query, sn store.Snapshot) (*plan, error) {
+	lt := newLocalTerms(sn.Dict())
 	pl := &plan{
 		lt:       lt,
 		distinct: q.Distinct,
@@ -220,7 +220,7 @@ func (e *Evaluator) compile(q *Query) (*plan, error) {
 		if t == nil {
 			return planTerm{slot: -1}
 		}
-		id, ok := e.store.Dict().Lookup(t)
+		id, ok := sn.Dict().Lookup(t)
 		if !ok {
 			pl.empty = true
 			return planTerm{slot: -1, id: lt.resolve(t)}
@@ -262,7 +262,7 @@ func (e *Evaluator) compile(q *Query) (*plan, error) {
 				pp.varCount++
 			}
 		}
-		pp.estimate = e.store.Count(countPat)
+		pp.estimate = sn.Count(countPat)
 		pl.patterns = append(pl.patterns, pp)
 	}
 

@@ -10,22 +10,29 @@ import (
 // benchStore builds a store with n quads spread over a mix of the default
 // graph and 8 named graphs, with realistic term reuse: ~n distinct subjects,
 // 16 predicates and n/8 distinct objects, so that 1-constant lookups return
-// multi-quad result sets and 2-constant lookups stay selective.
+// multi-quad result sets and 2-constant lookups stay selective. The load
+// goes through AddAll — one snapshot publication and one sorted merge per
+// touched bucket — the shape every bulk loader should use now that single
+// Adds pay the copy-on-write snapshot publication per call.
 func benchStore(n int) *Store {
-	s := New()
+	quads := make([]rdf.Quad, n)
 	for i := 0; i < n; i++ {
 		g := rdf.IRI("")
 		if i%2 == 1 {
 			g = rdf.IRI(fmt.Sprintf("http://bench/g%d", i%8))
 		}
-		s.MustAdd(rdf.Quad{
+		quads[i] = rdf.Quad{
 			Triple: rdf.T(
 				rdf.IRI(fmt.Sprintf("http://bench/s%d", i)),
 				rdf.IRI(fmt.Sprintf("http://bench/p%d", i%16)),
 				rdf.IRI(fmt.Sprintf("http://bench/o%d", i%(n/8+1))),
 			),
 			Graph: g,
-		})
+		}
+	}
+	s := New()
+	if added, err := s.AddAll(quads); err != nil || added != n {
+		panic(fmt.Sprintf("benchStore: AddAll = %d, %v", added, err))
 	}
 	return s
 }
@@ -140,8 +147,108 @@ func BenchmarkStoreMatchMixedGraph(b *testing.B) {
 	}
 }
 
+// BenchmarkStoreMatchParallel1Const measures single-constant subject
+// lookups issued from all GOMAXPROCS goroutines at once. Readers pin a
+// snapshot per probe with one atomic load and never take a lock, so
+// throughput should scale near-linearly with cores (the per-op time
+// reported here is wall time per probe across all goroutines).
+func BenchmarkStoreMatchParallel1Const(b *testing.B) {
+	for _, n := range benchSizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := benchStore(n)
+			pats := make([]Pattern, 64)
+			for i := range pats {
+				pats[i] = WildcardGraph(rdf.IRI(fmt.Sprintf("http://bench/s%d", i*37%n)), nil, nil)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if got := s.Match(pats[i%len(pats)]); len(got) == 0 {
+						b.Fatal("expected a match")
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkStoreMatchParallel1ConstPredicate measures large-result
+// predicate probes under full parallelism: each probe copies an n/16-quad
+// pre-sorted bucket, so this stresses concurrent allocation as well as the
+// lock-free read path.
+func BenchmarkStoreMatchParallel1ConstPredicate(b *testing.B) {
+	for _, n := range benchSizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := benchStore(n)
+			p := WildcardGraph(nil, rdf.IRI("http://bench/p3"), nil)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if got := s.Match(p); len(got) == 0 {
+						b.Fatal("expected a match")
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkStoreMatchParallelWithWriter measures reader throughput while a
+// background writer continuously publishes new snapshots (add + remove of a
+// churn graph), quantifying how much write traffic perturbs the lock-free
+// read path.
+func BenchmarkStoreMatchParallelWithWriter(b *testing.B) {
+	n := 100000
+	s := benchStore(n)
+	churn := make([]rdf.Quad, 64)
+	for i := range churn {
+		churn[i] = rdf.Q(
+			rdf.IRI(fmt.Sprintf("http://bench/churn-s%d", i)),
+			rdf.IRI(fmt.Sprintf("http://bench/p%d", i%16)),
+			rdf.IRI("http://bench/churn-o"),
+			rdf.IRI("http://bench/churn"),
+		)
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := s.AddAll(churn); err != nil {
+				panic(err)
+			}
+			s.RemoveGraph("http://bench/churn")
+		}
+	}()
+	defer func() { close(stop); <-done }()
+	pats := make([]Pattern, 64)
+	for i := range pats {
+		pats[i] = WildcardGraph(rdf.IRI(fmt.Sprintf("http://bench/s%d", i*37%n)), nil, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if got := s.Match(pats[i%len(pats)]); len(got) == 0 {
+				b.Fatal("expected a match")
+			}
+			i++
+		}
+	})
+}
+
 // BenchmarkStoreAddAll measures bulk loading, exercising interning and the
-// batched lock path.
+// batched snapshot-publication path.
 func BenchmarkStoreAddAll(b *testing.B) {
 	n := 10000
 	quads := make([]rdf.Quad, n)

@@ -1,0 +1,572 @@
+package store
+
+import (
+	"slices"
+
+	"bdi/internal/rdf"
+)
+
+// The read side of the store is an immutable, generation-tagged snapshot.
+// Writers build a new snapshot by copy-on-writing exactly the structures a
+// mutation touches (outer index maps, one 256-bucket page per touched term,
+// the touched buckets themselves) and publish it with a single atomic store;
+// readers pin a snapshot with one atomic load and then run without any lock,
+// mutex or retry loop. Everything reachable from a published snapshot is
+// immutable forever, so a pinned snapshot is a consistent point-in-time view:
+// two probes against the same Snapshot can never observe different store
+// states, no matter how many writers run concurrently.
+//
+// Index buckets are kept permanently sorted by the quad's precomputed sort
+// key (see entry.sortKey). Ordered matching therefore never sorts: a
+// 1-constant probe is an O(k) copy of the bucket (or a zero-copy hand-out of
+// the immutable bucket itself), and multi-constant probes filter the bucket
+// without disturbing the order. The cost moved to the write side — inserting
+// into a bucket is O(bucket) — which is the trade the read-dominated
+// query-answering workload of the paper wants.
+
+// pageBits sizes the termIndex pages: 1<<pageBits buckets per page. Pages
+// are the COW granularity of the per-term indexes: small enough (32 slice
+// headers, 768 B) that a writer's first touch of a page is a cheap copy
+// and sparse per-graph indexes do not balloon the GC-scanned live heap,
+// large enough that the page table stays compact for dense TermID ranges.
+const (
+	pageBits = 5
+	pageSize = 1 << pageBits
+	pageMask = pageSize - 1
+)
+
+// indexPage holds the buckets of pageSize consecutive TermIDs.
+type indexPage [pageSize][]*entry
+
+// termIndex maps a TermID to its sorted entry bucket through a paged array:
+// TermIDs are dense (the dictionary assigns them sequentially from 1), so
+// pages[id>>pageBits][id&pageMask] resolves a bucket with two dereferences
+// and no hashing. count tracks the number of non-empty buckets (distinct
+// terms).
+type termIndex struct {
+	pages []*indexPage
+	count int
+}
+
+// bucket returns the sorted entry bucket of the given term, or nil. Safe on
+// a nil index.
+func (ti *termIndex) bucket(id rdf.TermID) []*entry {
+	if ti == nil {
+		return nil
+	}
+	p := int(id >> pageBits)
+	if p >= len(ti.pages) || ti.pages[p] == nil {
+		return nil
+	}
+	return ti.pages[p][id&pageMask]
+}
+
+// graphBucket is the sorted entry list of one graph (named or default).
+type graphBucket struct {
+	id      rdf.TermID
+	name    rdf.IRI
+	entries []*entry
+}
+
+// snapshot is one immutable generation of the store. All fields, and
+// everything reachable from them, are frozen once the snapshot is published.
+type snapshot struct {
+	// dict interns every term appearing in this snapshot. The dictionary is
+	// append-only and safe for concurrent use, so it is shared between the
+	// writer and every live snapshot (Clear swaps in a fresh one).
+	dict *rdf.Dict
+
+	generation uint64
+	size       int
+
+	// graphs holds one sorted bucket per non-empty graph, in ascending
+	// graph-name order. A quad's sort key is prefixed by its graph name, so
+	// concatenating these buckets in slice order yields the full store in
+	// global sort order — full scans never sort. graphIdx maps a graph's
+	// TermID to its position in graphs.
+	graphs   []*graphBucket
+	graphIdx map[rdf.TermID]int
+
+	// Per-term indexes: graph ID -> termIndex. The allGraphsID key indexes
+	// the union of all graphs; the default graph is indexed under the ID of
+	// the empty IRI like any other graph.
+	bySubject   map[rdf.TermID]*termIndex
+	byPredicate map[rdf.TermID]*termIndex
+	byObject    map[rdf.TermID]*termIndex
+}
+
+// emptySnapshot returns the snapshot of an empty store over the given
+// dictionary.
+func emptySnapshot(d *rdf.Dict) *snapshot {
+	return &snapshot{
+		dict:        d,
+		graphIdx:    map[rdf.TermID]int{},
+		bySubject:   map[rdf.TermID]*termIndex{},
+		byPredicate: map[rdf.TermID]*termIndex{},
+		byObject:    map[rdf.TermID]*termIndex{},
+	}
+}
+
+// Snapshot is a pinned, immutable, point-in-time view of a Store. The zero
+// value is an empty snapshot. Snapshots are cheap (one pointer), safe for
+// concurrent use, and answer every read the Store itself answers — Store's
+// read methods are thin wrappers that pin a fresh Snapshot per call.
+// Consumers that issue several related probes (a SPARQL query, a reasoner
+// closure, a rewriting walk) should pin one Snapshot and probe it
+// throughout, so the whole operation observes a single generation even while
+// writers publish new ones.
+type Snapshot struct {
+	sn *snapshot
+}
+
+// Snapshot pins the store's current state: one atomic load, no lock.
+func (s *Store) Snapshot() Snapshot {
+	return Snapshot{sn: s.snap.Load()}
+}
+
+// Generation returns the mutation counter of the pinned state. Two
+// Snapshots of the same Store with equal generations are views of identical
+// content.
+func (sn Snapshot) Generation() uint64 {
+	if sn.sn == nil {
+		return 0
+	}
+	return sn.sn.generation
+}
+
+// Dict returns the term dictionary backing this snapshot. It is append-only
+// and safe for concurrent use; TermIDs resolved against it remain valid for
+// the snapshot's lifetime (Store.Clear swaps dictionaries, but this
+// snapshot keeps its own).
+func (sn Snapshot) Dict() *rdf.Dict {
+	if sn.sn == nil {
+		return nil
+	}
+	return sn.sn.dict
+}
+
+// Len returns the number of quads in the snapshot.
+func (sn Snapshot) Len() int {
+	if sn.sn == nil {
+		return 0
+	}
+	return sn.sn.size
+}
+
+// GraphLen returns the number of quads in the given named graph ("" is the
+// default graph).
+func (sn Snapshot) GraphLen(graph rdf.IRI) int {
+	if sn.sn == nil {
+		return 0
+	}
+	gid, ok := sn.sn.dict.LookupIRI(graph)
+	if !ok {
+		return 0
+	}
+	if pos, ok := sn.sn.graphIdx[gid]; ok {
+		return len(sn.sn.graphs[pos].entries)
+	}
+	return 0
+}
+
+// Graphs returns the names of all non-empty named graphs, sorted. The
+// default graph is not included.
+func (sn Snapshot) Graphs() []rdf.IRI {
+	if sn.sn == nil {
+		return nil
+	}
+	var out []rdf.IRI
+	for _, gb := range sn.sn.graphs {
+		if gb.name != "" {
+			out = append(out, gb.name)
+		}
+	}
+	return out
+}
+
+// Contains reports whether the exact quad is present. The probe scans the
+// smaller of the quad's graph-scoped subject and object buckets, so hub
+// subjects (a wrapper with hundreds of attribute triples) are looked up
+// through their far more selective object side.
+func (sn Snapshot) Contains(q rdf.Quad) bool {
+	if sn.sn == nil {
+		return false
+	}
+	id, ok := quadID(sn.sn.dict, q)
+	if !ok {
+		return false
+	}
+	b := sn.sn.bySubject[id.Graph].bucket(id.Subject)
+	if o := sn.sn.byObject[id.Graph].bucket(id.Object); len(o) < len(b) {
+		b = o
+	}
+	for _, e := range b {
+		if e.id == id {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsTriple reports whether the triple is present in the given graph.
+func (sn Snapshot) ContainsTriple(graph rdf.IRI, t rdf.Triple) bool {
+	return sn.Contains(rdf.Quad{Triple: t, Graph: graph})
+}
+
+// Match returns all quads matching the pattern, in deterministic order
+// (ascending ⟨graph, subject, predicate, object⟩ term-key order). Variables
+// in the pattern are treated as wildcards.
+func (sn Snapshot) Match(p Pattern) []rdf.Quad {
+	entries := sn.matchEntries(p)
+	if len(entries) == 0 {
+		return nil
+	}
+	out := make([]rdf.Quad, len(entries))
+	for i, e := range entries {
+		out[i] = e.quad
+	}
+	return out
+}
+
+// MatchWithIDs is Match, additionally reporting each quad's dictionary
+// encoding so consumers can dedupe and join on integer IDs.
+func (sn Snapshot) MatchWithIDs(p Pattern) []MatchedQuad {
+	entries := sn.matchEntries(p)
+	if len(entries) == 0 {
+		return nil
+	}
+	out := make([]MatchedQuad, len(entries))
+	for i, e := range entries {
+		out[i] = MatchedQuad{Quad: e.quad, ID: e.id}
+	}
+	return out
+}
+
+// MatchTriples is like Match but returns bare triples.
+func (sn Snapshot) MatchTriples(p Pattern) []rdf.Triple {
+	quads := sn.Match(p)
+	out := make([]rdf.Triple, len(quads))
+	for i, q := range quads {
+		out[i] = q.Triple
+	}
+	return out
+}
+
+// MatchIDs returns the dictionary encodings of all quads matching the ID
+// pattern, in the same deterministic order as Match.
+func (sn Snapshot) MatchIDs(p IDPattern) []QuadID {
+	return sn.AppendMatchIDs(nil, p)
+}
+
+// AppendMatchIDs is MatchIDs appending into dst (which may be nil or a
+// recycled buffer), so repeated probes — one per row in a join pipeline —
+// can reuse one allocation. Buckets are pre-sorted, so the deterministic
+// order costs no sort: matches stream straight off the selected bucket.
+func (sn Snapshot) AppendMatchIDs(dst []QuadID, p IDPattern) []QuadID {
+	if sn.sn == nil {
+		return dst
+	}
+	candidates, scan, none := sn.sn.selectBucket(p)
+	if none {
+		return dst
+	}
+	if scan {
+		for _, gb := range sn.sn.graphs {
+			for _, e := range gb.entries {
+				dst = append(dst, e.id)
+			}
+		}
+		return dst
+	}
+	for _, e := range candidates {
+		if entryMatches(e, p) {
+			dst = append(dst, e.id)
+		}
+	}
+	return dst
+}
+
+// AppendMatchIDsUnordered is retained for API compatibility: since buckets
+// became permanently sorted, the unordered fast path and the ordered path
+// converged — streaming off the bucket is already deterministic-order.
+func (sn Snapshot) AppendMatchIDsUnordered(dst []QuadID, p IDPattern) []QuadID {
+	return sn.AppendMatchIDs(dst, p)
+}
+
+// Count estimates the number of quads matching p by reading index bucket
+// sizes only: no matches are materialized or filtered. The estimate is
+// exact for patterns with at most one bound term and an upper bound (the
+// smallest applicable bucket) otherwise; a constant the dictionary has
+// never seen yields 0. It is intended for join-order planning.
+func (sn Snapshot) Count(p Pattern) int {
+	if sn.sn == nil {
+		return 0
+	}
+	ip, ok := idPattern(sn.sn.dict, p)
+	if !ok {
+		return 0
+	}
+	gid := allGraphsID
+	if ip.GraphSet {
+		gid = ip.Graph
+	}
+	n := -1
+	if ip.Subject != 0 {
+		n = len(sn.sn.bySubject[gid].bucket(ip.Subject))
+	}
+	if ip.Predicate != 0 {
+		if m := len(sn.sn.byPredicate[gid].bucket(ip.Predicate)); n < 0 || m < n {
+			n = m
+		}
+	}
+	if ip.Object != 0 {
+		if m := len(sn.sn.byObject[gid].bucket(ip.Object)); n < 0 || m < n {
+			n = m
+		}
+	}
+	if n >= 0 {
+		return n
+	}
+	if ip.GraphSet {
+		if pos, ok := sn.sn.graphIdx[gid]; ok {
+			return len(sn.sn.graphs[pos].entries)
+		}
+		return 0
+	}
+	return sn.sn.size
+}
+
+// GraphsContaining returns the names of all named graphs that contain the
+// given triple. This implements the SPARQL `GRAPH ?g { ... }` lookups used
+// by the rewriting algorithms to resolve LAV mappings (Algorithm 4 line 8
+// and Algorithm 5 lines 9-10).
+func (sn Snapshot) GraphsContaining(t rdf.Triple) []rdf.IRI {
+	entries := sn.matchEntries(WildcardGraph(t.Subject, t.Predicate, t.Object))
+	seen := map[rdf.TermID]bool{}
+	var out []rdf.IRI
+	// Entries are sorted by quad sort key, whose leading component is the
+	// graph name, so the output is already in ascending graph order.
+	for _, e := range entries {
+		if e.quad.Graph == "" || seen[e.id.Graph] {
+			continue
+		}
+		seen[e.id.Graph] = true
+		out = append(out, e.quad.Graph)
+	}
+	return out
+}
+
+// NamedGraph materializes the contents of a named graph as a rdf.Graph
+// value.
+func (sn Snapshot) NamedGraph(name rdf.IRI) *rdf.Graph {
+	g := rdf.NewGraph(name)
+	quads := sn.Match(InGraph(name, nil, nil, nil))
+	if len(quads) > 0 {
+		g.Triples = make([]rdf.Triple, len(quads))
+		for i, q := range quads {
+			g.Triples[i] = q.Triple
+		}
+	}
+	return g
+}
+
+// Quads returns every quad in the snapshot, sorted.
+func (sn Snapshot) Quads() []rdf.Quad {
+	return sn.Match(Pattern{})
+}
+
+// Stats returns summary statistics for the snapshot.
+func (sn Snapshot) Stats() Stats {
+	if sn.sn == nil {
+		return Stats{}
+	}
+	st := Stats{
+		Quads:              sn.sn.size,
+		DistinctSubjects:   indexCount(sn.sn.bySubject[allGraphsID]),
+		DistinctPredicates: indexCount(sn.sn.byPredicate[allGraphsID]),
+		DistinctObjects:    indexCount(sn.sn.byObject[allGraphsID]),
+	}
+	for _, gb := range sn.sn.graphs {
+		if gb.name == "" {
+			st.DefaultGraphQuads = len(gb.entries)
+		} else {
+			st.NamedGraphs++
+		}
+	}
+	return st
+}
+
+func indexCount(ti *termIndex) int {
+	if ti == nil {
+		return 0
+	}
+	return ti.count
+}
+
+// matchEntries returns the entries matching p in ascending sort-key order.
+// Buckets are immutable and pre-sorted, so whenever the selected bucket
+// needs no residual filtering the bucket itself is returned without a copy;
+// callers must treat the result as read-only.
+func (sn Snapshot) matchEntries(p Pattern) []*entry {
+	if sn.sn == nil {
+		return nil
+	}
+	ip, ok := idPattern(sn.sn.dict, p)
+	if !ok {
+		return nil
+	}
+	return sn.sn.matchEntries(ip)
+}
+
+func (s *snapshot) matchEntries(p IDPattern) []*entry {
+	candidates, scan, none := s.selectBucket(p)
+	if none {
+		return nil
+	}
+	if scan {
+		out := make([]*entry, 0, s.size)
+		for _, gb := range s.graphs {
+			out = append(out, gb.entries...)
+		}
+		return out
+	}
+	// The bucket is already sorted; with no residual constants it can be
+	// handed out as-is (it is immutable).
+	if !residualFilter(p) {
+		return candidates
+	}
+	var out []*entry
+	for _, e := range candidates {
+		if entryMatches(e, p) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// selectBucket chooses the most selective index bucket for the pattern
+// (candidates drawn from a graph-keyed index are already restricted to the
+// requested graph). scan reports that no term or graph bound the pattern,
+// so the caller must walk the whole store; none reports the
+// reserved-union-key guard (GraphSet with graph ID 0 would alias the union
+// indexes; no real graph ever has ID 0).
+func (s *snapshot) selectBucket(p IDPattern) (candidates []*entry, scan, none bool) {
+	gid := allGraphsID
+	if p.GraphSet {
+		if p.Graph == allGraphsID {
+			return nil, false, true
+		}
+		gid = p.Graph
+	}
+	switch {
+	case p.Subject != 0:
+		return s.bySubject[gid].bucket(p.Subject), false, false
+	case p.Object != 0:
+		return s.byObject[gid].bucket(p.Object), false, false
+	case p.Predicate != 0:
+		return s.byPredicate[gid].bucket(p.Predicate), false, false
+	case p.GraphSet:
+		if pos, ok := s.graphIdx[gid]; ok {
+			return s.graphs[pos].entries, false, false
+		}
+		return nil, false, false
+	default:
+		return nil, true, false
+	}
+}
+
+// residualFilter reports whether a bucket candidate can fail entryMatches,
+// i.e. whether the pattern binds more than the term the bucket was selected
+// by. The graph restriction never needs filtering: graph-keyed buckets are
+// already graph-exact.
+func residualFilter(p IDPattern) bool {
+	bound := 0
+	if p.Subject != 0 {
+		bound++
+	}
+	if p.Predicate != 0 {
+		bound++
+	}
+	if p.Object != 0 {
+		bound++
+	}
+	return bound > 1
+}
+
+// entryMatches applies the residual term filter to a bucket candidate.
+func entryMatches(e *entry, p IDPattern) bool {
+	return (p.Subject == 0 || e.id.Subject == p.Subject) &&
+		(p.Predicate == 0 || e.id.Predicate == p.Predicate) &&
+		(p.Object == 0 || e.id.Object == p.Object)
+}
+
+// idPattern resolves a term pattern to its dictionary encoding. The second
+// result is false when a constant has never been interned, in which case
+// the pattern cannot match any stored quad.
+func idPattern(d *rdf.Dict, p Pattern) (IDPattern, bool) {
+	sTerm := wildcardIfVar(p.Subject)
+	pTerm := wildcardIfVar(p.Predicate)
+	oTerm := wildcardIfVar(p.Object)
+
+	var ip IDPattern
+	var ok bool
+	if sTerm != nil {
+		if ip.Subject, ok = d.Lookup(sTerm); !ok {
+			return IDPattern{}, false
+		}
+	}
+	if pTerm != nil {
+		if ip.Predicate, ok = d.Lookup(pTerm); !ok {
+			return IDPattern{}, false
+		}
+	}
+	if oTerm != nil {
+		if ip.Object, ok = d.Lookup(oTerm); !ok {
+			return IDPattern{}, false
+		}
+	}
+	if p.GraphSet {
+		ip.GraphSet = true
+		if ip.Graph, ok = d.Lookup(p.Graph); !ok {
+			return IDPattern{}, false
+		}
+	}
+	return ip, true
+}
+
+// quadID resolves the dictionary encoding of q without interning. The
+// second result is false when any term has never been seen, in which case
+// the quad cannot be present.
+func quadID(d *rdf.Dict, q rdf.Quad) (QuadID, bool) {
+	gid, ok := d.Lookup(q.Graph)
+	if !ok {
+		return QuadID{}, false
+	}
+	sid, ok := d.Lookup(q.Subject)
+	if !ok {
+		return QuadID{}, false
+	}
+	pid, ok := d.Lookup(q.Predicate)
+	if !ok {
+		return QuadID{}, false
+	}
+	oid, ok := d.Lookup(q.Object)
+	if !ok {
+		return QuadID{}, false
+	}
+	return QuadID{Graph: gid, Subject: sid, Predicate: pid, Object: oid}, true
+}
+
+// sortGraphBuckets keeps the graphs slice in ascending graph-name order.
+func sortGraphBuckets(graphs []*graphBucket) {
+	slices.SortFunc(graphs, func(a, b *graphBucket) int {
+		switch {
+		case a.name < b.name:
+			return -1
+		case a.name > b.name:
+			return 1
+		default:
+			return 0
+		}
+	})
+}

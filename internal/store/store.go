@@ -9,16 +9,24 @@
 // dense uint32 TermID at Add time (see rdf.Dict); the GSPO/GPOS/GOSP
 // indexes and the canonical quad set are keyed on 4-integer composite keys,
 // so pattern matching compares integers instead of rebuilding string keys.
-// Every single-constant lookup is satisfied without scanning, results are
-// returned in a deterministic order (via a per-quad sort key precomputed at
-// Add time), and the store is safe for concurrent use.
+//
+// Concurrency follows a single-writer / many-readers snapshot discipline:
+// every mutation batch copy-on-writes the index structures it touches and
+// atomically publishes a new immutable, generation-tagged snapshot, while
+// readers pin the current snapshot with one atomic load and never take a
+// lock (see snapshot.go). Index buckets are kept permanently sorted by the
+// quad's precomputed sort key, so ordered matches are plain bucket copies —
+// the per-probe sort of earlier revisions is gone, paid for by O(bucket)
+// insertion on the write path.
 package store
 
 import (
 	"fmt"
+	"maps"
 	"slices"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"bdi/internal/rdf"
 )
@@ -78,8 +86,8 @@ type MatchedQuad struct {
 
 // entry is the stored representation of a quad: the quad itself, its
 // integer identity, and the sort key that defines the deterministic output
-// order (precomputed once at Add time so Match never re-derives it inside a
-// sort comparator).
+// order (precomputed once at Add time; buckets stay sorted by it, so Match
+// never sorts). Entries are immutable once published in a snapshot.
 type entry struct {
 	id      QuadID
 	quad    rdf.Quad
@@ -90,37 +98,27 @@ type entry struct {
 // indexes. Real TermIDs start at 1, so 0 is never a graph's ID.
 const allGraphsID rdf.TermID = 0
 
-// Store is an in-memory quad store with named-graph support.
+// Store is an in-memory quad store with named-graph support. Reads are
+// lock-free (they pin the current snapshot, see Snapshot); writes are
+// serialized by a mutex and publish a fresh snapshot per mutation batch.
 type Store struct {
-	mu sync.RWMutex
+	// mu serializes writers. Readers never take it.
+	mu sync.Mutex
 
-	// dict interns every term (including graph names) appearing in the store.
-	dict *rdf.Dict
+	// snap is the current published snapshot; the only shared mutable cell.
+	snap atomic.Pointer[snapshot]
 
-	// quads is the canonical set, keyed by dictionary-encoded identity.
+	// quads is the canonical quad set, used by the write path for duplicate
+	// detection and removal lookup. It is guarded by mu and never reachable
+	// from a snapshot.
 	quads map[QuadID]*entry
-
-	// Indexes: graph ID -> term ID -> entries. The allGraphsID key indexes
-	// the union of all graphs; the default graph is indexed under the ID of
-	// the empty IRI like any other graph.
-	bySubject   map[rdf.TermID]map[rdf.TermID][]*entry
-	byPredicate map[rdf.TermID]map[rdf.TermID][]*entry
-	byObject    map[rdf.TermID]map[rdf.TermID][]*entry
-	byGraph     map[rdf.TermID][]*entry
-
-	generation uint64
 }
 
 // New returns an empty store.
 func New() *Store {
-	return &Store{
-		dict:        rdf.NewDict(),
-		quads:       map[QuadID]*entry{},
-		bySubject:   map[rdf.TermID]map[rdf.TermID][]*entry{},
-		byPredicate: map[rdf.TermID]map[rdf.TermID][]*entry{},
-		byObject:    map[rdf.TermID]map[rdf.TermID][]*entry{},
-		byGraph:     map[rdf.TermID][]*entry{},
-	}
+	s := &Store{quads: map[QuadID]*entry{}}
+	s.snap.Store(emptySnapshot(rdf.NewDict()))
+	return s
 }
 
 // Dict returns the store's term dictionary. Consumers may use it to resolve
@@ -128,52 +126,22 @@ func New() *Store {
 // repeatedly. The dictionary is append-only and safe for concurrent use.
 // Clear replaces the dictionary: cached TermIDs and Dict references are only
 // valid against the store state they were obtained from.
-func (s *Store) Dict() *rdf.Dict { return s.dict }
+func (s *Store) Dict() *rdf.Dict { return s.snap.Load().dict }
 
 // Len returns the total number of quads in the store.
-func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.quads)
-}
+func (s *Store) Len() int { return s.Snapshot().Len() }
 
-// Generation returns a counter incremented on every mutation. It allows
-// callers (e.g. the reasoner) to detect staleness cheaply.
-func (s *Store) Generation() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.generation
-}
+// Generation returns a counter incremented on every mutation batch. It
+// allows callers (e.g. the reasoner) to detect staleness cheaply.
+func (s *Store) Generation() uint64 { return s.Snapshot().Generation() }
 
 // GraphLen returns the number of quads in the given named graph ("" is the
 // default graph).
-func (s *Store) GraphLen(graph rdf.IRI) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	gid, ok := s.dict.Lookup(graph)
-	if !ok {
-		return 0
-	}
-	return len(s.byGraph[gid])
-}
+func (s *Store) GraphLen(graph rdf.IRI) int { return s.Snapshot().GraphLen(graph) }
 
 // Graphs returns the names of all non-empty named graphs, sorted. The default
 // graph is not included.
-func (s *Store) Graphs() []rdf.IRI {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var out []rdf.IRI
-	for _, entries := range s.byGraph {
-		if len(entries) == 0 {
-			continue
-		}
-		if g := entries[0].quad.Graph; g != "" {
-			out = append(out, g)
-		}
-	}
-	slices.Sort(out)
-	return out
-}
+func (s *Store) Graphs() []rdf.IRI { return s.Snapshot().Graphs() }
 
 // Add inserts a quad. Duplicate quads are ignored. It returns true when the
 // quad was newly added.
@@ -183,7 +151,14 @@ func (s *Store) Add(q rdf.Quad) (bool, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.addLocked(q, &entry{}), nil
+	e, ok := s.internQuad(q, &entry{})
+	if !ok {
+		return false, nil
+	}
+	b := s.begin()
+	b.insert([]*entry{e})
+	b.publish()
+	return true, nil
 }
 
 // AddTriple inserts a triple into the given named graph.
@@ -199,9 +174,11 @@ func (s *Store) MustAdd(q rdf.Quad) {
 	}
 }
 
-// AddAll inserts all given quads under a single critical section, returning
-// the number newly added. On a validation error it stops, reporting how many
-// quads had been added up to that point. Entries for the whole batch are
+// AddAll inserts all given quads atomically: the whole batch becomes
+// visible in a single snapshot publication, so no reader ever observes a
+// partially loaded batch. It returns the number newly added. On a
+// validation error it stops, publishing and reporting how many quads had
+// been added up to that point. Entries for the whole batch are
 // slab-allocated up front (one allocation instead of one per quad);
 // duplicate quads hand their unused slot to the next candidate.
 func (s *Store) AddAll(quads []rdf.Quad) (int, error) {
@@ -211,20 +188,29 @@ func (s *Store) AddAll(quads []rdf.Quad) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	slab := make([]entry, len(quads))
-	added := 0
-	for _, q := range quads {
-		if err := q.Validate(); err != nil {
-			return added, err
-		}
-		if s.addLocked(q, &slab[added]) {
-			added++
+	ents := make([]*entry, 0, len(quads))
+	flush := func() {
+		if len(ents) > 0 {
+			b := s.begin()
+			b.insert(ents)
+			b.publish()
 		}
 	}
-	return added, nil
+	for _, q := range quads {
+		if err := q.Validate(); err != nil {
+			flush()
+			return len(ents), err
+		}
+		if e, ok := s.internQuad(q, &slab[len(ents)]); ok {
+			ents = append(ents, e)
+		}
+	}
+	flush()
+	return len(ents), nil
 }
 
 // AddGraph inserts all triples of the graph value under its name, in one
-// critical section.
+// atomic batch.
 func (s *Store) AddGraph(g *rdf.Graph) (int, error) {
 	if g == nil {
 		return 0, nil
@@ -236,62 +222,33 @@ func (s *Store) AddGraph(g *rdf.Graph) (int, error) {
 	return s.AddAll(quads)
 }
 
-// addLocked inserts q using e as the entry storage, so bulk loaders can
-// slab-allocate entries for a whole batch. e must be zero-valued; it is left
-// untouched when the quad is a duplicate (so the caller can reuse the slot).
-func (s *Store) addLocked(q rdf.Quad, e *entry) bool {
+// internQuad interns q's terms, rejects duplicates against the canonical
+// set and fills e as the quad's entry. e must be zero-valued; it is left
+// untouched when the quad is a duplicate (so bulk loaders can reuse the
+// slab slot). Callers must hold s.mu.
+func (s *Store) internQuad(q rdf.Quad, e *entry) (*entry, bool) {
+	d := s.snap.Load().dict
 	id := QuadID{
-		Graph:     s.dict.Intern(q.Graph),
-		Subject:   s.dict.Intern(q.Subject),
-		Predicate: s.dict.Intern(q.Predicate),
-		Object:    s.dict.Intern(q.Object),
+		Graph:     d.Intern(q.Graph),
+		Subject:   d.Intern(q.Subject),
+		Predicate: d.Intern(q.Predicate),
+		Object:    d.Intern(q.Object),
 	}
 	if _, exists := s.quads[id]; exists {
-		return false
+		return nil, false
 	}
 	e.id = id
 	e.quad = q
-	e.sortKey = s.sortKeyLocked(q, id)
+	e.sortKey = sortKey(d, q, id)
 	s.quads[id] = e
-	addIndex(s.bySubject, id.Graph, id.Subject, e)
-	addIndex(s.bySubject, allGraphsID, id.Subject, e)
-	addIndex(s.byPredicate, id.Graph, id.Predicate, e)
-	addIndex(s.byPredicate, allGraphsID, id.Predicate, e)
-	addIndex(s.byObject, id.Graph, id.Object, e)
-	addIndex(s.byObject, allGraphsID, id.Object, e)
-	s.byGraph[id.Graph] = append(s.byGraph[id.Graph], e)
-	s.generation++
-	return true
-}
-
-// quadIDLocked resolves the dictionary encoding of q without interning. The
-// second result is false when any term has never been seen by the store, in
-// which case the quad cannot be present.
-func (s *Store) quadIDLocked(q rdf.Quad) (QuadID, bool) {
-	gid, ok := s.dict.Lookup(q.Graph)
-	if !ok {
-		return QuadID{}, false
-	}
-	sid, ok := s.dict.Lookup(q.Subject)
-	if !ok {
-		return QuadID{}, false
-	}
-	pid, ok := s.dict.Lookup(q.Predicate)
-	if !ok {
-		return QuadID{}, false
-	}
-	oid, ok := s.dict.Lookup(q.Object)
-	if !ok {
-		return QuadID{}, false
-	}
-	return QuadID{Graph: gid, Subject: sid, Predicate: pid, Object: oid}, true
+	return e, true
 }
 
 // Remove deletes a quad from the store, returning true if it was present.
 func (s *Store) Remove(q rdf.Quad) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	id, ok := s.quadIDLocked(q)
+	id, ok := quadID(s.snap.Load().dict, q)
 	if !ok {
 		return false
 	}
@@ -300,277 +257,79 @@ func (s *Store) Remove(q rdf.Quad) bool {
 		return false
 	}
 	delete(s.quads, id)
-	removeIndex(s.bySubject, id.Graph, id.Subject, e)
-	removeIndex(s.bySubject, allGraphsID, id.Subject, e)
-	removeIndex(s.byPredicate, id.Graph, id.Predicate, e)
-	removeIndex(s.byPredicate, allGraphsID, id.Predicate, e)
-	removeIndex(s.byObject, id.Graph, id.Object, e)
-	removeIndex(s.byObject, allGraphsID, id.Object, e)
-	s.byGraph[id.Graph] = removeEntry(s.byGraph[id.Graph], e)
-	if len(s.byGraph[id.Graph]) == 0 {
-		delete(s.byGraph, id.Graph)
-	}
-	s.generation++
+	b := s.begin()
+	b.remove([]*entry{e}, false)
+	b.publish()
 	return true
 }
 
-// RemoveGraph deletes every quad in the given named graph under a single
-// critical section, returning the number removed. The per-graph index
-// submaps are dropped wholesale; only the union indexes need per-quad
-// maintenance.
+// RemoveGraph deletes every quad in the given named graph in one atomic
+// batch, returning the number removed. The per-graph index structures are
+// dropped wholesale; only the union indexes need per-bucket maintenance.
 func (s *Store) RemoveGraph(graph rdf.IRI) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	gid, ok := s.dict.Lookup(graph)
+	cur := s.snap.Load()
+	gid, ok := cur.dict.LookupIRI(graph)
 	if !ok {
 		return 0
 	}
-	entries := s.byGraph[gid]
-	if len(entries) == 0 {
+	pos, ok := cur.graphIdx[gid]
+	if !ok {
 		return 0
 	}
-	delete(s.byGraph, gid)
-	delete(s.bySubject, gid)
-	delete(s.byPredicate, gid)
-	delete(s.byObject, gid)
+	entries := cur.graphs[pos].entries
 	for _, e := range entries {
 		delete(s.quads, e.id)
-		removeIndex(s.bySubject, allGraphsID, e.id.Subject, e)
-		removeIndex(s.byPredicate, allGraphsID, e.id.Predicate, e)
-		removeIndex(s.byObject, allGraphsID, e.id.Object, e)
 	}
-	s.generation++
+	b := s.begin()
+	b.remove(entries, true)
+	b.publish()
 	return len(entries)
 }
 
 // Contains reports whether the exact quad is present.
-func (s *Store) Contains(q rdf.Quad) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	id, ok := s.quadIDLocked(q)
-	if !ok {
-		return false
-	}
-	_, present := s.quads[id]
-	return present
-}
+func (s *Store) Contains(q rdf.Quad) bool { return s.Snapshot().Contains(q) }
 
 // ContainsTriple reports whether the triple is present in the given graph.
 func (s *Store) ContainsTriple(graph rdf.IRI, t rdf.Triple) bool {
-	return s.Contains(rdf.Quad{Triple: t, Graph: graph})
+	return s.Snapshot().ContainsTriple(graph, t)
 }
 
 // Match returns all quads matching the pattern, in deterministic order
 // (ascending ⟨graph, subject, predicate, object⟩ term-key order). Variables
-// in the pattern are treated as wildcards.
-func (s *Store) Match(p Pattern) []rdf.Quad {
-	entries := s.matchEntries(p)
-	if len(entries) == 0 {
-		return nil
-	}
-	out := make([]rdf.Quad, len(entries))
-	for i, e := range entries {
-		out[i] = e.quad
-	}
-	return out
-}
+// in the pattern are treated as wildcards. The probe runs against the
+// current snapshot without taking any lock.
+func (s *Store) Match(p Pattern) []rdf.Quad { return s.Snapshot().Match(p) }
 
 // MatchWithIDs is Match, additionally reporting each quad's dictionary
 // encoding. It is the hot-path variant: consumers can key dedup sets and
 // join maps on the fixed-width QuadID components instead of building string
 // keys per quad.
-func (s *Store) MatchWithIDs(p Pattern) []MatchedQuad {
-	entries := s.matchEntries(p)
-	if len(entries) == 0 {
-		return nil
-	}
-	out := make([]MatchedQuad, len(entries))
-	for i, e := range entries {
-		out[i] = MatchedQuad{Quad: e.quad, ID: e.id}
-	}
-	return out
-}
+func (s *Store) MatchWithIDs(p Pattern) []MatchedQuad { return s.Snapshot().MatchWithIDs(p) }
 
 // MatchTriples is like Match but returns bare triples.
-func (s *Store) MatchTriples(p Pattern) []rdf.Triple {
-	quads := s.Match(p)
-	out := make([]rdf.Triple, len(quads))
-	for i, q := range quads {
-		out[i] = q.Triple
-	}
-	return out
-}
-
-// matchEntries returns the entries matching p, sorted by their precomputed
-// sort key. The returned slice is freshly allocated (index slices are never
-// handed out or reordered).
-func (s *Store) matchEntries(p Pattern) []*entry {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ip, ok := s.idPatternLocked(p)
-	if !ok {
-		return nil
-	}
-	return s.matchEntriesLocked(ip)
-}
-
-// idPatternLocked resolves a term pattern to its dictionary encoding. The
-// second result is false when a constant has never been interned, in which
-// case the pattern cannot match any stored quad.
-func (s *Store) idPatternLocked(p Pattern) (IDPattern, bool) {
-	sTerm := wildcardIfVar(p.Subject)
-	pTerm := wildcardIfVar(p.Predicate)
-	oTerm := wildcardIfVar(p.Object)
-
-	var ip IDPattern
-	var ok bool
-	if sTerm != nil {
-		if ip.Subject, ok = s.dict.Lookup(sTerm); !ok {
-			return IDPattern{}, false
-		}
-	}
-	if pTerm != nil {
-		if ip.Predicate, ok = s.dict.Lookup(pTerm); !ok {
-			return IDPattern{}, false
-		}
-	}
-	if oTerm != nil {
-		if ip.Object, ok = s.dict.Lookup(oTerm); !ok {
-			return IDPattern{}, false
-		}
-	}
-	if p.GraphSet {
-		ip.GraphSet = true
-		if ip.Graph, ok = s.dict.Lookup(p.Graph); !ok {
-			return IDPattern{}, false
-		}
-	}
-	return ip, true
-}
-
-// selectBucketLocked chooses the most selective index bucket for the
-// pattern (candidates drawn from a graph-keyed index are already restricted
-// to the requested graph). scan reports that no term or graph bound the
-// pattern, so the caller must walk the full quad set; none reports the
-// reserved-union-key guard (GraphSet with graph ID 0 would alias the union
-// indexes; no real graph ever has ID 0).
-func (s *Store) selectBucketLocked(p IDPattern) (candidates []*entry, scan, none bool) {
-	gid := allGraphsID
-	if p.GraphSet {
-		if p.Graph == allGraphsID {
-			return nil, false, true
-		}
-		gid = p.Graph
-	}
-	switch {
-	case p.Subject != 0:
-		return s.bySubject[gid][p.Subject], false, false
-	case p.Object != 0:
-		return s.byObject[gid][p.Object], false, false
-	case p.Predicate != 0:
-		return s.byPredicate[gid][p.Predicate], false, false
-	case p.GraphSet:
-		return s.byGraph[gid], false, false
-	default:
-		return nil, true, false
-	}
-}
-
-// entryMatches applies the residual term filter to a bucket candidate.
-func entryMatches(e *entry, p IDPattern) bool {
-	return (p.Subject == 0 || e.id.Subject == p.Subject) &&
-		(p.Predicate == 0 || e.id.Predicate == p.Predicate) &&
-		(p.Object == 0 || e.id.Object == p.Object)
-}
-
-func (s *Store) matchEntriesLocked(p IDPattern) []*entry {
-	candidates, scan, none := s.selectBucketLocked(p)
-	if none {
-		return nil
-	}
-	if scan {
-		out := make([]*entry, 0, len(s.quads))
-		for _, e := range s.quads {
-			out = append(out, e)
-		}
-		sortEntries(out)
-		return out
-	}
-
-	// Singleton bucket: no copy or sort needed. matchEntries callers only
-	// read the returned slice, so handing out the index-owned bucket is safe.
-	if len(candidates) == 1 {
-		if !entryMatches(candidates[0], p) {
-			return nil
-		}
-		return candidates
-	}
-
-	out := make([]*entry, 0, len(candidates))
-	for _, e := range candidates {
-		if entryMatches(e, p) {
-			out = append(out, e)
-		}
-	}
-	sortEntries(out)
-	return out
-}
+func (s *Store) MatchTriples(p Pattern) []rdf.Triple { return s.Snapshot().MatchTriples(p) }
 
 // MatchIDs returns the dictionary encodings of all quads matching the ID
 // pattern, in the same deterministic order as Match. It is the core lookup
 // of the ID-native SPARQL pipeline: patterns arrive pre-resolved, results
 // stay integers, and terms are never materialized.
-func (s *Store) MatchIDs(p IDPattern) []QuadID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	entries := s.matchEntriesLocked(p)
-	if len(entries) == 0 {
-		return nil
-	}
-	out := make([]QuadID, len(entries))
-	for i, e := range entries {
-		out[i] = e.id
-	}
-	return out
-}
+func (s *Store) MatchIDs(p IDPattern) []QuadID { return s.Snapshot().MatchIDs(p) }
 
 // AppendMatchIDs is MatchIDs appending into dst (which may be nil or a
 // recycled buffer), so repeated probes — one per row in a join pipeline —
 // can reuse one allocation.
 func (s *Store) AppendMatchIDs(dst []QuadID, p IDPattern) []QuadID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	entries := s.matchEntriesLocked(p)
-	for _, e := range entries {
-		dst = append(dst, e.id)
-	}
-	return dst
+	return s.Snapshot().AppendMatchIDs(dst, p)
 }
 
-// AppendMatchIDsUnordered is AppendMatchIDs without the deterministic
-// ordering guarantee: matching IDs stream straight off the most selective
-// index bucket with no entry copy and no sort. Consumers whose downstream
-// processing is order-insensitive (e.g. the SPARQL pipeline, which orders
-// final solutions on projected sort keys) use it to skip the per-probe sort.
+// AppendMatchIDsUnordered is AppendMatchIDs: buckets are now permanently
+// sorted, so the historical unordered fast path and the ordered path return
+// identical results at identical cost. It is retained so order-insensitive
+// consumers keep compiling (and keep documenting their intent).
 func (s *Store) AppendMatchIDsUnordered(dst []QuadID, p IDPattern) []QuadID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	candidates, scan, none := s.selectBucketLocked(p)
-	if none {
-		return dst
-	}
-	if scan {
-		for _, e := range s.quads {
-			dst = append(dst, e.id)
-		}
-		return dst
-	}
-	for _, e := range candidates {
-		if entryMatches(e, p) {
-			dst = append(dst, e.id)
-		}
-	}
-	return dst
+	return s.Snapshot().AppendMatchIDs(dst, p)
 }
 
 // Count estimates the number of quads matching p by reading index bucket
@@ -578,86 +337,23 @@ func (s *Store) AppendMatchIDsUnordered(dst []QuadID, p IDPattern) []QuadID {
 // is exact for patterns with at most one bound term and an upper bound (the
 // smallest applicable bucket) otherwise; a constant the dictionary has never
 // seen yields 0. It is intended for join-order planning.
-func (s *Store) Count(p Pattern) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ip, ok := s.idPatternLocked(p)
-	if !ok {
-		return 0
-	}
-	gid := allGraphsID
-	if ip.GraphSet {
-		gid = ip.Graph
-	}
-	n := -1
-	if ip.Subject != 0 {
-		n = len(s.bySubject[gid][ip.Subject])
-	}
-	if ip.Predicate != 0 {
-		if m := len(s.byPredicate[gid][ip.Predicate]); n < 0 || m < n {
-			n = m
-		}
-	}
-	if ip.Object != 0 {
-		if m := len(s.byObject[gid][ip.Object]); n < 0 || m < n {
-			n = m
-		}
-	}
-	if n >= 0 {
-		return n
-	}
-	if ip.GraphSet {
-		return len(s.byGraph[gid])
-	}
-	return len(s.quads)
-}
-
-func sortEntries(entries []*entry) {
-	if len(entries) < 2 {
-		return
-	}
-	slices.SortFunc(entries, func(a, b *entry) int { return strings.Compare(a.sortKey, b.sortKey) })
-}
+func (s *Store) Count(p Pattern) int { return s.Snapshot().Count(p) }
 
 // GraphsContaining returns the names of all named graphs that contain the
 // given triple. This implements the SPARQL `GRAPH ?g { ... }` lookups used
 // by the rewriting algorithms to resolve LAV mappings (Algorithm 4 line 8
 // and Algorithm 5 lines 9-10).
 func (s *Store) GraphsContaining(t rdf.Triple) []rdf.IRI {
-	entries := s.matchEntries(WildcardGraph(t.Subject, t.Predicate, t.Object))
-	seen := map[rdf.TermID]bool{}
-	var out []rdf.IRI
-	// Entries are sorted by quad sort key, whose leading component is the
-	// graph name, so the output is already in ascending graph order.
-	for _, e := range entries {
-		if e.quad.Graph == "" || seen[e.id.Graph] {
-			continue
-		}
-		seen[e.id.Graph] = true
-		out = append(out, e.quad.Graph)
-	}
-	return out
+	return s.Snapshot().GraphsContaining(t)
 }
 
 // NamedGraph materializes the contents of a named graph as a rdf.Graph value.
 // Stored quads are unique per graph, so the triples are appended directly
 // instead of going through Graph.Add's linear duplicate scan.
-func (s *Store) NamedGraph(name rdf.IRI) *rdf.Graph {
-	g := rdf.NewGraph(name)
-	quads := s.Match(InGraph(name, nil, nil, nil))
-	if len(quads) > 0 {
-		g.Triples = make([]rdf.Triple, len(quads))
-		for i, q := range quads {
-			g.Triples[i] = q.Triple
-		}
-	}
-	return g
-}
+func (s *Store) NamedGraph(name rdf.IRI) *rdf.Graph { return s.Snapshot().NamedGraph(name) }
 
 // Quads returns a snapshot of every quad in the store, sorted.
-func (s *Store) Quads() []rdf.Quad {
-	return s.Match(Pattern{})
-}
+func (s *Store) Quads() []rdf.Quad { return s.Snapshot().Quads() }
 
 // Clone returns a deep copy of the store.
 func (s *Store) Clone() *Store {
@@ -671,17 +367,16 @@ func (s *Store) Clone() *Store {
 
 // Clear removes every quad and resets the dictionary. All TermIDs and Dict
 // references obtained before the Clear are invalidated: re-added terms are
-// assigned fresh IDs in a fresh dictionary.
+// assigned fresh IDs in a fresh dictionary. Snapshots pinned before the
+// Clear remain valid views of the pre-Clear state (including its
+// dictionary).
 func (s *Store) Clear() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.dict = rdf.NewDict()
+	next := emptySnapshot(rdf.NewDict())
+	next.generation = s.snap.Load().generation + 1
 	s.quads = map[QuadID]*entry{}
-	s.bySubject = map[rdf.TermID]map[rdf.TermID][]*entry{}
-	s.byPredicate = map[rdf.TermID]map[rdf.TermID][]*entry{}
-	s.byObject = map[rdf.TermID]map[rdf.TermID][]*entry{}
-	s.byGraph = map[rdf.TermID][]*entry{}
-	s.generation++
+	s.snap.Store(next)
 }
 
 // Stats summarizes the content of the store.
@@ -695,27 +390,7 @@ type Stats struct {
 }
 
 // Stats returns summary statistics for the store.
-func (s *Store) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	st := Stats{
-		Quads:              len(s.quads),
-		DistinctSubjects:   len(s.bySubject[allGraphsID]),
-		DistinctPredicates: len(s.byPredicate[allGraphsID]),
-		DistinctObjects:    len(s.byObject[allGraphsID]),
-	}
-	for _, entries := range s.byGraph {
-		if len(entries) == 0 {
-			continue
-		}
-		if entries[0].quad.Graph == "" {
-			st.DefaultGraphQuads = len(entries)
-		} else {
-			st.NamedGraphs++
-		}
-	}
-	return st
-}
+func (s *Store) Stats() Stats { return s.Snapshot().Stats() }
 
 // String renders a short description of the store.
 func (s *Store) String() string {
@@ -730,16 +405,17 @@ func wildcardIfVar(t rdf.Term) rdf.Term {
 	return t
 }
 
-// sortKeyLocked derives the deterministic ordering key of a quad: the graph
-// name and the three term keys, NUL-separated so concatenation order equals
+// sortKey derives the deterministic ordering key of a quad: the graph name
+// and the three term keys, NUL-separated so concatenation order equals
 // component-wise lexicographic order. It is computed once per quad at Add
-// time and never inside a sort comparator. The per-term keys come from the
-// dictionary's cache (the terms were just interned), so repeated terms cost
-// a copy instead of a fresh key derivation.
-func (s *Store) sortKeyLocked(q rdf.Quad, id QuadID) string {
-	sk, _ := s.dict.Key(id.Subject)
-	pk, _ := s.dict.Key(id.Predicate)
-	ok, _ := s.dict.Key(id.Object)
+// time; buckets stay sorted by it, so it is never derived inside a
+// comparator. The per-term keys come from the dictionary's cache (the terms
+// were just interned), so repeated terms cost a copy instead of a fresh key
+// derivation.
+func sortKey(d *rdf.Dict, q rdf.Quad, id QuadID) string {
+	sk, _ := d.Key(id.Subject)
+	pk, _ := d.Key(id.Predicate)
+	ok, _ := d.Key(id.Object)
 	var b strings.Builder
 	b.Grow(len(q.Graph) + len(sk) + len(pk) + len(ok) + 3)
 	b.WriteString(string(q.Graph))
@@ -752,37 +428,309 @@ func (s *Store) sortKeyLocked(q rdf.Quad, id QuadID) string {
 	return b.String()
 }
 
-func addIndex(idx map[rdf.TermID]map[rdf.TermID][]*entry, graph, term rdf.TermID, e *entry) {
-	m, ok := idx[graph]
-	if !ok {
-		m = map[rdf.TermID][]*entry{}
-		idx[graph] = m
-	}
-	m[term] = append(m[term], e)
+// builder constructs the next snapshot of a mutation batch. It shallow-
+// clones the outer index maps up front and copy-on-writes inner structures
+// (termIndexes, pages, buckets, graph buckets) on first touch; structures
+// created within the batch are tracked so repeated touches mutate in place.
+// publish makes the snapshot visible with one atomic store.
+type builder struct {
+	s          *Store
+	next       *snapshot
+	freshIdx   map[*termIndex]bool
+	freshPages map[*indexPage]bool
+	freshG     map[*graphBucket]bool
 }
 
-func removeIndex(idx map[rdf.TermID]map[rdf.TermID][]*entry, graph, term rdf.TermID, e *entry) {
-	m, ok := idx[graph]
-	if !ok {
-		return
+// begin opens a mutation batch against the current snapshot. Callers must
+// hold s.mu.
+func (s *Store) begin() *builder {
+	prev := s.snap.Load()
+	next := &snapshot{
+		dict:        prev.dict,
+		generation:  prev.generation + 1,
+		size:        prev.size,
+		graphs:      slices.Clone(prev.graphs),
+		graphIdx:    prev.graphIdx,
+		bySubject:   maps.Clone(prev.bySubject),
+		byPredicate: maps.Clone(prev.byPredicate),
+		byObject:    maps.Clone(prev.byObject),
 	}
-	m[term] = removeEntry(m[term], e)
-	if len(m[term]) == 0 {
-		delete(m, term)
+	return &builder{
+		s:          s,
+		next:       next,
+		freshIdx:   map[*termIndex]bool{},
+		freshPages: map[*indexPage]bool{},
+		freshG:     map[*graphBucket]bool{},
 	}
 }
 
-// removeEntry returns s without e. It copies instead of shifting in place so
-// that the original backing array is never mutated: slice headers previously
-// read from the index (e.g. by a concurrent Match that released the lock
-// after copying candidates) keep seeing their snapshot.
-func removeEntry(s []*entry, e *entry) []*entry {
-	for i, v := range s {
-		if v == e {
-			out := make([]*entry, 0, len(s)-1)
-			out = append(out, s[:i]...)
-			return append(out, s[i+1:]...)
+// publish atomically installs the built snapshot as the store's current
+// state.
+func (b *builder) publish() { b.s.snap.Store(b.next) }
+
+// insert merges the batch's new entries into every index. ents may arrive
+// in any order; each touched bucket is rebuilt exactly once per batch via a
+// sorted merge, so bulk loads cost O(touched buckets + batch log batch)
+// instead of one binary insertion per quad.
+func (b *builder) insert(ents []*entry) {
+	slices.SortFunc(ents, func(x, y *entry) int { return strings.Compare(x.sortKey, y.sortKey) })
+	b.applyDim(b.next.bySubject, ents, subjectOf, mergeSorted)
+	b.applyDim(b.next.byPredicate, ents, predicateOf, mergeSorted)
+	b.applyDim(b.next.byObject, ents, objectOf, mergeSorted)
+	b.insertGraphs(ents)
+	b.next.size += len(ents)
+}
+
+// remove subtracts the batch's entries from every index. ents must all be
+// present in the snapshot. wholeGraphs marks batches that remove complete
+// graphs (RemoveGraph): the per-graph index structures are dropped
+// wholesale instead of being filtered bucket by bucket.
+func (b *builder) remove(ents []*entry, wholeGraphs bool) {
+	ents = slices.Clone(ents)
+	slices.SortFunc(ents, func(x, y *entry) int { return strings.Compare(x.sortKey, y.sortKey) })
+	if wholeGraphs {
+		for _, gid := range batchGraphIDs(ents) {
+			delete(b.next.bySubject, gid)
+			delete(b.next.byPredicate, gid)
+			delete(b.next.byObject, gid)
+		}
+		b.applyDimUnionOnly(b.next.bySubject, ents, subjectOf)
+		b.applyDimUnionOnly(b.next.byPredicate, ents, predicateOf)
+		b.applyDimUnionOnly(b.next.byObject, ents, objectOf)
+	} else {
+		b.applyDim(b.next.bySubject, ents, subjectOf, subtractSorted)
+		b.applyDim(b.next.byPredicate, ents, predicateOf, subtractSorted)
+		b.applyDim(b.next.byObject, ents, objectOf, subtractSorted)
+	}
+	b.removeGraphs(ents)
+	b.next.size -= len(ents)
+}
+
+func subjectOf(e *entry) rdf.TermID   { return e.id.Subject }
+func predicateOf(e *entry) rdf.TermID { return e.id.Predicate }
+func objectOf(e *entry) rdf.TermID    { return e.id.Object }
+
+// batchGraphIDs returns the distinct graph IDs of a sort-key-ordered batch
+// (entries of one graph are contiguous: the sort key is graph-name-first).
+func batchGraphIDs(ents []*entry) []rdf.TermID {
+	var out []rdf.TermID
+	for i := 0; i < len(ents); {
+		gid := ents[i].id.Graph
+		out = append(out, gid)
+		for i < len(ents) && ents[i].id.Graph == gid {
+			i++
 		}
 	}
-	return s
+	return out
+}
+
+// applyDim groups the batch by (graph, term) — under both the quad's graph
+// and the union key — and applies op (merge or subtract) once per touched
+// bucket.
+func (b *builder) applyDim(dim map[rdf.TermID]*termIndex, ents []*entry, key func(*entry) rdf.TermID, op func(old, batch []*entry) []*entry) {
+	b.applyGrouped(dim, ents, key, op, false)
+}
+
+// applyDimUnionOnly is applyDim restricted to the union (allGraphsID) rows,
+// used when the per-graph structures are dropped wholesale.
+func (b *builder) applyDimUnionOnly(dim map[rdf.TermID]*termIndex, ents []*entry, key func(*entry) rdf.TermID) {
+	b.applyGrouped(dim, ents, key, subtractSorted, true)
+}
+
+func (b *builder) applyGrouped(dim map[rdf.TermID]*termIndex, ents []*entry, key func(*entry) rdf.TermID, op func(old, batch []*entry) []*entry, unionOnly bool) {
+	type bucketKey struct{ gid, tid rdf.TermID }
+	pending := make(map[bucketKey][]*entry)
+	var order []bucketKey
+	add := func(k bucketKey, e *entry) {
+		if _, ok := pending[k]; !ok {
+			order = append(order, k)
+		}
+		pending[k] = append(pending[k], e)
+	}
+	for _, e := range ents {
+		tid := key(e)
+		if !unionOnly {
+			add(bucketKey{e.id.Graph, tid}, e)
+		}
+		add(bucketKey{allGraphsID, tid}, e)
+	}
+	for _, k := range order {
+		b.setBucket(dim, k.gid, k.tid, op(dim[k.gid].bucket(k.tid), pending[k]))
+	}
+}
+
+// setBucket installs a rebuilt bucket under (gid, tid), copy-on-writing the
+// termIndex and page on first touch and maintaining the distinct-term count.
+func (b *builder) setBucket(dim map[rdf.TermID]*termIndex, gid, tid rdf.TermID, bucket []*entry) {
+	ti := b.ensureIdx(dim, gid)
+	pg := b.ensurePage(ti, tid)
+	old := pg[tid&pageMask]
+	if len(bucket) == 0 {
+		bucket = nil
+		if len(old) > 0 {
+			ti.count--
+		}
+	} else if len(old) == 0 {
+		ti.count++
+	}
+	pg[tid&pageMask] = bucket
+}
+
+// ensureIdx returns a termIndex for gid that is owned by this batch,
+// cloning the published one (pages slice only — pages themselves are COWed
+// lazily) on first touch.
+func (b *builder) ensureIdx(dim map[rdf.TermID]*termIndex, gid rdf.TermID) *termIndex {
+	ti := dim[gid]
+	if ti == nil {
+		ti = &termIndex{}
+		dim[gid] = ti
+		b.freshIdx[ti] = true
+		return ti
+	}
+	if !b.freshIdx[ti] {
+		cp := &termIndex{pages: slices.Clone(ti.pages), count: ti.count}
+		dim[gid] = cp
+		b.freshIdx[cp] = true
+		return cp
+	}
+	return ti
+}
+
+// ensurePage returns a batch-owned page covering tid, growing the page
+// table and cloning a published page on first touch.
+func (b *builder) ensurePage(ti *termIndex, tid rdf.TermID) *indexPage {
+	pi := int(tid >> pageBits)
+	for len(ti.pages) <= pi {
+		ti.pages = append(ti.pages, nil)
+	}
+	pg := ti.pages[pi]
+	switch {
+	case pg == nil:
+		pg = &indexPage{}
+		ti.pages[pi] = pg
+		b.freshPages[pg] = true
+	case !b.freshPages[pg]:
+		cp := *pg
+		pg = &cp
+		ti.pages[pi] = pg
+		b.freshPages[pg] = true
+	}
+	return pg
+}
+
+// insertGraphs merges the batch into the per-graph buckets, creating (and
+// name-sorting) graph buckets for graphs seen for the first time.
+func (b *builder) insertGraphs(ents []*entry) {
+	changed := false
+	for i := 0; i < len(ents); {
+		gid := ents[i].id.Graph
+		j := i
+		for j < len(ents) && ents[j].id.Graph == gid {
+			j++
+		}
+		group := ents[i:j]
+		i = j
+		if pos, ok := b.next.graphIdx[gid]; ok {
+			gb := b.ensureGraph(pos)
+			gb.entries = mergeSorted(gb.entries, group)
+		} else {
+			gb := &graphBucket{id: gid, name: group[0].quad.Graph, entries: slices.Clone(group)}
+			b.freshG[gb] = true
+			b.next.graphs = append(b.next.graphs, gb)
+			changed = true
+		}
+	}
+	if changed {
+		sortGraphBuckets(b.next.graphs)
+		b.rebuildGraphIdx()
+	}
+}
+
+// removeGraphs subtracts the batch from the per-graph buckets, dropping
+// buckets (and their per-graph term indexes) that become empty. graphIdx is
+// rebuilt immediately after a drop so positions stay valid for the rest of
+// the batch.
+func (b *builder) removeGraphs(ents []*entry) {
+	for i := 0; i < len(ents); {
+		gid := ents[i].id.Graph
+		j := i
+		for j < len(ents) && ents[j].id.Graph == gid {
+			j++
+		}
+		group := ents[i:j]
+		i = j
+		pos := b.next.graphIdx[gid]
+		gb := b.ensureGraph(pos)
+		gb.entries = subtractSorted(gb.entries, group)
+		if len(gb.entries) == 0 {
+			b.next.graphs = slices.Delete(b.next.graphs, pos, pos+1)
+			delete(b.next.bySubject, gid)
+			delete(b.next.byPredicate, gid)
+			delete(b.next.byObject, gid)
+			b.rebuildGraphIdx()
+		}
+	}
+}
+
+// ensureGraph returns a batch-owned graph bucket at the given position,
+// cloning the published one on first touch.
+func (b *builder) ensureGraph(pos int) *graphBucket {
+	gb := b.next.graphs[pos]
+	if !b.freshG[gb] {
+		cp := &graphBucket{id: gb.id, name: gb.name, entries: gb.entries}
+		b.next.graphs[pos] = cp
+		b.freshG[cp] = true
+		return cp
+	}
+	return gb
+}
+
+func (b *builder) rebuildGraphIdx() {
+	idx := make(map[rdf.TermID]int, len(b.next.graphs))
+	for i, gb := range b.next.graphs {
+		idx[gb.id] = i
+	}
+	b.next.graphIdx = idx
+}
+
+// mergeSorted merges two ascending (by sortKey) entry slices into a fresh
+// slice. Sort keys are unique across distinct quads, so no tie-breaking is
+// needed.
+func mergeSorted(old, add []*entry) []*entry {
+	if len(old) == 0 {
+		return slices.Clone(add)
+	}
+	out := make([]*entry, 0, len(old)+len(add))
+	i, j := 0, 0
+	for i < len(old) && j < len(add) {
+		if old[i].sortKey <= add[j].sortKey {
+			out = append(out, old[i])
+			i++
+		} else {
+			out = append(out, add[j])
+			j++
+		}
+	}
+	out = append(out, old[i:]...)
+	return append(out, add[j:]...)
+}
+
+// subtractSorted returns old without the entries of rem. Both slices are
+// ascending by sortKey and rem ⊆ old, so pointer identity aligns under a
+// single forward pass. The result is a fresh slice: the published bucket is
+// never mutated.
+func subtractSorted(old, rem []*entry) []*entry {
+	if len(old) == len(rem) {
+		return nil
+	}
+	out := make([]*entry, 0, len(old)-len(rem))
+	j := 0
+	for _, e := range old {
+		if j < len(rem) && rem[j] == e {
+			j++
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
 }
