@@ -140,6 +140,85 @@ func BenchmarkFigure8Parallel(b *testing.B) {
 	}
 }
 
+// BenchmarkFigure8EvolutionChurn measures warm rewrite latency while the
+// ontology evolves: each op registers a wrapper release for a concept the
+// query never touches, then rewrites the 5-concept worst-case OMQ.
+//
+//   - mode=cached is the floor: no releases, pure cache hit.
+//   - mode=incremental goes through the delta-validating cache: the
+//     unrelated release must leave the memoized result valid, so the op
+//     should sit within ~2x of the cached floor and >=5x under the full
+//     recompute (the acceptance bars of the incremental engine).
+//   - mode=fullRecompute is the pre-delta behaviour: any release forces
+//     Algorithms 2-5 from scratch.
+func BenchmarkFigure8EvolutionChurn(b *testing.B) {
+	const concepts, wrappers, side = 5, 4, 3
+	build := func(b *testing.B) (*workload.EvolutionChurn, *rewriting.Cache) {
+		ec, err := workload.BuildEvolutionChurn(concepts, wrappers, side)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cache := rewriting.NewCache(rewriting.NewRewriter(ec.Ontology))
+		if res, err := cache.Rewrite(ec.Query); err != nil {
+			b.Fatal(err)
+		} else if res.UCQ.Len() != ec.ExpectedWalks() {
+			b.Fatalf("walks = %d, want %d", res.UCQ.Len(), ec.ExpectedWalks())
+		}
+		return ec, cache
+	}
+	b.Run("mode=cached", func(b *testing.B) {
+		ec, cache := build(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cache.Rewrite(ec.Query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mode=incremental", func(b *testing.B) {
+		ec, cache := build(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			if _, err := ec.RegisterUnrelatedRelease(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			res, err := cache.Rewrite(ec.Query)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.UCQ.Len() != ec.ExpectedWalks() {
+				b.Fatalf("walks = %d, want %d", res.UCQ.Len(), ec.ExpectedWalks())
+			}
+		}
+		st := cache.Stats()
+		b.ReportMetric(float64(st.EntriesRetained), "retained")
+	})
+	b.Run("mode=fullRecompute", func(b *testing.B) {
+		ec, _ := build(b)
+		r := rewriting.NewRewriter(ec.Ontology)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			if _, err := ec.RegisterUnrelatedRelease(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			res, err := r.Rewrite(ec.Query)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.UCQ.Len() != ec.ExpectedWalks() {
+				b.Fatalf("walks = %d, want %d", res.UCQ.Len(), ec.ExpectedWalks())
+			}
+		}
+	})
+}
+
 // BenchmarkFigure8ScalingInConcepts complements Figure 8 by scaling the
 // query length at a fixed number of wrappers per concept.
 func BenchmarkFigure8ScalingInConcepts(b *testing.B) {

@@ -8,6 +8,7 @@
 //	bdictl sources                     list data sources, wrappers and attributes of S
 //	bdictl rewrite  -query file.rq     rewrite an OMQ and print the walks
 //	bdictl query    -query file.rq     rewrite, execute and print the answer
+//	bdictl releases -file release.json register a wrapper release and print its delta
 //	bdictl dump                        dump the ontology as TriG
 //	bdictl changes                     print the change taxonomy (Tables 3-5)
 //
@@ -15,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +25,7 @@ import (
 	"bdi"
 	"bdi/internal/core"
 	"bdi/internal/evolution"
+	"bdi/internal/rdf"
 	"bdi/internal/workload"
 )
 
@@ -50,6 +53,7 @@ func main() {
 	fs := flag.NewFlagSet(command, flag.ExitOnError)
 	evolved := fs.Bool("evolved", false, "include the evolved D1 schema version (wrapper w4)")
 	queryFile := fs.String("query", "", "file containing a SPARQL OMQ (default: the running example query)")
+	releaseFile := fs.String("file", "", "releases: JSON file describing the wrapper release to register")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -105,6 +109,8 @@ func main() {
 		}
 		fmt.Printf("Rewriting produced %d walk(s): %s\n\n", res.UCQ.Len(), strings.Join(res.UCQ.Signatures(), ", "))
 		fmt.Print(answer)
+	case "releases":
+		runReleases(sys, *releaseFile)
 	case "dump":
 		fmt.Print(sys.Ontology.Store().DumpTriG(sys.Ontology.Prefixes()))
 	case "changes":
@@ -151,6 +157,81 @@ func runDemo(sys *bdi.System) {
 	fmt.Print(answer)
 }
 
+// releaseSpec is the JSON shape of a wrapper release accepted by
+// `bdictl releases -file` (the same shape POST /api/releases accepts).
+type releaseSpec struct {
+	Wrapper         string            `json:"wrapper"`
+	Source          string            `json:"source"`
+	IDAttributes    []string          `json:"idAttributes"`
+	NonIDAttributes []string          `json:"nonIdAttributes"`
+	Subgraph        [][3]string       `json:"subgraph"`
+	Mappings        map[string]string `json:"mappings"`
+}
+
+// runReleases registers a wrapper release from a JSON file against the demo
+// ontology (Algorithm 1) and prints what it changed, including the computed
+// ReleaseDelta — the concepts, features, attributes and edges whose cached
+// rewritings the release can retire.
+func runReleases(sys *bdi.System, path string) {
+	if path == "" {
+		fail(fmt.Errorf("releases: -file is required (a JSON release spec; see `bdictl releases -help`)"))
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	var spec releaseSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		fail(fmt.Errorf("releases: parsing %s: %w", path, err))
+	}
+	g := rdf.NewGraph("")
+	for _, t := range spec.Subgraph {
+		g.Add(rdf.T(rdf.IRI(t[0]), rdf.IRI(t[1]), rdf.IRI(t[2])))
+	}
+	f := map[string]rdf.IRI{}
+	for attr, feature := range spec.Mappings {
+		f[attr] = rdf.IRI(feature)
+	}
+	res, err := sys.Ontology.NewRelease(core.Release{
+		Wrapper: core.WrapperSpec{
+			Name:            spec.Wrapper,
+			Source:          spec.Source,
+			IDAttributes:    spec.IDAttributes,
+			NonIDAttributes: spec.NonIDAttributes,
+		},
+		Subgraph: g,
+		F:        f,
+	})
+	if err != nil {
+		fail(err)
+	}
+	pm := sys.Ontology.Prefixes()
+	fmt.Printf("Registered release #%d of wrapper %s (source %s)\n", res.Sequence, spec.Wrapper, spec.Source)
+	fmt.Printf("  triples added: %d (%d in S), attributes: %d new / %d reused\n",
+		res.TriplesAdded, res.SourceTriplesAdded, len(res.NewAttributes), len(res.ReusedAttributes))
+	d := res.Delta
+	fmt.Printf("ReleaseDelta (%s):\n", d)
+	fmt.Println("  concepts affected:")
+	for _, c := range d.Concepts {
+		fmt.Printf("    - %s\n", pm.Compact(c))
+	}
+	fmt.Println("  features affected:")
+	for _, fe := range d.Features {
+		fmt.Printf("    - %s\n", pm.Compact(fe))
+	}
+	fmt.Println("  attributes:")
+	for _, a := range d.Attributes {
+		fmt.Printf("    - %s\n", core.AttributeName(a))
+	}
+	if len(d.Edges) > 0 {
+		fmt.Println("  edges provided:")
+		for _, e := range d.Edges {
+			fmt.Printf("    - %s -> %s\n", pm.Compact(e[0]), pm.Compact(e[1]))
+		}
+	}
+	fmt.Println("-> cached rewritings whose footprint avoids these elements survive this release")
+}
+
 func loadQuery(path string) string {
 	if path == "" {
 		return demoQuery
@@ -163,7 +244,7 @@ func loadQuery(path string) string {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: bdictl <demo|stats|concepts|sources|rewrite|query|dump|changes> [-evolved] [-query file]")
+	fmt.Fprintln(os.Stderr, "usage: bdictl <demo|stats|concepts|sources|rewrite|query|releases|dump|changes> [-evolved] [-query file] [-file release.json]")
 }
 
 func fail(err error) {

@@ -1,0 +1,188 @@
+package bdi
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"bdi/internal/rewriting"
+	"bdi/internal/workload"
+)
+
+// TestIncrementalRewriteParityRandomizedSchedules proves the acceptance
+// criterion of the concept-partitioned incremental engine: across
+// randomized schedules interleaving related releases, unrelated releases
+// and repeated rewrites, the cache — serving retained results, rebuilding
+// from retained intra-concept units, or recomputing — produces byte-
+// identical UCQ output (walks, projections, joins, requested attributes)
+// compared to a from-scratch run of Algorithms 2-5 at every step.
+func TestIncrementalRewriteParityRandomizedSchedules(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			ec, err := workload.BuildEvolutionChurn(4, 2, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cache := rewriting.NewCache(rewriting.NewRewriter(ec.Ontology))
+			full := rewriting.NewRewriter(ec.Ontology)
+			queries := []*rewriting.OMQ{ec.Query, ec.SideQuery(0), ec.SideQuery(1), ec.SideQuery(2)}
+
+			assertParity := func(step int) {
+				t.Helper()
+				for qi, q := range queries {
+					cRes, cErr := cache.Rewrite(q)
+					fRes, fErr := full.Rewrite(q)
+					if (cErr != nil) != (fErr != nil) {
+						t.Fatalf("step %d query %d: cache err %v, full err %v", step, qi, cErr, fErr)
+					}
+					if cErr != nil {
+						if cErr.Error() != fErr.Error() {
+							t.Fatalf("step %d query %d: error parity broken:\n%v\nvs\n%v", step, qi, cErr, fErr)
+						}
+						continue
+					}
+					if got, want := cRes.UCQ.String(), fRes.UCQ.String(); got != want {
+						t.Fatalf("step %d query %d: UCQ diverged:\n%s\nvs\n%s", step, qi, got, want)
+					}
+					if got, want := strings.Join(cRes.UCQ.Signatures(), ","), strings.Join(fRes.UCQ.Signatures(), ","); got != want {
+						t.Fatalf("step %d query %d: signatures diverged: %s vs %s", step, qi, got, want)
+					}
+					if got, want := strings.Join(cRes.UCQ.RequestedAttributes, ","), strings.Join(fRes.UCQ.RequestedAttributes, ","); got != want {
+						t.Fatalf("step %d query %d: requested attributes diverged: %s vs %s", step, qi, got, want)
+					}
+					if got, want := strings.Join(cRes.UCQ.RequestedFeatures, ","), strings.Join(fRes.UCQ.RequestedFeatures, ","); got != want {
+						t.Fatalf("step %d query %d: requested features diverged: %s vs %s", step, qi, got, want)
+					}
+				}
+			}
+
+			assertParity(-1)
+			for step := 0; step < 30; step++ {
+				switch rng.Intn(3) {
+				case 0:
+					if _, err := ec.RegisterUnrelatedRelease(); err != nil {
+						t.Fatal(err)
+					}
+				case 1:
+					// Bound the walk explosion: at most 4 related releases.
+					if ec.RelatedReleases() < 4 {
+						if _, err := ec.RegisterRelatedRelease(); err != nil {
+							t.Fatal(err)
+						}
+					}
+				default:
+					// No mutation: exercises the pure-hit path.
+				}
+				assertParity(step)
+			}
+			st := cache.Stats()
+			if st.EntriesRetained == 0 || st.UnitHits == 0 {
+				t.Errorf("schedule never exercised the incremental paths: %+v", st)
+			}
+		})
+	}
+}
+
+// TestRewriteCacheConsistentUnderRelease hammers the cache from concurrent
+// readers while a writer registers related and unrelated releases: every
+// returned walk set must exactly match the rewriting of ONE release
+// generation — never a mix of two (run under -race in CI).
+func TestRewriteCacheConsistentUnderRelease(t *testing.T) {
+	const (
+		concepts     = 3
+		wrappers     = 2
+		sideConcepts = 2
+		maxRelated   = 4
+		unrelatedPer = 2 // unrelated releases interleaved before each related one
+		readers      = 4
+	)
+	ec, err := workload.BuildEvolutionChurn(concepts, wrappers, sideConcepts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Valid walk-signature sets per related-release count, generated
+	// analytically: one wrapper per chain concept, concept 0 drawing from
+	// the base wrappers plus the related ones registered so far.
+	validSets := map[string]int{}
+	for related := 0; related <= maxRelated; related++ {
+		c0 := make([]string, 0, wrappers+related)
+		for j := 0; j < wrappers; j++ {
+			c0 = append(c0, fmt.Sprintf("w_c0_%d", j))
+		}
+		for k := 1; k <= related; k++ {
+			c0 = append(c0, fmt.Sprintf("w_c0_rel%d", k))
+		}
+		var sigs []string
+		for _, w0 := range c0 {
+			for j1 := 0; j1 < wrappers; j1++ {
+				for j2 := 0; j2 < wrappers; j2++ {
+					names := []string{w0, fmt.Sprintf("w_c1_%d", j1), fmt.Sprintf("w_c2_%d", j2)}
+					sort.Strings(names)
+					sigs = append(sigs, strings.Join(names, "|"))
+				}
+			}
+		}
+		sort.Strings(sigs)
+		validSets[strings.Join(sigs, "\n")] = related
+	}
+
+	cache := rewriting.NewCache(rewriting.NewRewriter(ec.Ontology))
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errCh := make(chan error, readers)
+
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := cache.Rewrite(ec.Query)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				key := strings.Join(res.UCQ.Signatures(), "\n")
+				if _, ok := validSets[key]; !ok {
+					errCh <- fmt.Errorf("walk set matches no single release generation (%d walks): mixed-generation result", res.UCQ.Len())
+					return
+				}
+			}
+		}()
+	}
+
+	for related := 0; related < maxRelated; related++ {
+		for u := 0; u < unrelatedPer; u++ {
+			if _, err := ec.RegisterUnrelatedRelease(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := ec.RegisterRelatedRelease(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	// After the churn settles, the final result matches the final generation.
+	res, err := cache.Rewrite(ec.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UCQ.Len() != ec.ExpectedWalks() {
+		t.Errorf("final walks = %d, want %d", res.UCQ.Len(), ec.ExpectedWalks())
+	}
+}

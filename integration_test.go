@@ -158,9 +158,8 @@ func TestIntegrationVersionPoliciesAndCache(t *testing.T) {
 	if _, err := cache.Rewrite(omq); err != nil {
 		t.Fatal(err)
 	}
-	hits, misses, _ := cache.Stats()
-	if hits != 1 || misses != 1 {
-		t.Errorf("cache stats = %d/%d", hits, misses)
+	if st := cache.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("cache stats = %d/%d", st.Hits, st.Misses)
 	}
 }
 

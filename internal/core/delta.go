@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+	"strings"
+
+	"bdi/internal/rdf"
+	"bdi/internal/store"
+)
+
+// ReleaseDelta is the footprint of one wrapper release: the set of ontology
+// elements whose query-rewriting answers the release can possibly change.
+// Algorithm 1 only writes to S, M and the wrapper's own LAV named graph —
+// never to G — so a release can only affect queries whose pattern touches
+// the concepts, features or concept edges its LAV subgraph (or its
+// attribute-to-feature function F) mentions. Caches key their entries on
+// query footprints and, when a new release arrives, retire only the entries
+// whose footprint intersects the delta instead of recomputing everything
+// (the delta-driven view-maintenance style of incremental engines).
+type ReleaseDelta struct {
+	// Wrapper and Source identify the registered wrapper.
+	Wrapper rdf.IRI
+	Source  rdf.IRI
+	// Sequence is the global registration sequence number of the release.
+	Sequence int
+	// Concepts are the G concepts the release can affect: every concept
+	// mentioned by the LAV subgraph plus the owners of every affected
+	// feature. Sorted.
+	Concepts []rdf.IRI
+	// Features are the G features the release can affect: features mentioned
+	// by the LAV subgraph, the range of F and — crucially for attribute
+	// reuse — every feature a reused attribute was already owl:sameAs-linked
+	// to (a new link can change which feature an attribute resolves to).
+	// Sorted.
+	Features []rdf.IRI
+	// Attributes are the S attribute IRIs the wrapper projects (new and
+	// reused). Sorted.
+	Attributes []rdf.IRI
+	// Edges are the (from, to) concept pairs of the object-property edges
+	// the LAV subgraph provides. Their endpoints are always also listed in
+	// Concepts; the pairs are kept for reporting and tooling. Sorted.
+	Edges [][2]rdf.IRI
+}
+
+// Touches reports whether the delta affects the given concept or feature.
+func (d *ReleaseDelta) Touches(iri rdf.IRI) bool {
+	_, ok := slices.BinarySearch(d.Concepts, iri)
+	if ok {
+		return true
+	}
+	_, ok = slices.BinarySearch(d.Features, iri)
+	return ok
+}
+
+// String renders the delta compactly for logs and the bdictl releases
+// subcommand.
+func (d *ReleaseDelta) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "release #%d %s: %d concept(s), %d feature(s), %d attribute(s), %d edge(s)",
+		d.Sequence, d.Wrapper.LocalName(), len(d.Concepts), len(d.Features), len(d.Attributes), len(d.Edges))
+	return b.String()
+}
+
+// Footprint is the set of ontology elements a memoized rewriting answer
+// depends on: the concepts of the (expanded) query and the features it
+// requests. A cached answer stays valid across a release whose delta does
+// not intersect its footprint. Both slices are sorted; edge dependencies
+// need no separate tracking because a delta providing an edge always lists
+// both endpoint concepts.
+type Footprint struct {
+	Concepts []rdf.IRI
+	Features []rdf.IRI
+}
+
+// NewFootprint builds a footprint from (possibly unsorted, possibly
+// duplicated) concept and feature sets.
+func NewFootprint(concepts, features []rdf.IRI) Footprint {
+	return Footprint{Concepts: sortedUnique(concepts), Features: sortedUnique(features)}
+}
+
+// Intersects reports whether a release delta touches any element of the
+// footprint. Both sides are sorted, so the test is one merge walk per kind.
+func (f Footprint) Intersects(d *ReleaseDelta) bool {
+	return sortedIntersect(f.Concepts, d.Concepts) || sortedIntersect(f.Features, d.Features)
+}
+
+// IntersectsAny reports whether any of the deltas touches the footprint.
+func (f Footprint) IntersectsAny(deltas []*ReleaseDelta) bool {
+	for _, d := range deltas {
+		if f.Intersects(d) {
+			return true
+		}
+	}
+	return false
+}
+
+// TouchedConcepts returns the footprint concepts any of the deltas touches
+// (directly, or through one of the footprint's features owned by the
+// concept — attributed to the delta's own concept list). Used for
+// per-concept invalidation statistics.
+func (f Footprint) TouchedConcepts(deltas []*ReleaseDelta) []rdf.IRI {
+	var out []rdf.IRI
+	for _, c := range f.Concepts {
+		for _, d := range deltas {
+			if d.Touches(c) {
+				out = append(out, c)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func sortedUnique(in []rdf.IRI) []rdf.IRI {
+	if len(in) == 0 {
+		return nil
+	}
+	out := slices.Clone(in)
+	slices.Sort(out)
+	return slices.Compact(out)
+}
+
+func sortedIntersect(a, b []rdf.IRI) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// deltaSpan associates a release delta with the store-generation interval
+// (from, to] its publication covered.
+type deltaSpan struct {
+	from, to uint64
+	delta    *ReleaseDelta
+}
+
+// maxDeltaLog bounds the release-delta log. Caches that fall further behind
+// than the window simply pay one full recompute; the log itself stays O(1).
+const maxDeltaLog = 256
+
+// recordDeltaLocked appends a release delta span. Caller holds o.mu.
+func (o *Ontology) recordDeltaLocked(from, to uint64, d *ReleaseDelta) {
+	if to == from {
+		return
+	}
+	o.deltaLog = append(o.deltaLog, deltaSpan{from: from, to: to, delta: d})
+	if len(o.deltaLog) > maxDeltaLog {
+		o.deltaLog = o.deltaLog[len(o.deltaLog)-maxDeltaLog:]
+	}
+}
+
+// DeltasBetween returns the release deltas that fully explain every store
+// mutation in the generation interval (from, to]. ok is false when the
+// interval contains any mutation that did not come from a release (e.g. a
+// Global-graph edit or a direct store write), when the interval predates
+// the bounded log window, or when generations moved backwards — in all of
+// which cases the caller must fall back to full invalidation.
+func (o *Ontology) DeltasBetween(from, to uint64) ([]*ReleaseDelta, bool) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.deltasBetweenLocked(from, to)
+}
+
+// deltasBetweenLocked is DeltasBetween for callers already holding o.mu.
+func (o *Ontology) deltasBetweenLocked(from, to uint64) ([]*ReleaseDelta, bool) {
+	if to == from {
+		return nil, true
+	}
+	if to < from {
+		return nil, false
+	}
+	// Walk the log backwards collecting the contiguous chain to ... from.
+	var rev []*ReleaseDelta
+	next := to
+	for i := len(o.deltaLog) - 1; i >= 0; i-- {
+		span := o.deltaLog[i]
+		if span.to < next {
+			// A generation in (span.to, next] is unexplained by any release.
+			return nil, false
+		}
+		if span.to > next {
+			continue
+		}
+		rev = append(rev, span.delta)
+		next = span.from
+		if next <= from {
+			break
+		}
+	}
+	if next != from {
+		return nil, false
+	}
+	out := make([]*ReleaseDelta, len(rev))
+	for i, d := range rev {
+		out[len(rev)-1-i] = d
+	}
+	return out, true
+}
+
+// computeReleaseDelta derives the delta of a validated release against the
+// pre-release snapshot. G is never written by Algorithm 1, so concept and
+// feature classification read from the same snapshot remain valid after the
+// release is applied.
+func computeReleaseDelta(sn store.Snapshot, r Release, sequence int) *ReleaseDelta {
+	d := &ReleaseDelta{
+		Wrapper:  WrapperURI(r.Wrapper.Name),
+		Source:   SourceURI(r.Wrapper.Source),
+		Sequence: sequence,
+	}
+	isConcept := func(t rdf.Term) (rdf.IRI, bool) {
+		iri, ok := t.(rdf.IRI)
+		if !ok {
+			return "", false
+		}
+		return iri, sn.ContainsTriple(GlobalGraphName, rdf.T(iri, rdf.RDFType, GConcept))
+	}
+	var concepts, features []rdf.IRI
+
+	// Elements mentioned by the LAV subgraph.
+	for _, t := range r.Subgraph.Triples {
+		s, sOK := isConcept(t.Subject)
+		if sOK {
+			concepts = append(concepts, s)
+		}
+		if p, ok := t.Predicate.(rdf.IRI); ok && p == GHasFeature {
+			if f, ok := t.Object.(rdf.IRI); ok {
+				features = append(features, f)
+			}
+			continue
+		}
+		if obj, oOK := isConcept(t.Object); oOK {
+			concepts = append(concepts, obj)
+			if sOK {
+				d.Edges = append(d.Edges, [2]rdf.IRI{s, obj})
+			}
+		}
+	}
+
+	// The range of F, and — for reused attributes — every feature the
+	// attribute is already linked to: a second owl:sameAs link can change
+	// which feature an existing attribute resolves to under the accessors'
+	// first-match semantics.
+	for _, a := range r.Wrapper.Attributes() {
+		attrURI := AttributeURI(r.Wrapper.Source, a)
+		d.Attributes = append(d.Attributes, attrURI)
+		if f, ok := r.F[a]; ok {
+			features = append(features, f)
+		}
+		for _, q := range sn.Match(store.InGraph(MappingsGraphName, attrURI, rdf.OWLSameAs, nil)) {
+			if f, ok := q.Object.(rdf.IRI); ok {
+				features = append(features, f)
+			}
+		}
+	}
+
+	// Every affected feature also marks its owning concept: feature-level
+	// changes surface in rewrites through the concept's intra-concept unit.
+	features = sortedUnique(features)
+	for _, f := range features {
+		for _, q := range sn.Match(store.InGraph(GlobalGraphName, nil, GHasFeature, f)) {
+			if c, ok := q.Subject.(rdf.IRI); ok {
+				concepts = append(concepts, c)
+			}
+		}
+	}
+
+	d.Concepts = sortedUnique(concepts)
+	d.Features = features
+	d.Attributes = sortedUnique(d.Attributes)
+	slices.SortFunc(d.Edges, func(a, b [2]rdf.IRI) int {
+		if a[0] != b[0] {
+			return strings.Compare(string(a[0]), string(b[0]))
+		}
+		return strings.Compare(string(a[1]), string(b[1]))
+	})
+	d.Edges = slices.Compact(d.Edges)
+	return d
+}

@@ -24,8 +24,15 @@ type Ontology struct {
 	prefixes *rdf.PrefixMap
 
 	// qc memoizes rewriting-time lookups for one store generation (see
-	// querycache.go); replaced wholesale when the store mutates.
+	// querycache.go). When the store mutates, the instance is advanced
+	// incrementally if the mutation interval is explained by release deltas,
+	// and replaced wholesale otherwise.
 	qc *queryCache
+
+	// deltaLog records, per release, the store-generation interval it
+	// published and its invalidation footprint (see delta.go). Bounded to
+	// maxDeltaLog spans.
+	deltaLog []deltaSpan
 }
 
 // NewOntology returns an ontology whose store is initialized with the

@@ -12,10 +12,14 @@ import (
 // the wrapper↔mapping-graph correspondence, per-triple covering-wrapper
 // sets, edge-providing wrappers and per-(wrapper, feature) attribute
 // resolution — keyed on dictionary TermIDs. A cache instance is valid for
-// exactly one store generation; any mutation of the ontology store retires
-// the whole instance (writes into a retired instance are harmless: it is
-// unreachable from the ontology). The instance carries the store.Snapshot
-// it was created against, and every probe that fills it reads from that
+// exactly one store generation; when the store mutates, a new instance is
+// created (writes into a retired instance are harmless: it is unreachable
+// from the ontology). If every mutation between the old and new generation
+// is explained by release deltas, the new instance starts pre-seeded with
+// the old instance's entries whose key terms the deltas do not touch —
+// registering a wrapper for one concept no longer forgets every other
+// concept's memoized answers. The instance carries the store.Snapshot it
+// was created against, and every probe that fills it reads from that
 // snapshot, so all memoized answers of one instance describe one consistent
 // store state.
 type queryCache struct {
@@ -42,25 +46,114 @@ type queryCache struct {
 
 // queryCache returns the cache for the current store generation, retiring
 // any stale instance. The new instance pins the snapshot it was created
-// against.
+// against; when the stale instance is separated from the current snapshot
+// only by releases, the surviving entries are carried over.
 func (o *Ontology) queryCache() *queryCache {
 	sn := o.store.Snapshot()
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	if o.qc == nil || o.qc.snap != sn {
-		o.qc = &queryCache{
-			snap:          sn,
-			covering:      map[[3]rdf.TermID][]rdf.IRI{},
-			edges:         map[[2]rdf.TermID][]rdf.IRI{},
-			attrOf:        map[[2]rdf.TermID]rdf.IRI{},
-			identifiersOf: map[rdf.TermID][]rdf.IRI{},
-			providers:     map[[2]rdf.TermID][]rdf.IRI{},
-			featureOfAttr: map[rdf.TermID]rdf.IRI{},
-			attrsOf:       map[rdf.TermID][]rdf.IRI{},
-			sourceOf:      map[rdf.TermID]rdf.IRI{},
+	switch {
+	case o.qc != nil && o.qc.snap == sn:
+		// Current.
+	case o.qc != nil:
+		if deltas, ok := o.deltasBetweenLocked(o.qc.snap.Generation(), sn.Generation()); ok {
+			o.qc = o.qc.advance(sn, deltas)
+		} else {
+			o.qc = newQueryCache(sn)
 		}
+	default:
+		o.qc = newQueryCache(sn)
 	}
 	return o.qc
+}
+
+func newQueryCache(sn store.Snapshot) *queryCache {
+	return &queryCache{
+		snap:          sn,
+		covering:      map[[3]rdf.TermID][]rdf.IRI{},
+		edges:         map[[2]rdf.TermID][]rdf.IRI{},
+		attrOf:        map[[2]rdf.TermID]rdf.IRI{},
+		identifiersOf: map[rdf.TermID][]rdf.IRI{},
+		providers:     map[[2]rdf.TermID][]rdf.IRI{},
+		featureOfAttr: map[rdf.TermID]rdf.IRI{},
+		attrsOf:       map[rdf.TermID][]rdf.IRI{},
+		sourceOf:      map[rdf.TermID]rdf.IRI{},
+	}
+}
+
+// advance builds the cache instance for a newer snapshot separated from
+// this one only by the given release deltas, carrying over every memoized
+// entry whose key terms no delta touches. The wrapper↔graph mapping maps
+// are always rebuilt (every release adds a mapping link). Entries are
+// copied, not shared: late writers still holding the retired instance must
+// not reach the new one. The dictionary is append-only and shared by both
+// snapshots, so TermID keys remain comparable across the advance.
+func (qc *queryCache) advance(sn store.Snapshot, deltas []*ReleaseDelta) *queryCache {
+	touched := map[rdf.TermID]struct{}{}
+	d := sn.Dict()
+	mark := func(iri rdf.IRI) {
+		if id, ok := d.LookupIRI(iri); ok {
+			touched[id] = struct{}{}
+		}
+	}
+	for _, rd := range deltas {
+		mark(rd.Wrapper)
+		for _, c := range rd.Concepts {
+			mark(c)
+		}
+		for _, f := range rd.Features {
+			mark(f)
+		}
+		for _, a := range rd.Attributes {
+			mark(a)
+		}
+	}
+	hit := func(id rdf.TermID) bool { _, ok := touched[id]; return ok }
+
+	next := newQueryCache(sn)
+	qc.mu.Lock()
+	defer qc.mu.Unlock()
+	for k, v := range qc.covering {
+		if !hit(k[0]) && !hit(k[1]) && !hit(k[2]) {
+			next.covering[k] = v
+		}
+	}
+	for k, v := range qc.edges {
+		if !hit(k[0]) && !hit(k[1]) {
+			next.edges[k] = v
+		}
+	}
+	for k, v := range qc.attrOf {
+		if !hit(k[0]) && !hit(k[1]) {
+			next.attrOf[k] = v
+		}
+	}
+	for k, v := range qc.providers {
+		if !hit(k[0]) && !hit(k[1]) {
+			next.providers[k] = v
+		}
+	}
+	for k, v := range qc.identifiersOf {
+		if !hit(k) {
+			next.identifiersOf[k] = v
+		}
+	}
+	for k, v := range qc.featureOfAttr {
+		if !hit(k) {
+			next.featureOfAttr[k] = v
+		}
+	}
+	for k, v := range qc.attrsOf {
+		if !hit(k) {
+			next.attrsOf[k] = v
+		}
+	}
+	for k, v := range qc.sourceOf {
+		if !hit(k) {
+			next.sourceOf[k] = v
+		}
+	}
+	return next
 }
 
 // ensureMappingMapsLocked builds the wrapper↔graph maps from one sorted scan

@@ -105,6 +105,10 @@ type ReleaseResult struct {
 	// Sequence is the global registration sequence number assigned to the
 	// release (1 for the first release registered in the ontology).
 	Sequence int
+	// Delta is the invalidation footprint of the release: the concepts,
+	// features, attributes and edges whose rewriting answers the release can
+	// affect. Caches use it to retire only footprint-intersecting entries.
+	Delta *ReleaseDelta
 }
 
 // NewRelease implements Algorithm 1 (Adapt to Release): it registers the
@@ -190,6 +194,10 @@ func (o *Ontology) NewRelease(r Release) (*ReleaseResult, error) {
 		add(MappingsGraphName, rdf.T(attrURI, rdf.OWLSameAs, r.F[a]))
 	}
 
+	// The delta is derived from the pre-release snapshot (reused-attribute
+	// links must be the pre-release ones) before the batch is published.
+	res.Delta = computeReleaseDelta(sn, r, seq)
+
 	// One snapshot publication for the whole release. Quads already present
 	// from earlier releases (e.g. an owl:sameAs link of a reused attribute)
 	// are skipped by the store, exactly as the per-triple path ignored them.
@@ -199,6 +207,18 @@ func (o *Ontology) NewRelease(r Release) (*ReleaseResult, error) {
 	after := o.store.Snapshot()
 	res.SourceTriplesAdded = after.GraphLen(SourceGraphName) - sBefore
 	res.TriplesAdded = after.Len() - totalBefore
+	// Publish the delta span so caches validating across (pre, post] can
+	// invalidate incrementally. Mutations that bypass this path (Global-graph
+	// edits, administrative removals, direct store writes) leave their
+	// generations unexplained, which DeltasBetween reports as "not covered"
+	// and caches answer with a full flush. The release batch is exactly one
+	// snapshot publication (a release always adds at least the wrapper typing
+	// triple); if the interval spans more than one generation, a direct store
+	// write raced the release, and claiming the interval would let caches
+	// retain entries the foreign write invalidated — leave it unexplained.
+	if after.Generation() == sn.Generation()+1 {
+		o.recordDeltaLocked(sn.Generation(), after.Generation(), res.Delta)
+	}
 	return res, nil
 }
 

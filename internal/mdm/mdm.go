@@ -17,9 +17,11 @@
 // must appear as one release (write lock), and the multi-probe read
 // handlers (stats, concepts, sources, query endpoints) take the read lock
 // so they never interleave with a half-registered release. Query handlers
-// share the read lock and run concurrently with each other; the
-// generation-keyed rewriting cache invalidates itself automatically when a
-// release bumps the store generation.
+// share the read lock and run concurrently with each other; the rewriting
+// cache validates itself against the ontology's release-delta log whenever
+// a release bumps the store generation, retiring only the cached
+// rewritings whose concept/feature footprint the release touches (GET
+// /api/queries/cache reports the retained/invalidated counters).
 package mdm
 
 import (
@@ -203,11 +205,49 @@ type ReleaseRequest struct {
 
 // ReleaseResponse is the JSON answer of POST /api/releases.
 type ReleaseResponse struct {
-	NewSource          bool `json:"newSource"`
-	TriplesAdded       int  `json:"triplesAdded"`
-	SourceTriplesAdded int  `json:"sourceTriplesAdded"`
-	NewAttributes      int  `json:"newAttributes"`
-	ReusedAttributes   int  `json:"reusedAttributes"`
+	NewSource          bool       `json:"newSource"`
+	TriplesAdded       int        `json:"triplesAdded"`
+	SourceTriplesAdded int        `json:"sourceTriplesAdded"`
+	NewAttributes      int        `json:"newAttributes"`
+	ReusedAttributes   int        `json:"reusedAttributes"`
+	Delta              *DeltaView `json:"delta,omitempty"`
+}
+
+// DeltaView is the JSON rendering of a core.ReleaseDelta: the invalidation
+// footprint the release published, i.e. which cached rewritings it can
+// retire.
+type DeltaView struct {
+	Wrapper    string      `json:"wrapper"`
+	Source     string      `json:"source"`
+	Sequence   int         `json:"sequence"`
+	Concepts   []string    `json:"concepts"`
+	Features   []string    `json:"features"`
+	Attributes []string    `json:"attributes"`
+	Edges      [][2]string `json:"edges"`
+}
+
+func deltaView(d *core.ReleaseDelta) *DeltaView {
+	if d == nil {
+		return nil
+	}
+	v := &DeltaView{
+		Wrapper:  string(d.Wrapper),
+		Source:   string(d.Source),
+		Sequence: d.Sequence,
+	}
+	for _, c := range d.Concepts {
+		v.Concepts = append(v.Concepts, string(c))
+	}
+	for _, f := range d.Features {
+		v.Features = append(v.Features, string(f))
+	}
+	for _, a := range d.Attributes {
+		v.Attributes = append(v.Attributes, string(a))
+	}
+	for _, e := range d.Edges {
+		v.Edges = append(v.Edges, [2]string{string(e[0]), string(e[1])})
+	}
+	return v
 }
 
 func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
@@ -261,6 +301,7 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		SourceTriplesAdded: res.SourceTriplesAdded,
 		NewAttributes:      len(res.NewAttributes),
 		ReusedAttributes:   len(res.ReusedAttributes),
+		Delta:              deltaView(res.Delta),
 	})
 }
 
@@ -302,16 +343,45 @@ func (s *Server) rewriteCached(sparqlText string) (*rewriting.Result, error) {
 	return s.cache.Rewrite(omq)
 }
 
-// CacheStatsResponse reports rewriting-cache effectiveness.
+// CacheStatsResponse reports rewriting-cache effectiveness, including the
+// delta-driven invalidation behaviour: how many memoized results and
+// intra-concept units survived releases versus were retired, and — per
+// concept — how many invalidations each concept's releases caused.
 type CacheStatsResponse struct {
-	Hits    int `json:"hits"`
-	Misses  int `json:"misses"`
-	Entries int `json:"entries"`
+	Hits               int            `json:"hits"`
+	Misses             int            `json:"misses"`
+	Entries            int            `json:"entries"`
+	UnitHits           int            `json:"unitHits"`
+	UnitMisses         int            `json:"unitMisses"`
+	Units              int            `json:"units"`
+	EntriesRetained    int            `json:"entriesRetained"`
+	EntriesInvalidated int            `json:"entriesInvalidated"`
+	UnitsRetained      int            `json:"unitsRetained"`
+	UnitsInvalidated   int            `json:"unitsInvalidated"`
+	FullFlushes        int            `json:"fullFlushes"`
+	Evictions          int            `json:"evictions"`
+	Retries            int            `json:"retries"`
+	InvalidatedBy      map[string]int `json:"invalidatedByConcept,omitempty"`
 }
 
 func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
-	hits, misses, entries := s.cache.Stats()
-	writeJSON(w, http.StatusOK, CacheStatsResponse{Hits: hits, Misses: misses, Entries: entries})
+	st := s.cache.Stats()
+	writeJSON(w, http.StatusOK, CacheStatsResponse{
+		Hits:               st.Hits,
+		Misses:             st.Misses,
+		Entries:            st.Entries,
+		UnitHits:           st.UnitHits,
+		UnitMisses:         st.UnitMisses,
+		Units:              st.Units,
+		EntriesRetained:    st.EntriesRetained,
+		EntriesInvalidated: st.EntriesInvalidated,
+		UnitsRetained:      st.UnitsRetained,
+		UnitsInvalidated:   st.UnitsInvalidated,
+		FullFlushes:        st.FullFlushes,
+		Evictions:          st.Evictions,
+		Retries:            st.Retries,
+		InvalidatedBy:      st.InvalidatedByConcept,
+	})
 }
 
 func rewriteResponse(res *rewriting.Result) RewriteResponse {

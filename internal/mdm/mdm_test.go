@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"slices"
 	"strings"
 	"testing"
 
@@ -184,6 +185,25 @@ func TestReleaseEndpointRegistersW4(t *testing.T) {
 	if resp.ReusedAttributes != 1 || resp.NewAttributes != 1 {
 		t.Errorf("release response = %+v", resp)
 	}
+	// The response carries the computed invalidation delta.
+	if resp.Delta == nil {
+		t.Fatal("release response carries no delta")
+	}
+	if resp.Delta.Wrapper != string(core.WrapperURI("w4")) || resp.Delta.Sequence != 4 {
+		t.Errorf("delta identity = %+v", resp.Delta)
+	}
+	wantConcepts := []string{string(core.SupMonitor), string(core.SupInfoMonitor)}
+	for _, c := range wantConcepts {
+		if !slices.Contains(resp.Delta.Concepts, c) {
+			t.Errorf("delta concepts %v miss %s", resp.Delta.Concepts, c)
+		}
+	}
+	if slices.Contains(resp.Delta.Concepts, string(core.SupUserFeedback)) {
+		t.Errorf("delta concepts leak untouched concepts: %v", resp.Delta.Concepts)
+	}
+	if len(resp.Delta.Edges) != 1 {
+		t.Errorf("delta edges = %v", resp.Delta.Edges)
+	}
 	// The same OMQ now unions both schema versions and returns the extra row.
 	var answer AnswerResponse
 	if code := postJSON(t, ts.URL+"/api/queries/answer", QueryRequest{SPARQL: exampleQuery}, &answer); code != 200 {
@@ -250,5 +270,48 @@ func TestQueryCacheStats(t *testing.T) {
 	}
 	if stats.Hits != 1 || stats.Misses != 1 || stats.Entries != 1 {
 		t.Errorf("cache stats = %+v, want 1 hit, 1 miss, 1 entry", stats)
+	}
+	if stats.Units != 3 || stats.UnitMisses != 3 {
+		t.Errorf("cache stats = %+v, want 3 intra-concept units", stats)
+	}
+
+	// A release touching the query's concepts retires the entry and the
+	// affected units; the per-concept invalidation counters report it.
+	var release ReleaseResponse
+	if code := postJSON(t, ts.URL+"/api/releases", ReleaseRequest{
+		Wrapper:         "w4",
+		Source:          "D1",
+		IDAttributes:    []string{"VoDmonitorId"},
+		NonIDAttributes: []string{"bufferingRatio"},
+		Subgraph: [][3]string{
+			{string(core.SupMonitor), string(core.SupGeneratesQoS), string(core.SupInfoMonitor)},
+			{string(core.SupMonitor), string(core.GHasFeature), string(core.SupMonitorID)},
+			{string(core.SupInfoMonitor), string(core.GHasFeature), string(core.SupLagRatio)},
+		},
+		Mappings: map[string]string{
+			"VoDmonitorId":   string(core.SupMonitorID),
+			"bufferingRatio": string(core.SupLagRatio),
+		},
+	}, &release); code != 201 {
+		t.Fatalf("release status = %d", code)
+	}
+	var rewrite RewriteResponse
+	if code := postJSON(t, ts.URL+"/api/queries/rewrite", QueryRequest{SPARQL: exampleQuery}, &rewrite); code != 200 {
+		t.Fatalf("post-release rewrite status = %d", code)
+	}
+	if len(rewrite.Walks) != 2 {
+		t.Fatalf("post-release walks = %d", len(rewrite.Walks))
+	}
+	if code := getJSON(t, ts.URL+"/api/queries/cache", &stats); code != 200 {
+		t.Fatalf("cache stats status = %d", code)
+	}
+	if stats.EntriesInvalidated != 1 || stats.UnitsInvalidated != 2 || stats.UnitsRetained < 1 {
+		t.Errorf("post-release cache stats = %+v, want 1 entry and 2 units invalidated, 1 unit retained", stats)
+	}
+	if stats.UnitHits != 1 {
+		t.Errorf("post-release cache stats = %+v, want the SoftwareApplication unit reused", stats)
+	}
+	if stats.InvalidatedBy[string(core.SupMonitor)] == 0 || stats.InvalidatedBy[string(core.SupInfoMonitor)] == 0 {
+		t.Errorf("per-concept invalidation stats = %v", stats.InvalidatedBy)
 	}
 }

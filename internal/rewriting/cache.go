@@ -1,68 +1,335 @@
 package rewriting
 
 import (
+	"container/list"
 	"sort"
 	"strings"
 	"sync"
+
+	"bdi/internal/core"
+	"bdi/internal/rdf"
 )
 
-// Cache memoizes rewriting results per ontology generation. The paper notes
-// (§6.4) that caching can further reduce query cost: rewritings only depend
-// on the ontology, so they stay valid until the data steward registers a new
-// release (or otherwise mutates T), at which point the cache invalidates
-// itself automatically by keying on the store generation.
+// Default capacity bounds of the cache. Both layers are LRU: when a bound
+// is exceeded the least recently used entry is dropped and its memory —
+// including the walks of large worst-case results — becomes collectable
+// immediately. Entries never pin store.Snapshot values, so a full cache
+// adds no stale store generations to the live heap.
+const (
+	DefaultMaxEntries = 256
+	DefaultMaxUnits   = 1024
+)
+
+// Cache memoizes rewriting results and, underneath them, per-concept
+// intra-concept units (Algorithm 4 output), both tagged with invalidation
+// footprints. The paper notes (§6.4) that rewritings only depend on the
+// ontology, so they stay valid until the data steward registers a new
+// release; release-based evolution (Algorithm 1) additionally bounds *what*
+// a release can change, which this cache exploits:
+//
+//   - When the store generation moves, the cache asks the ontology for the
+//     ReleaseDeltas covering the interval. If every mutation is explained by
+//     releases, only entries and units whose footprint intersects a delta
+//     are retired — queries over untouched concepts keep their results and
+//     cost a pure cache hit even though the ontology evolved.
+//   - A query whose entry was retired (or was never cached) is rebuilt
+//     incrementally: retained intra-concept units are reused and only the
+//     missing units plus the inter-concept joins (Algorithm 5) and the
+//     coverage filter are recomputed.
+//   - A mutation interval not explained by releases (Global-graph edits,
+//     administrative removals, direct store writes) flushes everything —
+//     the pre-delta behaviour.
+//
+// Results handed out by the cache are shared and must be treated as
+// immutable. The cache is safe for concurrent use; a rewrite that races
+// with a store mutation is retried so that every returned result is
+// computed against exactly one store generation.
 type Cache struct {
-	rewriter *Rewriter
+	rewriter   *Rewriter
+	maxEntries int
+	maxUnits   int
 
-	mu         sync.Mutex
+	mu sync.Mutex
+	// generation is the store generation every live entry and unit is
+	// validated against. Tracked as a number, not a pinned Snapshot, so an
+	// idle cache keeps no store generation alive.
 	generation uint64
-	entries    map[string]*Result
-	hits       int
-	misses     int
+	entries    map[string]*cacheEntry
+	entryLRU   *list.List // of *cacheEntry, front = most recently used
+	units      map[string]*unitEntry
+	unitLRU    *list.List // of *unitEntry
+
+	stats CacheStats
 }
 
-// NewCache returns a caching front-end for the rewriter.
+// cacheEntry is one memoized rewriting result.
+type cacheEntry struct {
+	key       string
+	res       *Result
+	footprint core.Footprint
+	elem      *list.Element
+}
+
+// unitEntry is one memoized intra-concept unit.
+type unitEntry struct {
+	key       string
+	concept   rdf.IRI
+	walks     PartialWalks
+	footprint core.Footprint
+	elem      *list.Element
+}
+
+// CacheStats reports cache effectiveness and delta-invalidation behaviour.
+type CacheStats struct {
+	// Hits and Misses count whole-result lookups; Entries is the live count.
+	Hits, Misses, Entries int
+	// UnitHits and UnitMisses count intra-concept unit lookups during
+	// incremental rebuilds; Units is the live count.
+	UnitHits, UnitMisses, Units int
+	// EntriesRetained / EntriesInvalidated count what delta validation kept
+	// and retired; likewise for units.
+	EntriesRetained, EntriesInvalidated int
+	UnitsRetained, UnitsInvalidated     int
+	// FullFlushes counts validations that dropped everything because the
+	// mutation interval was not explained by release deltas.
+	FullFlushes int
+	// Evictions counts LRU drops (entries and units).
+	Evictions int
+	// Retries counts rewrites re-run because the store mutated mid-rewrite.
+	Retries int
+	// InvalidatedByConcept counts, per concept IRI, how many entries and
+	// units a release delta retired because the delta touched that concept.
+	InvalidatedByConcept map[string]int
+}
+
+// NewCache returns a caching front-end for the rewriter with default
+// capacity bounds.
 func NewCache(r *Rewriter) *Cache {
-	return &Cache{rewriter: r, entries: map[string]*Result{}}
+	return &Cache{
+		rewriter:   r,
+		maxEntries: DefaultMaxEntries,
+		maxUnits:   DefaultMaxUnits,
+		entries:    map[string]*cacheEntry{},
+		entryLRU:   list.New(),
+		units:      map[string]*unitEntry{},
+		unitLRU:    list.New(),
+	}
 }
 
-// Rewrite returns the cached result for an equivalent OMQ if the ontology
-// has not changed since it was computed, otherwise it rewrites and caches.
+// SetLimits bounds the number of memoized results and intra-concept units
+// (values < 1 are clamped to 1). Shrinking evicts LRU-first immediately.
+func (c *Cache) SetLimits(maxEntries, maxUnits int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.maxEntries = max(1, maxEntries)
+	c.maxUnits = max(1, maxUnits)
+	c.evictLocked()
+}
+
+// Rewrite returns the rewriting result for the OMQ, served from cache when
+// the entry's footprint survived every release since it was computed, and
+// otherwise rebuilt incrementally from surviving intra-concept units.
 func (c *Cache) Rewrite(omq *OMQ) (*Result, error) {
 	key := canonicalKey(omq)
-	gen := c.rewriter.Ontology.Store().Generation()
+	store := c.rewriter.Ontology.Store()
+	missCounted := false
+	for {
+		sn := store.Snapshot()
+		gen := sn.Generation()
+		c.mu.Lock()
+		c.revalidateLocked(gen)
+		if e, ok := c.entries[key]; ok {
+			// A hit validated at a generation >= gen is a consistent answer
+			// for the store's current state.
+			c.entryLRU.MoveToFront(e.elem)
+			c.stats.Hits++
+			c.mu.Unlock()
+			return e.res, nil
+		}
+		if c.generation != gen {
+			// The pinned snapshot is already behind the cache: a build
+			// against it could neither use nor fill units and would fail the
+			// post-build snapshot check anyway. Re-pin instead.
+			c.mu.Unlock()
+			continue
+		}
+		if !missCounted {
+			// Count one miss per logical rewrite, not per mutation-race
+			// retry (Retries tracks those).
+			c.stats.Misses++
+			missCounted = true
+		}
+		c.mu.Unlock()
 
-	c.mu.Lock()
-	if gen != c.generation {
-		c.entries = map[string]*Result{}
-		c.generation = gen
-	}
-	if res, ok := c.entries[key]; ok {
-		c.hits++
+		res, fp, err := c.buildResult(gen, omq)
+		if store.Snapshot() != sn {
+			// The store mutated mid-rewrite: the walks (or the error) may mix
+			// two generations. Retry against the new snapshot — releases are
+			// steward actions, so in practice one retry settles it.
+			c.mu.Lock()
+			c.stats.Retries++
+			c.mu.Unlock()
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		if c.generation == gen {
+			if _, exists := c.entries[key]; !exists {
+				e := &cacheEntry{key: key, res: res, footprint: fp}
+				e.elem = c.entryLRU.PushFront(e)
+				c.entries[key] = e
+				c.evictLocked()
+			}
+		}
 		c.mu.Unlock()
 		return res, nil
 	}
-	c.misses++
-	c.mu.Unlock()
-
-	res, err := c.rewriter.Rewrite(omq)
-	if err != nil {
-		return nil, err
-	}
-	c.mu.Lock()
-	// Only store if the ontology did not change while rewriting.
-	if c.rewriter.Ontology.Store().Generation() == c.generation {
-		c.entries[key] = res
-	}
-	c.mu.Unlock()
-	return res, nil
 }
 
-// Stats returns the number of cache hits, misses and live entries.
-func (c *Cache) Stats() (hits, misses, entries int) {
+// buildResult computes the rewriting result for one store generation,
+// reusing memoized intra-concept units validated at that generation and
+// memoizing the ones it had to compute.
+func (c *Cache) buildResult(gen uint64, omq *OMQ) (*Result, core.Footprint, error) {
+	o := c.rewriter.Ontology
+	wf, err := WellFormedQuery(o, omq)
+	if err != nil {
+		return nil, core.Footprint{}, err
+	}
+	expanded, err := QueryExpansion(o, wf)
+	if err != nil {
+		return nil, core.Footprint{}, err
+	}
+	fp := queryFootprint(expanded)
+
+	partials := make([]PartialWalks, len(expanded.Concepts))
+	for i, concept := range expanded.Concepts {
+		features := featuresRequestedFor(expanded.Query, concept)
+		ukey := unitKey(concept, features)
+		c.mu.Lock()
+		if u, ok := c.units[ukey]; ok && c.generation == gen {
+			c.unitLRU.MoveToFront(u.elem)
+			c.stats.UnitHits++
+			partials[i] = u.walks
+			c.mu.Unlock()
+			continue
+		}
+		c.stats.UnitMisses++
+		c.mu.Unlock()
+
+		pw, err := IntraConceptUnit(o, concept, features)
+		if err != nil {
+			return nil, fp, err
+		}
+		partials[i] = pw
+		c.mu.Lock()
+		if c.generation == gen {
+			if _, exists := c.units[ukey]; !exists {
+				u := &unitEntry{key: ukey, concept: concept, walks: pw, footprint: unitFootprint(concept, features)}
+				u.elem = c.unitLRU.PushFront(u)
+				c.units[ukey] = u
+				c.evictLocked()
+			}
+		}
+		c.mu.Unlock()
+	}
+
+	res, err := c.rewriter.assemble(wf, expanded, partials)
+	if err != nil {
+		return nil, fp, err
+	}
+	return res, fp, nil
+}
+
+// revalidateLocked brings the cache up to the given store generation,
+// retiring exactly the entries and units whose footprint a release since
+// c.generation touches — or everything when the interval is not explained
+// by releases.
+func (c *Cache) revalidateLocked(gen uint64) {
+	// gen < c.generation means the caller pinned its snapshot before another
+	// thread already validated the cache against a newer generation. Store
+	// generations are monotonic, so the cache is the fresher view — never
+	// regress it (the caller's hit is then served at c.generation, which
+	// matches the store's current state; its miss path re-pins and retries).
+	if gen <= c.generation {
+		return
+	}
+	deltas, covered := c.rewriter.Ontology.DeltasBetween(c.generation, gen)
+	if !covered {
+		// An empty cache (e.g. the very first validation) flushes nothing.
+		if len(c.entries) > 0 || len(c.units) > 0 {
+			c.stats.EntriesInvalidated += len(c.entries)
+			c.stats.UnitsInvalidated += len(c.units)
+			c.stats.FullFlushes++
+			c.entries = map[string]*cacheEntry{}
+			c.entryLRU.Init()
+			c.units = map[string]*unitEntry{}
+			c.unitLRU.Init()
+		}
+		c.generation = gen
+		return
+	}
+	for key, e := range c.entries {
+		if e.footprint.IntersectsAny(deltas) {
+			c.countInvalidationLocked(e.footprint, deltas)
+			c.entryLRU.Remove(e.elem)
+			delete(c.entries, key)
+			c.stats.EntriesInvalidated++
+		} else {
+			c.stats.EntriesRetained++
+		}
+	}
+	for key, u := range c.units {
+		if u.footprint.IntersectsAny(deltas) {
+			c.countInvalidationLocked(u.footprint, deltas)
+			c.unitLRU.Remove(u.elem)
+			delete(c.units, key)
+			c.stats.UnitsInvalidated++
+		} else {
+			c.stats.UnitsRetained++
+		}
+	}
+	c.generation = gen
+}
+
+func (c *Cache) countInvalidationLocked(fp core.Footprint, deltas []*core.ReleaseDelta) {
+	for _, concept := range fp.TouchedConcepts(deltas) {
+		if c.stats.InvalidatedByConcept == nil {
+			c.stats.InvalidatedByConcept = map[string]int{}
+		}
+		c.stats.InvalidatedByConcept[string(concept)]++
+	}
+}
+
+// evictLocked drops least-recently-used entries and units over capacity.
+func (c *Cache) evictLocked() {
+	for len(c.entries) > c.maxEntries {
+		e := c.entryLRU.Remove(c.entryLRU.Back()).(*cacheEntry)
+		delete(c.entries, e.key)
+		c.stats.Evictions++
+	}
+	for len(c.units) > c.maxUnits {
+		u := c.unitLRU.Remove(c.unitLRU.Back()).(*unitEntry)
+		delete(c.units, u.key)
+		c.stats.Evictions++
+	}
+}
+
+// Stats returns a copy of the cache counters.
+func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses, len(c.entries)
+	out := c.stats
+	out.Entries = len(c.entries)
+	out.Units = len(c.units)
+	if len(c.stats.InvalidatedByConcept) > 0 {
+		out.InvalidatedByConcept = make(map[string]int, len(c.stats.InvalidatedByConcept))
+		for k, v := range c.stats.InvalidatedByConcept {
+			out.InvalidatedByConcept[k] = v
+		}
+	}
+	return out
 }
 
 // canonicalKey builds an order-insensitive textual key for an OMQ.
@@ -78,4 +345,16 @@ func canonicalKey(omq *OMQ) string {
 	}
 	sort.Strings(triples)
 	return strings.Join(pi, "|") + "\x00" + strings.Join(triples, "|")
+}
+
+// unitKey identifies an intra-concept unit: the concept plus its requested
+// features (already sorted by featuresRequestedFor).
+func unitKey(concept rdf.IRI, features []rdf.IRI) string {
+	var b strings.Builder
+	b.WriteString(string(concept))
+	for _, f := range features {
+		b.WriteByte(0)
+		b.WriteString(string(f))
+	}
+	return b.String()
 }

@@ -1,0 +1,219 @@
+package rewriting
+
+import (
+	"fmt"
+	"testing"
+
+	"bdi/internal/core"
+	"bdi/internal/rdf"
+)
+
+// lagRatioOMQ is a single-concept query over InfoMonitor, answerable with
+// W1 alone.
+func lagRatioOMQ() *OMQ {
+	return NewOMQ(
+		[]rdf.IRI{core.SupLagRatio},
+		rdf.T(core.SupInfoMonitor, core.GHasFeature, core.SupLagRatio),
+	)
+}
+
+func TestCacheEntrySurvivesUnrelatedRelease(t *testing.T) {
+	o := core.NewOntology()
+	if err := core.BuildSupersedeGlobalGraph(o); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.NewRelease(core.SupersedeReleaseW1()); err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCache(NewRewriter(o))
+	res1, err := cache.Rewrite(lagRatioOMQ())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// W2 covers FeedbackGathering and UserFeedback only — its delta is
+	// disjoint from the lagRatio query footprint.
+	if _, err := o.NewRelease(core.SupersedeReleaseW2()); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := cache.Rewrite(lagRatioOMQ())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1 != res2 {
+		t.Error("memoized result must survive an unrelated release (delta-disjoint footprint)")
+	}
+	st := cache.Stats()
+	if st.Hits != 1 || st.EntriesRetained < 1 || st.EntriesInvalidated != 0 || st.FullFlushes != 0 {
+		t.Errorf("stats = %+v, want the entry retained and served as a hit", st)
+	}
+
+	// W4 (a new D1 schema version) touches InfoMonitor: the entry must go.
+	if _, err := o.NewRelease(core.SupersedeReleaseW4()); err != nil {
+		t.Fatal(err)
+	}
+	res3, err := cache.Rewrite(lagRatioOMQ())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3 == res1 {
+		t.Error("related release must retire the memoized result")
+	}
+	if res3.UCQ.Len() != 2 {
+		t.Errorf("post-W4 walks = %d, want 2 (w1 and w4)", res3.UCQ.Len())
+	}
+	st = cache.Stats()
+	if st.EntriesInvalidated < 1 {
+		t.Errorf("stats = %+v, want at least one invalidated entry", st)
+	}
+	if st.InvalidatedByConcept[string(core.SupInfoMonitor)] == 0 {
+		t.Errorf("per-concept invalidation stats = %v, want InfoMonitor counted", st.InvalidatedByConcept)
+	}
+}
+
+func TestCacheIncrementalRebuildReusesUnits(t *testing.T) {
+	o := buildOntology(t, false)
+	cache := NewCache(NewRewriter(o))
+	res1, err := cache.Rewrite(runningExampleOMQ())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.UCQ.Len() != 1 {
+		t.Fatalf("pre-evolution walks = %d", res1.UCQ.Len())
+	}
+	st := cache.Stats()
+	if st.UnitMisses != 3 || st.UnitHits != 0 {
+		t.Fatalf("cold build stats = %+v, want 3 unit misses (one per concept)", st)
+	}
+
+	// W4 touches Monitor and InfoMonitor but not SoftwareApplication: the
+	// whole-query entry is retired, but the SoftwareApplication unit is
+	// reused by the incremental rebuild.
+	if _, err := o.NewRelease(core.SupersedeReleaseW4()); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := cache.Rewrite(runningExampleOMQ())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.UCQ.Len() != 2 {
+		t.Fatalf("post-evolution walks = %d", res2.UCQ.Len())
+	}
+	st = cache.Stats()
+	if st.UnitHits != 1 {
+		t.Errorf("stats = %+v, want exactly the SoftwareApplication unit reused", st)
+	}
+	if st.UnitMisses != 5 {
+		t.Errorf("stats = %+v, want 2 fresh unit computations on rebuild (5 total misses)", st)
+	}
+	if st.UnitsRetained < 1 || st.UnitsInvalidated != 2 {
+		t.Errorf("stats = %+v, want 1 unit retained and 2 invalidated by W4", st)
+	}
+
+	// The reused unit produces byte-identical output vs a full recompute.
+	full, err := NewRewriter(o).Rewrite(runningExampleOMQ())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.UCQ.String() != full.UCQ.String() {
+		t.Errorf("incremental UCQ diverges from full recompute:\n%s\nvs\n%s", res2.UCQ, full.UCQ)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	o := buildOntology(t, false)
+	cache := NewCache(NewRewriter(o))
+	cache.SetLimits(1, 2)
+	if _, err := cache.Rewrite(runningExampleOMQ()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.Rewrite(lagRatioOMQ()); err != nil {
+		t.Fatal(err)
+	}
+	st := cache.Stats()
+	if st.Entries != 1 {
+		t.Errorf("entries = %d, want 1 (capacity bound)", st.Entries)
+	}
+	if st.Units != 2 {
+		t.Errorf("units = %d, want 2 (capacity bound)", st.Units)
+	}
+	if st.Evictions == 0 {
+		t.Error("expected LRU evictions")
+	}
+	// The running-example entry was evicted; re-rewriting it is a miss, and
+	// the lagRatio entry (most recently used) is the survivor.
+	if _, err := cache.Rewrite(runningExampleOMQ()); err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Hits != 0 {
+		t.Errorf("hits = %d, want 0 after eviction", st.Hits)
+	}
+}
+
+func TestOMQProjectionSetLargePi(t *testing.T) {
+	q := NewOMQ(nil)
+	var want []rdf.IRI
+	for i := 0; i < 3*piSetThreshold; i++ {
+		iri := rdf.IRI(fmt.Sprintf("http://example.org/f%02d", i))
+		q.AddProjection(iri)
+		q.AddProjection(iri) // duplicate adds are ignored
+		want = append(want, iri)
+	}
+	if len(q.Pi) != len(want) {
+		t.Fatalf("len(Pi) = %d, want %d", len(q.Pi), len(want))
+	}
+	// Insertion order is preserved (output determinism) even once the set
+	// index kicks in.
+	for i, iri := range want {
+		if q.Pi[i] != iri {
+			t.Fatalf("Pi[%d] = %s, want %s", i, q.Pi[i], iri)
+		}
+		if !q.ProjectsElement(iri) {
+			t.Fatalf("ProjectsElement(%s) = false", iri)
+		}
+	}
+	if q.ProjectsElement("http://example.org/absent") {
+		t.Error("ProjectsElement reports an absent IRI")
+	}
+
+	// ReplaceProjection keeps the slice position and updates membership.
+	q.ReplaceProjection(want[3], "http://example.org/swapped")
+	if q.Pi[3] != "http://example.org/swapped" {
+		t.Errorf("Pi[3] = %s after replace", q.Pi[3])
+	}
+	if q.ProjectsElement(want[3]) || !q.ProjectsElement("http://example.org/swapped") {
+		t.Error("membership index out of sync after ReplaceProjection")
+	}
+
+	// Clones are independent: mutating the clone leaves the original intact.
+	c := q.Clone()
+	c.AddProjection("http://example.org/clone-only")
+	if q.ProjectsElement("http://example.org/clone-only") {
+		t.Error("clone mutation leaked into the original")
+	}
+	if !c.ProjectsElement(want[0]) {
+		t.Error("clone lost membership")
+	}
+}
+
+func TestCacheFlushedByNonReleaseMutation(t *testing.T) {
+	o := buildOntology(t, false)
+	cache := NewCache(NewRewriter(o))
+	if _, err := cache.Rewrite(runningExampleOMQ()); err != nil {
+		t.Fatal(err)
+	}
+	// A Global-graph edit is not explained by release deltas: everything
+	// must be flushed even though the footprints are disjoint.
+	if err := o.AddConcept(rdf.IRI(core.NSSupersede + "Fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.Rewrite(runningExampleOMQ()); err != nil {
+		t.Fatal(err)
+	}
+	st := cache.Stats()
+	if st.FullFlushes != 1 {
+		t.Errorf("full flushes = %d, want 1", st.FullFlushes)
+	}
+	if st.Hits != 0 || st.Misses != 2 {
+		t.Errorf("stats = %+v, want two misses and no hits", st)
+	}
+}

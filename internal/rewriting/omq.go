@@ -9,10 +9,34 @@
 // This is the read-dominated hot path of Figure 8: a rewrite issues many
 // small ontology lookups (covering wrappers per triple, edge providers,
 // identifier features, attribute resolution), all served by
-// internal/core's generation-keyed query cache over lock-free store
-// snapshots — so concurrent rewrites never block each other, and Cache
-// (cache.go) memoizes whole rewriting results until the next release bumps
-// the store generation.
+// internal/core's snapshot-pinned query cache over lock-free store
+// snapshots — so concurrent rewrites never block each other.
+//
+// # Incremental rewriting under evolution
+//
+// Rewriting results only depend on the ontology, and release-based
+// evolution (Algorithm 1) bounds what one release can change: core
+// publishes, per release, a ReleaseDelta naming the concepts, features,
+// attributes and edges the release can affect. The caching layer exploits
+// this at two granularities:
+//
+//   - Cache (cache.go) memoizes whole rewriting results tagged with a
+//     Footprint — the query's concepts and requested features (footprint.go).
+//     When the store generation moves, only entries whose footprint
+//     intersects a release delta are retired; queries over untouched
+//     concepts keep their memoized UCQ even though the ontology evolved.
+//   - Beneath the results, the cache memoizes per-concept intra-concept
+//     units (Algorithm 4 output, keyed on concept + requested features).
+//     A retired query entry is rebuilt incrementally: retained units are
+//     reused and only the touched concepts' units plus the inter-concept
+//     joins (Algorithm 5) and the coverage filter run again.
+//
+// Mutations not explained by release deltas (Global-graph edits, direct
+// store writes) flush both layers wholesale — correctness never depends on
+// the delta log being complete. A parity test proves the incremental
+// engine's UCQ output byte-identical to from-scratch Algorithm 2-5 runs
+// across randomized release schedules, and a race hammer proves no served
+// walk set ever mixes two store generations.
 package rewriting
 
 import (
@@ -30,11 +54,25 @@ import (
 // subgraph pattern of G.
 type OMQ struct {
 	// Pi is the list of projected elements (feature IRIs after
-	// well-formedness rewriting; possibly concept IRIs before).
+	// well-formedness rewriting; possibly concept IRIs before). Pi keeps
+	// its insertion order — it determines the output column order — and
+	// must be mutated through the projection methods once they have been
+	// used, so the membership index below stays in sync.
 	Pi []rdf.IRI
 	// Phi is the graph pattern over G.
 	Phi *rdf.Graph
+
+	// piSet indexes Pi for membership tests once π outgrows
+	// piSetThreshold; nil below the threshold (a linear scan of a handful
+	// of IRIs beats a map) and rebuilt lazily after Clone.
+	piSet map[rdf.IRI]struct{}
 }
+
+// piSetThreshold is the π length above which membership switches from a
+// linear scan to the set index. Expansion-heavy queries (one projection and
+// one identifier per concept) call ProjectsElement/AddProjection once per
+// feature, turning the scan quadratic without the index.
+const piSetThreshold = 8
 
 // Clone returns a deep copy of the query.
 func (q *OMQ) Clone() *OMQ {
@@ -43,6 +81,10 @@ func (q *OMQ) Clone() *OMQ {
 
 // ProjectsElement reports whether the query projects the given IRI.
 func (q *OMQ) ProjectsElement(iri rdf.IRI) bool {
+	if q.ensurePiSet() {
+		_, ok := q.piSet[iri]
+		return ok
+	}
 	for _, p := range q.Pi {
 		if p == iri {
 			return true
@@ -53,8 +95,12 @@ func (q *OMQ) ProjectsElement(iri rdf.IRI) bool {
 
 // AddProjection appends an element to π if not already present.
 func (q *OMQ) AddProjection(iri rdf.IRI) {
-	if !q.ProjectsElement(iri) {
-		q.Pi = append(q.Pi, iri)
+	if q.ProjectsElement(iri) {
+		return
+	}
+	q.Pi = append(q.Pi, iri)
+	if q.piSet != nil {
+		q.piSet[iri] = struct{}{}
 	}
 }
 
@@ -64,9 +110,31 @@ func (q *OMQ) ReplaceProjection(old, new rdf.IRI) {
 	for i, p := range q.Pi {
 		if p == old {
 			q.Pi[i] = new
+			if q.piSet != nil {
+				delete(q.piSet, old)
+				q.piSet[new] = struct{}{}
+			}
 			return
 		}
 	}
+}
+
+// ensurePiSet reports whether the set index is in use, building (or
+// rebuilding) it when π is large enough. A stale index — possible only if
+// Pi was assigned directly between method calls — is detected by length
+// and rebuilt; slice order stays authoritative for output determinism.
+func (q *OMQ) ensurePiSet() bool {
+	if len(q.Pi) <= piSetThreshold {
+		q.piSet = nil
+		return false
+	}
+	if q.piSet == nil || len(q.piSet) != len(q.Pi) {
+		q.piSet = make(map[rdf.IRI]struct{}, len(q.Pi))
+		for _, p := range q.Pi {
+			q.piSet[p] = struct{}{}
+		}
+	}
+	return true
 }
 
 // String renders the OMQ compactly.

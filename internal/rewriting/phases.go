@@ -49,67 +49,81 @@ type PartialWalks struct {
 // prune wrappers that do not provide every requested feature of the concept
 // (step 6).
 func IntraConceptGeneration(o *core.Ontology, eq *ExpandedQuery) ([]PartialWalks, error) {
-	var out []PartialWalks
+	out := make([]PartialWalks, 0, len(eq.Concepts))
 	for _, c := range eq.Concepts {
-		// Step 3: the features requested for this concept.
-		features := featuresRequestedFor(eq.Query, c)
-		if len(features) == 0 {
-			return nil, fmt.Errorf("rewriting: concept %s has no requested features after expansion (it lacks an identifier)", o.Prefixes().Compact(c))
-		}
-		// Steps 4-5: per wrapper, project the attributes mapping to the
-		// requested features.
-		walksPerWrapper := map[rdf.IRI]*relational.Walk{}
-		for _, f := range features {
-			for _, w := range o.WrappersProvidingFeature(c, f) {
-				attr, ok := o.AttributeOfFeatureInWrapper(w, f)
-				if !ok {
-					continue
-				}
-				walk, exists := walksPerWrapper[w]
-				if !exists {
-					source, _ := o.SourceOfWrapper(w)
-					walk = relational.NewWalk(core.WrapperLocalName(w), core.SourceLocalName(source))
-					walksPerWrapper[w] = walk
-				}
-				ref, _ := walk.Ref(core.WrapperLocalName(w))
-				ref.Projection = append(ref.Projection, core.AttributeName(attr))
-			}
-		}
-		// Step 6: prune wrappers that do not cover all requested features.
-		pw := PartialWalks{Concept: c}
-		wrapperIRIs := make([]rdf.IRI, 0, len(walksPerWrapper))
-		for w := range walksPerWrapper {
-			wrapperIRIs = append(wrapperIRIs, w)
-		}
-		slices.Sort(wrapperIRIs)
-		for _, w := range wrapperIRIs {
-			walk := walksPerWrapper[w]
-			walk.MergeProjections()
-			featuresInWalk := map[rdf.IRI]bool{}
-			ref, _ := walk.Ref(core.WrapperLocalName(w))
-			for _, attrName := range ref.Projection {
-				attrURI := core.AttributeURI(ref.Source, trimSourcePrefix(attrName, ref.Source))
-				if f, ok := o.FeatureOfAttribute(attrURI); ok {
-					featuresInWalk[f] = true
-				}
-			}
-			covers := true
-			for _, f := range features {
-				if !featuresInWalk[f] {
-					covers = false
-					break
-				}
-			}
-			if covers {
-				pw.Walks = append(pw.Walks, walk)
-			}
-		}
-		if len(pw.Walks) == 0 {
-			return nil, fmt.Errorf("rewriting: no wrapper provides all requested features of concept %s", o.Prefixes().Compact(c))
+		pw, err := IntraConceptUnit(o, c, featuresRequestedFor(eq.Query, c))
+		if err != nil {
+			return nil, err
 		}
 		out = append(out, pw)
 	}
 	return out, nil
+}
+
+// IntraConceptUnit runs the per-concept body of Algorithm 4 for one concept
+// and its requested features (sorted, including the identifiers added by
+// expansion). Units are the granularity at which the incremental rewriting
+// cache memoizes phase #2: a release whose delta does not touch the concept
+// or its features leaves the unit's walks valid, so only inter-concept
+// joins (Algorithm 5) need re-running. The returned walks must be treated
+// as immutable by callers that cache them.
+func IntraConceptUnit(o *core.Ontology, c rdf.IRI, features []rdf.IRI) (PartialWalks, error) {
+	// Step 3: the features requested for this concept.
+	if len(features) == 0 {
+		return PartialWalks{}, fmt.Errorf("rewriting: concept %s has no requested features after expansion (it lacks an identifier)", o.Prefixes().Compact(c))
+	}
+	// Steps 4-5: per wrapper, project the attributes mapping to the
+	// requested features.
+	walksPerWrapper := map[rdf.IRI]*relational.Walk{}
+	for _, f := range features {
+		for _, w := range o.WrappersProvidingFeature(c, f) {
+			attr, ok := o.AttributeOfFeatureInWrapper(w, f)
+			if !ok {
+				continue
+			}
+			walk, exists := walksPerWrapper[w]
+			if !exists {
+				source, _ := o.SourceOfWrapper(w)
+				walk = relational.NewWalk(core.WrapperLocalName(w), core.SourceLocalName(source))
+				walksPerWrapper[w] = walk
+			}
+			ref, _ := walk.Ref(core.WrapperLocalName(w))
+			ref.Projection = append(ref.Projection, core.AttributeName(attr))
+		}
+	}
+	// Step 6: prune wrappers that do not cover all requested features.
+	pw := PartialWalks{Concept: c}
+	wrapperIRIs := make([]rdf.IRI, 0, len(walksPerWrapper))
+	for w := range walksPerWrapper {
+		wrapperIRIs = append(wrapperIRIs, w)
+	}
+	slices.Sort(wrapperIRIs)
+	for _, w := range wrapperIRIs {
+		walk := walksPerWrapper[w]
+		walk.MergeProjections()
+		featuresInWalk := map[rdf.IRI]bool{}
+		ref, _ := walk.Ref(core.WrapperLocalName(w))
+		for _, attrName := range ref.Projection {
+			attrURI := core.AttributeURI(ref.Source, trimSourcePrefix(attrName, ref.Source))
+			if f, ok := o.FeatureOfAttribute(attrURI); ok {
+				featuresInWalk[f] = true
+			}
+		}
+		covers := true
+		for _, f := range features {
+			if !featuresInWalk[f] {
+				covers = false
+				break
+			}
+		}
+		if covers {
+			pw.Walks = append(pw.Walks, walk)
+		}
+	}
+	if len(pw.Walks) == 0 {
+		return PartialWalks{}, fmt.Errorf("rewriting: no wrapper provides all requested features of concept %s", o.Prefixes().Compact(c))
+	}
+	return pw, nil
 }
 
 // trimSourcePrefix removes a leading "source/" from a qualified attribute

@@ -130,9 +130,9 @@ func TestRewritingCache(t *testing.T) {
 	if res1 != res2 {
 		t.Error("second call should be served from the cache")
 	}
-	hits, misses, entries := cache.Stats()
-	if hits != 1 || misses != 1 || entries != 1 {
-		t.Errorf("cache stats = %d hits, %d misses, %d entries", hits, misses, entries)
+	st := cache.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("cache stats = %d hits, %d misses, %d entries", st.Hits, st.Misses, st.Entries)
 	}
 
 	// Registering a release mutates the ontology and invalidates the cache.
@@ -149,9 +149,8 @@ func TestRewritingCache(t *testing.T) {
 	if res3.UCQ.Len() != 2 {
 		t.Errorf("post-evolution walks = %d", res3.UCQ.Len())
 	}
-	_, misses, _ = cache.Stats()
-	if misses != 2 {
-		t.Errorf("misses = %d, want 2", misses)
+	if st := cache.Stats(); st.Misses != 2 {
+		t.Errorf("misses = %d, want 2", st.Misses)
 	}
 }
 

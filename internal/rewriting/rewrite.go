@@ -136,6 +136,15 @@ func (r *Rewriter) Rewrite(omq *OMQ) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return r.assemble(wf, expanded, partials)
+}
+
+// assemble runs Algorithm 5 over the per-concept partial walks, filters the
+// candidates with the coverage and minimality properties and records the
+// requested attributes — the tail of Rewrite shared with the incremental
+// cache, which re-enters here with a mix of retained and recomputed units.
+func (r *Rewriter) assemble(wf *OMQ, expanded *ExpandedQuery, partials []PartialWalks) (*Result, error) {
+	o := r.Ontology
 	walks, err := InterConceptGeneration(o, expanded, partials)
 	if err != nil {
 		return nil, err
@@ -152,7 +161,7 @@ func (r *Rewriter) Rewrite(omq *OMQ) (*Result, error) {
 		ucq.Add(w)
 	}
 	if ucq.IsEmpty() {
-		return nil, fmt.Errorf("rewriting: no covering and minimal walk answers the query %s", omq)
+		return nil, fmt.Errorf("rewriting: no covering and minimal walk answers the query %s", wf)
 	}
 
 	// Record the requested features and their source-level attributes so the
