@@ -7,7 +7,7 @@
 //	benchrunner -table 6        industrial applicability (Table 6)
 //	benchrunner -figure 8       query answering time vs wrappers per concept
 //	benchrunner -figure 11      Source-graph growth per Wordpress release
-//	benchrunner -ablation lav-gav | entailment | attribute-reuse | rewrite-cache | incremental-rewrite
+//	benchrunner -ablation lav-gav | entailment | attribute-reuse | rewrite-cache | incremental-rewrite | wal
 //	benchrunner -parallel       figure 8 under concurrent query load
 //	benchrunner -all            everything above
 //
@@ -34,6 +34,7 @@ import (
 	"bdi/internal/rewriting"
 	"bdi/internal/sparql"
 	"bdi/internal/store"
+	"bdi/internal/wal"
 	"bdi/internal/workload"
 	"bdi/internal/wrapper"
 )
@@ -41,7 +42,7 @@ import (
 func main() {
 	table := flag.Int("table", 0, "regenerate a table of the paper (3, 4, 5 or 6)")
 	figure := flag.Int("figure", 0, "regenerate a figure of the paper (8 or 11)")
-	ablation := flag.String("ablation", "", "run an ablation: lav-gav, entailment, attribute-reuse, rewrite-cache or incremental-rewrite")
+	ablation := flag.String("ablation", "", "run an ablation: lav-gav, entailment, attribute-reuse, rewrite-cache, incremental-rewrite or wal")
 	parallel := flag.Bool("parallel", false, "run figure 8 under concurrent query load (snapshot-isolated reads)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel: number of concurrent query goroutines")
 	all := flag.Bool("all", false, "regenerate every table, figure and ablation")
@@ -92,6 +93,10 @@ func main() {
 	}
 	if *all || *ablation == "incremental-rewrite" {
 		printIncrementalRewriteAblation()
+		ran = true
+	}
+	if *all || *ablation == "wal" {
+		printWALAblation()
 		ran = true
 	}
 	if *all || *parallel {
@@ -417,6 +422,79 @@ func printRewriteCacheAblation() {
 	fmt.Printf("%-28s %12s\n", "warm (cached)", warm.Round(time.Nanosecond))
 	fmt.Printf("-> cache stats: %d hits, %d misses, %d entries; releases retire only footprint-intersecting entries (delta-keyed)\n",
 		st.Hits, st.Misses, st.Entries)
+}
+
+// printWALAblation quantifies the durability subsystem: the write
+// amplification of journaling a bulk load under each fsync policy, the cost
+// of a checkpoint, and the recovery time from checkpoint + WAL tail.
+func printWALAblation() {
+	header("Ablation — WAL durability: append overhead, checkpoint and recovery cost")
+	const n = 10_000
+	quads := make([]rdf.Quad, n)
+	for i := range quads {
+		quads[i] = rdf.Quad{
+			Triple: rdf.T(
+				rdf.IRI(fmt.Sprintf("http://ex/wal/s%d", i/10)),
+				rdf.IRI(fmt.Sprintf("http://ex/wal/p%d", i%17)),
+				rdf.IRI(fmt.Sprintf("http://ex/wal/o%d", i)),
+			),
+			Graph: rdf.IRI(fmt.Sprintf("http://ex/wal/g%d", i%4)),
+		}
+	}
+	load := func(o *core.Ontology) time.Duration {
+		start := time.Now()
+		if _, err := o.Store().AddAll(quads); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return time.Since(start)
+	}
+
+	fmt.Printf("%-34s %14s %10s\n", "AddAll 10k quads", "time", "vs none")
+	base := load(core.NewOntology())
+	fmt.Printf("%-34s %14s %9.2fx\n", "no WAL (in-memory only)", base.Round(time.Microsecond), 1.0)
+	var lastDir string
+	for _, policy := range []wal.SyncPolicy{wal.SyncOff, wal.SyncBatch, wal.SyncAlways} {
+		dir, err := os.MkdirTemp("", "bdi-wal-ablation-")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(dir)
+		// The manager journals its own recovered ontology; the load runs
+		// through it so every batch is logged.
+		m, err := wal.Open(dir, wal.Options{Sync: policy, CheckpointEveryBytes: -1})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		elapsed := load(m.Ontology())
+		fmt.Printf("%-34s %14s %9.2fx\n", "WAL -wal-sync="+string(policy), elapsed.Round(time.Microsecond), float64(elapsed)/float64(base))
+		if policy == wal.SyncBatch {
+			start := time.Now()
+			info, err := m.Checkpoint()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-34s %14s %10s\n", fmt.Sprintf("checkpoint (%d quads, %dKB)", info.Quads, info.Bytes/1024), time.Since(start).Round(time.Microsecond), "")
+		}
+		if err := m.Abort(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		lastDir = dir
+	}
+	start := time.Now()
+	_, rec, err := wal.Inspect(lastDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-34s %14s %10s\n",
+		fmt.Sprintf("recovery (ckpt gen %d + %d batches)", rec.CheckpointGeneration, rec.BatchesReplayed),
+		time.Since(start).Round(time.Microsecond), "")
+	fmt.Println("-> acceptance: batch-synced append overhead <= 2x the in-memory load; checkpoints never block readers")
 }
 
 // printIncrementalRewriteAblation quantifies the concept-partitioned

@@ -143,6 +143,54 @@ type deltaSpan struct {
 	delta    *ReleaseDelta
 }
 
+// DeltaSpan is the exported form of a delta-log entry: the release delta
+// together with the store-generation interval (From, To] its publication
+// covered. The durability layer checkpoints the log and journals each new
+// span so that, after a restart, caches validate incrementally against the
+// same release history instead of falling back to full flushes.
+type DeltaSpan struct {
+	From  uint64
+	To    uint64
+	Delta *ReleaseDelta
+}
+
+// DeltaLog returns a copy of the ontology's bounded release-delta log in
+// publication order.
+func (o *Ontology) DeltaLog() []DeltaSpan {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	out := make([]DeltaSpan, len(o.deltaLog))
+	for i, s := range o.deltaLog {
+		out[i] = DeltaSpan{From: s.from, To: s.to, Delta: s.delta}
+	}
+	return out
+}
+
+// RestoreDeltaLog replaces the delta log with the given spans (publication
+// order), trimming to the bounded window. Recovery uses it to rebuild the
+// log from a checkpoint plus the journaled release records.
+func (o *Ontology) RestoreDeltaLog(spans []DeltaSpan) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.deltaLog = o.deltaLog[:0]
+	for _, s := range spans {
+		o.recordDeltaLocked(s.From, s.To, s.Delta)
+	}
+}
+
+// SetReleaseHook installs (or, with nil, removes) a hook observing every
+// delta span the ontology records, invoked under the ontology write lock
+// immediately after the span enters the log. The durability layer uses it to
+// journal release registrations; a non-nil error is propagated by NewRelease
+// (note that the release's store batch has already been applied and logged at
+// that point — losing only the span degrades cache invalidation to a full
+// flush after recovery, never correctness).
+func (o *Ontology) SetReleaseHook(h func(DeltaSpan) error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.releaseHook = h
+}
+
 // maxDeltaLog bounds the release-delta log. Caches that fall further behind
 // than the window simply pay one full recompute; the log itself stays O(1).
 const maxDeltaLog = 256

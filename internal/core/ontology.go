@@ -33,6 +33,10 @@ type Ontology struct {
 	// published and its invalidation footprint (see delta.go). Bounded to
 	// maxDeltaLog spans.
 	deltaLog []deltaSpan
+
+	// releaseHook, when set, observes every recorded delta span (see
+	// SetReleaseHook). Guarded by mu.
+	releaseHook func(DeltaSpan) error
 }
 
 // NewOntology returns an ontology whose store is initialized with the
@@ -46,6 +50,23 @@ func NewOntology() *Ontology {
 		prefixes: DefaultPrefixes(),
 	}
 	o.installMetamodel()
+	return o
+}
+
+// RestoreOntology wraps a store rebuilt by the durability layer (checkpoint
+// load + WAL replay) into an Ontology. Unlike NewOntology it does not
+// install the metamodel — the restored store already contains it — and it
+// seeds the release-delta log with the recovered spans, so rewriting caches
+// validate incrementally across the restart exactly as they would have
+// without it.
+func RestoreOntology(s *store.Store, spans []DeltaSpan) *Ontology {
+	o := &Ontology{
+		store:    s,
+		engine:   reasoner.New(s),
+		eval:     sparql.NewEvaluator(s),
+		prefixes: DefaultPrefixes(),
+	}
+	o.RestoreDeltaLog(spans)
 	return o
 }
 

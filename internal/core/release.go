@@ -218,6 +218,12 @@ func (o *Ontology) NewRelease(r Release) (*ReleaseResult, error) {
 	// retain entries the foreign write invalidated — leave it unexplained.
 	if after.Generation() == sn.Generation()+1 {
 		o.recordDeltaLocked(sn.Generation(), after.Generation(), res.Delta)
+		if o.releaseHook != nil {
+			span := DeltaSpan{From: sn.Generation(), To: after.Generation(), Delta: res.Delta}
+			if err := o.releaseHook(span); err != nil {
+				return res, fmt.Errorf("core: journaling release of wrapper %q (release applied; recovery falls back to full cache invalidation): %w", r.Wrapper.Name, err)
+			}
+		}
 	}
 	return res, nil
 }

@@ -161,6 +161,18 @@ func SupersedeReleaseW4() Release {
 	}
 }
 
+// SupersedeReleases returns the running example's wrapper releases in
+// registration order: w1, w2, w3 and — with withEvolution — w4 (the
+// evolved D1 schema). Both BuildSupersedeOntology and consumers seeding an
+// existing (e.g. recovered) ontology share this list.
+func SupersedeReleases(withEvolution bool) []Release {
+	releases := []Release{SupersedeReleaseW1(), SupersedeReleaseW2(), SupersedeReleaseW3()}
+	if withEvolution {
+		releases = append(releases, SupersedeReleaseW4())
+	}
+	return releases
+}
+
 // BuildSupersedeOntology builds the complete running-example ontology: the
 // Global graph plus releases for w1, w2 and w3. Set withEvolution to also
 // register w4 (the evolved D1 schema).
@@ -169,11 +181,7 @@ func BuildSupersedeOntology(withEvolution bool) (*Ontology, error) {
 	if err := BuildSupersedeGlobalGraph(o); err != nil {
 		return nil, err
 	}
-	releases := []Release{SupersedeReleaseW1(), SupersedeReleaseW2(), SupersedeReleaseW3()}
-	if withEvolution {
-		releases = append(releases, SupersedeReleaseW4())
-	}
-	for _, r := range releases {
+	for _, r := range SupersedeReleases(withEvolution) {
 		if _, err := o.NewRelease(r); err != nil {
 			return nil, fmt.Errorf("core: registering release for %s: %w", r.Wrapper.Name, err)
 		}

@@ -35,6 +35,7 @@ import (
 	"bdi/internal/rdf"
 	"bdi/internal/relational"
 	"bdi/internal/rewriting"
+	"bdi/internal/wal"
 	"bdi/internal/wrapper"
 )
 
@@ -45,6 +46,11 @@ type Server struct {
 	registry *wrapper.Registry
 	rewriter *rewriting.Rewriter
 	cache    *rewriting.Cache
+
+	// durability, when set, is the WAL manager journaling the ontology (see
+	// EnableDurability). The manager hooks the store directly; the server
+	// only exposes its stats and checkpoint trigger.
+	durability *wal.Manager
 }
 
 // NewServer returns an MDM backend over the given ontology and registry.
@@ -54,6 +60,11 @@ func NewServer(o *core.Ontology, reg *wrapper.Registry) *Server {
 	r := rewriting.NewRewriter(o)
 	return &Server{ontology: o, registry: reg, rewriter: r, cache: rewriting.NewCache(r)}
 }
+
+// EnableDurability exposes a WAL manager's stats and checkpoint trigger
+// through the API (GET /api/durability, POST /api/durability/checkpoint).
+// The manager must be the one journaling this server's ontology.
+func (s *Server) EnableDurability(m *wal.Manager) { s.durability = m }
 
 // Handler returns the HTTP handler exposing the MDM REST API:
 //
@@ -65,6 +76,8 @@ func NewServer(o *core.Ontology, reg *wrapper.Registry) *Server {
 //	POST /api/queries/rewrite       rewrite an OMQ (SPARQL in, walks out)
 //	POST /api/queries/answer        rewrite and execute an OMQ
 //	GET  /api/queries/cache         rewriting-cache effectiveness counters
+//	GET  /api/durability            WAL/checkpoint/recovery statistics
+//	POST /api/durability/checkpoint trigger a checkpoint (bdictl checkpoint)
 //	GET  /api/changes/catalog       the change taxonomy (Tables 3-5)
 //	GET  /api/health                liveness probe
 func (s *Server) Handler() http.Handler {
@@ -80,6 +93,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/queries/rewrite", s.handleRewrite)
 	mux.HandleFunc("POST /api/queries/answer", s.handleAnswer)
 	mux.HandleFunc("GET /api/queries/cache", s.handleCacheStats)
+	mux.HandleFunc("GET /api/durability", s.handleDurabilityStats)
+	mux.HandleFunc("POST /api/durability/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /api/changes/catalog", s.handleChangeCatalog)
 	mux.HandleFunc("GET /api/changes/applicability", s.handleApplicability)
 	return mux
@@ -382,6 +397,29 @@ func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
 		Retries:            st.Retries,
 		InvalidatedBy:      st.InvalidatedByConcept,
 	})
+}
+
+func (s *Server) handleDurabilityStats(w http.ResponseWriter, r *http.Request) {
+	if s.durability == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("durability is not enabled (start the server with -data-dir)"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.durability.Stats())
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.durability == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("durability is not enabled (start the server with -data-dir)"))
+		return
+	}
+	// No server lock: the checkpoint pins an immutable snapshot, so queries
+	// and releases proceed while it streams out.
+	info, err := s.durability.Checkpoint()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 func rewriteResponse(res *rewriting.Result) RewriteResponse {

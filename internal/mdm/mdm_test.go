@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"bdi/internal/core"
+	"bdi/internal/wal"
 	"bdi/internal/workload"
 )
 
@@ -313,5 +314,50 @@ func TestQueryCacheStats(t *testing.T) {
 	}
 	if stats.InvalidatedBy[string(core.SupMonitor)] == 0 || stats.InvalidatedBy[string(core.SupInfoMonitor)] == 0 {
 		t.Errorf("per-concept invalidation stats = %v", stats.InvalidatedBy)
+	}
+}
+
+func TestDurabilityEndpoints(t *testing.T) {
+	// Without a manager the endpoints answer 404.
+	ts := newTestServer(t)
+	if code := getJSON(t, ts.URL+"/api/durability", nil); code != http.StatusNotFound {
+		t.Fatalf("GET /api/durability without durability = %d, want 404", code)
+	}
+	if code := postJSON(t, ts.URL+"/api/durability/checkpoint", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("POST /api/durability/checkpoint without durability = %d, want 404", code)
+	}
+
+	// With a manager: stats report the journaled state and a checkpoint can
+	// be triggered through the API.
+	m, err := wal.Open(t.TempDir(), wal.Options{Sync: wal.SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	o := m.Ontology()
+	if err := core.BuildSupersedeGlobalGraph(o); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.NewRelease(core.SupersedeReleaseW1()); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(o, workload.SupersedeTable1Registry(false))
+	srv.EnableDurability(m)
+	ts2 := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts2.Close)
+
+	var stats wal.Stats
+	if code := getJSON(t, ts2.URL+"/api/durability", &stats); code != http.StatusOK {
+		t.Fatalf("GET /api/durability = %d, want 200", code)
+	}
+	if stats.RecordsAppended == 0 || stats.StoreQuads == 0 {
+		t.Fatalf("durability stats look empty: %+v", stats)
+	}
+	var info wal.CheckpointInfo
+	if code := postJSON(t, ts2.URL+"/api/durability/checkpoint", nil, &info); code != http.StatusOK {
+		t.Fatalf("POST /api/durability/checkpoint = %d, want 200", code)
+	}
+	if info.Generation != o.Store().Generation() || info.Quads != o.Store().Len() {
+		t.Fatalf("checkpoint info %+v does not match the store (gen %d, %d quads)", info, o.Store().Generation(), o.Store().Len())
 	}
 }

@@ -1,0 +1,114 @@
+package rdf
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary term codec shared by the durability layer: write-ahead-log records
+// and checkpoint dictionary tables serialize terms with AppendTerm and read
+// them back with DecodeTerm. The encoding is self-delimiting (a one-byte kind
+// tag followed by uvarint-length-prefixed strings), so terms can be
+// concatenated without an outer frame, and it round-trips exactly: decoding
+// an encoded term yields a term Equal to the original, including the literal
+// datatype canonicalization performed by the Dict (callers encode the
+// canonical term the Dict returned, so no renormalization happens here).
+
+// Codec tags, one per term kind. They are part of the on-disk format and
+// must never be renumbered.
+const (
+	codecIRI      = 0x01
+	codecBlank    = 0x02
+	codecLiteral  = 0x03
+	codecVariable = 0x04
+)
+
+// AppendTerm appends the binary encoding of t to dst and returns the
+// extended slice. Nil terms are not encodable; callers must not pass them.
+func AppendTerm(dst []byte, t Term) []byte {
+	switch x := t.(type) {
+	case IRI:
+		dst = append(dst, codecIRI)
+		return AppendString(dst, string(x))
+	case BlankNode:
+		dst = append(dst, codecBlank)
+		return AppendString(dst, string(x))
+	case Variable:
+		dst = append(dst, codecVariable)
+		return AppendString(dst, string(x))
+	case Literal:
+		dst = append(dst, codecLiteral)
+		dst = AppendString(dst, x.Lexical)
+		dst = AppendString(dst, string(x.Datatype))
+		return AppendString(dst, x.Lang)
+	default:
+		panic(fmt.Sprintf("rdf: cannot encode term %v (%T)", t, t))
+	}
+}
+
+// DecodeTerm decodes one term from the front of b, returning the term and
+// the number of bytes consumed.
+func DecodeTerm(b []byte) (Term, int, error) {
+	if len(b) == 0 {
+		return nil, 0, fmt.Errorf("rdf: decoding term: empty input")
+	}
+	kind := b[0]
+	n := 1
+	switch kind {
+	case codecIRI, codecBlank, codecVariable:
+		s, m, err := DecodeString(b[n:])
+		if err != nil {
+			return nil, 0, err
+		}
+		n += m
+		switch kind {
+		case codecIRI:
+			return IRI(s), n, nil
+		case codecBlank:
+			return BlankNode(s), n, nil
+		default:
+			return Variable(s), n, nil
+		}
+	case codecLiteral:
+		lex, m, err := DecodeString(b[n:])
+		if err != nil {
+			return nil, 0, err
+		}
+		n += m
+		dt, m, err := DecodeString(b[n:])
+		if err != nil {
+			return nil, 0, err
+		}
+		n += m
+		lang, m, err := DecodeString(b[n:])
+		if err != nil {
+			return nil, 0, err
+		}
+		n += m
+		return Literal{Lexical: lex, Datatype: IRI(dt), Lang: lang}, n, nil
+	default:
+		return nil, 0, fmt.Errorf("rdf: decoding term: unknown kind tag 0x%02x", kind)
+	}
+}
+
+// AppendString appends the codec's uvarint-length-prefixed string encoding
+// of s to dst. It is the wire primitive the term encodings above are built
+// from; the durability layer reuses it for graph names and IRI lists so the
+// on-disk format has exactly one definition.
+func AppendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// DecodeString decodes one AppendString-encoded string from the front of b,
+// returning the string and the number of bytes consumed.
+func DecodeString(b []byte) (string, int, error) {
+	l, n := binary.Uvarint(b)
+	if n <= 0 {
+		return "", 0, fmt.Errorf("rdf: decoding string: bad length")
+	}
+	if uint64(len(b)-n) < l {
+		return "", 0, fmt.Errorf("rdf: decoding string: truncated (%d of %d bytes)", len(b)-n, l)
+	}
+	return string(b[n : n+int(l)]), n + int(l), nil
+}

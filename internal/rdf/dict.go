@@ -1,6 +1,9 @@
 package rdf
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // TermID is a dense integer identifier for a term interned in a Dict. The
 // zero value is never assigned to a term and acts as a "not interned"
@@ -103,6 +106,36 @@ func (d *Dict) assign(t Term) TermID {
 	d.terms = append(d.terms, t)
 	d.keys = append(d.keys, termKey(t))
 	return TermID(len(d.terms))
+}
+
+// Terms returns the dictionary's term table: terms[id-1] is the canonical
+// term assigned id. The dictionary is append-only, so the returned slice is
+// a stable snapshot for every id assigned before the call; callers must not
+// mutate it. The durability layer uses it to dump the dictionary in ID order
+// into a checkpoint.
+func (d *Dict) Terms() []Term {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.terms
+}
+
+// NewDictFromTerms rebuilds a dictionary from a term table previously
+// obtained via Terms (e.g. decoded from a checkpoint): terms[i] is assigned
+// TermID i+1, exactly reversing the original first-intern order, and every
+// per-term sort key is regenerated from the term value. It errors when the
+// table contains a nil entry or a duplicate (two positions interning to the
+// same TermID), which indicates a corrupt table.
+func NewDictFromTerms(terms []Term) (*Dict, error) {
+	d := NewDict()
+	for i, t := range terms {
+		if t == nil {
+			return nil, fmt.Errorf("rdf: dict table has nil term at position %d", i)
+		}
+		if id := d.Intern(t); id != TermID(i+1) {
+			return nil, fmt.Errorf("rdf: dict table position %d duplicates term %v (already id %d)", i, t, id)
+		}
+	}
+	return d, nil
 }
 
 // Lookup returns the TermID previously assigned to t, or (0, false) when t

@@ -1,0 +1,222 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"bdi/internal/rdf"
+)
+
+func qd(i int) rdf.Quad {
+	return rdf.Quad{
+		Triple: rdf.T(
+			rdf.IRI(fmt.Sprintf("http://ex/s%d", i%7)),
+			rdf.IRI(fmt.Sprintf("http://ex/p%d", i%3)),
+			rdf.IRI(fmt.Sprintf("http://ex/o%d", i)),
+		),
+		Graph: rdf.IRI(fmt.Sprintf("http://ex/g%d", i%2)),
+	}
+}
+
+// TestCommitHookObservesBatchesInOrder checks the write-ahead contract: the
+// hook sees every batch, before publication, with the next generation, and
+// the quads in intern order.
+func TestCommitHookObservesBatchesInOrder(t *testing.T) {
+	s := New()
+	var batches []Batch
+	s.SetCommitHook(func(b Batch) error {
+		// Write-ahead: the published generation must still be the old one.
+		if got := s.Generation(); got != b.Generation-1 {
+			t.Errorf("hook for generation %d ran after publication (store at %d)", b.Generation, got)
+		}
+		batches = append(batches, b)
+		return nil
+	})
+	if _, err := s.Add(qd(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddAll([]rdf.Quad{qd(1), qd(2), qd(1)}); err != nil { // one duplicate
+		t.Fatal(err)
+	}
+	if !s.Remove(qd(2)) {
+		t.Fatal("expected removal")
+	}
+	if n := s.RemoveGraph(qd(0).Graph); n == 0 {
+		t.Fatal("expected graph removal")
+	}
+	s.Clear()
+
+	wantKinds := []BatchKind{BatchAdd, BatchAdd, BatchRemove, BatchRemoveGraph, BatchClear}
+	if len(batches) != len(wantKinds) {
+		t.Fatalf("hook saw %d batches, want %d", len(batches), len(wantKinds))
+	}
+	for i, b := range batches {
+		if b.Kind != wantKinds[i] {
+			t.Fatalf("batch %d kind = %d, want %d", i, b.Kind, wantKinds[i])
+		}
+		if b.Generation != uint64(i+1) {
+			t.Fatalf("batch %d generation = %d, want %d", i, b.Generation, i+1)
+		}
+	}
+	// The AddAll batch logged only the two distinct quads, in intern order.
+	if got := batches[1].Quads; len(got) != 2 || got[0].String() != qd(1).String() || got[1].String() != qd(2).String() {
+		t.Fatalf("AddAll batch logged %v", got)
+	}
+	if batches[3].Graph != qd(0).Graph {
+		t.Fatalf("RemoveGraph batch graph = %q", batches[3].Graph)
+	}
+}
+
+// TestCommitHookVetoRollsBack: a hook error aborts the mutation without
+// publishing and without leaving phantom quads in the canonical set.
+func TestCommitHookVetoRollsBack(t *testing.T) {
+	s := New()
+	if _, err := s.AddAll([]rdf.Quad{qd(0), qd(1)}); err != nil {
+		t.Fatal(err)
+	}
+	gen := s.Generation()
+	quads := s.Quads()
+	veto := errors.New("disk full")
+	s.SetCommitHook(func(Batch) error { return veto })
+	if _, err := s.Add(qd(2)); !errors.Is(err, veto) {
+		t.Fatalf("Add error = %v, want the veto", err)
+	}
+	if _, err := s.AddAll([]rdf.Quad{qd(3), qd(4)}); !errors.Is(err, veto) {
+		t.Fatalf("AddAll error = %v, want the veto", err)
+	}
+	if got := s.Generation(); got != gen {
+		t.Fatalf("generation moved to %d after vetoed writes, want %d", got, gen)
+	}
+	if got := s.Quads(); len(got) != len(quads) {
+		t.Fatalf("store has %d quads after vetoed writes, want %d", len(got), len(quads))
+	}
+	// The vetoed quads must be re-addable once the hook allows writes again
+	// (the canonical set was rolled back, not poisoned).
+	s.SetCommitHook(nil)
+	n, err := s.AddAll([]rdf.Quad{qd(2), qd(3), qd(4)})
+	if err != nil || n != 3 {
+		t.Fatalf("re-adding vetoed quads: n=%d err=%v", n, err)
+	}
+	for _, p := range []func(){ // panic paths for the no-error-return writers
+		func() { s.SetCommitHook(func(Batch) error { return veto }); s.Remove(qd(2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected a fail-stop panic from a vetoed removal")
+				}
+				s.SetCommitHook(nil)
+			}()
+			p()
+		}()
+	}
+}
+
+// TestFastPathInitialLoadMatchesIncremental: loading N quads into an empty
+// store in one AddAll (fast path, direct snapshot build) must produce
+// byte-identical Match/MatchIDs results and stats as per-quad insertion
+// (COW path).
+func TestFastPathInitialLoadMatchesIncremental(t *testing.T) {
+	const n = 500
+	quads := make([]rdf.Quad, n)
+	for i := range quads {
+		quads[i] = qd(i)
+	}
+	bulk := New()
+	if added, err := bulk.AddAll(quads); err != nil || added != n {
+		t.Fatalf("bulk load: added=%d err=%v", added, err)
+	}
+	slow := New()
+	for _, q := range quads {
+		if _, err := slow.Add(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bulk.Len() != slow.Len() {
+		t.Fatalf("bulk %d quads, incremental %d", bulk.Len(), slow.Len())
+	}
+	patterns := []Pattern{
+		{},
+		WildcardGraph(qd(3).Subject, nil, nil),
+		WildcardGraph(nil, qd(4).Predicate, nil),
+		WildcardGraph(nil, nil, qd(5).Object),
+		InGraph(qd(0).Graph, nil, nil, nil),
+		InGraph(qd(1).Graph, qd(1).Subject, qd(1).Predicate, nil),
+	}
+	for pi, p := range patterns {
+		b, s := bulk.MatchWithIDs(p), slow.MatchWithIDs(p)
+		if len(b) != len(s) {
+			t.Fatalf("pattern %d: bulk %d matches, incremental %d", pi, len(b), len(s))
+		}
+		for i := range b {
+			if b[i].ID != s[i].ID || b[i].Quad.String() != s[i].Quad.String() {
+				t.Fatalf("pattern %d match %d: bulk %v/%v, incremental %v/%v", pi, i, b[i].ID, b[i].Quad, s[i].ID, s[i].Quad)
+			}
+		}
+	}
+	if bs, ss := bulk.Stats(), slow.Stats(); bs != ss {
+		t.Fatalf("stats diverge: bulk %+v, incremental %+v", bs, ss)
+	}
+	// The fast-built snapshot must behave correctly under subsequent
+	// incremental mutation (its buckets are real COW-able structures).
+	if _, err := bulk.AddAll([]rdf.Quad{qd(n), qd(n + 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if !bulk.Remove(qd(0)) {
+		t.Fatal("expected removal from fast-built store")
+	}
+	if bulk.Len() != n+1 {
+		t.Fatalf("len = %d, want %d", bulk.Len(), n+1)
+	}
+}
+
+// TestRestoreRejectsCorruptInput: Restore must reject unresolvable IDs,
+// misfiled quads, unsorted buckets and duplicates.
+func TestRestoreRejectsCorruptInput(t *testing.T) {
+	src := New()
+	quads := make([]rdf.Quad, 50)
+	for i := range quads {
+		quads[i] = qd(i)
+	}
+	if _, err := src.AddAll(quads); err != nil {
+		t.Fatal(err)
+	}
+	sn := src.Snapshot()
+	d := sn.Dict()
+	graphs := sn.ExportGraphIDs()
+
+	restored, err := Restore(d, sn.Generation(), graphs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := restored.Quads(), src.Quads(); len(got) != len(want) {
+		t.Fatalf("restored %d quads, want %d", len(got), len(want))
+	}
+
+	corrupt := func(name string, mutate func([][]QuadID) [][]QuadID) {
+		cp := make([][]QuadID, len(graphs))
+		for i, g := range graphs {
+			cp[i] = append([]QuadID(nil), g...)
+		}
+		if _, err := Restore(d, sn.Generation(), mutate(cp)); err == nil {
+			t.Fatalf("%s: Restore accepted corrupt input", name)
+		}
+	}
+	corrupt("unknown-id", func(g [][]QuadID) [][]QuadID {
+		g[0][0].Object = 60000
+		return g
+	})
+	corrupt("misfiled-graph", func(g [][]QuadID) [][]QuadID {
+		g[0][0].Graph = g[1][0].Graph
+		return g
+	})
+	corrupt("unsorted", func(g [][]QuadID) [][]QuadID {
+		g[0][0], g[0][1] = g[0][1], g[0][0]
+		return g
+	})
+	corrupt("duplicate", func(g [][]QuadID) [][]QuadID {
+		g[0][1] = g[0][0]
+		return g
+	})
+}

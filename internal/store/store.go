@@ -98,6 +98,45 @@ type entry struct {
 // indexes. Real TermIDs start at 1, so 0 is never a graph's ID.
 const allGraphsID rdf.TermID = 0
 
+// BatchKind identifies the kind of an atomic mutation batch reported to a
+// CommitHook.
+type BatchKind uint8
+
+const (
+	// BatchAdd is an atomic insertion batch (Add/AddAll/AddGraph). Quads
+	// lists the quads actually inserted (duplicates already filtered), in
+	// the order they were interned.
+	BatchAdd BatchKind = iota + 1
+	// BatchRemove is a point removal (Remove). Quads lists the removed quads.
+	BatchRemove
+	// BatchRemoveGraph removes a whole named graph. Graph names it; Quads is
+	// nil (replaying RemoveGraph(Graph) reproduces the batch).
+	BatchRemoveGraph
+	// BatchClear empties the store and resets the dictionary.
+	BatchClear
+)
+
+// Batch describes one atomic mutation batch about to be published.
+// Generation is the generation the batch publishes (current generation + 1).
+type Batch struct {
+	Kind       BatchKind
+	Quads      []rdf.Quad
+	Graph      rdf.IRI
+	Generation uint64
+}
+
+// CommitHook observes every mutation batch before it is published. It is
+// invoked while the writer mutex is held and strictly before the batch's
+// snapshot becomes visible to readers, which gives a write-ahead-log
+// implementation its ordering guarantee: a batch a reader can observe has
+// always been offered to the hook first, and hook invocations are totally
+// ordered by Generation. A non-nil error vetoes the batch: the mutation is
+// rolled back and the error is propagated by the mutating method (write
+// paths without an error return — Remove, RemoveGraph, Clear — treat a hook
+// error as fatal and panic, the fail-stop policy of a durable store that
+// can no longer log). The hook must not call back into the Store.
+type CommitHook func(Batch) error
+
 // Store is an in-memory quad store with named-graph support. Reads are
 // lock-free (they pin the current snapshot, see Snapshot); writes are
 // serialized by a mutex and publish a fresh snapshot per mutation batch.
@@ -112,6 +151,29 @@ type Store struct {
 	// detection and removal lookup. It is guarded by mu and never reachable
 	// from a snapshot.
 	quads map[QuadID]*entry
+
+	// hook, when set, observes every mutation batch before publication
+	// (write-ahead ordering). Guarded by mu.
+	hook CommitHook
+}
+
+// SetCommitHook installs (or, with nil, removes) the store's commit hook.
+// See CommitHook for the ordering and error contract. It must be installed
+// before the writes it needs to observe; batches published earlier are not
+// replayed.
+func (s *Store) SetCommitHook(h CommitHook) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hook = h
+}
+
+// offerBatch runs the commit hook for a pending batch. Callers must hold
+// s.mu and must not have published the batch yet.
+func (s *Store) offerBatch(b Batch) error {
+	if s.hook == nil {
+		return nil
+	}
+	return s.hook(b)
 }
 
 // New returns an empty store.
@@ -155,6 +217,11 @@ func (s *Store) Add(q rdf.Quad) (bool, error) {
 	if !ok {
 		return false, nil
 	}
+	gen := s.snap.Load().generation + 1
+	if err := s.offerBatch(Batch{Kind: BatchAdd, Quads: []rdf.Quad{q}, Generation: gen}); err != nil {
+		delete(s.quads, e.id)
+		return false, err
+	}
 	b := s.begin()
 	b.insert([]*entry{e})
 	b.publish()
@@ -189,23 +256,54 @@ func (s *Store) AddAll(quads []rdf.Quad) (int, error) {
 	defer s.mu.Unlock()
 	slab := make([]entry, len(quads))
 	ents := make([]*entry, 0, len(quads))
-	flush := func() {
-		if len(ents) > 0 {
-			b := s.begin()
-			b.insert(ents)
-			b.publish()
+	flush := func() error {
+		if len(ents) == 0 {
+			return nil
 		}
+		prev := s.snap.Load()
+		if s.hook != nil {
+			// The hook sees the inserted quads in intern order, so replaying
+			// the batch re-interns every term at its original TermID.
+			qs := make([]rdf.Quad, len(ents))
+			for i, e := range ents {
+				qs[i] = e.quad
+			}
+			if err := s.offerBatch(Batch{Kind: BatchAdd, Quads: qs, Generation: prev.generation + 1}); err != nil {
+				for _, e := range ents {
+					delete(s.quads, e.id)
+				}
+				return err
+			}
+		}
+		if prev.size == 0 {
+			// Fast-path bulk load: the store is empty, so there is nothing to
+			// merge with or copy-on-write around — build the whole snapshot
+			// directly with plain appends (see newSnapshotFromSorted). This is
+			// the initial/recovery load path: one sort plus O(batch) appends
+			// instead of per-bucket COW bookkeeping and sorted merges.
+			slices.SortFunc(ents, func(x, y *entry) int { return strings.Compare(x.sortKey, y.sortKey) })
+			s.snap.Store(newSnapshotFromSorted(prev.dict, prev.generation+1, ents))
+			return nil
+		}
+		b := s.begin()
+		b.insert(ents)
+		b.publish()
+		return nil
 	}
 	for _, q := range quads {
 		if err := q.Validate(); err != nil {
-			flush()
+			if ferr := flush(); ferr != nil {
+				return 0, ferr
+			}
 			return len(ents), err
 		}
 		if e, ok := s.internQuad(q, &slab[len(ents)]); ok {
 			ents = append(ents, e)
 		}
 	}
-	flush()
+	if err := flush(); err != nil {
+		return 0, err
+	}
 	return len(ents), nil
 }
 
@@ -245,16 +343,22 @@ func (s *Store) internQuad(q rdf.Quad, e *entry) (*entry, bool) {
 }
 
 // Remove deletes a quad from the store, returning true if it was present.
+// When a commit hook is installed and rejects the batch, Remove panics (see
+// CommitHook).
 func (s *Store) Remove(q rdf.Quad) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	id, ok := quadID(s.snap.Load().dict, q)
+	cur := s.snap.Load()
+	id, ok := quadID(cur.dict, q)
 	if !ok {
 		return false
 	}
 	e, ok := s.quads[id]
 	if !ok {
 		return false
+	}
+	if err := s.offerBatch(Batch{Kind: BatchRemove, Quads: []rdf.Quad{e.quad}, Generation: cur.generation + 1}); err != nil {
+		panic(fmt.Sprintf("store: commit hook rejected Remove batch: %v", err))
 	}
 	delete(s.quads, id)
 	b := s.begin()
@@ -266,6 +370,8 @@ func (s *Store) Remove(q rdf.Quad) bool {
 // RemoveGraph deletes every quad in the given named graph in one atomic
 // batch, returning the number removed. The per-graph index structures are
 // dropped wholesale; only the union indexes need per-bucket maintenance.
+// When a commit hook is installed and rejects the batch, RemoveGraph panics
+// (see CommitHook).
 func (s *Store) RemoveGraph(graph rdf.IRI) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -277,6 +383,9 @@ func (s *Store) RemoveGraph(graph rdf.IRI) int {
 	pos, ok := cur.graphIdx[gid]
 	if !ok {
 		return 0
+	}
+	if err := s.offerBatch(Batch{Kind: BatchRemoveGraph, Graph: graph, Generation: cur.generation + 1}); err != nil {
+		panic(fmt.Sprintf("store: commit hook rejected RemoveGraph batch: %v", err))
 	}
 	entries := cur.graphs[pos].entries
 	for _, e := range entries {
@@ -370,11 +479,17 @@ func (s *Store) Clone() *Store {
 // assigned fresh IDs in a fresh dictionary. Snapshots pinned before the
 // Clear remain valid views of the pre-Clear state (including its
 // dictionary).
+// When a commit hook is installed and rejects the batch, Clear panics (see
+// CommitHook).
 func (s *Store) Clear() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	gen := s.snap.Load().generation + 1
+	if err := s.offerBatch(Batch{Kind: BatchClear, Generation: gen}); err != nil {
+		panic(fmt.Sprintf("store: commit hook rejected Clear batch: %v", err))
+	}
 	next := emptySnapshot(rdf.NewDict())
-	next.generation = s.snap.Load().generation + 1
+	next.generation = gen
 	s.quads = map[QuadID]*entry{}
 	s.snap.Store(next)
 }

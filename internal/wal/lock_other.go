@@ -1,0 +1,11 @@
+//go:build !unix
+
+package wal
+
+// dirLock is a no-op on platforms without flock semantics; single-writer
+// discipline is the operator's responsibility there.
+type dirLock struct{}
+
+func lockDir(dir string) (*dirLock, error) { return &dirLock{}, nil }
+
+func (l *dirLock) release() error { return nil }

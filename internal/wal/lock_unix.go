@@ -1,0 +1,42 @@
+//go:build unix
+
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// dirLock holds an advisory flock on the data dir's LOCK file for the
+// manager's lifetime, so two processes can never journal into the same WAL
+// (interleaved appends from two writers would corrupt the generation
+// sequence beyond recovery). The kernel drops the lock automatically when
+// the process dies, so a crash never leaves a stale lock behind.
+type dirLock struct{ f *os.File }
+
+func lockDir(dir string) (*dirLock, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: opening lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: data dir %s is already in use by another process: %w", dir, err)
+	}
+	return &dirLock{f: f}, nil
+}
+
+func (l *dirLock) release() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	flockErr := syscall.Flock(int(l.f.Fd()), syscall.LOCK_UN)
+	closeErr := l.f.Close()
+	l.f = nil
+	if flockErr != nil {
+		return flockErr
+	}
+	return closeErr
+}

@@ -1,0 +1,338 @@
+// Package wal is the durability subsystem of the metadata management
+// system: an append-only, checksummed write-ahead log whose records are
+// exactly the store's atomic mutation batches plus release registrations,
+// and a checkpoint writer that serializes a pinned immutable snapshot
+// concurrently with live traffic. Recovery loads the latest valid
+// checkpoint, replays the WAL tail through the ordinary batch API,
+// truncates torn tails, and rebuilds the ontology's release-delta log so
+// rewriting caches validate incrementally across the restart.
+//
+// # Consistency model
+//
+// The store invokes the Manager's commit hook while holding the writer
+// mutex and strictly before publishing the batch's snapshot, so the WAL is
+// a write-ahead journal in the literal sense: any state a reader (or a
+// checkpoint) can observe has already been appended. Records carry the
+// generation they publish; replay applies a record if and only if it is the
+// next generation, which makes replay idempotent across overlapping
+// segments and prefix-correct under torn tails. Fsync policy is the only
+// durability knob: with -wal-sync=always every batch is on disk before it
+// becomes visible, with batch a background flusher bounds the loss window,
+// with off the OS page cache decides.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"bdi/internal/core"
+	"bdi/internal/rdf"
+)
+
+// recordKind tags a WAL record payload. Values are part of the on-disk
+// format and must never be renumbered.
+type recordKind uint8
+
+const (
+	recAddAll recordKind = iota + 1
+	recRemove
+	recRemoveGraph
+	recClear
+	recRelease
+)
+
+func (k recordKind) String() string {
+	switch k {
+	case recAddAll:
+		return "add-all"
+	case recRemove:
+		return "remove"
+	case recRemoveGraph:
+		return "remove-graph"
+	case recClear:
+		return "clear"
+	case recRelease:
+		return "release"
+	default:
+		return fmt.Sprintf("record(%d)", uint8(k))
+	}
+}
+
+// record is one WAL entry. Batch records (recAddAll, recRemove,
+// recRemoveGraph, recClear) carry the generation they publish; release
+// records carry the delta span of the release they journal.
+type record struct {
+	kind  recordKind
+	gen   uint64
+	quads []rdf.Quad
+	graph rdf.IRI
+	span  core.DeltaSpan
+}
+
+// castagnoli is the CRC-32C table used for record and checkpoint checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// frameHeaderSize is the per-record frame overhead: a little-endian uint32
+// payload length followed by a uint32 CRC-32C of the payload.
+const frameHeaderSize = 8
+
+// maxRecordSize bounds a single record payload. A torn or corrupt length
+// field would otherwise make recovery attempt an absurd allocation.
+const maxRecordSize = 1 << 30
+
+// appendRecord appends the framed encoding of r to dst.
+func appendRecord(dst []byte, r *record) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // frame header placeholder
+	payloadStart := len(dst)
+	dst = append(dst, byte(r.kind))
+	switch r.kind {
+	case recAddAll, recRemove:
+		dst = binary.AppendUvarint(dst, r.gen)
+		dst = binary.AppendUvarint(dst, uint64(len(r.quads)))
+		for _, q := range r.quads {
+			dst = appendQuad(dst, q)
+		}
+	case recRemoveGraph:
+		dst = binary.AppendUvarint(dst, r.gen)
+		dst = appendString(dst, string(r.graph))
+	case recClear:
+		dst = binary.AppendUvarint(dst, r.gen)
+	case recRelease:
+		dst = appendSpan(dst, r.span)
+	default:
+		panic(fmt.Sprintf("wal: encoding unknown record kind %d", r.kind))
+	}
+	payload := dst[payloadStart:]
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.Checksum(payload, castagnoli))
+	return dst
+}
+
+// decodeRecord decodes one framed record from the front of b, returning the
+// record and the number of bytes consumed. An incomplete frame, a CRC
+// mismatch or a malformed payload returns an error: the caller treats the
+// position as the end of the valid log (torn tail).
+func decodeRecord(b []byte) (*record, int, error) {
+	if len(b) < frameHeaderSize {
+		return nil, 0, fmt.Errorf("wal: record frame truncated (%d bytes)", len(b))
+	}
+	length := binary.LittleEndian.Uint32(b)
+	sum := binary.LittleEndian.Uint32(b[4:])
+	if length == 0 || length > maxRecordSize {
+		return nil, 0, fmt.Errorf("wal: implausible record length %d", length)
+	}
+	if uint32(len(b)-frameHeaderSize) < length {
+		return nil, 0, fmt.Errorf("wal: record payload truncated (%d of %d bytes)", len(b)-frameHeaderSize, length)
+	}
+	payload := b[frameHeaderSize : frameHeaderSize+int(length)]
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return nil, 0, fmt.Errorf("wal: record checksum mismatch")
+	}
+	r, err := decodePayload(payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	return r, frameHeaderSize + int(length), nil
+}
+
+func decodePayload(p []byte) (*record, error) {
+	if len(p) == 0 {
+		return nil, fmt.Errorf("wal: empty record payload")
+	}
+	r := &record{kind: recordKind(p[0])}
+	p = p[1:]
+	var err error
+	switch r.kind {
+	case recAddAll, recRemove:
+		var n uint64
+		if r.gen, p, err = readUvarint(p); err != nil {
+			return nil, err
+		}
+		if n, p, err = readUvarint(p); err != nil {
+			return nil, err
+		}
+		r.quads = make([]rdf.Quad, 0, n)
+		for i := uint64(0); i < n; i++ {
+			var q rdf.Quad
+			if q, p, err = decodeQuad(p); err != nil {
+				return nil, err
+			}
+			r.quads = append(r.quads, q)
+		}
+	case recRemoveGraph:
+		if r.gen, p, err = readUvarint(p); err != nil {
+			return nil, err
+		}
+		var g string
+		if g, p, err = readString(p); err != nil {
+			return nil, err
+		}
+		r.graph = rdf.IRI(g)
+	case recClear:
+		if r.gen, p, err = readUvarint(p); err != nil {
+			return nil, err
+		}
+	case recRelease:
+		if r.span, p, err = decodeSpan(p); err != nil {
+			return nil, err
+		}
+		r.gen = r.span.To
+	default:
+		return nil, fmt.Errorf("wal: unknown record kind %d", uint8(r.kind))
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("wal: %s record has %d trailing bytes", r.kind, len(p))
+	}
+	return r, nil
+}
+
+func appendQuad(dst []byte, q rdf.Quad) []byte {
+	dst = appendString(dst, string(q.Graph))
+	dst = rdf.AppendTerm(dst, q.Subject)
+	dst = rdf.AppendTerm(dst, q.Predicate)
+	return rdf.AppendTerm(dst, q.Object)
+}
+
+func decodeQuad(b []byte) (rdf.Quad, []byte, error) {
+	var q rdf.Quad
+	g, b, err := readString(b)
+	if err != nil {
+		return q, nil, err
+	}
+	q.Graph = rdf.IRI(g)
+	if q.Subject, b, err = readTerm(b); err != nil {
+		return q, nil, err
+	}
+	if q.Predicate, b, err = readTerm(b); err != nil {
+		return q, nil, err
+	}
+	if q.Object, b, err = readTerm(b); err != nil {
+		return q, nil, err
+	}
+	return q, b, nil
+}
+
+// appendSpan / decodeSpan serialize a release delta span. The same encoding
+// is used inside checkpoints for the delta-log section.
+func appendSpan(dst []byte, s core.DeltaSpan) []byte {
+	dst = binary.AppendUvarint(dst, s.From)
+	dst = binary.AppendUvarint(dst, s.To)
+	d := s.Delta
+	dst = appendString(dst, string(d.Wrapper))
+	dst = appendString(dst, string(d.Source))
+	dst = binary.AppendUvarint(dst, uint64(d.Sequence))
+	dst = appendIRIs(dst, d.Concepts)
+	dst = appendIRIs(dst, d.Features)
+	dst = appendIRIs(dst, d.Attributes)
+	dst = binary.AppendUvarint(dst, uint64(len(d.Edges)))
+	for _, e := range d.Edges {
+		dst = appendString(dst, string(e[0]))
+		dst = appendString(dst, string(e[1]))
+	}
+	return dst
+}
+
+func decodeSpan(b []byte) (core.DeltaSpan, []byte, error) {
+	var s core.DeltaSpan
+	var err error
+	if s.From, b, err = readUvarint(b); err != nil {
+		return s, nil, err
+	}
+	if s.To, b, err = readUvarint(b); err != nil {
+		return s, nil, err
+	}
+	d := &core.ReleaseDelta{}
+	var str string
+	if str, b, err = readString(b); err != nil {
+		return s, nil, err
+	}
+	d.Wrapper = rdf.IRI(str)
+	if str, b, err = readString(b); err != nil {
+		return s, nil, err
+	}
+	d.Source = rdf.IRI(str)
+	var seq uint64
+	if seq, b, err = readUvarint(b); err != nil {
+		return s, nil, err
+	}
+	d.Sequence = int(seq)
+	if d.Concepts, b, err = readIRIs(b); err != nil {
+		return s, nil, err
+	}
+	if d.Features, b, err = readIRIs(b); err != nil {
+		return s, nil, err
+	}
+	if d.Attributes, b, err = readIRIs(b); err != nil {
+		return s, nil, err
+	}
+	var n uint64
+	if n, b, err = readUvarint(b); err != nil {
+		return s, nil, err
+	}
+	for i := uint64(0); i < n; i++ {
+		var from, to string
+		if from, b, err = readString(b); err != nil {
+			return s, nil, err
+		}
+		if to, b, err = readString(b); err != nil {
+			return s, nil, err
+		}
+		d.Edges = append(d.Edges, [2]rdf.IRI{rdf.IRI(from), rdf.IRI(to)})
+	}
+	s.Delta = d
+	return s, b, nil
+}
+
+func appendIRIs(dst []byte, iris []rdf.IRI) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(iris)))
+	for _, iri := range iris {
+		dst = appendString(dst, string(iri))
+	}
+	return dst
+}
+
+func readIRIs(b []byte) ([]rdf.IRI, []byte, error) {
+	n, b, err := readUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	var out []rdf.IRI
+	for i := uint64(0); i < n; i++ {
+		var s string
+		if s, b, err = readString(b); err != nil {
+			return nil, nil, err
+		}
+		out = append(out, rdf.IRI(s))
+	}
+	return out, b, nil
+}
+
+// appendString / readString delegate to the rdf codec's string primitive so
+// the durability files have exactly one definition of the wire format.
+func appendString(dst []byte, s string) []byte { return rdf.AppendString(dst, s) }
+
+func readString(b []byte) (string, []byte, error) {
+	s, n, err := rdf.DecodeString(b)
+	if err != nil {
+		return "", nil, err
+	}
+	return s, b[n:], nil
+}
+
+func readUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("wal: bad uvarint")
+	}
+	return v, b[n:], nil
+}
+
+func readTerm(b []byte) (rdf.Term, []byte, error) {
+	t, n, err := rdf.DecodeTerm(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	return t, b[n:], nil
+}

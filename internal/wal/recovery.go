@@ -1,0 +1,223 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"bdi/internal/core"
+	"bdi/internal/store"
+)
+
+// RecoveryInfo reports what recovery found and did.
+type RecoveryInfo struct {
+	// CheckpointGeneration is the store generation of the checkpoint loaded
+	// (0 when the data dir was fresh).
+	CheckpointGeneration uint64 `json:"checkpointGeneration"`
+	// CheckpointQuads is the number of quads restored from the checkpoint.
+	CheckpointQuads int `json:"checkpointQuads"`
+	// CheckpointsSkipped counts newer checkpoint files that failed
+	// verification and were passed over for an older valid one.
+	CheckpointsSkipped int `json:"checkpointsSkipped"`
+	// SegmentsScanned is the number of WAL segment files read.
+	SegmentsScanned int `json:"segmentsScanned"`
+	// RecordsReplayed counts all records applied (batches plus releases).
+	RecordsReplayed int `json:"recordsReplayed"`
+	// BatchesReplayed counts the store mutation batches applied on top of
+	// the checkpoint.
+	BatchesReplayed int `json:"batchesReplayed"`
+	// SpansRestored is the number of release-delta spans in the rebuilt log
+	// (checkpoint plus WAL).
+	SpansRestored int `json:"spansRestored"`
+	// TornTail reports that the last segment ended in an incomplete or
+	// corrupt record, which was truncated away.
+	TornTail bool `json:"tornTail"`
+	// TruncatedBytes is the size of the discarded torn tail.
+	TruncatedBytes int64 `json:"truncatedBytes"`
+	// FinalGeneration is the store generation after replay.
+	FinalGeneration uint64 `json:"finalGeneration"`
+}
+
+// errFreshDir reports a data dir with neither checkpoints nor segments.
+var errFreshDir = errors.New("wal: fresh data dir")
+
+// recoverDir rebuilds the store and delta-log spans recorded in dir: load
+// the newest checkpoint that verifies, replay every WAL record past its
+// generation, truncate torn tails. With truncate false the log files are
+// left untouched (read-only inspection).
+func recoverDir(dir string, truncate bool) (*store.Store, []core.DeltaSpan, RecoveryInfo, error) {
+	var info RecoveryInfo
+	ckpts, err := listSeqFiles(dir, checkpointPrefix, checkpointSuffix)
+	if err != nil {
+		return nil, nil, info, fmt.Errorf("wal: listing checkpoints: %w", err)
+	}
+	segs, err := listSeqFiles(dir, segmentPrefix, segmentSuffix)
+	if err != nil {
+		return nil, nil, info, fmt.Errorf("wal: listing segments: %w", err)
+	}
+	if len(ckpts) == 0 {
+		if len(segs) == 0 {
+			return nil, nil, info, errFreshDir
+		}
+		return nil, nil, info, fmt.Errorf("wal: %s has WAL segments but no checkpoint; cannot establish a replay base", dir)
+	}
+
+	// Load the newest checkpoint that verifies; fall back to older ones (a
+	// crash mid-checkpoint leaves the previous one intact, and the WAL is
+	// only pruned past verified checkpoints, so older bases replay further).
+	var ck *checkpointData
+	var ckErr error
+	for i := len(ckpts) - 1; i >= 0; i-- {
+		ck, ckErr = readCheckpointFile(ckpts[i].path)
+		if ckErr == nil {
+			break
+		}
+		info.CheckpointsSkipped++
+	}
+	if ck == nil {
+		return nil, nil, info, fmt.Errorf("wal: no valid checkpoint in %s: %w", dir, ckErr)
+	}
+	s, err := store.Restore(ck.dict, ck.generation, ck.graphs)
+	if err != nil {
+		return nil, nil, info, fmt.Errorf("wal: restoring checkpoint snapshot: %w", err)
+	}
+	info.CheckpointGeneration = ck.generation
+	info.CheckpointQuads = ck.quads
+
+	// Seed the span log with the checkpoint's spans. Spans beyond the
+	// checkpoint generation are dropped: their release records follow in the
+	// WAL (a release that raced the checkpoint writer appears in both; the
+	// generation guard during replay keeps exactly one copy).
+	var spans []core.DeltaSpan
+	for _, sp := range ck.spans {
+		if sp.To <= ck.generation {
+			spans = append(spans, sp)
+		}
+	}
+
+	// Replay the segments in base order. A segment is skipped wholesale when
+	// the next segment's base shows it is fully covered by the checkpoint.
+	for i, seg := range segs {
+		if i+1 < len(segs) && segs[i+1].seq <= ck.generation {
+			continue
+		}
+		last := i == len(segs)-1
+		spans, err = replaySegment(seg.path, s, ck.generation, spans, last, truncate, &info)
+		if err != nil {
+			return nil, nil, info, err
+		}
+	}
+	info.SpansRestored = len(spans)
+	info.FinalGeneration = s.Generation()
+	return s, spans, info, nil
+}
+
+// replaySegment applies one segment's records onto s. Decode failures in the
+// final segment are a torn tail: the file is truncated at the last good
+// record (when truncate is set) and replay ends. Decode failures elsewhere
+// are corruption beyond crash semantics and abort recovery.
+func replaySegment(path string, s *store.Store, ckptGen uint64, spans []core.DeltaSpan, last, truncate bool, info *RecoveryInfo) ([]core.DeltaSpan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return spans, fmt.Errorf("wal: reading segment: %w", err)
+	}
+	info.SegmentsScanned++
+	off := 0
+	for off < len(data) {
+		r, n, derr := decodeRecord(data[off:])
+		if derr != nil {
+			if !last {
+				return spans, fmt.Errorf("wal: segment %s corrupt at offset %d (not the final segment; refusing to skip history): %v", filepath.Base(path), off, derr)
+			}
+			info.TornTail = true
+			info.TruncatedBytes = int64(len(data) - off)
+			if truncate {
+				if err := os.Truncate(path, int64(off)); err != nil {
+					return spans, fmt.Errorf("wal: truncating torn tail of %s: %w", filepath.Base(path), err)
+				}
+			}
+			return spans, nil
+		}
+		spans, err = applyRecord(r, s, ckptGen, spans, info)
+		if err != nil {
+			return spans, err
+		}
+		off += n
+	}
+	return spans, nil
+}
+
+func applyRecord(r *record, s *store.Store, ckptGen uint64, spans []core.DeltaSpan, info *RecoveryInfo) ([]core.DeltaSpan, error) {
+	cur := s.Generation()
+	switch r.kind {
+	case recAddAll, recRemove, recRemoveGraph, recClear:
+		if r.gen <= cur {
+			return spans, nil // already covered by the checkpoint (or an earlier overlapping segment)
+		}
+		if r.gen != cur+1 {
+			return spans, fmt.Errorf("wal: generation gap: store at %d, next record publishes %d", cur, r.gen)
+		}
+		if err := replayBatch(r, s); err != nil {
+			return spans, err
+		}
+		if got := s.Generation(); got != r.gen {
+			return spans, fmt.Errorf("wal: replaying %s record: store generation %d, want %d", r.kind, got, r.gen)
+		}
+		info.RecordsReplayed++
+		info.BatchesReplayed++
+	case recRelease:
+		// The release's batch record precedes it in the log, so by now its
+		// interval is fully applied; a span at or before the checkpoint
+		// generation is already in the checkpoint's span section.
+		if r.span.To <= ckptGen || r.span.To > s.Generation() {
+			return spans, nil
+		}
+		spans = append(spans, r.span)
+		info.RecordsReplayed++
+	}
+	return spans, nil
+}
+
+// replayBatch applies one store mutation batch through the ordinary batch
+// API. Insertion replay re-interns every term in its original order, so the
+// rebuilt dictionary assigns byte-identical TermIDs.
+func replayBatch(r *record, s *store.Store) error {
+	switch r.kind {
+	case recAddAll:
+		added, err := s.AddAll(r.quads)
+		if err != nil {
+			return fmt.Errorf("wal: replaying add batch: %w", err)
+		}
+		if added != len(r.quads) {
+			return fmt.Errorf("wal: replaying add batch: %d of %d quads were duplicates", len(r.quads)-added, len(r.quads))
+		}
+	case recRemove:
+		for _, q := range r.quads {
+			if !s.Remove(q) {
+				return fmt.Errorf("wal: replaying remove: quad %v not present", q)
+			}
+		}
+	case recRemoveGraph:
+		if s.RemoveGraph(r.graph) == 0 {
+			return fmt.Errorf("wal: replaying remove-graph: graph %q already empty", r.graph)
+		}
+	case recClear:
+		s.Clear()
+	}
+	return nil
+}
+
+// removeStaleTemp deletes checkpoint temp files left by a crash mid-write.
+func removeStaleTemp(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), "checkpoint-") && strings.HasSuffix(e.Name(), ".tmp") {
+			_ = os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}
