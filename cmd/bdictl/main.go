@@ -13,6 +13,7 @@
 //	bdictl changes                     print the change taxonomy (Tables 3-5)
 //	bdictl checkpoint -addr URL        trigger a checkpoint on a running mdm-server
 //	bdictl restore -dir path           recover a data dir offline and print what it holds
+//	bdictl replication -addr URL       print replication status (primary or replica)
 //
 // The -evolved flag includes the evolved D1 schema version (wrapper w4).
 // checkpoint and restore operate on the durability subsystem (internal/wal):
@@ -78,6 +79,9 @@ func main() {
 		return
 	case "restore":
 		runRestore(*dataDir)
+		return
+	case "replication":
+		runReplication(*addr)
 		return
 	}
 
@@ -315,6 +319,82 @@ func runRestore(dir string) {
 		st.Concepts, st.Features, st.DataSources, st.Wrappers, st.Attributes)
 }
 
+// runReplication prints the GET /api/replication document of a running
+// server in either role: a primary's shipping window and known replicas, or
+// a replica's sync state and staleness.
+func runReplication(addr string) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Get(strings.TrimRight(addr, "/") + "/api/replication")
+	if err != nil {
+		fail(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		fail(fmt.Errorf("replication: server answered 404 — not a durable primary or replica (start with -data-dir or -replica-of)"))
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		fail(fmt.Errorf("replication: server answered %s: %s", resp.Status, e.Error))
+	}
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		fail(fmt.Errorf("replication: decoding response: %w", err))
+	}
+	role, _ := doc["role"].(string)
+	asUint := func(key string) uint64 {
+		v, _ := doc[key].(float64)
+		return uint64(v)
+	}
+	switch role {
+	case "primary":
+		fmt.Printf("role:              primary\n")
+		fmt.Printf("generation:        %d\n", asUint("generation"))
+		fmt.Printf("WAL ships from:    generation %d\n", asUint("oldestWalGeneration"))
+		fmt.Printf("last checkpoint:   generation %d\n", asUint("lastCheckpointGeneration"))
+		replicas, _ := doc["replicas"].([]any)
+		fmt.Printf("replicas seen:     %d\n", len(replicas))
+		for _, r := range replicas {
+			m, _ := r.(map[string]any)
+			id, _ := m["id"].(string)
+			gen, _ := m["generation"].(float64)
+			lag, _ := m["lag"].(float64)
+			fmt.Printf("  - %-24s generation %d (lag %d)\n", id, uint64(gen), uint64(lag))
+		}
+	case "replica":
+		id, _ := doc["id"].(string)
+		primary, _ := doc["primary"].(string)
+		synced, _ := doc["synced"].(bool)
+		stale, _ := doc["stale"].(bool)
+		fmt.Printf("role:              replica (%s)\n", id)
+		fmt.Printf("primary:           %s\n", primary)
+		fmt.Printf("synced:            %v\n", synced)
+		fmt.Printf("generation:        %d (primary at %d, lag %d)\n",
+			asUint("generation"), asUint("primaryGeneration"), asUint("lag"))
+		if stale {
+			reason, _ := doc["staleReason"].(string)
+			fmt.Printf("stale:             yes — %s\n", reason)
+		} else {
+			fmt.Printf("stale:             no\n")
+		}
+		if stats, ok := doc["stats"].(map[string]any); ok {
+			get := func(k string) uint64 {
+				v, _ := stats[k].(float64)
+				return uint64(v)
+			}
+			fmt.Printf("applied:           %d frame(s): %d batch(es), %d release span(s)\n",
+				get("framesApplied"), get("batchesApplied"), get("spansApplied"))
+			fmt.Printf("resilience:        %d checkpoint fetch(es), %d reconnect(s), %d corrupt frame(s) quarantined, %d gap resync(s), %d divergence resync(s)\n",
+				get("checkpointsFetched"), get("reconnects"), get("corruptFrames"), get("gapResyncs"), get("divergenceResyncs"))
+		}
+	default:
+		out, _ := json.MarshalIndent(doc, "", "  ")
+		fmt.Println(string(out))
+	}
+}
+
 func loadQuery(path string) string {
 	if path == "" {
 		return demoQuery
@@ -327,7 +407,7 @@ func loadQuery(path string) string {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: bdictl <demo|stats|concepts|sources|rewrite|query|releases|dump|changes|checkpoint|restore> [-evolved] [-query file] [-file release.json] [-addr url] [-dir data-dir]")
+	fmt.Fprintln(os.Stderr, "usage: bdictl <demo|stats|concepts|sources|rewrite|query|releases|dump|changes|checkpoint|restore|replication> [-evolved] [-query file] [-file release.json] [-addr url] [-dir data-dir]")
 }
 
 func fail(err error) {

@@ -9,6 +9,7 @@
 //	benchrunner -figure 11      Source-graph growth per Wordpress release
 //	benchrunner -ablation lav-gav | entailment | attribute-reuse | rewrite-cache | incremental-rewrite | wal
 //	benchrunner -parallel       figure 8 under concurrent query load
+//	benchrunner -replicas 2     read-replica throughput and staleness under write churn
 //	benchrunner -all            everything above
 //
 // Absolute timings depend on the host; the shapes (who wins, growth trends,
@@ -48,6 +49,8 @@ func main() {
 	all := flag.Bool("all", false, "regenerate every table, figure and ablation")
 	maxWrappers := flag.Int("max-wrappers", 8, "figure 8: maximum number of wrappers per concept")
 	concepts := flag.Int("concepts", 5, "figure 8: number of chained concepts in the query")
+	replicas := flag.Int("replicas", 0, "run the replication benchmark with this many read replicas")
+	duration := flag.Duration("duration", 3*time.Second, "replicas: measurement window for the replication benchmark")
 	flag.Parse()
 
 	ran := false
@@ -101,6 +104,10 @@ func main() {
 	}
 	if *all || *parallel {
 		printFigure8Parallel(*concepts, min(*maxWrappers, 4), *workers)
+		ran = true
+	}
+	if *replicas > 0 {
+		printReplicationBench(*replicas, *duration, *workers)
 		ran = true
 	}
 	if !ran {

@@ -1,0 +1,258 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bdi/internal/core"
+	"bdi/internal/mdm"
+	"bdi/internal/rdf"
+	"bdi/internal/replication"
+	"bdi/internal/wal"
+	"bdi/internal/workload"
+	"bdi/internal/wrapper"
+)
+
+const replicationBenchQuery = `
+PREFIX G: <http://www.essi.upc.edu/~snadal/BDIOntology/Global/>
+PREFIX sup: <http://www.essi.upc.edu/~snadal/BDIOntology/SUPERSEDE/>
+PREFIX sc: <http://schema.org/>
+SELECT ?x ?y
+WHERE {
+  VALUES (?x ?y) { (sup:applicationId sup:lagRatio) }
+  sc:SoftwareApplication G:hasFeature sup:applicationId .
+  sc:SoftwareApplication sup:hasMonitor sup:Monitor .
+  sup:Monitor sup:generatesQoS sup:InfoMonitor .
+  sup:InfoMonitor G:hasFeature sup:lagRatio
+}
+`
+
+// churnRelease builds the i-th synthetic write-churn release: a fresh
+// wrapper over a fresh source providing the feedback-gathering concepts.
+// Those concepts are disjoint from the benchmark query's footprint, so the
+// churn exercises WAL shipping, span replication and delta-driven cache
+// validation without growing the measured query's walk set.
+func churnRelease(i int) core.Release {
+	g := rdf.NewGraph("")
+	g.Add(
+		rdf.T(core.SupFeedbackGathering, core.SupGeneratesUF, core.SupUserFeedback),
+		rdf.T(core.SupFeedbackGathering, core.GHasFeature, core.SupFeedbackGatheringID),
+		rdf.T(core.SupUserFeedback, core.GHasFeature, core.SupDescription),
+	)
+	return core.Release{
+		Wrapper: core.WrapperSpec{
+			Name:            fmt.Sprintf("bench-w%d", i),
+			Source:          fmt.Sprintf("BenchD%d", i),
+			IDAttributes:    []string{"FGId"},
+			NonIDAttributes: []string{"tweet"},
+		},
+		Subgraph: g,
+		F: map[string]rdf.IRI{
+			"FGId":  core.SupFeedbackGatheringID,
+			"tweet": core.SupDescription,
+		},
+	}
+}
+
+// printReplicationBench runs a full primary-plus-N-replicas topology in one
+// process: a durable primary under continuous release churn, replicas
+// following its WAL over loopback HTTP, and query workers hammering the
+// replicas' rewrite endpoint round-robin. Reported: aggregate replica QPS,
+// the maximum staleness (in generations) any replica exhibited during the
+// run, and how long the replicas took to converge once writes stopped.
+func printReplicationBench(replicas int, duration time.Duration, workers int) {
+	header(fmt.Sprintf("Replication — %d replica(s), %s of query load under write churn", replicas, duration))
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "replication bench:", err)
+		os.Exit(1)
+	}
+
+	dir, err := os.MkdirTemp("", "bdi-repl-bench-")
+	if err != nil {
+		fail(err)
+	}
+	defer os.RemoveAll(dir)
+	m, err := wal.Open(dir, wal.Options{Sync: wal.SyncBatch})
+	if err != nil {
+		fail(err)
+	}
+	defer m.Close()
+	o := m.Ontology()
+
+	registry := wrapper.NewRegistry()
+	src := workload.SupersedeTable1Registry(false)
+	for _, name := range src.Names() {
+		if w, ok := src.Get(name); ok {
+			registry.Register(w)
+			registry.Alias(string(core.WrapperURI(name)), name)
+		}
+	}
+	if err := core.BuildSupersedeGlobalGraph(o); err != nil {
+		fail(err)
+	}
+	for _, r := range core.SupersedeReleases(false) {
+		if _, err := o.NewRelease(r); err != nil {
+			fail(err)
+		}
+	}
+
+	primary := mdm.NewServer(o, registry)
+	primary.EnableDurability(m)
+	primary.EnableReplication(replication.NewPrimary(m))
+	primaryURL, closePrimary, err := serveLoopback(primary.Handler())
+	if err != nil {
+		fail(err)
+	}
+	defer closePrimary()
+
+	reps := make([]*replication.Replica, replicas)
+	urls := make([]string, replicas)
+	for i := range reps {
+		rep := replication.Start(replication.Options{
+			Primary:    primaryURL,
+			ID:         fmt.Sprintf("bench-replica-%d", i),
+			PollWait:   250 * time.Millisecond,
+			BackoffMin: 20 * time.Millisecond,
+		})
+		defer rep.Close()
+		url, closeReplica, serveErr := serveLoopback(mdm.NewReplicaServer(rep, registry).Handler())
+		if serveErr != nil {
+			fail(serveErr)
+		}
+		defer closeReplica()
+		reps[i], urls[i] = rep, url
+	}
+	for _, rep := range reps {
+		if err := rep.WaitForGeneration(o.Store().Generation(), 15*time.Second); err != nil {
+			fail(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var queries, queryErrors atomic.Uint64
+	body, _ := json.Marshal(map[string]string{"sparql": replicationBenchQuery})
+	client := &http.Client{Timeout: 10 * time.Second}
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := client.Post(urls[i%len(urls)]+"/api/queries/rewrite", "application/json", bytes.NewReader(body))
+				if err != nil {
+					queryErrors.Add(1)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					queries.Add(1)
+				} else {
+					queryErrors.Add(1)
+				}
+			}
+		}(g)
+	}
+
+	// Write churn: one release every 25ms for the whole window.
+	var churned int
+	churnDone := make(chan struct{})
+	go func() {
+		defer close(churnDone)
+		t := time.NewTicker(25 * time.Millisecond)
+		defer t.Stop()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if _, err := o.NewRelease(churnRelease(i)); err != nil {
+					fail(err)
+				}
+				churned++
+			}
+		}
+	}()
+
+	// Staleness sampler: the worst lag any replica reports, sampled at 20ms.
+	var maxLag uint64
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		t := time.NewTicker(20 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				for _, rep := range reps {
+					if st := rep.Status(); st.Lag > maxLag {
+						maxLag = st.Lag
+					}
+				}
+			}
+		}
+	}()
+
+	start := time.Now()
+	time.Sleep(duration)
+	close(stop)
+	wg.Wait()
+	<-churnDone
+	<-samplerDone
+	elapsed := time.Since(start)
+
+	// Convergence: with writes stopped, how long until every replica holds
+	// the primary's final generation.
+	target := o.Store().Generation()
+	convStart := time.Now()
+	for _, rep := range reps {
+		if err := rep.WaitForGeneration(target, 15*time.Second); err != nil {
+			fail(err)
+		}
+	}
+	convergence := time.Since(convStart)
+
+	ok := queries.Load()
+	fmt.Printf("%-38s %12d\n", "releases registered on the primary", churned)
+	fmt.Printf("%-38s %12d (generation %d)\n", "rewrites answered by replicas", ok, target)
+	fmt.Printf("%-38s %12.0f\n", "aggregate replica QPS", float64(ok)/elapsed.Seconds())
+	fmt.Printf("%-38s %12d\n", "query errors", queryErrors.Load())
+	fmt.Printf("%-38s %12d generation(s)\n", "max staleness observed", maxLag)
+	fmt.Printf("%-38s %12s\n", "convergence after last write", convergence.Round(time.Millisecond))
+	for _, rep := range reps {
+		st := rep.Status()
+		fmt.Printf("  %-36s gen %d, %d frame(s) applied, %d checkpoint fetch(es), %d reconnect(s)\n",
+			st.ID, st.Generation, st.Stats.FramesApplied, st.Stats.CheckpointsFetched, st.Stats.Reconnects)
+	}
+	fmt.Println("-> acceptance: zero query errors, convergence within one poll interval of the last write")
+	if n := queryErrors.Load(); n > 0 {
+		fail(fmt.Errorf("%d replica queries failed", n))
+	}
+}
+
+// serveLoopback serves h on an ephemeral loopback port and returns its base
+// URL and a shutdown func.
+func serveLoopback(h http.Handler) (string, func(), error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: h}
+	go func() { _ = srv.Serve(ln) }()
+	return "http://" + ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

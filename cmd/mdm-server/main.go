@@ -7,6 +7,17 @@
 //	mdm-server -demo -evolved              also register the evolved D1 schema (w4)
 //	mdm-server -data-dir ./data            durable metadata: WAL + checkpoints + crash recovery
 //	mdm-server -data-dir ./data -wal-sync=always
+//	mdm-server -replica-of http://primary:8080 -addr :8081
+//	                                       read replica following a durable primary
+//
+// A durable primary (-data-dir) automatically ships its WAL and checkpoints
+// under GET /api/replication/. A replica (-replica-of) bootstraps from the
+// primary's newest checkpoint, follows the WAL tail with long-polls and
+// serves the read API from its own replicated state; writes answer 403.
+// -max-lag and -max-staleness bound how stale a replica may serve (0 = no
+// bound: stale-but-consistent reads); beyond a bound the read API answers
+// 503 and GET /readyz reports not ready. With -demo a replica registers
+// only the executable demo wrappers — the ontology itself is replicated.
 //
 // With -data-dir the server recovers the ontology persisted in the
 // directory at boot (latest checkpoint + WAL replay, truncating torn
@@ -34,6 +45,7 @@ import (
 
 	"bdi/internal/core"
 	"bdi/internal/mdm"
+	"bdi/internal/replication"
 	"bdi/internal/wal"
 	"bdi/internal/workload"
 	"bdi/internal/wrapper"
@@ -45,7 +57,19 @@ func main() {
 	evolved := flag.Bool("evolved", false, "with -demo, also register the evolved D1 schema version")
 	dataDir := flag.String("data-dir", "", "durable data directory (WAL + checkpoints); empty = in-memory only")
 	walSync := flag.String("wal-sync", "batch", "WAL fsync policy: always | batch | off")
+	replicaOf := flag.String("replica-of", "", "primary base URL to replicate from (read-only replica mode)")
+	replicaID := flag.String("replica-id", "", "replica identity reported to the primary (default: generated)")
+	maxLag := flag.Uint64("max-lag", 0, "replica: max generations behind the primary before reads answer 503 (0 = unbounded)")
+	maxStaleness := flag.Duration("max-staleness", 0, "replica: max time without primary contact before reads answer 503 (0 = unbounded)")
 	flag.Parse()
+
+	if *replicaOf != "" {
+		if *dataDir != "" {
+			log.Fatalf("mdm-server: -replica-of and -data-dir are mutually exclusive (a replica's state comes from the primary)")
+		}
+		runReplica(*addr, *replicaOf, *replicaID, *maxLag, *maxStaleness, *demo, *evolved)
+		return
+	}
 
 	var (
 		ontology *core.Ontology
@@ -79,6 +103,7 @@ func main() {
 	server := mdm.NewServer(ontology, registry)
 	if manager != nil {
 		server.EnableDurability(manager)
+		server.EnableReplication(replication.NewPrimary(manager))
 	}
 	httpServer := &http.Server{
 		Addr:              *addr,
@@ -120,12 +145,56 @@ func main() {
 	}
 }
 
-// seedDemo loads the SUPERSEDE running example into the (possibly
-// recovered) ontology. The in-memory executable wrappers are always
-// rebuilt; ontology-side registrations are applied per release, skipping
-// ones a durable data dir already holds — so a dir seeded without
-// -evolved gains exactly the missing w4 release on the next -evolved run.
-func seedDemo(o *core.Ontology, registry *wrapper.Registry, evolved bool) error {
+// runReplica runs the read-only replica mode: a replication follower plus
+// the MDM read API over its replicated state.
+func runReplica(addr, primary, id string, maxLag uint64, maxStaleness time.Duration, demo, evolved bool) {
+	registry := wrapper.NewRegistry()
+	if demo {
+		// Executable wrappers only: the ontology (including wrapper
+		// registrations) is replicated from the primary, and a replica must
+		// never write its own.
+		registerDemoWrappers(registry, evolved)
+	}
+	rep := replication.Start(replication.Options{
+		Primary: primary,
+		ID:      id,
+		MaxLag:  maxLag,
+		MaxAge:  maxStaleness,
+		Logf:    log.Printf,
+	})
+	server := mdm.NewReplicaServer(rep, registry)
+	httpServer := &http.Server{
+		Addr:              addr,
+		Handler:           logging(server.Handler()),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("MDM replica listening on %s (primary=%s max-lag=%d max-staleness=%s)\n",
+			addr, primary, maxLag, maxStaleness)
+		errc <- httpServer.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		if err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		log.Printf("shutting down: draining requests")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpServer.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}
+	_ = rep.Close()
+}
+
+// registerDemoWrappers registers the executable SUPERSEDE demo wrappers
+// without touching the ontology.
+func registerDemoWrappers(registry *wrapper.Registry, evolved bool) {
 	src := workload.SupersedeTable1Registry(evolved)
 	for _, name := range src.Names() {
 		if w, ok := src.Get(name); ok {
@@ -133,6 +202,15 @@ func seedDemo(o *core.Ontology, registry *wrapper.Registry, evolved bool) error 
 			registry.Alias(string(core.WrapperURI(name)), name)
 		}
 	}
+}
+
+// seedDemo loads the SUPERSEDE running example into the (possibly
+// recovered) ontology. The in-memory executable wrappers are always
+// rebuilt; ontology-side registrations are applied per release, skipping
+// ones a durable data dir already holds — so a dir seeded without
+// -evolved gains exactly the missing w4 release on the next -evolved run.
+func seedDemo(o *core.Ontology, registry *wrapper.Registry, evolved bool) error {
+	registerDemoWrappers(registry, evolved)
 	if len(o.Concepts()) == 0 {
 		if err := core.BuildSupersedeGlobalGraph(o); err != nil {
 			return err

@@ -178,6 +178,17 @@ func (o *Ontology) RestoreDeltaLog(spans []DeltaSpan) {
 	}
 }
 
+// AppendDeltaSpan appends one span to the delta log, trimming to the bounded
+// window. The replication apply path uses it to mirror the primary's release
+// history span by span (the span's store batch has already been applied), so
+// a replica's rewriting caches invalidate incrementally exactly as the
+// primary's do.
+func (o *Ontology) AppendDeltaSpan(sp DeltaSpan) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.recordDeltaLocked(sp.From, sp.To, sp.Delta)
+}
+
 // SetReleaseHook installs (or, with nil, removes) a hook observing every
 // delta span the ontology records, invoked under the ontology write lock
 // immediately after the span enters the log. The durability layer uses it to

@@ -1,0 +1,46 @@
+package mdm
+
+import "net/http"
+
+// handleHealthz is the liveness probe: the process is up and serving HTTP.
+// It deliberately checks nothing else — an unhealthy-but-alive server must
+// stay live so operators can read its status endpoints.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// ReadyzResponse is the JSON document of GET /readyz.
+type ReadyzResponse struct {
+	Ready  bool              `json:"ready"`
+	Checks map[string]string `json:"checks"`
+}
+
+// handleReadyz is the readiness probe: 200 only when this server can
+// meaningfully answer API requests. A primary is unready when its WAL has
+// fail-stopped (writes are being rejected; the process should be restarted
+// to recover). A replica is unready until its initial synchronization
+// completes and whenever its configured staleness bound is exceeded.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	resp := ReadyzResponse{Ready: true, Checks: map[string]string{}}
+	if s.durability != nil {
+		if st := s.durability.Stats(); st.LogError != "" {
+			resp.Ready = false
+			resp.Checks["wal"] = "fail-stopped: " + st.LogError
+		} else {
+			resp.Checks["wal"] = "ok"
+		}
+	}
+	if s.replica != nil {
+		if stale, reason := s.replica.Stale(); stale {
+			resp.Ready = false
+			resp.Checks["replication"] = reason
+		} else {
+			resp.Checks["replication"] = "ok"
+		}
+	}
+	status := http.StatusOK
+	if !resp.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}

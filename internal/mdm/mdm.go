@@ -34,6 +34,7 @@ import (
 	"bdi/internal/evolution"
 	"bdi/internal/rdf"
 	"bdi/internal/relational"
+	"bdi/internal/replication"
 	"bdi/internal/rewriting"
 	"bdi/internal/wal"
 	"bdi/internal/wrapper"
@@ -51,6 +52,13 @@ type Server struct {
 	// EnableDurability). The manager hooks the store directly; the server
 	// only exposes its stats and checkpoint trigger.
 	durability *wal.Manager
+
+	// primary, when set, ships this server's WAL and checkpoints to
+	// replicas (see EnableReplication). replica, when set, makes this a
+	// read-only server over replicated state (see NewReplicaServer);
+	// exactly one of the two is ever non-nil.
+	primary *replication.Primary
+	replica *replication.Replica
 }
 
 // NewServer returns an MDM backend over the given ontology and registry.
@@ -79,25 +87,46 @@ func (s *Server) EnableDurability(m *wal.Manager) { s.durability = m }
 //	GET  /api/durability            WAL/checkpoint/recovery statistics
 //	POST /api/durability/checkpoint trigger a checkpoint (bdictl checkpoint)
 //	GET  /api/changes/catalog       the change taxonomy (Tables 3-5)
-//	GET  /api/health                liveness probe
+//	GET  /api/replication           replication status (primary or replica role)
+//	GET  /api/health                liveness probe (legacy alias of /healthz)
+//	GET  /healthz                   liveness probe
+//	GET  /readyz                    readiness probe (WAL healthy, replica in sync)
+//
+// A primary with EnableReplication additionally serves the WAL stream and
+// checkpoint endpoints under /api/replication/. On a replica server every
+// read endpoint is staleness-gated (503 beyond the configured bound) and the
+// mutating endpoints answer 403. The whole handler is wrapped in panic
+// recovery: a panicking request logs its stack and answers 500 instead of
+// killing the connection silently.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /api/health", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
-	mux.HandleFunc("GET /api/ontology/stats", s.handleStats)
-	mux.HandleFunc("GET /api/ontology/concepts", s.handleConcepts)
-	mux.HandleFunc("GET /api/ontology/sources", s.handleSources)
-	mux.HandleFunc("GET /api/ontology/graph", s.handleGraphDump)
-	mux.HandleFunc("POST /api/releases", s.handleRelease)
-	mux.HandleFunc("POST /api/queries/rewrite", s.handleRewrite)
-	mux.HandleFunc("POST /api/queries/answer", s.handleAnswer)
-	mux.HandleFunc("GET /api/queries/cache", s.handleCacheStats)
+	mux.HandleFunc("GET /api/health", s.handleHealthz)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /api/ontology/stats", s.gated(s.handleStats))
+	mux.HandleFunc("GET /api/ontology/concepts", s.gated(s.handleConcepts))
+	mux.HandleFunc("GET /api/ontology/sources", s.gated(s.handleSources))
+	mux.HandleFunc("GET /api/ontology/graph", s.gated(s.handleGraphDump))
+	mux.HandleFunc("POST /api/queries/rewrite", s.gated(s.handleRewrite))
+	mux.HandleFunc("POST /api/queries/answer", s.gated(s.handleAnswer))
+	mux.HandleFunc("GET /api/queries/cache", s.gated(s.handleCacheStats))
 	mux.HandleFunc("GET /api/durability", s.handleDurabilityStats)
-	mux.HandleFunc("POST /api/durability/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /api/changes/catalog", s.handleChangeCatalog)
 	mux.HandleFunc("GET /api/changes/applicability", s.handleApplicability)
-	return mux
+	if s.replica != nil {
+		mux.HandleFunc("POST /api/releases", s.rejectWrite)
+		mux.HandleFunc("POST /api/durability/checkpoint", s.rejectWrite)
+		mux.HandleFunc("GET /api/replication", s.handleReplicaStatus)
+	} else {
+		mux.HandleFunc("POST /api/releases", s.handleRelease)
+		mux.HandleFunc("POST /api/durability/checkpoint", s.handleCheckpoint)
+		if s.primary != nil {
+			mux.HandleFunc("GET /api/replication", s.primary.HandleStatus)
+			mux.HandleFunc("GET /api/replication/wal", s.primary.HandleWAL)
+			mux.HandleFunc("GET /api/replication/checkpoint", s.primary.HandleCheckpoint)
+		}
+	}
+	return Recover(mux)
 }
 
 // ChangeView is one row of the change taxonomy (Tables 3-5).

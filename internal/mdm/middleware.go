@@ -1,0 +1,33 @@
+package mdm
+
+import (
+	"fmt"
+	stdlog "log"
+	"net/http"
+	"runtime/debug"
+)
+
+// Recover wraps a handler with panic recovery: a panicking request logs the
+// stack trace and answers 500 with a JSON error instead of tearing down the
+// whole server (net/http would otherwise kill only the goroutine, but a
+// half-written response and a silent log line are still a debugging dead
+// end). http.ErrAbortHandler is re-panicked — it is the sanctioned way to
+// abort a response and must keep its stdlib semantics.
+func Recover(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			stdlog.Printf("mdm: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			// Best effort: if the handler already wrote headers this appends
+			// to the body, which is the most a recovery wrapper can do.
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("internal server error: %v", rec))
+		}()
+		next.ServeHTTP(w, r)
+	})
+}

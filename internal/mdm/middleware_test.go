@@ -1,0 +1,78 @@
+package mdm
+
+import (
+	stdlog "log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestRecoverMiddleware proves a panicking handler answers a JSON 500 and the
+// server survives to serve the next request, with the stack trace logged.
+func TestRecoverMiddleware(t *testing.T) {
+	var logged strings.Builder
+	stdlog.SetOutput(&logged)
+	defer stdlog.SetOutput(os.Stderr)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/boom", func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	})
+	mux.HandleFunc("/ok", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	ts := httptest.NewServer(Recover(mux))
+	defer ts.Close()
+
+	var errBody map[string]string
+	if code := getJSON(t, ts.URL+"/boom", &errBody); code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler answered %d, want 500", code)
+	}
+	if !strings.Contains(errBody["error"], "kaboom") {
+		t.Errorf("error body %q does not name the panic value", errBody["error"])
+	}
+	if !strings.Contains(logged.String(), "kaboom") || !strings.Contains(logged.String(), "goroutine") {
+		t.Errorf("panic log is missing the value or the stack trace:\n%s", logged.String())
+	}
+
+	// The server is still alive.
+	var ok map[string]string
+	if code := getJSON(t, ts.URL+"/ok", &ok); code != http.StatusOK || ok["status"] != "ok" {
+		t.Errorf("request after panic = %d %v, want 200 ok", code, ok)
+	}
+}
+
+// TestRecoverMiddlewareAbortHandler proves http.ErrAbortHandler keeps its
+// stdlib semantics (connection aborted, no 500 body).
+func TestRecoverMiddlewareAbortHandler(t *testing.T) {
+	var logged strings.Builder
+	stdlog.SetOutput(&logged)
+	defer stdlog.SetOutput(os.Stderr)
+
+	ts := httptest.NewServer(Recover(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic(http.ErrAbortHandler)
+	})))
+	defer ts.Close()
+
+	if _, err := http.Get(ts.URL + "/"); err == nil {
+		t.Fatal("aborted request unexpectedly succeeded")
+	}
+	if strings.Contains(logged.String(), "goroutine") {
+		t.Errorf("ErrAbortHandler was logged as a crash:\n%s", logged.String())
+	}
+}
+
+// TestHealthProbes exercises /healthz and /readyz on a healthy primary.
+func TestHealthProbes(t *testing.T) {
+	ts := newTestServer(t)
+	var health map[string]string
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != 200 || health["status"] != "ok" {
+		t.Errorf("healthz = %d %v", code, health)
+	}
+	var ready ReadyzResponse
+	if code := getJSON(t, ts.URL+"/readyz", &ready); code != 200 || !ready.Ready {
+		t.Errorf("readyz = %d %+v", code, ready)
+	}
+}

@@ -1,0 +1,154 @@
+package mdm
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"slices"
+	"testing"
+	"time"
+
+	"bdi/internal/core"
+	"bdi/internal/replication"
+	"bdi/internal/wal"
+	"bdi/internal/workload"
+	"bdi/internal/wrapper"
+)
+
+// TestReplicaServerEndToEnd runs a durable primary and a replica MDM server
+// in one process: the replica must answer the same rewriting the primary
+// does, reject writes by pointing at the primary, report its role, and pick
+// up releases registered on the primary.
+func TestReplicaServerEndToEnd(t *testing.T) {
+	m, err := wal.Open(t.TempDir(), wal.Options{Sync: wal.SyncBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Abort()
+	o := m.Ontology()
+	if err := core.BuildSupersedeGlobalGraph(o); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range core.SupersedeReleases(false) {
+		if _, err := o.NewRelease(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	registry := workload.SupersedeTable1Registry(false)
+	primary := NewServer(o, registry)
+	primary.EnableDurability(m)
+	primary.EnableReplication(replication.NewPrimary(m))
+	pts := httptest.NewServer(primary.Handler())
+	defer pts.Close()
+
+	rep := replication.Start(replication.Options{
+		Primary:        pts.URL,
+		ID:             "mdm-e2e",
+		PollWait:       50 * time.Millisecond,
+		RequestTimeout: 2 * time.Second,
+		BackoffMin:     5 * time.Millisecond,
+		BackoffMax:     50 * time.Millisecond,
+	})
+	defer rep.Close()
+	rts := httptest.NewServer(NewReplicaServer(rep, registry).Handler())
+	defer rts.Close()
+	if err := rep.WaitForGeneration(o.Store().Generation(), 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// The replica answers the same rewriting the primary does.
+	req := map[string]string{"sparql": exampleQuery}
+	var want, got RewriteResponse
+	if code := postJSON(t, pts.URL+"/api/queries/rewrite", req, &want); code != 200 {
+		t.Fatalf("primary rewrite = %d", code)
+	}
+	if code := postJSON(t, rts.URL+"/api/queries/rewrite", req, &got); code != 200 {
+		t.Fatalf("replica rewrite = %d", code)
+	}
+	if !slices.Equal(want.Walks, got.Walks) || !slices.Equal(want.Signatures, got.Signatures) {
+		t.Fatalf("replica rewriting diverged:\nreplica %v\nprimary %v", got, want)
+	}
+
+	// Writes are rejected with a pointer at the primary.
+	var rejection map[string]string
+	if code := postJSON(t, rts.URL+"/api/releases", map[string]any{}, &rejection); code != http.StatusForbidden {
+		t.Fatalf("replica accepted a release registration: %d", code)
+	}
+	if code := postJSON(t, rts.URL+"/api/durability/checkpoint", nil, nil); code != http.StatusForbidden {
+		t.Fatalf("replica accepted a checkpoint request: %d", code)
+	}
+
+	// Both ends report their replication role; the primary lists its peer.
+	var rst, pst map[string]any
+	if code := getJSON(t, rts.URL+"/api/replication", &rst); code != 200 || rst["role"] != "replica" || rst["synced"] != true {
+		t.Fatalf("replica status = %d %v", code, rst)
+	}
+	if code := getJSON(t, pts.URL+"/api/replication", &pst); code != 200 || pst["role"] != "primary" {
+		t.Fatalf("primary status = %d %v", code, pst)
+	}
+	if peers, ok := pst["replicas"].([]any); !ok || len(peers) == 0 {
+		t.Errorf("primary does not list its replica: %v", pst["replicas"])
+	}
+
+	// Probes: alive and ready.
+	if code := getJSON(t, rts.URL+"/healthz", nil); code != 200 {
+		t.Errorf("replica healthz = %d", code)
+	}
+	var ready ReadyzResponse
+	if code := getJSON(t, rts.URL+"/readyz", &ready); code != 200 || !ready.Ready {
+		t.Errorf("replica readyz = %d %+v", code, ready)
+	}
+
+	// A release registered on the primary reaches the replica's rewritings.
+	if _, err := o.NewRelease(core.SupersedeReleaseW4()); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WaitForGeneration(o.Store().Generation(), 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var after RewriteResponse
+	if code := postJSON(t, rts.URL+"/api/queries/rewrite", req, &after); code != 200 {
+		t.Fatalf("replica rewrite after w4 = %d", code)
+	}
+	if len(after.Walks) <= len(got.Walks) {
+		t.Fatalf("w4 did not widen the replica's rewriting: %d walks, had %d", len(after.Walks), len(got.Walks))
+	}
+}
+
+// TestReplicaServerUnavailableBeforeSync verifies the degradation contract
+// of a replica that has never reached its primary: alive but not ready,
+// reads answer 503, writes answer 403, and the status endpoint says why.
+func TestReplicaServerUnavailableBeforeSync(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close() // nothing listens here anymore
+
+	rep := replication.Start(replication.Options{
+		Primary:        deadURL,
+		ID:             "orphan",
+		RequestTimeout: 250 * time.Millisecond,
+		BackoffMin:     5 * time.Millisecond,
+		BackoffMax:     50 * time.Millisecond,
+	})
+	defer rep.Close()
+	rts := httptest.NewServer(NewReplicaServer(rep, wrapper.NewRegistry()).Handler())
+	defer rts.Close()
+
+	if code := getJSON(t, rts.URL+"/api/ontology/stats", nil); code != http.StatusServiceUnavailable {
+		t.Errorf("read on an unsynced replica = %d, want 503", code)
+	}
+	if code := postJSON(t, rts.URL+"/api/releases", map[string]any{}, nil); code != http.StatusForbidden {
+		t.Errorf("write on an unsynced replica = %d, want 403", code)
+	}
+	if code := getJSON(t, rts.URL+"/healthz", nil); code != 200 {
+		t.Errorf("healthz = %d, want 200 (alive even while unsynced)", code)
+	}
+	var ready ReadyzResponse
+	if code := getJSON(t, rts.URL+"/readyz", &ready); code != http.StatusServiceUnavailable || ready.Ready {
+		t.Errorf("readyz = %d %+v, want 503 not-ready", code, ready)
+	}
+	var st map[string]any
+	if code := getJSON(t, rts.URL+"/api/replication", &st); code != 200 || st["synced"] != false || st["stale"] != true {
+		t.Errorf("status = %d %v, want synced=false stale=true", code, st)
+	}
+}

@@ -1,0 +1,228 @@
+package wal
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Disk-error fault injection: the openSegmentFile seam swaps the segment
+// file for a wrapper whose writes and fsyncs can be made to fail on demand,
+// proving the fail-stop contract — a batch whose journaling fails is vetoed
+// and rolled back before publication, the latch rejects every later append,
+// Stats surfaces the condition, and recovery of the damaged directory lands
+// on a consistent generation with no partial frame surviving.
+
+type faultConfig struct {
+	mu        sync.Mutex
+	failWrite bool
+	partial   int // bytes of the failing write that still reach the disk
+	failSync  bool
+	writes    int // injected write failures delivered
+	syncs     int // injected fsync failures delivered
+}
+
+func (c *faultConfig) set(failWrite bool, partial int, failSync bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.failWrite, c.partial, c.failSync = failWrite, partial, failSync
+}
+
+var errInjectedWrite = errors.New("injected write failure")
+var errInjectedSync = errors.New("injected fsync failure")
+
+type faultFile struct {
+	real segFile
+	cfg  *faultConfig
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	f.cfg.mu.Lock()
+	defer f.cfg.mu.Unlock()
+	if f.cfg.failWrite {
+		f.cfg.writes++
+		n := f.cfg.partial
+		if n > len(p) {
+			n = len(p)
+		}
+		if n > 0 {
+			_, _ = f.real.Write(p[:n]) // the torn prefix a dying disk leaves behind
+		}
+		return n, errInjectedWrite
+	}
+	return f.real.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	f.cfg.mu.Lock()
+	defer f.cfg.mu.Unlock()
+	if f.cfg.failSync {
+		f.cfg.syncs++
+		return errInjectedSync
+	}
+	return f.real.Sync()
+}
+
+func (f *faultFile) Close() error { return f.real.Close() }
+
+// installFaultFiles reroutes openSegmentFile through faultFile for the
+// duration of the test. Not safe for parallel tests (package-global seam).
+func installFaultFiles(t *testing.T) *faultConfig {
+	t.Helper()
+	cfg := &faultConfig{}
+	orig := openSegmentFile
+	openSegmentFile = func(path string) (segFile, error) {
+		f, err := orig(path)
+		if err != nil {
+			return nil, err
+		}
+		return &faultFile{real: f, cfg: cfg}, nil
+	}
+	t.Cleanup(func() { openSegmentFile = orig })
+	return cfg
+}
+
+// fault-free prologue shared by both tests: a few generations of real work.
+func diskFaultPrologue(t *testing.T, m *Manager) {
+	t.Helper()
+	o := m.Ontology()
+	for i := 0; i < 3; i++ {
+		if err := sideConceptOp(i).run(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sideReleaseOp(0, 1).run(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALDiskFaultPartialWrite injects a write that persists only a torn
+// prefix of the frame and then errors. The batch must be vetoed and rolled
+// back (nothing published), the log must fail-stop, and recovery must
+// truncate the torn bytes and land exactly on the pre-fault state.
+func TestWALDiskFaultPartialWrite(t *testing.T) {
+	cfg := installFaultFiles(t)
+	dir := t.TempDir()
+	m, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diskFaultPrologue(t, m)
+	o := m.Ontology()
+	pre := o.Store().Snapshot()
+	preDict := len(pre.Dict().Terms())
+
+	cfg.set(true, 5, false) // 5 torn bytes, then the disk dies
+	if err := sideConceptOp(50).run(o); err == nil {
+		t.Fatal("AddAll succeeded although journaling its batch failed")
+	} else if !errors.Is(err, errInjectedWrite) {
+		t.Fatalf("AddAll error does not carry the injected failure: %v", err)
+	}
+
+	// Vetoed and rolled back: nothing published.
+	if got := o.Store().Generation(); got != pre.Generation() {
+		t.Fatalf("generation advanced to %d after a vetoed batch (pre-fault %d)", got, pre.Generation())
+	}
+	if got := len(o.Store().Snapshot().Quads()); got != len(pre.Quads()) {
+		t.Fatalf("%d quads visible after a vetoed batch, want %d", got, len(pre.Quads()))
+	}
+
+	// The latch: surfaced in Stats, and every later append is rejected even
+	// though the disk is healthy again.
+	if st := m.Stats(); st.LogError == "" {
+		t.Fatal("Stats().LogError empty after a write failure")
+	} else if !strings.Contains(st.LogError, "injected write failure") {
+		t.Fatalf("Stats().LogError = %q, want the injected failure", st.LogError)
+	}
+	cfg.set(false, 0, false)
+	if err := sideConceptOp(51).run(o); err == nil {
+		t.Fatal("append accepted after the log went fail-stop")
+	} else if !strings.Contains(err.Error(), "fail-stop") {
+		t.Fatalf("post-latch append error = %v, want a fail-stop rejection", err)
+	}
+
+	// Crash and recover: the torn 5-byte prefix must be truncated away and
+	// the directory must replay to exactly the pre-fault state.
+	_ = m.Abort() // returns the latched error; the crash path ignores it
+	m2, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatalf("recovering the damaged dir: %v", err)
+	}
+	defer m2.Close()
+	if !m2.Recovery().TornTail {
+		t.Error("recovery did not report the torn tail")
+	}
+	assertStateParity(t, m2.Ontology(), pre, preDict, "after partial-write fault")
+
+	// The recovered directory accepts writes again.
+	if err := sideConceptOp(52).run(m2.Ontology()); err != nil {
+		t.Fatalf("append on the recovered dir: %v", err)
+	}
+	if got, want := m2.Ontology().Store().Generation(), pre.Generation()+1; got != want {
+		t.Fatalf("post-recovery generation %d, want %d", got, want)
+	}
+	if cfg.writes == 0 {
+		t.Fatal("fault injector never fired")
+	}
+}
+
+// TestWALDiskFaultFsyncFailure injects an fsync error under SyncAlways: the
+// frame is fully on disk but durability is unknown, so the batch must still
+// be vetoed (never acknowledged) and the log fail-stopped. Recovery may
+// legitimately land on either side of the unacknowledged batch — the frame
+// is complete, so a surviving page cache replays it; a true power loss may
+// drop it — but never on a torn state.
+func TestWALDiskFaultFsyncFailure(t *testing.T) {
+	cfg := installFaultFiles(t)
+	dir := t.TempDir()
+	m, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diskFaultPrologue(t, m)
+	o := m.Ontology()
+	pre := o.Store().Snapshot()
+
+	cfg.set(false, 0, true)
+	if err := sideConceptOp(60).run(o); err == nil {
+		t.Fatal("AddAll succeeded although its fsync failed")
+	} else if !errors.Is(err, errInjectedSync) {
+		t.Fatalf("AddAll error does not carry the injected failure: %v", err)
+	}
+	if got := o.Store().Generation(); got != pre.Generation() {
+		t.Fatalf("generation advanced to %d after a vetoed batch (pre-fault %d)", got, pre.Generation())
+	}
+	if st := m.Stats(); !strings.Contains(st.LogError, "injected fsync failure") {
+		t.Fatalf("Stats().LogError = %q, want the injected fsync failure", st.LogError)
+	}
+	cfg.set(false, 0, false)
+	if err := sideConceptOp(61).run(o); err == nil {
+		t.Fatal("append accepted after the log went fail-stop")
+	}
+
+	_ = m.Abort()
+	m2, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatalf("recovering the damaged dir: %v", err)
+	}
+	defer m2.Close()
+	got := m2.Ontology().Store().Generation()
+	switch got {
+	case pre.Generation():
+		// The unacknowledged frame did not survive — pre-fault state.
+		assertStateParity(t, m2.Ontology(), pre, len(pre.Dict().Terms()), "after fsync fault (batch lost)")
+	case pre.Generation() + 1:
+		// The complete frame survived and replayed — also consistent: the
+		// batch's quads are fully present, never a torn subset.
+		rsn := m2.Ontology().Store().Snapshot()
+		if want := len(pre.Quads()) + 5; len(rsn.Quads()) != want {
+			t.Fatalf("recovered generation %d has %d quads, want %d (the full batch)", got, len(rsn.Quads()), want)
+		}
+	default:
+		t.Fatalf("recovered generation %d, want %d or %d", got, pre.Generation(), pre.Generation()+1)
+	}
+	if cfg.syncs == 0 {
+		t.Fatal("fault injector never fired")
+	}
+}

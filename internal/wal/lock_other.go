@@ -2,10 +2,18 @@
 
 package wal
 
+import stdlog "log"
+
 // dirLock is a no-op on platforms without flock semantics; single-writer
-// discipline is the operator's responsibility there.
+// discipline is the operator's responsibility there. Two processes opening
+// the same data directory WILL interleave appends and corrupt the WAL — the
+// warning below is the only guard rail this build provides.
 type dirLock struct{}
 
-func lockDir(dir string) (*dirLock, error) { return &dirLock{}, nil }
+func lockDir(dir string) (*dirLock, error) {
+	stdlog.Printf("wal: WARNING: no file locking on this platform — directory %s is NOT protected against concurrent writers; "+
+		"running two processes against it will corrupt the log. Ensure single-process access externally.", dir)
+	return &dirLock{}, nil
+}
 
 func (l *dirLock) release() error { return nil }

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -94,6 +95,21 @@ type seqFile struct {
 	path string
 }
 
+// segFile is the subset of *os.File the append path uses. Production code
+// always opens real files via openSegmentFile; the disk-fault tests
+// substitute implementations that fail writes or fsyncs mid-batch.
+type segFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// openSegmentFile opens a WAL segment for appending. A package variable so
+// fault-injection tests can wrap the returned file with failure injectors.
+var openSegmentFile = func(path string) (segFile, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
 // log is the append side of the WAL: one open segment file, an encode
 // buffer, and the fsync policy machinery. It is safe for concurrent use.
 type log struct {
@@ -102,11 +118,12 @@ type log struct {
 	interval time.Duration
 
 	mu      sync.Mutex
-	f       *os.File
-	base    uint64 // generation base of the open segment
-	lastGen uint64 // highest generation ever appended (any segment)
-	buf     []byte // reusable encode buffer
-	dirty   bool   // bytes written since the last fsync
+	f       segFile
+	base    uint64        // generation base of the open segment
+	lastGen uint64        // highest generation ever appended (any segment)
+	notify  chan struct{} // closed and replaced on every append (tail followers)
+	buf     []byte        // reusable encode buffer
+	dirty   bool          // bytes written since the last fsync
 	closed  bool
 	stopped chan struct{} // closes when the flusher must stop
 	done    chan struct{} // closes when the flusher has stopped
@@ -126,11 +143,11 @@ type log struct {
 // openLog opens a fresh segment for appends, with records starting after
 // generation base.
 func openLog(dir string, base uint64, policy SyncPolicy, interval time.Duration) (*log, error) {
-	f, err := os.OpenFile(filepath.Join(dir, segmentName(base)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := openSegmentFile(filepath.Join(dir, segmentName(base)))
 	if err != nil {
 		return nil, fmt.Errorf("wal: opening segment: %w", err)
 	}
-	l := &log{dir: dir, policy: policy, interval: interval, f: f, base: base}
+	l := &log{dir: dir, policy: policy, interval: interval, f: f, base: base, notify: make(chan struct{})}
 	if policy == SyncBatch {
 		l.stopped = make(chan struct{})
 		l.done = make(chan struct{})
@@ -170,7 +187,19 @@ func (l *log) append(r *record) error {
 		l.fsyncs++
 		l.dirty = false
 	}
+	// Wake tail followers (replication long-polls) only after the record is
+	// fully in the segment file, so a woken reader always finds the frame.
+	close(l.notify)
+	l.notify = make(chan struct{})
 	return nil
+}
+
+// appendNotify returns a channel that is closed when the next record lands
+// in a segment file. Tail followers re-arm by calling it again.
+func (l *log) appendNotify() <-chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.notify
 }
 
 // sync forces an fsync of the open segment regardless of policy.
@@ -244,7 +273,7 @@ func (l *log) rotate(base uint64) error {
 	if err := l.f.Close(); err != nil {
 		return fmt.Errorf("wal: closing rotated segment: %w", err)
 	}
-	f, err := os.OpenFile(filepath.Join(l.dir, segmentName(base)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := openSegmentFile(filepath.Join(l.dir, segmentName(base)))
 	if err != nil {
 		return fmt.Errorf("wal: opening rotated segment: %w", err)
 	}
