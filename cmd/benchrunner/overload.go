@@ -1,0 +1,224 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bdi/internal/core"
+	"bdi/internal/mdm"
+	"bdi/internal/workload"
+)
+
+// worstCaseSPARQL renders the worst-case workload's OMQ (project every
+// concept's value feature, navigate the full concept chain) as the SPARQL
+// template the mdm query endpoints accept.
+func worstCaseSPARQL(concepts int) string {
+	var vars, iris, pattern []string
+	for i := 0; i < concepts; i++ {
+		vars = append(vars, fmt.Sprintf("?v%d", i))
+		iris = append(iris, fmt.Sprintf("<%sc%d_value>", workload.NSWorst, i))
+		pattern = append(pattern, fmt.Sprintf("  <%sC%d> <%s> <%sc%d_value> .",
+			workload.NSWorst, i, string(core.GHasFeature), workload.NSWorst, i))
+		if i+1 < concepts {
+			pattern = append(pattern, fmt.Sprintf("  <%sC%d> <%sc%d_next> <%sC%d> .",
+				workload.NSWorst, i, workload.NSWorst, i, workload.NSWorst, i+1))
+		}
+	}
+	return fmt.Sprintf("SELECT %s WHERE {\n  VALUES (%s) { (%s) }\n%s\n}",
+		strings.Join(vars, " "), strings.Join(vars, " "),
+		strings.Join(iris, " "), strings.Join(pattern, "\n"))
+}
+
+// printOverloadAblation drives the answer endpoint of a worst-case workload
+// (W^C executable walks per request — execution is never cached, so every
+// admitted request does real work) at twice the admission capacity of a
+// deliberately small read pool and checks the shedding contract: every
+// response is 200 (admitted), 429 (shed with Retry-After) or 503 (stale
+// replica — not expected here but allowed by the matrix), and the latency
+// of the requests that *are* admitted stays bounded instead of growing with
+// offered load. Any other status, or a transport error, fails the run.
+func printOverloadAblation() {
+	header("Ablation — overload shedding: 2x capacity against a bounded read pool")
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "overload ablation:", err)
+		os.Exit(1)
+	}
+
+	// 4^4 = 256 walks per answered query: a few milliseconds of join work
+	// per request, so the read pool's slots are genuinely occupied.
+	const concepts, wrappersPerConcept = 4, 4
+	wc, err := workload.BuildWorstCase(concepts, wrappersPerConcept)
+	if err != nil {
+		fail(err)
+	}
+
+	// A deliberately tiny read pool: capacity = slots + queue concurrent
+	// requests; everything beyond that must shed, not block or error. One
+	// slot keeps admitted executions serialized, so their latency under
+	// overload is comparable to the unloaded baseline even on one core.
+	const readSlots, readQueue = 1, 1
+	server := mdm.NewServer(wc.Ontology, wc.Registry)
+	server.ConfigureGovernor(mdm.GovernorConfig{
+		Read:  mdm.PoolConfig{Size: readSlots, Queue: readQueue, QueueTimeout: 10 * time.Millisecond},
+		Write: mdm.PoolConfig{Size: 1, Queue: 2, QueueTimeout: time.Second},
+		Admin: mdm.PoolConfig{Size: 1, Queue: 1, QueueTimeout: time.Second},
+	})
+	server.ConfigureLifecycle(mdm.LifecycleConfig{QueryTimeout: 10 * time.Second})
+	url, closeServer, err := serveLoopback(server.Handler())
+	if err != nil {
+		fail(err)
+	}
+	defer closeServer()
+
+	body, _ := json.Marshal(map[string]string{"sparql": worstCaseSPARQL(concepts)})
+	client := &http.Client{Timeout: 30 * time.Second}
+	post := func() (int, time.Duration, error) {
+		start := time.Now()
+		resp, err := client.Post(url+"/api/queries/answer", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, 0, err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, time.Since(start), nil
+	}
+
+	// Unloaded baseline: one sequential client, warm rewrite cache.
+	if status, _, err := post(); err != nil || status != http.StatusOK {
+		fail(fmt.Errorf("warmup: status %d, err %v", status, err))
+	}
+	var unloaded []time.Duration
+	for end := time.Now().Add(time.Second); time.Now().Before(end); {
+		status, d, err := post()
+		if err != nil {
+			fail(err)
+		}
+		if status != http.StatusOK {
+			fail(fmt.Errorf("unloaded baseline got status %d", status))
+		}
+		unloaded = append(unloaded, d)
+	}
+
+	// Overload: twice the admission capacity hammering in closed loops.
+	workers := 2 * (readSlots + readQueue)
+	var ok200, shed429, stale503 atomic.Uint64
+	var mu sync.Mutex
+	var admittedLat []time.Duration
+	var unexpected []int
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				status, d, err := post()
+				if err != nil {
+					mu.Lock()
+					unexpected = append(unexpected, -1)
+					mu.Unlock()
+					continue
+				}
+				switch status {
+				case http.StatusOK:
+					ok200.Add(1)
+					mu.Lock()
+					admittedLat = append(admittedLat, d)
+					mu.Unlock()
+				case http.StatusTooManyRequests:
+					shed429.Add(1)
+					// A shed response carries Retry-After; back off briefly
+					// like a well-behaved client instead of busy-spinning.
+					time.Sleep(2 * time.Millisecond)
+				case http.StatusServiceUnavailable:
+					stale503.Add(1)
+				default:
+					mu.Lock()
+					unexpected = append(unexpected, status)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	time.Sleep(2 * time.Second)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var stats mdm.QueryStatsResponse
+	resp, err := client.Get(url + "/api/queries/stats")
+	if err != nil {
+		fail(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		resp.Body.Close()
+		fail(err)
+	}
+	resp.Body.Close()
+
+	total := ok200.Load() + shed429.Load() + stale503.Load() + uint64(len(unexpected))
+	shedRate := float64(shed429.Load()) / float64(max(total, 1))
+	baseP50, baseP99 := durationQuantile(unloaded, 0.50), durationQuantile(unloaded, 0.99)
+	loadP50, loadP99 := durationQuantile(admittedLat, 0.50), durationQuantile(admittedLat, 0.99)
+	fmt.Printf("%-42s %12d (pool %d + queue %d, workers %d)\n", "requests issued", total, readSlots, readQueue, workers)
+	fmt.Printf("%-42s %12d (%.0f QPS admitted)\n", "200 OK", ok200.Load(), float64(ok200.Load())/elapsed.Seconds())
+	fmt.Printf("%-42s %12d (%.0f%% shed)\n", "429 Too Many Requests", shed429.Load(), 100*shedRate)
+	if n := stale503.Load(); n > 0 {
+		fmt.Printf("%-42s %12d\n", "503 Service Unavailable", n)
+	}
+	fmt.Printf("%-42s %12s / %s\n", "unloaded p50 / p99", baseP50.Round(time.Microsecond), baseP99.Round(time.Microsecond))
+	fmt.Printf("%-42s %12s / %s (%.2fx unloaded p99)\n", "admitted-under-overload p50 / p99",
+		loadP50.Round(time.Microsecond), loadP99.Round(time.Microsecond), float64(loadP99)/float64(max(baseP99, 1)))
+	if rp, ok := stats.Pools[mdm.PoolRead]; ok {
+		fmt.Printf("%-42s admitted %d, shed %d, in-flight %d, queue %d/%d\n",
+			"read pool (from /api/queries/stats)", rp.Admitted, rp.Shed, rp.InFlight, rp.QueueDepth, rp.QueueCap)
+	}
+	fmt.Println("-> acceptance: only 200/429/503 responses; admitted p99 within ~2x unloaded p99; shed rate > 0 at 2x capacity")
+
+	if len(unexpected) > 0 {
+		fail(fmt.Errorf("%d responses outside {200, 429, 503}: %v (-1 = transport error)", len(unexpected), uniqueInts(unexpected)))
+	}
+	if shed429.Load() == 0 {
+		fail(fmt.Errorf("no requests shed at 2x capacity — admission control is not engaging"))
+	}
+}
+
+// durationQuantile returns the q-th quantile (0..1) of ds, 0 when empty.
+func durationQuantile(ds []time.Duration, q float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func uniqueInts(xs []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -246,13 +246,21 @@ func printReplicationBench(replicas int, duration time.Duration, workers int) {
 }
 
 // serveLoopback serves h on an ephemeral loopback port and returns its base
-// URL and a shutdown func.
+// URL and a shutdown func. The server carries the full timeout set (the
+// write timeout sized above the 60s WAL long-poll ceiling, like
+// mdm-server's).
 func serveLoopback(h http.Handler) (string, func(), error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: h}
+	srv := &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      90 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 	go func() { _ = srv.Serve(ln) }()
 	return "http://" + ln.Addr().String(), func() { _ = srv.Close() }, nil
 }

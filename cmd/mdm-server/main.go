@@ -9,6 +9,8 @@
 //	mdm-server -data-dir ./data -wal-sync=always
 //	mdm-server -replica-of http://primary:8080 -addr :8081
 //	                                       read replica following a durable primary
+//	mdm-server -query-timeout 2s -max-rows 1000000 -read-pool 8
+//	                                       per-query deadlines/budgets + overload shedding
 //
 // A durable primary (-data-dir) automatically ships its WAL and checkpoints
 // under GET /api/replication/. A replica (-replica-of) bootstraps from the
@@ -44,6 +46,7 @@ import (
 	"time"
 
 	"bdi/internal/core"
+	"bdi/internal/lifecycle"
 	"bdi/internal/mdm"
 	"bdi/internal/replication"
 	"bdi/internal/wal"
@@ -61,13 +64,27 @@ func main() {
 	replicaID := flag.String("replica-id", "", "replica identity reported to the primary (default: generated)")
 	maxLag := flag.Uint64("max-lag", 0, "replica: max generations behind the primary before reads answer 503 (0 = unbounded)")
 	maxStaleness := flag.Duration("max-staleness", 0, "replica: max time without primary contact before reads answer 503 (0 = unbounded)")
+	queryTimeout := flag.Duration("query-timeout", 0, "default per-query deadline; exceeded queries answer 504 (0 = none; clients may lower it with X-Timeout-Ms)")
+	maxRows := flag.Int64("max-rows", 0, "per-query row budget across all operators; exceeded queries answer 413 (0 = unbounded)")
+	maxBytes := flag.Int64("max-bytes", 0, "per-query byte budget (estimated row data); exceeded queries answer 413 (0 = unbounded)")
+	readPool := flag.Int("read-pool", 0, "max concurrent read/query requests; excess queues then sheds with 429 (0 = no admission control)")
+	writePool := flag.Int("write-pool", 1, "with -read-pool, max concurrent release registrations")
+	queueTimeout := flag.Duration("queue-timeout", time.Second, "with -read-pool, max time a request waits for a pool slot before 429")
+	slowQuery := flag.Duration("slow-query", 0, "log queries slower than this and expose them on GET /api/queries/stats (0 = disabled)")
 	flag.Parse()
+
+	lifecycleCfg := mdm.LifecycleConfig{
+		QueryTimeout:       *queryTimeout,
+		Budget:             lifecycle.Budget{MaxRows: *maxRows, MaxBytes: *maxBytes, MaxWallTime: *queryTimeout},
+		SlowQueryThreshold: *slowQuery,
+	}
+	governorCfg := governorConfig(*readPool, *writePool, *queueTimeout)
 
 	if *replicaOf != "" {
 		if *dataDir != "" {
 			log.Fatalf("mdm-server: -replica-of and -data-dir are mutually exclusive (a replica's state comes from the primary)")
 		}
-		runReplica(*addr, *replicaOf, *replicaID, *maxLag, *maxStaleness, *demo, *evolved)
+		runReplica(*addr, *replicaOf, *replicaID, *maxLag, *maxStaleness, *demo, *evolved, lifecycleCfg, governorCfg)
 		return
 	}
 
@@ -105,11 +122,11 @@ func main() {
 		server.EnableDurability(manager)
 		server.EnableReplication(replication.NewPrimary(manager))
 	}
-	httpServer := &http.Server{
-		Addr:              *addr,
-		Handler:           logging(server.Handler()),
-		ReadHeaderTimeout: 5 * time.Second,
+	server.ConfigureLifecycle(lifecycleCfg)
+	if governorCfg != nil {
+		server.ConfigureGovernor(*governorCfg)
 	}
+	httpServer := newHTTPServer(*addr, logging(server.Handler()))
 
 	// SIGTERM/SIGINT: stop accepting traffic, drain in-flight requests,
 	// then write a final checkpoint and rotate the WAL cleanly so the next
@@ -145,9 +162,39 @@ func main() {
 	}
 }
 
+// newHTTPServer returns an http.Server with the full timeout set: header
+// and body read bounds against slowloris-style clients, an idle bound for
+// keep-alive connections, and a write timeout that stays safely above the
+// 60s ceiling of the replication WAL long-poll (a parked tail follow must
+// not be cut off mid-poll).
+func newHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      90 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+}
+
+// governorConfig builds the admission-pool configuration from the flags;
+// nil when admission control is disabled (-read-pool 0).
+func governorConfig(readPool, writePool int, queueTimeout time.Duration) *mdm.GovernorConfig {
+	if readPool <= 0 {
+		return nil
+	}
+	cfg := mdm.DefaultGovernorConfig(readPool)
+	cfg.Read.QueueTimeout = queueTimeout
+	if writePool > 0 {
+		cfg.Write.Size = writePool
+	}
+	return &cfg
+}
+
 // runReplica runs the read-only replica mode: a replication follower plus
 // the MDM read API over its replicated state.
-func runReplica(addr, primary, id string, maxLag uint64, maxStaleness time.Duration, demo, evolved bool) {
+func runReplica(addr, primary, id string, maxLag uint64, maxStaleness time.Duration, demo, evolved bool, lifecycleCfg mdm.LifecycleConfig, governorCfg *mdm.GovernorConfig) {
 	registry := wrapper.NewRegistry()
 	if demo {
 		// Executable wrappers only: the ontology (including wrapper
@@ -163,11 +210,11 @@ func runReplica(addr, primary, id string, maxLag uint64, maxStaleness time.Durat
 		Logf:    log.Printf,
 	})
 	server := mdm.NewReplicaServer(rep, registry)
-	httpServer := &http.Server{
-		Addr:              addr,
-		Handler:           logging(server.Handler()),
-		ReadHeaderTimeout: 5 * time.Second,
+	server.ConfigureLifecycle(lifecycleCfg)
+	if governorCfg != nil {
+		server.ConfigureGovernor(*governorCfg)
 	}
+	httpServer := newHTTPServer(addr, logging(server.Handler()))
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)

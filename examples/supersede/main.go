@@ -141,7 +141,13 @@ func serve(handler http.Handler) (string, func()) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      90 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 	go func() { _ = srv.Serve(listener) }()
 	return "http://" + listener.Addr().String(), func() { _ = srv.Close() }
 }

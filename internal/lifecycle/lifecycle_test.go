@@ -1,0 +1,111 @@
+package lifecycle
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilTrackerIsSafe(t *testing.T) {
+	var tr *Tracker
+	if err := tr.AddRows(100); err != nil {
+		t.Fatalf("nil AddRows: %v", err)
+	}
+	if err := tr.AddBytes(1 << 30); err != nil {
+		t.Fatalf("nil AddBytes: %v", err)
+	}
+	if err := tr.CheckTime(); err != nil {
+		t.Fatalf("nil CheckTime: %v", err)
+	}
+	if p := tr.Progress(); p.Rows != 0 || p.Bytes != 0 {
+		t.Fatalf("nil Progress = %+v", p)
+	}
+	if err := Check(context.Background(), nil); err != nil {
+		t.Fatalf("Check(nil tracker): %v", err)
+	}
+}
+
+func TestRowBudgetTripsDeterministically(t *testing.T) {
+	tr := NewTracker(Budget{MaxRows: 10})
+	for i := 0; i < 10; i++ {
+		if err := tr.AddRows(1); err != nil {
+			t.Fatalf("row %d within budget: %v", i, err)
+		}
+	}
+	err := tr.AddRows(1)
+	be, ok := BudgetError(err)
+	if !ok {
+		t.Fatalf("expected ErrBudgetExceeded, got %v", err)
+	}
+	if be.Dimension != DimRows || be.Limit != 10 || be.Used != 11 {
+		t.Fatalf("budget error = %+v", be)
+	}
+}
+
+func TestByteBudgetTrips(t *testing.T) {
+	tr := NewTracker(Budget{MaxBytes: 100})
+	if err := tr.AddBytes(100); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	err := tr.AddBytes(1)
+	if be, ok := BudgetError(err); !ok || be.Dimension != DimBytes {
+		t.Fatalf("expected bytes budget error, got %v", err)
+	}
+}
+
+func TestWallTimeBudgetTrips(t *testing.T) {
+	tr := NewTracker(Budget{MaxWallTime: time.Nanosecond})
+	time.Sleep(time.Millisecond)
+	err := tr.CheckTime()
+	be, ok := BudgetError(err)
+	if !ok || be.Dimension != DimWallTime {
+		t.Fatalf("expected wall-time budget error, got %v", err)
+	}
+	// Check() surfaces the same error.
+	if err := Check(context.Background(), tr); err == nil {
+		t.Fatal("Check did not surface the wall-time error")
+	}
+}
+
+func TestCheckPrefersContextError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tr := NewTracker(Budget{MaxWallTime: time.Nanosecond})
+	time.Sleep(time.Millisecond)
+	if err := Check(ctx, tr); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Check = %v, want context.Canceled first", err)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	tr := NewTracker(Budget{MaxRows: 1})
+	ctx := WithTracker(context.Background(), tr)
+	if got := TrackerFrom(ctx); got != tr {
+		t.Fatalf("TrackerFrom = %p, want %p", got, tr)
+	}
+	if got := TrackerFrom(context.Background()); got != nil {
+		t.Fatalf("TrackerFrom(empty) = %p, want nil", got)
+	}
+	// WithTracker(nil) is the identity.
+	base := context.Background()
+	if got := WithTracker(base, nil); got != base {
+		t.Fatal("WithTracker(nil) should return the context unchanged")
+	}
+}
+
+func TestUnboundedBudgetNeverTrips(t *testing.T) {
+	tr := NewTracker(Budget{})
+	if err := tr.AddRows(1 << 40); err != nil {
+		t.Fatalf("unbounded rows: %v", err)
+	}
+	if err := tr.AddBytes(1 << 50); err != nil {
+		t.Fatalf("unbounded bytes: %v", err)
+	}
+	if err := tr.CheckTime(); err != nil {
+		t.Fatalf("unbounded time: %v", err)
+	}
+	if !tr.budget.IsZero() {
+		t.Fatal("zero budget should report IsZero")
+	}
+}

@@ -1,0 +1,55 @@
+package mdm
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"strings"
+	"testing"
+)
+
+// TestHandlersSpawnNoUnboundGoroutines is the static lifecycle guard for
+// this package: an HTTP handler that spawns a goroutine outliving its
+// request would escape the deadline/budget/admission machinery, so every
+// `go` statement in the package must be annotated with a
+// "goroutine-exit:" comment naming the context or channel that bounds its
+// lifetime. There are none today; this test keeps it that way unless the
+// exit condition is documented.
+func TestHandlersSpawnNoUnboundGoroutines(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		for name, file := range pkg.Files {
+			// Collect comment positions so a GoStmt can be matched with an
+			// annotation on its own or the preceding line.
+			annotated := map[int]bool{}
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					if strings.Contains(c.Text, "goroutine-exit:") {
+						line := fset.Position(c.Pos()).Line
+						annotated[line] = true
+						annotated[line+1] = true
+					}
+				}
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				pos := fset.Position(g.Pos())
+				if !annotated[pos.Line] {
+					t.Errorf("%s:%d: goroutine spawned without a \"goroutine-exit:\" annotation documenting its ctx-bound exit",
+						name, pos.Line)
+				}
+				return true
+			})
+		}
+	}
+}

@@ -25,6 +25,7 @@
 package mdm
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -59,6 +60,14 @@ type Server struct {
 	// exactly one of the two is ever non-nil.
 	primary *replication.Primary
 	replica *replication.Replica
+
+	// Request lifecycle control (see governor.go): admission pools,
+	// per-query deadline/budget policy, outcome counters and the
+	// slow-query log. Zero values disable governing entirely.
+	lifecycle LifecycleConfig
+	governor  *Governor
+	outcomes  queryOutcomes
+	slow      slowLog
 }
 
 // NewServer returns an MDM backend over the given ontology and registry.
@@ -84,6 +93,7 @@ func (s *Server) EnableDurability(m *wal.Manager) { s.durability = m }
 //	POST /api/queries/rewrite       rewrite an OMQ (SPARQL in, walks out)
 //	POST /api/queries/answer        rewrite and execute an OMQ
 //	GET  /api/queries/cache         rewriting-cache effectiveness counters
+//	GET  /api/queries/stats         admission pools, outcomes, slow-query log
 //	GET  /api/durability            WAL/checkpoint/recovery statistics
 //	POST /api/durability/checkpoint trigger a checkpoint (bdictl checkpoint)
 //	GET  /api/changes/catalog       the change taxonomy (Tables 3-5)
@@ -100,16 +110,21 @@ func (s *Server) EnableDurability(m *wal.Manager) { s.durability = m }
 // killing the connection silently.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	// read: admission through the read pool, then the replica staleness
+	// gate, then the handler — with the per-query deadline/budget attached
+	// between admission and execution (see lifecycled).
+	read := func(h http.HandlerFunc) http.HandlerFunc { return s.lifecycled(PoolRead, s.gated(h)) }
 	mux.HandleFunc("GET /api/health", s.handleHealthz)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
-	mux.HandleFunc("GET /api/ontology/stats", s.gated(s.handleStats))
-	mux.HandleFunc("GET /api/ontology/concepts", s.gated(s.handleConcepts))
-	mux.HandleFunc("GET /api/ontology/sources", s.gated(s.handleSources))
-	mux.HandleFunc("GET /api/ontology/graph", s.gated(s.handleGraphDump))
-	mux.HandleFunc("POST /api/queries/rewrite", s.gated(s.handleRewrite))
-	mux.HandleFunc("POST /api/queries/answer", s.gated(s.handleAnswer))
+	mux.HandleFunc("GET /api/ontology/stats", read(s.handleStats))
+	mux.HandleFunc("GET /api/ontology/concepts", read(s.handleConcepts))
+	mux.HandleFunc("GET /api/ontology/sources", read(s.handleSources))
+	mux.HandleFunc("GET /api/ontology/graph", read(s.handleGraphDump))
+	mux.HandleFunc("POST /api/queries/rewrite", read(s.handleRewrite))
+	mux.HandleFunc("POST /api/queries/answer", read(s.handleAnswer))
 	mux.HandleFunc("GET /api/queries/cache", s.gated(s.handleCacheStats))
+	mux.HandleFunc("GET /api/queries/stats", s.handleQueryStats)
 	mux.HandleFunc("GET /api/durability", s.handleDurabilityStats)
 	mux.HandleFunc("GET /api/changes/catalog", s.handleChangeCatalog)
 	mux.HandleFunc("GET /api/changes/applicability", s.handleApplicability)
@@ -118,8 +133,8 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("POST /api/durability/checkpoint", s.rejectWrite)
 		mux.HandleFunc("GET /api/replication", s.handleReplicaStatus)
 	} else {
-		mux.HandleFunc("POST /api/releases", s.handleRelease)
-		mux.HandleFunc("POST /api/durability/checkpoint", s.handleCheckpoint)
+		mux.HandleFunc("POST /api/releases", s.lifecycled(PoolWrite, s.handleRelease))
+		mux.HandleFunc("POST /api/durability/checkpoint", s.lifecycled(PoolAdmin, s.handleCheckpoint))
 		if s.primary != nil {
 			mux.HandleFunc("GET /api/replication", s.primary.HandleStatus)
 			mux.HandleFunc("GET /api/replication/wal", s.primary.HandleWAL)
@@ -367,24 +382,25 @@ func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	noteQuery(r, req.SPARQL)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	res, err := s.rewriteCached(req.SPARQL)
+	res, err := s.rewriteCached(r.Context(), req.SPARQL)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeQueryError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, rewriteResponse(res))
 }
 
 // rewriteCached parses a SPARQL OMQ and rewrites it through the
-// generation-keyed cache.
-func (s *Server) rewriteCached(sparqlText string) (*rewriting.Result, error) {
+// generation-keyed cache under the request's lifecycle context.
+func (s *Server) rewriteCached(ctx context.Context, sparqlText string) (*rewriting.Result, error) {
 	omq, err := rewriting.ParseOMQ(sparqlText)
 	if err != nil {
 		return nil, err
 	}
-	return s.cache.Rewrite(omq)
+	return s.cache.RewriteContext(ctx, omq)
 }
 
 // CacheStatsResponse reports rewriting-cache effectiveness, including the
@@ -475,17 +491,18 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	noteQuery(r, req.SPARQL)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	resolver := wrapper.NewQualifiedResolver(s.registry)
-	res, err := s.rewriteCached(req.SPARQL)
+	res, err := s.rewriteCached(r.Context(), req.SPARQL)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeQueryError(w, r, err)
 		return
 	}
-	answer, err := s.rewriter.ExecuteResult(res, resolver)
+	answer, err := s.rewriter.ExecuteResultContext(r.Context(), res, resolver)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeQueryError(w, r, err)
 		return
 	}
 	resp := AnswerResponse{RewriteResponse: rewriteResponse(res), Columns: answer.Schema.Names()}

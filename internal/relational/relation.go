@@ -1,9 +1,12 @@
 package relational
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+
+	"bdi/internal/lifecycle"
 )
 
 // Value is a single cell value. Wrappers deliver JSON-shaped data, so values
@@ -164,6 +167,14 @@ func (r *Relation) Distinct() *Relation {
 // leftAttr = rightAttr and fails unless both attributes are ID attributes of
 // their respective schemas.
 func (r *Relation) EquiJoin(other *Relation, leftAttr, rightAttr string) (*Relation, error) {
+	return r.EquiJoinContext(context.Background(), other, leftAttr, rightAttr)
+}
+
+// EquiJoinContext is EquiJoin under lifecycle control: produced join tuples
+// are charged against the context's lifecycle.Tracker and the output loop
+// checks cancellation every lifecycle.CheckEvery tuples, bounding join
+// fan-out by the query's budget.
+func (r *Relation) EquiJoinContext(ctx context.Context, other *Relation, leftAttr, rightAttr string) (*Relation, error) {
 	if !r.Schema.IsID(leftAttr) {
 		return nil, fmt.Errorf("relational: %q is not an ID attribute of %s%s", leftAttr, r.Name, r.Schema)
 	}
@@ -176,9 +187,32 @@ func (r *Relation) EquiJoin(other *Relation, leftAttr, rightAttr string) (*Relat
 	for _, t := range other.Tuples {
 		index[valueKey(t[rightAttr])] = append(index[valueKey(t[rightAttr])], t)
 	}
+	track := lifecycle.TrackerFrom(ctx)
+	tupleCost := int64(lifecycle.TupleCost + lifecycle.CellCost*len(out.Schema.Attributes))
+	produced := 0
 	for _, lt := range r.Tuples {
 		for _, rt := range index[valueKey(lt[leftAttr])] {
 			out.Add(lt.Merge(rt))
+			if produced++; produced >= lifecycle.CheckEvery {
+				if err := track.AddRows(int64(produced)); err != nil {
+					return nil, err
+				}
+				if err := track.AddBytes(int64(produced) * tupleCost); err != nil {
+					return nil, err
+				}
+				produced = 0
+				if err := lifecycle.Check(ctx, track); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if produced > 0 {
+		if err := track.AddRows(int64(produced)); err != nil {
+			return nil, err
+		}
+		if err := track.AddBytes(int64(produced) * tupleCost); err != nil {
+			return nil, err
 		}
 	}
 	return out, nil

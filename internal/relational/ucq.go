@@ -1,9 +1,12 @@
 package relational
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+
+	"bdi/internal/lifecycle"
 )
 
 // UnionOfConjunctiveQueries is the result of the paper's query rewriting: the
@@ -84,22 +87,65 @@ type WrapperResolver interface {
 	Fetch(wrapper string) (*Relation, error)
 }
 
+// ContextWrapperResolver is the optional cancellation-aware extension of
+// WrapperResolver: a resolver implementing it can abort an in-flight source
+// fetch when the query's context is cancelled (client disconnect, deadline).
+type ContextWrapperResolver interface {
+	WrapperResolver
+	// FetchContext is Fetch honoring ctx.
+	FetchContext(ctx context.Context, wrapper string) (*Relation, error)
+}
+
+// fetchWrapper resolves one wrapper, through the context-aware path when the
+// resolver supports it.
+func fetchWrapper(ctx context.Context, resolver WrapperResolver, name string) (*Relation, error) {
+	if cr, ok := resolver.(ContextWrapperResolver); ok {
+		return cr.FetchContext(ctx, name)
+	}
+	return resolver.Fetch(name)
+}
+
+// chargeRelation charges a materialized relation against the tracker using
+// the deterministic tuple cost model. Nil-safe on the tracker.
+func chargeRelation(t *lifecycle.Tracker, rel *Relation) error {
+	n := int64(len(rel.Tuples))
+	if err := t.AddRows(n); err != nil {
+		return err
+	}
+	return t.AddBytes(n * int64(lifecycle.TupleCost+lifecycle.CellCost*len(rel.Schema.Attributes)))
+}
+
 // Execute evaluates a single walk against the resolver: it fetches each
 // wrapper, applies the restricted projection, then applies the restricted
 // joins in order. Wrappers without join conditions (single-wrapper walks)
 // are returned projected.
 func (w *Walk) Execute(resolver WrapperResolver) (*Relation, error) {
+	return w.ExecuteContext(context.Background(), resolver)
+}
+
+// ExecuteContext is Execute under lifecycle control: source fetches honor
+// ctx, every materialized relation (fetched and joined) is charged against
+// the context's lifecycle.Tracker, and the join loops check cancellation at
+// chunk granularity.
+func (w *Walk) ExecuteContext(ctx context.Context, resolver WrapperResolver) (*Relation, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
+	track := lifecycle.TrackerFrom(ctx)
 	// Fetch and project every wrapper.
 	relations := map[string]*Relation{}
 	for _, ref := range w.Wrappers {
-		rel, err := resolver.Fetch(ref.Wrapper)
+		if err := lifecycle.Check(ctx, track); err != nil {
+			return nil, err
+		}
+		rel, err := fetchWrapper(ctx, resolver, ref.Wrapper)
 		if err != nil {
 			return nil, fmt.Errorf("relational: fetching wrapper %s: %w", ref.Wrapper, err)
 		}
 		relations[ref.Wrapper] = rel.Project(ref.Projection)
+		if err := chargeRelation(track, relations[ref.Wrapper]); err != nil {
+			return nil, err
+		}
 	}
 	if len(w.Wrappers) == 1 {
 		return relations[w.Wrappers[0].Wrapper], nil
@@ -133,7 +179,7 @@ func (w *Walk) Execute(resolver WrapperResolver) (*Relation, error) {
 					return nil, fmt.Errorf("relational: join references wrapper %s not in walk", nextWrapper)
 				}
 				var err error
-				acc, err = acc.EquiJoin(next, accAttr, nextAttr)
+				acc, err = acc.EquiJoinContext(ctx, next, accAttr, nextAttr)
 				if err != nil {
 					return nil, err
 				}
@@ -174,12 +220,24 @@ func filterEqual(r *Relation, a, b string) *Relation {
 // and its result restricted to the requested attributes available in that
 // walk; results are unioned and deduplicated.
 func (u *UnionOfConjunctiveQueries) Execute(resolver WrapperResolver) (*Relation, error) {
+	return u.ExecuteContext(context.Background(), resolver)
+}
+
+// ExecuteContext is Execute under lifecycle control: the union loop checks
+// cancellation and the wall-time budget between walks (each walk's internal
+// loops check at chunk granularity), so an exhausted budget or disconnected
+// client aborts before the next walk starts.
+func (u *UnionOfConjunctiveQueries) ExecuteContext(ctx context.Context, resolver WrapperResolver) (*Relation, error) {
 	if u.IsEmpty() {
 		return NewRelation("∅", Schema{}), nil
 	}
+	track := lifecycle.TrackerFrom(ctx)
 	var result *Relation
 	for _, w := range u.Walks {
-		rel, err := w.Execute(resolver)
+		if err := lifecycle.Check(ctx, track); err != nil {
+			return nil, err
+		}
+		rel, err := w.ExecuteContext(ctx, resolver)
 		if err != nil {
 			return nil, err
 		}

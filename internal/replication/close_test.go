@@ -1,0 +1,62 @@
+package replication
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"bdi/internal/core"
+	"bdi/internal/wal"
+)
+
+// TestReplicaCloseInterruptsLongPoll closes a replica while its tail follow
+// is parked in the primary's long poll and requires Close to return
+// promptly: the request contexts are parented on a base context that Close
+// cancels, so shutdown must not wait out the poll window.
+func TestReplicaCloseInterruptsLongPoll(t *testing.T) {
+	m, err := wal.Open(t.TempDir(), wal.Options{Sync: wal.SyncBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Abort()
+	if err := core.BuildSupersedeGlobalGraph(m.Ontology()); err != nil {
+		t.Fatal(err)
+	}
+	primarySrv := httptest.NewServer(NewPrimary(m).Handler())
+	defer primarySrv.Close()
+
+	// A poll window far longer than the acceptable shutdown time: if Close
+	// waits for the poll to drain, the test times out below.
+	rep := Start(Options{
+		Primary:        primarySrv.URL,
+		ID:             "close-longpoll",
+		PollWait:       30 * time.Second,
+		RequestTimeout: 30 * time.Second,
+	})
+	if err := rep.WaitForGeneration(m.Ontology().Store().Generation(), 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Caught up: the next stream fetch parks server-side waiting for frames.
+	time.Sleep(100 * time.Millisecond)
+
+	start := time.Now()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := rep.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return while a long poll was parked")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("Close took %s with a 30s poll window parked; want prompt cancellation", elapsed)
+	}
+	// Close is idempotent after the interrupt.
+	if err := rep.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}

@@ -136,6 +136,12 @@ type Replica struct {
 	stats   Stats
 	spanGen uint64 // To bound of the last applied delta span (dedup guard)
 
+	// baseCtx parents every request context and is cancelled by Close, so
+	// a Close during a parked long-poll interrupts the in-flight request
+	// instead of waiting out the poll window.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
 	done    chan struct{}
 	stopped chan struct{}
 	closed  atomic.Bool
@@ -156,16 +162,19 @@ func Start(opts Options) *Replica {
 		done:    make(chan struct{}),
 		stopped: make(chan struct{}),
 	}
+	r.baseCtx, r.cancel = context.WithCancel(context.Background())
 	go r.run()
 	return r
 }
 
-// Close stops the sync loop and waits for it to exit.
+// Close stops the sync loop — interrupting any in-flight long-poll — and
+// waits for it to exit.
 func (r *Replica) Close() error {
 	if !r.closed.CompareAndSwap(false, true) {
 		return nil
 	}
 	close(r.done)
+	r.cancel()
 	<-r.stopped
 	return nil
 }
@@ -328,7 +337,7 @@ func (r *Replica) get(ctx context.Context, path string, q url.Values) (*http.Res
 // bootstrap, for catch-up past a pruned WAL window, and for divergence
 // resync after a primary lost writes.
 func (r *Replica) fetchCheckpoint() error {
-	ctx, cancel := context.WithTimeout(context.Background(), r.opts.RequestTimeout)
+	ctx, cancel := context.WithTimeout(r.baseCtx, r.opts.RequestTimeout)
 	defer cancel()
 	q := url.Values{"id": {r.opts.ID}}
 	resp, err := r.get(ctx, "/api/replication/checkpoint", q)
@@ -368,7 +377,7 @@ func (r *Replica) fetchCheckpoint() error {
 func (r *Replica) streamOnce() error {
 	o := r.Ontology()
 	from := o.Store().Generation()
-	ctx, cancel := context.WithTimeout(context.Background(), r.opts.PollWait+r.opts.RequestTimeout)
+	ctx, cancel := context.WithTimeout(r.baseCtx, r.opts.PollWait+r.opts.RequestTimeout)
 	defer cancel()
 	q := url.Values{
 		"from": {strconv.FormatUint(from, 10)},

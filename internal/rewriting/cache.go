@@ -2,11 +2,13 @@ package rewriting
 
 import (
 	"container/list"
+	"context"
 	"sort"
 	"strings"
 	"sync"
 
 	"bdi/internal/core"
+	"bdi/internal/lifecycle"
 	"bdi/internal/rdf"
 )
 
@@ -130,10 +132,28 @@ func (c *Cache) SetLimits(maxEntries, maxUnits int) {
 // the entry's footprint survived every release since it was computed, and
 // otherwise rebuilt incrementally from surviving intra-concept units.
 func (c *Cache) Rewrite(omq *OMQ) (*Result, error) {
+	return c.RewriteContext(context.Background(), omq)
+}
+
+// RewriteContext is Rewrite under lifecycle control. The cancellation
+// contract extends the retry-on-race contract: a build aborted by ctx (or a
+// budget) returns the cancellation error without caching a result and
+// without retrying — and it can never poison the cache, because results are
+// only memoized when the build completed without error at an unchanged
+// generation, and intra-concept units are memoized individually only after
+// each completes (a unit computed before the cancellation point is a
+// complete, generation-consistent result that later rewrites may reuse).
+func (c *Cache) RewriteContext(ctx context.Context, omq *OMQ) (*Result, error) {
 	key := canonicalKey(omq)
 	store := c.rewriter.Ontology.Store()
 	missCounted := false
 	for {
+		// A cancelled rewrite must not burn retries: bail out before
+		// re-pinning (mutation races re-enter here, so this is also the
+		// "never retry after cancellation" guarantee).
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sn := store.Snapshot()
 		gen := sn.Generation()
 		c.mu.Lock()
@@ -161,7 +181,13 @@ func (c *Cache) Rewrite(omq *OMQ) (*Result, error) {
 		}
 		c.mu.Unlock()
 
-		res, fp, err := c.buildResult(gen, omq)
+		res, fp, err := c.buildResult(ctx, gen, omq)
+		if err != nil && ctx.Err() != nil {
+			// Cancelled mid-build: nothing was cached for this result (units
+			// already memoized are complete and consistent) and no retry
+			// follows.
+			return nil, err
+		}
 		if store.Snapshot() != sn {
 			// The store mutated mid-rewrite: the walks (or the error) may mix
 			// two generations. Retry against the new snapshot — releases are
@@ -190,8 +216,10 @@ func (c *Cache) Rewrite(omq *OMQ) (*Result, error) {
 
 // buildResult computes the rewriting result for one store generation,
 // reusing memoized intra-concept units validated at that generation and
-// memoizing the ones it had to compute.
-func (c *Cache) buildResult(gen uint64, omq *OMQ) (*Result, core.Footprint, error) {
+// memoizing the ones it had to compute. ctx is checked between units and
+// inside the assembly loops; a unit is only memoized once fully computed,
+// so cancellation can never cache partial state.
+func (c *Cache) buildResult(ctx context.Context, gen uint64, omq *OMQ) (*Result, core.Footprint, error) {
 	o := c.rewriter.Ontology
 	wf, err := WellFormedQuery(o, omq)
 	if err != nil {
@@ -203,8 +231,12 @@ func (c *Cache) buildResult(gen uint64, omq *OMQ) (*Result, core.Footprint, erro
 	}
 	fp := queryFootprint(expanded)
 
+	track := lifecycle.TrackerFrom(ctx)
 	partials := make([]PartialWalks, len(expanded.Concepts))
 	for i, concept := range expanded.Concepts {
+		if err := lifecycle.Check(ctx, track); err != nil {
+			return nil, fp, err
+		}
 		features := featuresRequestedFor(expanded.Query, concept)
 		ukey := unitKey(concept, features)
 		c.mu.Lock()
@@ -235,7 +267,7 @@ func (c *Cache) buildResult(gen uint64, omq *OMQ) (*Result, core.Footprint, erro
 		c.mu.Unlock()
 	}
 
-	res, err := c.rewriter.assemble(wf, expanded, partials)
+	res, err := c.rewriter.assemble(ctx, wf, expanded, partials)
 	if err != nil {
 		return nil, fp, err
 	}

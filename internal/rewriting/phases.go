@@ -1,10 +1,12 @@
 package rewriting
 
 import (
+	"context"
 	"fmt"
 	"slices"
 
 	"bdi/internal/core"
+	"bdi/internal/lifecycle"
 	"bdi/internal/rdf"
 	"bdi/internal/relational"
 )
@@ -143,9 +145,24 @@ func trimSourcePrefix(attrName, source string) string {
 // edge between the two concepts and the ID attributes to join on (steps
 // 9-10). The result is the list of candidate walks joining all concepts.
 func InterConceptGeneration(o *core.Ontology, eq *ExpandedQuery, partials []PartialWalks) ([]*relational.Walk, error) {
+	return InterConceptGenerationContext(context.Background(), o, eq, partials)
+}
+
+// rewriteCheckEvery is the chunk granularity of cooperative cancellation
+// checks in the rewriting loops: the cartesian product of Algorithm 5 grows
+// exponentially in the worst case (W^C walks), so a cancelled client must be
+// able to abort it mid-window without paying a per-merge check.
+const rewriteCheckEvery = 256
+
+// InterConceptGenerationContext is InterConceptGeneration under lifecycle
+// control: the cartesian-product loop checks ctx (and the context tracker's
+// wall-time budget) every rewriteCheckEvery merges.
+func InterConceptGenerationContext(ctx context.Context, o *core.Ontology, eq *ExpandedQuery, partials []PartialWalks) ([]*relational.Walk, error) {
 	if len(partials) == 0 {
 		return nil, fmt.Errorf("rewriting: no partial walks to join")
 	}
+	track := lifecycle.TrackerFrom(ctx)
+	merges := 0
 	current := partials[0]
 	for i := 1; i < len(partials); i++ {
 		next := partials[i]
@@ -153,6 +170,12 @@ func InterConceptGeneration(o *core.Ontology, eq *ExpandedQuery, partials []Part
 		// Step 7: cartesian product of the partial walk lists.
 		for _, left := range current.Walks {
 			for _, right := range next.Walks {
+				if merges++; merges >= rewriteCheckEvery {
+					merges = 0
+					if err := lifecycle.Check(ctx, track); err != nil {
+						return nil, err
+					}
+				}
 				// Step 8: merge the two partial walks.
 				merged := left.Merge(right)
 				if sharesWrapper(left, right) {

@@ -1,10 +1,12 @@
 package rewriting
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"bdi/internal/core"
+	"bdi/internal/lifecycle"
 	"bdi/internal/rdf"
 	"bdi/internal/relational"
 	"bdi/internal/sparql"
@@ -123,6 +125,14 @@ type Result struct {
 // Rewrite runs Algorithms 2-5 on the given OMQ and returns the union of
 // conjunctive queries over the wrappers.
 func (r *Rewriter) Rewrite(omq *OMQ) (*Result, error) {
+	return r.RewriteContext(context.Background(), omq)
+}
+
+// RewriteContext is Rewrite under lifecycle control: the phase boundaries
+// and the (potentially exponential) inter-concept generation and coverage
+// loops check ctx cooperatively, so a cancelled client or an exhausted
+// wall-time budget aborts a pathological rewrite mid-flight.
+func (r *Rewriter) RewriteContext(ctx context.Context, omq *OMQ) (*Result, error) {
 	o := r.Ontology
 	wf, err := WellFormedQuery(o, omq)
 	if err != nil {
@@ -132,27 +142,36 @@ func (r *Rewriter) Rewrite(omq *OMQ) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := lifecycle.Check(ctx, lifecycle.TrackerFrom(ctx)); err != nil {
+		return nil, err
+	}
 	partials, err := IntraConceptGeneration(o, expanded)
 	if err != nil {
 		return nil, err
 	}
-	return r.assemble(wf, expanded, partials)
+	return r.assemble(ctx, wf, expanded, partials)
 }
 
 // assemble runs Algorithm 5 over the per-concept partial walks, filters the
 // candidates with the coverage and minimality properties and records the
 // requested attributes — the tail of Rewrite shared with the incremental
 // cache, which re-enters here with a mix of retained and recomputed units.
-func (r *Rewriter) assemble(wf *OMQ, expanded *ExpandedQuery, partials []PartialWalks) (*Result, error) {
+func (r *Rewriter) assemble(ctx context.Context, wf *OMQ, expanded *ExpandedQuery, partials []PartialWalks) (*Result, error) {
 	o := r.Ontology
-	walks, err := InterConceptGeneration(o, expanded, partials)
+	walks, err := InterConceptGenerationContext(ctx, o, expanded, partials)
 	if err != nil {
 		return nil, err
 	}
 
+	track := lifecycle.TrackerFrom(ctx)
 	ucq := relational.NewUCQ()
 	checker := newCoverageChecker(o, wf.Phi)
-	for _, w := range walks {
+	for i, w := range walks {
+		if i%rewriteCheckEvery == 0 {
+			if err := lifecycle.Check(ctx, track); err != nil {
+				return nil, err
+			}
+		}
 		if r.CheckCoverage {
 			if !checker.minimal(walkWrapperURIs(w)) {
 				continue
@@ -222,11 +241,22 @@ func (r *Rewriter) AnswerSPARQL(text string, resolver relational.WrapperResolver
 // projected attributes to their feature names and unions the per-walk
 // relations.
 func (r *Rewriter) ExecuteResult(res *Result, resolver relational.WrapperResolver) (*relational.Relation, error) {
+	return r.ExecuteResultContext(context.Background(), res, resolver)
+}
+
+// ExecuteResultContext is ExecuteResult under lifecycle control: the union
+// loop checks cancellation between walks and each walk execution honors ctx
+// and the context's budget tracker.
+func (r *Rewriter) ExecuteResultContext(ctx context.Context, res *Result, resolver relational.WrapperResolver) (*relational.Relation, error) {
 	o := r.Ontology
+	track := lifecycle.TrackerFrom(ctx)
 	features := res.WellFormed.Pi
 	var answer *relational.Relation
 	for _, w := range res.UCQ.Walks {
-		rel, err := w.Execute(resolver)
+		if err := lifecycle.Check(ctx, track); err != nil {
+			return nil, err
+		}
+		rel, err := w.ExecuteContext(ctx, resolver)
 		if err != nil {
 			return nil, err
 		}

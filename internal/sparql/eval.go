@@ -1,10 +1,12 @@
 package sparql
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"sync"
 
+	"bdi/internal/lifecycle"
 	"bdi/internal/rdf"
 	"bdi/internal/reasoner"
 	"bdi/internal/store"
@@ -153,12 +155,29 @@ func (e *Evaluator) Evaluate(q *Query) (*Solutions, error) {
 	return e.EvaluateAt(e.store.Snapshot(), q)
 }
 
+// EvaluateContext evaluates a parsed query against the store's current
+// snapshot under the context's cancellation/deadline and any
+// lifecycle.Tracker budget it carries.
+func (e *Evaluator) EvaluateContext(ctx context.Context, q *Query) (*Solutions, error) {
+	return e.EvaluateAtContext(ctx, e.store.Snapshot(), q)
+}
+
 // EvaluateAt evaluates a parsed query against a pinned snapshot: every
 // probe — base matching, entailment expansion, reasoner closures and
 // join-order estimates — reads from sn, so the answer reflects exactly one
 // store generation. Callers coordinating several queries (or a query plus
 // other reads) pin one snapshot and pass it to each.
 func (e *Evaluator) EvaluateAt(sn store.Snapshot, q *Query) (*Solutions, error) {
+	return e.EvaluateAtContext(context.Background(), sn, q)
+}
+
+// EvaluateAtContext is EvaluateAt under lifecycle control: the join,
+// entailment and DISTINCT loops check ctx (cancellation, deadline) and the
+// context's lifecycle.Tracker (row/byte/wall-time budget) cooperatively at
+// chunk granularity (lifecycle.CheckEvery rows), so a cancelled client or
+// exhausted budget aborts mid-join with context/budget error while partial
+// progress remains readable from the tracker.
+func (e *Evaluator) EvaluateAtContext(ctx context.Context, sn store.Snapshot, q *Query) (*Solutions, error) {
 	pl, err := e.compile(q, sn)
 	if err != nil {
 		return nil, err
@@ -166,7 +185,7 @@ func (e *Evaluator) EvaluateAt(sn store.Snapshot, q *Query) (*Solutions, error) 
 	if pl.empty {
 		return &Solutions{Variables: pl.vars}, nil
 	}
-	return e.run(pl, sn), nil
+	return e.run(ctx, pl, sn)
 }
 
 // Ask reports whether the query has at least one solution.
@@ -294,13 +313,50 @@ type exec struct {
 	// across entailment sub-queries. Static matches use their own storage.
 	matchBuf  []store.QuadID
 	entailBuf []store.QuadID
+	// Lifecycle control: ctx carries cancellation/deadline, track the
+	// query budget. Produced rows are counted locally and flushed to the
+	// tracker — together with a cancellation check — only at
+	// lifecycle.CheckEvery boundaries, keeping the per-row cost at one
+	// increment.
+	ctx        context.Context
+	track      *lifecycle.Tracker
+	sinceCheck int
+}
+
+// produced charges one arena row against the lifecycle budget, flushing the
+// local counter and checking cancellation every lifecycle.CheckEvery rows.
+func (ec *exec) produced() error {
+	ec.sinceCheck++
+	if ec.sinceCheck < lifecycle.CheckEvery {
+		return nil
+	}
+	return ec.flushCheck()
+}
+
+// flushCheck flushes locally counted rows to the tracker (rows plus their
+// arena byte cost) and performs the cooperative cancellation/deadline check.
+func (ec *exec) flushCheck() error {
+	if n := ec.sinceCheck; n > 0 {
+		ec.sinceCheck = 0
+		if err := ec.track.AddRows(int64(n)); err != nil {
+			return err
+		}
+		if err := ec.track.AddBytes(int64(n * ec.arena.width * lifecycle.TermIDCost)); err != nil {
+			return err
+		}
+	}
+	return lifecycle.Check(ec.ctx, ec.track)
 }
 
 // run executes a compiled plan: join the patterns over flat TermID rows,
 // filter, project, deduplicate, order deterministically and materialize the
 // solutions.
-func (e *Evaluator) run(pl *plan, sn store.Snapshot) *Solutions {
-	ec := &exec{e: e, pl: pl, sn: sn, arena: rowArena{width: pl.slotCount}}
+func (e *Evaluator) run(ctx context.Context, pl *plan, sn store.Snapshot) (*Solutions, error) {
+	ec := &exec{
+		e: e, pl: pl, sn: sn,
+		arena: rowArena{width: pl.slotCount},
+		ctx:   ctx, track: lifecycle.TrackerFrom(ctx),
+	}
 	if e.Entailment {
 		ec.ent = e.entailment(sn)
 	}
@@ -310,16 +366,28 @@ func (e *Evaluator) run(pl *plan, sn store.Snapshot) *Solutions {
 		rows = [][]rdf.TermID{ec.arena.alloc()}
 	}
 	for i := range pl.patterns {
-		rows = ec.extend(rows, &pl.patterns[i])
+		var err error
+		rows, err = ec.extend(rows, &pl.patterns[i])
+		if err != nil {
+			return nil, err
+		}
 		if len(rows) == 0 {
 			break
 		}
+	}
+	if err := ec.flushCheck(); err != nil {
+		return nil, err
 	}
 
 	// Filters.
 	if len(pl.filters) > 0 {
 		kept := rows[:0]
-		for _, row := range rows {
+		for i, row := range rows {
+			if i%lifecycle.CheckEvery == 0 {
+				if err := lifecycle.Check(ctx, ec.track); err != nil {
+					return nil, err
+				}
+			}
 			if ec.filtersHold(row) {
 				kept = append(kept, row)
 			}
@@ -337,7 +405,12 @@ func (e *Evaluator) run(pl *plan, sn store.Snapshot) *Solutions {
 		seen = map[string]bool{}
 	}
 	var scratch []byte
-	for _, row := range rows {
+	for i, row := range rows {
+		if i%lifecycle.CheckEvery == 0 {
+			if err := lifecycle.Check(ec.ctx, ec.track); err != nil {
+				return nil, err
+			}
+		}
 		scratch = scratch[:0]
 		for i, s := range pl.projSlots {
 			if i > 0 {
@@ -397,18 +470,20 @@ func (e *Evaluator) run(pl *plan, sn store.Snapshot) *Solutions {
 		}
 		bindings[i] = b
 	}
-	return &Solutions{Variables: pl.vars, Bindings: bindings}
+	return &Solutions{Variables: pl.vars, Bindings: bindings}, nil
 }
 
-// extend joins the current rows with the matches of a single pattern.
-func (ec *exec) extend(rows [][]rdf.TermID, pp *planPattern) [][]rdf.TermID {
+// extend joins the current rows with the matches of a single pattern,
+// charging each produced row against the lifecycle budget and checking
+// cancellation at chunk boundaries.
+func (ec *exec) extend(rows [][]rdf.TermID, pp *planPattern) ([][]rdf.TermID, error) {
 	var out [][]rdf.TermID
 	var staticMatches []store.QuadID
 	if pp.static {
 		// The match list cannot depend on the row: compute it once.
 		staticMatches = ec.patternMatches(pp, nil, nil)
 		if len(staticMatches) == 0 {
-			return nil
+			return nil, nil
 		}
 	}
 	for _, row := range rows {
@@ -419,6 +494,9 @@ func (ec *exec) extend(rows [][]rdf.TermID, pp *planPattern) [][]rdf.TermID {
 		for _, m := range matches {
 			if nr, ok := ec.bindMatch(row, pp, m); ok {
 				out = append(out, nr)
+				if err := ec.produced(); err != nil {
+					return nil, err
+				}
 			}
 		}
 		if !pp.static {
@@ -427,7 +505,7 @@ func (ec *exec) extend(rows [][]rdf.TermID, pp *planPattern) [][]rdf.TermID {
 			ec.matchBuf = matches[:0]
 		}
 	}
-	return out
+	return out, nil
 }
 
 // patternMatches returns the quads matching the pattern under the row's

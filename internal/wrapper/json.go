@@ -1,12 +1,14 @@
 package wrapper
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"time"
 
+	"bdi/internal/lifecycle"
 	"bdi/internal/relational"
 )
 
@@ -16,6 +18,15 @@ type DocumentSource interface {
 	// Documents returns the current batch of documents (e.g. the events
 	// accumulated since the last poll, or the full response of a REST call).
 	Documents() ([]Document, error)
+}
+
+// ContextDocumentSource is the optional cancellation-aware extension of
+// DocumentSource (an HTTP source aborts the in-flight request on ctx
+// cancellation).
+type ContextDocumentSource interface {
+	DocumentSource
+	// DocumentsContext is Documents honoring ctx.
+	DocumentsContext(ctx context.Context) ([]Document, error)
 }
 
 // StaticDocuments is a DocumentSource over a fixed slice of documents.
@@ -50,7 +61,13 @@ func NewHTTPSource(url string) *HTTPSource {
 
 // Documents implements DocumentSource.
 func (h *HTTPSource) Documents() ([]Document, error) {
-	req, err := http.NewRequest(http.MethodGet, h.URL, nil)
+	return h.DocumentsContext(context.Background())
+}
+
+// DocumentsContext implements ContextDocumentSource: the request carries
+// ctx, so a cancelled query aborts the source round-trip immediately.
+func (h *HTTPSource) DocumentsContext(ctx context.Context) ([]Document, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.URL, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -148,7 +165,20 @@ func (j *JSON) Pipeline() []string {
 // Rows implements Wrapper: it fetches the documents and runs the pipeline on
 // each, keeping only attributes declared in the schema.
 func (j *JSON) Rows() ([]relational.Tuple, error) {
-	docs, err := j.docs.Documents()
+	return j.RowsContext(context.Background())
+}
+
+// RowsContext implements ContextWrapper: the document fetch honors ctx when
+// the source supports it, and the per-document pipeline loop checks
+// cancellation at chunk granularity.
+func (j *JSON) RowsContext(ctx context.Context) ([]relational.Tuple, error) {
+	var docs []Document
+	var err error
+	if cs, ok := j.docs.(ContextDocumentSource); ok {
+		docs, err = cs.DocumentsContext(ctx)
+	} else {
+		docs, err = j.docs.Documents()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -157,7 +187,12 @@ func (j *JSON) Rows() ([]relational.Tuple, error) {
 		declared[n] = true
 	}
 	var rows []relational.Tuple
-	for _, doc := range docs {
+	for i, doc := range docs {
+		if i%lifecycle.CheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		out := map[string]any{}
 		failed := false
 		for _, op := range j.pipeline {

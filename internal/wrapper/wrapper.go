@@ -7,6 +7,7 @@
 package wrapper
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -26,9 +27,33 @@ type Wrapper interface {
 	Rows() ([]relational.Tuple, error)
 }
 
+// ContextWrapper is the optional cancellation-aware extension of Wrapper: a
+// wrapper implementing it can abort its source query when the requesting
+// query's context is cancelled (client disconnect, deadline, budget).
+type ContextWrapper interface {
+	Wrapper
+	// RowsContext is Rows honoring ctx.
+	RowsContext(ctx context.Context) ([]relational.Tuple, error)
+}
+
 // Relation executes the wrapper and materializes its output as a relation.
 func Relation(w Wrapper) (*relational.Relation, error) {
-	rows, err := w.Rows()
+	return RelationContext(context.Background(), w)
+}
+
+// RelationContext is Relation honoring ctx: context-aware wrappers abort
+// their source query on cancellation; plain wrappers are checked before the
+// (usually cheap, in-memory) execution starts.
+func RelationContext(ctx context.Context, w Wrapper) (*relational.Relation, error) {
+	var rows []relational.Tuple
+	var err error
+	if cw, ok := w.(ContextWrapper); ok {
+		rows, err = cw.RowsContext(ctx)
+	} else {
+		if err = ctx.Err(); err == nil {
+			rows, err = w.Rows()
+		}
+	}
 	if err != nil {
 		return nil, fmt.Errorf("wrapper %s: %w", w.Name(), err)
 	}
@@ -155,14 +180,19 @@ func (r *Registry) Len() int {
 
 // Fetch implements relational.WrapperResolver.
 func (r *Registry) Fetch(name string) (*relational.Relation, error) {
+	return r.FetchContext(context.Background(), name)
+}
+
+// FetchContext implements relational.ContextWrapperResolver.
+func (r *Registry) FetchContext(ctx context.Context, name string) (*relational.Relation, error) {
 	w, ok := r.Get(name)
 	if !ok {
 		return nil, fmt.Errorf("wrapper: %q is not registered", name)
 	}
-	return Relation(w)
+	return RelationContext(ctx, w)
 }
 
-var _ relational.WrapperResolver = (*Registry)(nil)
+var _ relational.ContextWrapperResolver = (*Registry)(nil)
 
 // Qualified wraps a resolver so that every attribute of every fetched
 // relation is renamed to "<source>/<attribute>". The ontology's Source graph
@@ -179,11 +209,16 @@ func NewQualifiedResolver(r *Registry) *Qualified { return &Qualified{Registry: 
 
 // Fetch implements relational.WrapperResolver.
 func (q *Qualified) Fetch(name string) (*relational.Relation, error) {
+	return q.FetchContext(context.Background(), name)
+}
+
+// FetchContext implements relational.ContextWrapperResolver.
+func (q *Qualified) FetchContext(ctx context.Context, name string) (*relational.Relation, error) {
 	w, ok := q.Registry.Get(name)
 	if !ok {
 		return nil, fmt.Errorf("wrapper: %q is not registered", name)
 	}
-	rel, err := Relation(w)
+	rel, err := RelationContext(ctx, w)
 	if err != nil {
 		return nil, err
 	}
@@ -194,4 +229,4 @@ func (q *Qualified) Fetch(name string) (*relational.Relation, error) {
 	return rel.Rename(mapping), nil
 }
 
-var _ relational.WrapperResolver = (*Qualified)(nil)
+var _ relational.ContextWrapperResolver = (*Qualified)(nil)
