@@ -492,3 +492,58 @@ func runningExampleOMQ() *rewriting.OMQ {
 		rdf.T(core.SupInfoMonitor, core.GHasFeature, core.SupLagRatio),
 	)
 }
+
+// --------------------------------------------------------------------------
+// Walk execution engine: OMQ → answer at Figure 8 shape with scaled rows.
+// --------------------------------------------------------------------------
+
+// benchmarkOMQAnswer measures the full execution half of query answering
+// (rewrite once outside the loop, then OMQ result → answer rows) over the
+// Figure 8 worst-case shape with rowsPerWrapper rows in every wrapper.
+func benchmarkOMQAnswer(b *testing.B, rows int, execute func(*rewriting.Rewriter, *rewriting.Result, relational.WrapperResolver) (*relational.Relation, error)) {
+	const concepts, wrappers = 3, 2
+	wc, err := workload.BuildWorstCaseRows(concepts, wrappers, rows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rewriting.NewRewriter(wc.Ontology)
+	res, err := r.Rewrite(wc.Query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	resolver := wrapper.NewQualifiedResolver(wc.Registry)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		answer, err := execute(r, res, resolver)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if answer.Cardinality() != rows {
+			b.Fatalf("answer = %d rows, want %d", answer.Cardinality(), rows)
+		}
+	}
+}
+
+// BenchmarkOMQAnswer runs the compiled slot-based engine.
+func BenchmarkOMQAnswer(b *testing.B) {
+	for _, rows := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			benchmarkOMQAnswer(b, rows, func(r *rewriting.Rewriter, res *rewriting.Result, resolver relational.WrapperResolver) (*relational.Relation, error) {
+				return r.ExecuteResult(res, resolver)
+			})
+		})
+	}
+}
+
+// BenchmarkOMQAnswerReference runs the preserved tuple-at-a-time executor on
+// the same workload, quantifying the engine's speedup.
+func BenchmarkOMQAnswerReference(b *testing.B) {
+	for _, rows := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			benchmarkOMQAnswer(b, rows, func(r *rewriting.Rewriter, res *rewriting.Result, resolver relational.WrapperResolver) (*relational.Relation, error) {
+				return r.ExecuteResultReference(res, resolver)
+			})
+		})
+	}
+}

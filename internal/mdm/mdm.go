@@ -367,6 +367,10 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 // QueryRequest is the JSON body of the query endpoints.
 type QueryRequest struct {
 	SPARQL string `json:"sparql"`
+	// Limit > 0 caps the number of distinct answer rows; the executor stops
+	// (and cancels outstanding walks) once that many rows exist. Only the
+	// answer endpoint consults it.
+	Limit int `json:"limit,omitempty"`
 }
 
 // RewriteResponse describes the rewriting outcome.
@@ -500,7 +504,7 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		writeQueryError(w, r, err)
 		return
 	}
-	answer, err := s.rewriter.ExecuteResultContext(r.Context(), res, resolver)
+	answer, err := s.rewriter.ExecuteResultLimit(r.Context(), res, resolver, req.Limit)
 	if err != nil {
 		writeQueryError(w, r, err)
 		return

@@ -1,0 +1,61 @@
+package relational
+
+// ColRelation is a relation encoded as dictionary-interned column vectors:
+// Cols[i][r] is the ValueID of attribute Schema.Attributes[i] in row r, with
+// MissingValueID marking cells absent from the original tuple. It is the
+// execution-time representation the compiled walk engine joins over; the
+// map-based Relation remains the API-level exchange format.
+type ColRelation struct {
+	Name   string
+	Schema Schema
+	Cols   [][]ValueID
+	rows   int
+}
+
+// NumRows returns the number of rows.
+func (c *ColRelation) NumRows() int { return c.rows }
+
+// IngestRelation encodes rel into dictionary-interned column vectors,
+// interning every distinct cell value exactly once. Attributes are taken
+// from the relation's schema; tuple keys outside the schema are invisible,
+// matching the projection semantics of the tuple executor.
+func IngestRelation(rel *Relation, d *ValueDict) *ColRelation {
+	names := rel.Schema.Names()
+	c := &ColRelation{Name: rel.Name, Schema: rel.Schema, rows: len(rel.Tuples)}
+	c.Cols = make([][]ValueID, len(names))
+	for i := range c.Cols {
+		c.Cols[i] = make([]ValueID, len(rel.Tuples))
+	}
+	// One lock for the whole relation: interning per cell under its own
+	// critical section would serialize ingest on the dictionary mutex.
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for r, t := range rel.Tuples {
+		for i, n := range names {
+			if v, ok := t[n]; ok {
+				c.Cols[i][r] = d.internLocked(v)
+			}
+		}
+	}
+	return c
+}
+
+// Decode materializes the columnar relation back into map tuples. Cells
+// holding MissingValueID are omitted from the tuple (not set to nil), so a
+// decoded relation is observably identical to one built tuple-at-a-time.
+func (c *ColRelation) Decode(d *ValueDict) *Relation {
+	vals := d.Values()
+	out := NewRelation(c.Name, c.Schema)
+	names := c.Schema.Names()
+	out.Tuples = make([]Tuple, c.rows)
+	for r := 0; r < c.rows; r++ {
+		t := make(Tuple, len(names))
+		for i, n := range names {
+			if id := c.Cols[i][r]; id != MissingValueID {
+				t[n] = vals[id-1]
+			}
+		}
+		out.Tuples[r] = t
+	}
+	return out
+}

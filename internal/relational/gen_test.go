@@ -1,0 +1,288 @@
+package relational
+
+import (
+	"context"
+	"fmt"
+	"sort"
+)
+
+// This file holds the deterministic byte-driven case generator shared by the
+// randomized differential parity suite (parity_test.go) and the native fuzz
+// target (fuzz_test.go). Every decision is drawn from a cursor over an input
+// byte slice: the same bytes always produce the same case, the cursor
+// zero-extends when the input runs out, and every byte slice — including the
+// ones the fuzzer mutates blindly — maps to a well-defined case. The
+// generator deliberately produces both valid walks and walks that trip each
+// structural error path (validation, fetch, join checks), so error parity is
+// exercised alongside result parity.
+
+// byteGen is a deterministic decision stream over an input byte slice.
+type byteGen struct {
+	data []byte
+	i    int
+}
+
+func (g *byteGen) next() byte {
+	if g.i >= len(g.data) {
+		g.i++
+		return 0
+	}
+	b := g.data[g.i]
+	g.i++
+	return b
+}
+
+// intn returns a value in [0, n).
+func (g *byteGen) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(g.next()) % n
+}
+
+// pct flips a coin that lands true p percent of the time.
+func (g *byteGen) pct(p int) bool { return g.intn(100) < p }
+
+// idCellValues seeds ID columns: a small pool so joins actually match, with
+// cross-type numeric aliases (1 vs int64(1) vs 1.0 intern to one dictionary
+// entry) and nil to exercise nil-join semantics.
+var idCellValues = []Value{0, 1, 2, int64(1), float64(2), 12, "x", "y", nil}
+
+// nonIDCellValues seeds non-ID columns, covering every valueKey kind
+// including values whose renderings collide across kinds ("12" vs 12).
+var nonIDCellValues = []Value{
+	nil, 0, 1, 2, 12, int64(12), float64(12), 12.5, -3, 0.1,
+	"a", "b", "ab", "12", true, false,
+}
+
+// genCase is one generated differential test case: a universe of wrapper
+// relations, a set of walks over them (some deliberately invalid), and an
+// optional requested-attribute projection for the UCQ level.
+type genCase struct {
+	rels      map[string]*Relation
+	walks     []*Walk
+	requested []string
+}
+
+// ucq assembles the case's walks into a union.
+func (gc *genCase) ucq() *UnionOfConjunctiveQueries {
+	u := NewUCQ()
+	u.Walks = append(u.Walks, gc.walks...)
+	u.RequestedAttributes = gc.requested
+	return u
+}
+
+// generateCase decodes a byte slice into a test case.
+func generateCase(data []byte) *genCase {
+	g := &byteGen{data: data}
+	gc := &genCase{rels: map[string]*Relation{}}
+
+	// Shared attribute names across wrappers force the planner onto the
+	// reference-replay path (left-wins merge makes cell values join-order
+	// dependent); unique names unlock the greedy size-ordered planner.
+	sharedNames := g.pct(35)
+	numWrappers := 1 + g.intn(4)
+	type wrapperMeta struct {
+		name   string
+		schema Schema
+	}
+	metas := make([]wrapperMeta, 0, numWrappers)
+	for i := 0; i < numWrappers; i++ {
+		name := fmt.Sprintf("w%d", i)
+		prefix := name + "_"
+		if sharedNames {
+			prefix = ""
+		}
+		ids := dedupStrings(genNames(g, prefix+"id", 1+g.intn(2), 3))
+		nonIDs := dedupStrings(genNames(g, prefix+"v", g.intn(3), 4))
+		schema := NewSchema(ids, nonIDs)
+		rel := NewRelation(name, schema)
+		numRows := g.intn(7)
+		for r := 0; r < numRows; r++ {
+			t := Tuple{}
+			for _, a := range schema.Attributes {
+				if g.pct(12) {
+					continue // missing cell: distinct from explicit nil
+				}
+				if a.ID {
+					t[a.Name] = idCellValues[g.intn(len(idCellValues))]
+				} else {
+					t[a.Name] = nonIDCellValues[g.intn(len(nonIDCellValues))]
+				}
+			}
+			rel.Add(t)
+		}
+		gc.rels[name] = rel
+		metas = append(metas, wrapperMeta{name, schema})
+	}
+
+	numWalks := 1 + g.intn(3)
+	for wi := 0; wi < numWalks; wi++ {
+		walk := &Walk{}
+		var chosen []wrapperMeta
+		numRefs := 1 + g.intn(3)
+		for k := 0; k < numRefs; k++ {
+			m := metas[g.intn(len(metas))]
+			if g.pct(4) {
+				// Unregistered wrapper: the fetch error path.
+				m = wrapperMeta{name: "ghost", schema: Schema{}}
+			}
+			if walkHasWrapper(walk, m.name) && !g.pct(8) {
+				continue // rare duplicate entries stay in: Validate error path
+			}
+			var proj []string
+			for _, a := range m.schema.Attributes {
+				if a.ID && !g.pct(20) {
+					continue // IDs are implicitly retained; list some anyway
+				}
+				if !a.ID && g.pct(35) {
+					continue
+				}
+				proj = append(proj, a.Name)
+			}
+			walk.Wrappers = append(walk.Wrappers, WrapperRef{
+				Wrapper:    m.name,
+				Source:     "S_" + m.name,
+				Projection: proj,
+			})
+			chosen = append(chosen, m)
+		}
+		for k := 1; k < len(walk.Wrappers); k++ {
+			if g.pct(6) {
+				continue // dropped join: the not-connected error path
+			}
+			earlier := g.intn(k)
+			j := JoinCondition{
+				LeftWrapper:  walk.Wrappers[earlier].Wrapper,
+				LeftAttr:     pickJoinAttr(g, chosen[earlier].schema),
+				RightWrapper: walk.Wrappers[k].Wrapper,
+				RightAttr:    pickJoinAttr(g, chosen[k].schema),
+			}
+			if g.pct(3) {
+				j.LeftWrapper = "phantom" // join naming an absent wrapper
+			}
+			if g.pct(50) {
+				j.LeftWrapper, j.RightWrapper = j.RightWrapper, j.LeftWrapper
+				j.LeftAttr, j.RightAttr = j.RightAttr, j.LeftAttr
+			}
+			walk.Joins = append(walk.Joins, j)
+		}
+		// Occasional redundant join between already-connected wrappers: the
+		// filter step of both executors.
+		if len(walk.Wrappers) >= 2 && g.pct(25) {
+			a, b := g.intn(len(walk.Wrappers)), g.intn(len(walk.Wrappers))
+			walk.Joins = append(walk.Joins, JoinCondition{
+				LeftWrapper:  walk.Wrappers[a].Wrapper,
+				LeftAttr:     pickJoinAttr(g, chosen[a].schema),
+				RightWrapper: walk.Wrappers[b].Wrapper,
+				RightAttr:    pickJoinAttr(g, chosen[b].schema),
+			})
+		}
+		gc.walks = append(gc.walks, walk)
+	}
+
+	if g.pct(40) {
+		var candidates []string
+		seen := map[string]bool{}
+		for _, m := range metas {
+			for _, n := range m.schema.Names() {
+				if !seen[n] {
+					seen[n] = true
+					candidates = append(candidates, n)
+				}
+			}
+		}
+		sort.Strings(candidates)
+		for _, n := range candidates {
+			if g.pct(35) {
+				gc.requested = append(gc.requested, n)
+			}
+		}
+	}
+	return gc
+}
+
+// genNames draws n attribute names "<prefix><k>" with k < pool.
+func genNames(g *byteGen, prefix string, n, pool int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, fmt.Sprintf("%s%d", prefix, g.intn(pool)))
+	}
+	return out
+}
+
+func dedupStrings(in []string) []string {
+	seen := map[string]bool{}
+	out := in[:0]
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func walkHasWrapper(w *Walk, name string) bool {
+	for _, ref := range w.Wrappers {
+		if ref.Wrapper == name {
+			return true
+		}
+	}
+	return false
+}
+
+// pickJoinAttr mostly picks an ID attribute (the legal restricted-join case)
+// and sometimes a non-ID attribute to exercise the ID-check error path.
+func pickJoinAttr(g *byteGen, s Schema) string {
+	ids := s.IDNames()
+	if g.pct(12) || len(ids) == 0 {
+		names := s.Names()
+		if len(names) == 0 {
+			return "id0"
+		}
+		return names[g.intn(len(names))]
+	}
+	return ids[g.intn(len(ids))]
+}
+
+// pushdownStaticResolver wraps staticResolver with a PushdownResolver
+// implementation that honors the pushdown contract (restricted projection in
+// schema order, reference selection semantics) and counts its invocations.
+type pushdownStaticResolver struct {
+	rels  staticResolver
+	calls int
+	// lastAttrs records the attrs of the most recent pushdown, for
+	// contract assertions.
+	lastAttrs []string
+}
+
+func (p *pushdownStaticResolver) Fetch(w string) (*Relation, error) { return p.rels.Fetch(w) }
+
+func (p *pushdownStaticResolver) FetchPushdown(ctx context.Context, w string, pd Pushdown) (*Relation, bool, error) {
+	rel, err := p.rels.Fetch(w)
+	if err != nil {
+		return nil, false, err
+	}
+	p.calls++
+	p.lastAttrs = append([]string(nil), pd.Attrs...)
+	rel = ApplySelections(rel, pd.Selections)
+	if len(pd.Attrs) > 0 {
+		// Relation.Project is exactly the contract: requested attrs plus all
+		// IDs, in schema order.
+		rel = rel.Project(pd.Attrs)
+	}
+	return rel, true, nil
+}
+
+// fallbackResolver implements PushdownResolver but declines every pushdown,
+// forcing the engine onto the plain fetch path.
+type fallbackResolver struct {
+	rels staticResolver
+}
+
+func (f *fallbackResolver) Fetch(w string) (*Relation, error) { return f.rels.Fetch(w) }
+
+func (f *fallbackResolver) FetchPushdown(ctx context.Context, w string, pd Pushdown) (*Relation, bool, error) {
+	return nil, false, nil
+}

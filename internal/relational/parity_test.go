@@ -1,0 +1,236 @@
+package relational
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"bdi/internal/lifecycle"
+)
+
+// The differential parity suite: randomized cases executed through both the
+// compiled engine and the preserved reference executor must agree on the
+// result name, schema attribute order, canonical rendering (Relation.String)
+// and every structural error, byte for byte. Raw tuple order is the one
+// observable the engine does not promise (the physical join order is a
+// planner choice), but it must be identical across engine configurations
+// (serial vs parallel, pushdown on vs off vs declined).
+
+// canonical renders the observables both executors promise to agree on.
+func canonical(rel *Relation) string {
+	return rel.Name + "\n" + strings.Join(rel.Schema.Names(), ",") + "\n" + rel.String()
+}
+
+// rawRender renders a relation including its raw tuple order, for comparing
+// engine configurations against each other.
+func rawRender(rel *Relation) string {
+	names := rel.Schema.Names()
+	var b strings.Builder
+	b.WriteString(canonical(rel))
+	for _, t := range rel.Tuples {
+		b.WriteString("\n")
+		b.WriteString(t.Key(names))
+	}
+	return b.String()
+}
+
+// ucqExecOptions mirrors what UnionOfConjunctiveQueries.ExecuteContext passes
+// to the engine, so configuration-variant tests run the same logical query.
+func ucqExecOptions(u *UnionOfConjunctiveQueries) ExecOptions {
+	opts := ExecOptions{Name: "answer"}
+	if len(u.RequestedAttributes) > 0 {
+		opts.PostProject = func(i int, w *Walk, schema Schema) PostProjection {
+			var keep []string
+			for _, a := range u.RequestedAttributes {
+				if schema.Has(a) {
+					keep = append(keep, a)
+				}
+			}
+			return PostProjection{Strict: true, Keep: keep}
+		}
+	}
+	return opts
+}
+
+// checkErrParity fails unless both errors are nil or both render the same
+// message.
+func checkErrParity(t *testing.T, label string, refErr, gotErr error, diag func() string) bool {
+	t.Helper()
+	if (refErr == nil) != (gotErr == nil) {
+		t.Errorf("%s: error parity broken\nreference: %v\nengine:    %v\n%s", label, refErr, gotErr, diag())
+		return false
+	}
+	if refErr != nil {
+		if refErr.Error() != gotErr.Error() {
+			t.Errorf("%s: error text parity broken\nreference: %v\nengine:    %v\n%s", label, refErr, gotErr, diag())
+		}
+		return false
+	}
+	return true
+}
+
+// checkCaseParity runs one generated case through every executor pairing.
+func checkCaseParity(t *testing.T, gc *genCase) {
+	t.Helper()
+	ctx := context.Background()
+	resolver := staticResolver(gc.rels)
+	u := gc.ucq()
+	diag := func() string {
+		return fmt.Sprintf("ucq:\n%s\nrequested: %v", u, u.RequestedAttributes)
+	}
+
+	// Per-walk parity.
+	for wi, w := range gc.walks {
+		ref, refErr := w.ExecuteReferenceContext(ctx, resolver)
+		got, gotErr := w.ExecuteContext(ctx, resolver)
+		label := fmt.Sprintf("walk %d", wi)
+		if !checkErrParity(t, label, refErr, gotErr, diag) {
+			continue
+		}
+		if canonical(ref) != canonical(got) {
+			t.Errorf("%s: result parity broken\nreference:\n%s\nengine:\n%s\n%s",
+				label, canonical(ref), canonical(got), diag())
+		}
+	}
+
+	// Union parity.
+	ref, refErr := u.ExecuteReferenceContext(ctx, resolver)
+	got, gotErr := u.ExecuteContext(ctx, resolver)
+	if !checkErrParity(t, "union", refErr, gotErr, diag) {
+		return
+	}
+	if canonical(ref) != canonical(got) {
+		t.Errorf("union: result parity broken\nreference:\n%s\nengine:\n%s\n%s",
+			canonical(ref), canonical(got), diag())
+		return
+	}
+
+	// Engine configurations must agree byte-for-byte including raw tuple
+	// order: serial, pushdown-capable resolver, and a resolver that declines
+	// every pushdown.
+	base := rawRender(got)
+	opts := ucqExecOptions(u)
+	serial := &Engine{MaxParallel: 1}
+	if rel, err := serial.ExecuteUnion(ctx, u.Walks, resolver, opts); err != nil {
+		t.Errorf("serial engine: unexpected error %v\n%s", err, diag())
+	} else if rawRender(rel) != base {
+		t.Errorf("serial engine diverges from parallel\nparallel:\n%s\nserial:\n%s\n%s", base, rawRender(rel), diag())
+	}
+	pd := &pushdownStaticResolver{rels: gc.rels}
+	if rel, err := DefaultEngine.ExecuteUnion(ctx, u.Walks, pd, opts); err != nil {
+		t.Errorf("pushdown engine: unexpected error %v\n%s", err, diag())
+	} else if rawRender(rel) != base {
+		t.Errorf("pushdown diverges from plain fetch\nplain:\n%s\npushdown:\n%s\n%s", base, rawRender(rel), diag())
+	}
+	fb := &fallbackResolver{rels: gc.rels}
+	if rel, err := DefaultEngine.ExecuteUnion(ctx, u.Walks, fb, opts); err != nil {
+		t.Errorf("fallback engine: unexpected error %v\n%s", err, diag())
+	} else if rawRender(rel) != base {
+		t.Errorf("declined pushdown diverges\nplain:\n%s\nfallback:\n%s\n%s", base, rawRender(rel), diag())
+	}
+}
+
+// TestDifferentialParityRandomized drives randomized cases from several seeds
+// through both executors. Each case mixes valid walks with deliberately
+// broken ones, so structural error parity is continuously exercised.
+func TestDifferentialParityRandomized(t *testing.T) {
+	seeds := []int64{1, 7, 42, 1234, 987654321}
+	cases := 250
+	if testing.Short() {
+		cases = 40
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			for c := 0; c < cases; c++ {
+				data := make([]byte, 48+rng.Intn(160))
+				rng.Read(data)
+				checkCaseParity(t, generateCase(data))
+				if t.Failed() {
+					t.Fatalf("case %d (bytes %x) failed", c, data)
+				}
+			}
+		})
+	}
+}
+
+// TestBudgetParityDimensions checks that both executors abort on the same
+// budget dimension. The trip *point* may differ (the engine fetches each
+// wrapper once per union, the reference once per walk occurrence), so the
+// budgets are single-dimension and tight enough that the very first charge
+// trips them on both sides.
+func TestBudgetParityDimensions(t *testing.T) {
+	rels := staticResolver{}
+	schemaA := NewSchema([]string{"id"}, []string{"a"})
+	ra := NewRelation("wa", schemaA)
+	schemaB := NewSchema([]string{"id"}, []string{"b"})
+	rb := NewRelation("wb", schemaB)
+	for k := 0; k < 50; k++ {
+		ra.Add(Tuple{"id": k % 10, "a": k})
+		rb.Add(Tuple{"id": k % 10, "b": -k})
+	}
+	rels["wa"] = ra
+	rels["wb"] = rb
+	walk := &Walk{
+		Wrappers: []WrapperRef{
+			{Wrapper: "wa", Source: "SA", Projection: []string{"a"}},
+			{Wrapper: "wb", Source: "SB", Projection: []string{"b"}},
+		},
+		Joins: []JoinCondition{{LeftWrapper: "wa", LeftAttr: "id", RightWrapper: "wb", RightAttr: "id"}},
+	}
+	u := NewUCQ()
+	u.Add(walk)
+
+	budgets := []struct {
+		name   string
+		budget lifecycle.Budget
+		dim    string
+	}{
+		{"rows", lifecycle.Budget{MaxRows: 1}, lifecycle.DimRows},
+		{"bytes", lifecycle.Budget{MaxBytes: 1}, lifecycle.DimBytes},
+		{"wallTime", lifecycle.Budget{MaxWallTime: time.Nanosecond}, lifecycle.DimWallTime},
+	}
+	for _, tc := range budgets {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			refCtx := lifecycle.WithTracker(context.Background(), lifecycle.NewTracker(tc.budget))
+			_, refErr := u.ExecuteReferenceContext(refCtx, rels)
+			gotCtx := lifecycle.WithTracker(context.Background(), lifecycle.NewTracker(tc.budget))
+			_, gotErr := u.ExecuteContext(gotCtx, rels)
+			refBE, refOK := lifecycle.BudgetError(refErr)
+			gotBE, gotOK := lifecycle.BudgetError(gotErr)
+			if !refOK || !gotOK {
+				t.Fatalf("expected budget errors from both executors, got reference=%v engine=%v", refErr, gotErr)
+			}
+			if refBE.Dimension != tc.dim || gotBE.Dimension != tc.dim {
+				t.Fatalf("dimension parity broken: want %s, reference tripped %s, engine tripped %s",
+					tc.dim, refBE.Dimension, gotBE.Dimension)
+			}
+		})
+	}
+}
+
+// TestCancellationParity checks that a cancelled context aborts both
+// executors with the same context error.
+func TestCancellationParity(t *testing.T) {
+	rels := staticResolver{"w1": w1Relation()}
+	u := NewUCQ()
+	u.Add(NewWalk("w1", "S1", "lagRatio"))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, refErr := u.ExecuteReferenceContext(ctx, rels)
+	_, gotErr := u.ExecuteContext(ctx, rels)
+	if refErr != context.Canceled || gotErr != context.Canceled {
+		t.Fatalf("cancellation parity broken: reference=%v engine=%v", refErr, gotErr)
+	}
+	_, refErr = u.Walks[0].ExecuteReferenceContext(ctx, rels)
+	_, gotErr = u.Walks[0].ExecuteContext(ctx, rels)
+	if refErr != context.Canceled || gotErr != context.Canceled {
+		t.Fatalf("walk cancellation parity broken: reference=%v engine=%v", refErr, gotErr)
+	}
+}

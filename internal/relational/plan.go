@@ -1,0 +1,272 @@
+package relational
+
+import (
+	"fmt"
+)
+
+// planInput is one wrapper relation participating in a compiled walk: the
+// ingested columnar relation plus the restricted projection Π̃ applied to it
+// (the projected attributes and every ID attribute of the fetched schema,
+// in fetched-schema order).
+type planInput struct {
+	wrapper string
+	rel     *ColRelation
+	proj    Schema // restricted projection of rel.Schema
+	cols    []int  // rel column index per proj attribute
+}
+
+// planStep is one physical step of a compiled walk: either a hash join that
+// brings input into the accumulated relation on leftAttr = rightAttr, or a
+// filter applying leftAttr = rightAttr over attributes already accumulated.
+type planStep struct {
+	filter    bool
+	leftAttr  string // attribute on the accumulated side
+	rightAttr string // attribute on the joined input (or accumulated, for filters)
+	input     int    // join only: index into compiledWalk.inputs
+}
+
+// compiledWalk is a walk compiled against the fetched wrapper schemas: the
+// reference executor's observable shape (output name, schema and attribute
+// order, and every structural error it would raise, in the order it would
+// raise them) plus a physical join order chosen from relation-size
+// estimates. Compilation is schema-only — no tuple is touched.
+type compiledWalk struct {
+	walk   *Walk
+	name   string
+	schema Schema // reference attribute order (the observable schema)
+	phys   Schema // physical attribute order produced by the plan's steps
+	inputs []planInput
+	start  int        // index into inputs of the physical start relation
+	steps  []planStep // physical join order
+}
+
+// refStep records one consumption of the reference join loop, used when the
+// physical plan must replay the reference order exactly.
+type refStep struct {
+	filter    bool
+	wrapper   string // join only
+	leftAttr  string
+	rightAttr string
+}
+
+// compileWalk compiles w against the fetched relations. It surfaces exactly
+// the errors the reference executor raises, in the reference order:
+// Validate first, then (for multi-wrapper walks) the restricted-join ID
+// checks in consumption order, the disconnected-joins error, and the
+// unconnected-wrapper error.
+func compileWalk(w *Walk, fetched map[string]*ColRelation) (*compiledWalk, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	c := &compiledWalk{walk: w}
+
+	// Resolve the restricted projection per wrapper. Later duplicate entries
+	// overwrite earlier ones, as the reference executor's relation map did.
+	byWrapper := map[string]int{}
+	for _, ref := range w.Wrappers {
+		rel, ok := fetched[ref.Wrapper]
+		if !ok {
+			return nil, fmt.Errorf("relational: wrapper %s was not fetched", ref.Wrapper)
+		}
+		proj, cols := projectColumns(rel.Schema, ref.Projection)
+		if i, ok := byWrapper[ref.Wrapper]; ok {
+			c.inputs[i] = planInput{wrapper: ref.Wrapper, rel: rel, proj: proj, cols: cols}
+			continue
+		}
+		byWrapper[ref.Wrapper] = len(c.inputs)
+		c.inputs = append(c.inputs, planInput{wrapper: ref.Wrapper, rel: rel, proj: proj, cols: cols})
+	}
+
+	if len(w.Wrappers) == 1 {
+		// Single-wrapper walks return the projected relation directly; the
+		// reference executor never enters its join loop for them.
+		c.name = c.inputs[0].rel.Name
+		c.schema = c.inputs[0].proj
+		c.phys = c.schema
+		return c, nil
+	}
+
+	name, schema, refSteps, err := simulateReference(w, c, byWrapper)
+	if err != nil {
+		return nil, err
+	}
+	c.name, c.schema = name, schema
+	c.start, c.steps = planPhysical(w, c, byWrapper, refSteps)
+	c.phys = c.inputs[c.start].proj
+	for _, st := range c.steps {
+		if !st.filter {
+			c.phys = c.phys.Merge(c.inputs[st.input].proj)
+		}
+	}
+	return c, nil
+}
+
+// projectColumns applies the restricted projection Π̃ to a fetched schema:
+// the named attributes plus every ID attribute, in fetched-schema order.
+func projectColumns(s Schema, projection []string) (Schema, []int) {
+	keep := map[string]bool{}
+	for _, n := range projection {
+		keep[n] = true
+	}
+	for _, id := range s.IDNames() {
+		keep[id] = true
+	}
+	var proj Schema
+	var cols []int
+	for i, a := range s.Attributes {
+		if keep[a.Name] {
+			proj.Attributes = append(proj.Attributes, a)
+			cols = append(cols, i)
+		}
+	}
+	return proj, cols
+}
+
+// simulateReference replays the reference executor's join-consumption loop
+// on schemas alone, fixing the output name, the merged schema order and the
+// structural errors byte-for-byte.
+func simulateReference(w *Walk, c *compiledWalk, byWrapper map[string]int) (string, Schema, []refStep, error) {
+	first := w.Wrappers[0].Wrapper
+	joined := map[string]bool{first: true}
+	accIn := c.inputs[byWrapper[first]]
+	accName, accSchema := accIn.rel.Name, accIn.proj
+	remaining := append([]JoinCondition(nil), w.Joins...)
+	var steps []refStep
+	for len(remaining) > 0 {
+		progress := false
+		for i, j := range remaining {
+			var nextWrapper, accAttr, nextAttr string
+			switch {
+			case joined[j.LeftWrapper] && joined[j.RightWrapper]:
+				nextWrapper, accAttr, nextAttr = "", j.LeftAttr, j.RightAttr
+			case joined[j.LeftWrapper]:
+				nextWrapper, accAttr, nextAttr = j.RightWrapper, j.LeftAttr, j.RightAttr
+			case joined[j.RightWrapper]:
+				nextWrapper, accAttr, nextAttr = j.LeftWrapper, j.RightAttr, j.LeftAttr
+			default:
+				continue
+			}
+			if nextWrapper == "" {
+				steps = append(steps, refStep{filter: true, leftAttr: accAttr, rightAttr: nextAttr})
+			} else {
+				next := c.inputs[byWrapper[nextWrapper]]
+				if !accSchema.IsID(accAttr) {
+					return "", Schema{}, nil, fmt.Errorf("relational: %q is not an ID attribute of %s%s", accAttr, accName, accSchema)
+				}
+				if !next.proj.IsID(nextAttr) {
+					return "", Schema{}, nil, fmt.Errorf("relational: %q is not an ID attribute of %s%s", nextAttr, next.rel.Name, next.proj)
+				}
+				steps = append(steps, refStep{wrapper: nextWrapper, leftAttr: accAttr, rightAttr: nextAttr})
+				accName = fmt.Sprintf("(%s⋈%s)", accName, next.rel.Name)
+				accSchema = accSchema.Merge(next.proj)
+				joined[nextWrapper] = true
+			}
+			remaining = append(remaining[:i], remaining[i+1:]...)
+			progress = true
+			break
+		}
+		if !progress {
+			return "", Schema{}, nil, fmt.Errorf("relational: walk joins are disconnected: %v", remaining)
+		}
+	}
+	for _, ref := range w.Wrappers {
+		if !joined[ref.Wrapper] {
+			return "", Schema{}, nil, fmt.Errorf("relational: wrapper %s is not connected by any join in the walk", ref.Wrapper)
+		}
+	}
+	return accName, accSchema, steps, nil
+}
+
+// planPhysical chooses the physical join order. When no attribute name is
+// shared between two distinct inputs (always true for source-qualified
+// walks), the order is free — the merged row set of an inner equi-join
+// conjunction is order-independent — and the planner greedily starts from
+// the smallest relation and repeatedly joins the smallest connected input,
+// applying filter conditions as soon as both sides are accumulated. When
+// attribute names ARE shared, the merge's left-wins semantics make cell
+// values order-dependent, so the plan replays the reference order exactly.
+func planPhysical(w *Walk, c *compiledWalk, byWrapper map[string]int, refSteps []refStep) (int, []planStep) {
+	if sharesAttributes(c.inputs) {
+		steps := make([]planStep, len(refSteps))
+		for i, s := range refSteps {
+			steps[i] = planStep{filter: s.filter, leftAttr: s.leftAttr, rightAttr: s.rightAttr}
+			if !s.filter {
+				steps[i].input = byWrapper[s.wrapper]
+			}
+		}
+		return byWrapper[w.Wrappers[0].Wrapper], steps
+	}
+
+	start := 0
+	for i, in := range c.inputs {
+		if in.rel.NumRows() < c.inputs[start].rel.NumRows() {
+			start = i
+		}
+	}
+	joined := map[string]bool{c.inputs[start].wrapper: true}
+	remaining := append([]JoinCondition(nil), w.Joins...)
+	var steps []planStep
+	for len(remaining) > 0 {
+		// Filters first: they only shrink the accumulated relation.
+		bestIdx, bestRows := -1, 0
+		var best planStep
+		for i, j := range remaining {
+			switch {
+			case joined[j.LeftWrapper] && joined[j.RightWrapper]:
+				bestIdx, best = i, planStep{filter: true, leftAttr: j.LeftAttr, rightAttr: j.RightAttr}
+			case joined[j.LeftWrapper]:
+				in := byWrapper[j.RightWrapper]
+				if rows := c.inputs[in].rel.NumRows(); bestIdx < 0 || (!best.filter && rows < bestRows) {
+					bestIdx, bestRows = i, rows
+					best = planStep{leftAttr: j.LeftAttr, rightAttr: j.RightAttr, input: in}
+				}
+			case joined[j.RightWrapper]:
+				in := byWrapper[j.LeftWrapper]
+				if rows := c.inputs[in].rel.NumRows(); bestIdx < 0 || (!best.filter && rows < bestRows) {
+					bestIdx, bestRows = i, rows
+					best = planStep{leftAttr: j.RightAttr, rightAttr: j.LeftAttr, input: in}
+				}
+			}
+			if best.filter {
+				break
+			}
+		}
+		if bestIdx < 0 {
+			// Unreachable after a successful reference simulation: every
+			// condition is connected to the single component. Replay the
+			// reference order defensively.
+			steps = make([]planStep, len(refSteps))
+			for i, s := range refSteps {
+				steps[i] = planStep{filter: s.filter, leftAttr: s.leftAttr, rightAttr: s.rightAttr}
+				if !s.filter {
+					steps[i].input = byWrapper[s.wrapper]
+				}
+			}
+			return byWrapper[w.Wrappers[0].Wrapper], steps
+		}
+		if !best.filter {
+			joined[c.inputs[best.input].wrapper] = true
+		}
+		steps = append(steps, best)
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	return start, steps
+}
+
+// sharesAttributes reports whether any attribute name appears in the
+// projected schema of two distinct inputs.
+func sharesAttributes(inputs []planInput) bool {
+	if len(inputs) < 2 {
+		return false
+	}
+	seen := map[string]int{}
+	for i, in := range inputs {
+		for _, a := range in.proj.Attributes {
+			if prev, ok := seen[a.Name]; ok && prev != i {
+				return true
+			}
+			seen[a.Name] = i
+		}
+	}
+	return false
+}

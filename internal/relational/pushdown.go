@@ -1,0 +1,114 @@
+package relational
+
+import (
+	"context"
+	"sort"
+)
+
+// Selection is a source-side equality filter: keep rows whose attribute
+// compares equal (under the cross-source ValuesEqual semantics) to any of
+// the given values.
+type Selection struct {
+	Attr   string
+	Values []Value
+}
+
+// Pushdown describes work a wrapper may execute at the source instead of
+// returning its full output: a projection to the named attributes and a
+// conjunction of equality selections.
+//
+// Contract for implementations:
+//   - The returned relation must keep every ID attribute of the wrapper's
+//     schema even when Attrs omits it (the restricted projection Π̃ never
+//     drops IDs, and the engine joins on them).
+//   - Kept attributes must preserve their relative order in the wrapper's
+//     full schema.
+//   - An empty Attrs list pushes no projection (all attributes are kept);
+//     an empty Selections list pushes no filter.
+//   - A source that cannot honor the pushdown (or part of it) reports
+//     ok=false and the caller falls back to a plain fetch; partial execution
+//     is not allowed, because the caller does not re-apply the pushdown.
+//   - Rename is applied last, while the source materializes its output, so a
+//     renaming caller (e.g. a qualifying resolver) costs no extra pass over
+//     the rows. Attrs and Selections always use source attribute names.
+type Pushdown struct {
+	Attrs      []string
+	Selections []Selection
+	// Rename maps source attribute names to output names, applied after the
+	// projection and the selections. Attributes absent from the map keep
+	// their source name.
+	Rename map[string]string
+}
+
+// IsZero reports whether the pushdown requests no work.
+func (p Pushdown) IsZero() bool {
+	return len(p.Attrs) == 0 && len(p.Selections) == 0 && len(p.Rename) == 0
+}
+
+// PushdownResolver is the optional extension of WrapperResolver implemented
+// by resolvers whose wrappers can execute selections/projections at the
+// source. The compiled walk engine uses it to fetch only the columns a
+// query's walks touch.
+type PushdownResolver interface {
+	WrapperResolver
+	// FetchPushdown fetches the named wrapper with the pushdown applied at
+	// the source. ok=false means the source cannot honor the pushdown and
+	// the caller must fall back to Fetch/FetchContext.
+	FetchPushdown(ctx context.Context, wrapper string, p Pushdown) (*Relation, bool, error)
+}
+
+// projectionPushdown computes the projection the engine can push to one
+// wrapper: the sorted union of the walk projections naming it across the
+// whole union of walks. IDs are not listed — the Pushdown contract obliges
+// the source to retain them.
+func projectionPushdown(walks []*Walk, wrapper string) Pushdown {
+	seen := map[string]bool{}
+	var attrs []string
+	for _, w := range walks {
+		for _, ref := range w.Wrappers {
+			if ref.Wrapper != wrapper {
+				continue
+			}
+			for _, a := range ref.Projection {
+				if !seen[a] {
+					seen[a] = true
+					attrs = append(attrs, a)
+				}
+			}
+		}
+	}
+	sort.Strings(attrs)
+	return Pushdown{Attrs: attrs}
+}
+
+// ApplySelections filters rel by the selections in memory, using the same
+// equality semantics a source must implement. It is the reference
+// implementation sources can defer to (and tests compare against).
+func ApplySelections(rel *Relation, sels []Selection) *Relation {
+	if len(sels) == 0 {
+		return rel
+	}
+	out := NewRelation(rel.Name, rel.Schema)
+	for _, t := range rel.Tuples {
+		if tupleMatches(t, sels) {
+			out.Add(t)
+		}
+	}
+	return out
+}
+
+func tupleMatches(t Tuple, sels []Selection) bool {
+	for _, s := range sels {
+		match := false
+		for _, v := range s.Values {
+			if ValuesEqual(t[s.Attr], v) {
+				match = true
+				break
+			}
+		}
+		if !match {
+			return false
+		}
+	}
+	return true
+}

@@ -182,16 +182,20 @@ func (r *Relation) EquiJoinContext(ctx context.Context, other *Relation, leftAtt
 		return nil, fmt.Errorf("relational: %q is not an ID attribute of %s%s", rightAttr, other.Name, other.Schema)
 	}
 	out := NewRelation(fmt.Sprintf("(%s⋈%s)", r.Name, other.Name), r.Schema.Merge(other.Schema))
-	// Hash join on the right relation.
-	index := map[string][]Tuple{}
+	// Hash join on the right relation. The index is keyed on the comparable
+	// vkey form of the join value, not its rendered valueKey string: keyOf
+	// allocates nothing for the JSON value types, so neither building the
+	// index nor probing it rebuilds a canonical string per tuple.
+	index := map[vkey][]Tuple{}
 	for _, t := range other.Tuples {
-		index[valueKey(t[rightAttr])] = append(index[valueKey(t[rightAttr])], t)
+		k := keyOf(t[rightAttr])
+		index[k] = append(index[k], t)
 	}
 	track := lifecycle.TrackerFrom(ctx)
 	tupleCost := int64(lifecycle.TupleCost + lifecycle.CellCost*len(out.Schema.Attributes))
 	produced := 0
 	for _, lt := range r.Tuples {
-		for _, rt := range index[valueKey(lt[leftAttr])] {
+		for _, rt := range index[keyOf(lt[leftAttr])] {
 			out.Add(lt.Merge(rt))
 			if produced++; produced >= lifecycle.CheckEvery {
 				if err := track.AddRows(int64(produced)); err != nil {

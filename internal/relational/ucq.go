@@ -2,7 +2,6 @@ package relational
 
 import (
 	"context"
-	"fmt"
 	"sort"
 	"strings"
 
@@ -117,145 +116,50 @@ func chargeRelation(t *lifecycle.Tracker, rel *Relation) error {
 
 // Execute evaluates a single walk against the resolver: it fetches each
 // wrapper, applies the restricted projection, then applies the restricted
-// joins in order. Wrappers without join conditions (single-wrapper walks)
-// are returned projected.
+// joins. Wrappers without join conditions (single-wrapper walks) are
+// returned projected. Since the compile-then-execute engine landed, this
+// runs the walk through DefaultEngine; ExecuteReference preserves the
+// original tuple-at-a-time executor.
 func (w *Walk) Execute(resolver WrapperResolver) (*Relation, error) {
 	return w.ExecuteContext(context.Background(), resolver)
 }
 
 // ExecuteContext is Execute under lifecycle control: source fetches honor
-// ctx, every materialized relation (fetched and joined) is charged against
-// the context's lifecycle.Tracker, and the join loops check cancellation at
-// chunk granularity.
+// ctx, materialized relations are charged against the context's
+// lifecycle.Tracker, and the join loops check cancellation at chunk
+// granularity.
 func (w *Walk) ExecuteContext(ctx context.Context, resolver WrapperResolver) (*Relation, error) {
-	if err := w.Validate(); err != nil {
-		return nil, err
-	}
-	track := lifecycle.TrackerFrom(ctx)
-	// Fetch and project every wrapper.
-	relations := map[string]*Relation{}
-	for _, ref := range w.Wrappers {
-		if err := lifecycle.Check(ctx, track); err != nil {
-			return nil, err
-		}
-		rel, err := fetchWrapper(ctx, resolver, ref.Wrapper)
-		if err != nil {
-			return nil, fmt.Errorf("relational: fetching wrapper %s: %w", ref.Wrapper, err)
-		}
-		relations[ref.Wrapper] = rel.Project(ref.Projection)
-		if err := chargeRelation(track, relations[ref.Wrapper]); err != nil {
-			return nil, err
-		}
-	}
-	if len(w.Wrappers) == 1 {
-		return relations[w.Wrappers[0].Wrapper], nil
-	}
-	// Iteratively apply join conditions; each join merges the right wrapper
-	// into the accumulated relation. Conditions are processed in a order that
-	// always joins against an already-joined wrapper when possible.
-	joined := map[string]bool{w.Wrappers[0].Wrapper: true}
-	acc := relations[w.Wrappers[0].Wrapper]
-	remaining := append([]JoinCondition(nil), w.Joins...)
-	for len(remaining) > 0 {
-		progress := false
-		for i, j := range remaining {
-			var nextWrapper, accAttr, nextAttr string
-			switch {
-			case joined[j.LeftWrapper] && joined[j.RightWrapper]:
-				// Both sides already joined: apply as a filter via join keys.
-				nextWrapper, accAttr, nextAttr = "", j.LeftAttr, j.RightAttr
-			case joined[j.LeftWrapper]:
-				nextWrapper, accAttr, nextAttr = j.RightWrapper, j.LeftAttr, j.RightAttr
-			case joined[j.RightWrapper]:
-				nextWrapper, accAttr, nextAttr = j.LeftWrapper, j.RightAttr, j.LeftAttr
-			default:
-				continue
-			}
-			if nextWrapper == "" {
-				acc = filterEqual(acc, accAttr, nextAttr)
-			} else {
-				next, ok := relations[nextWrapper]
-				if !ok {
-					return nil, fmt.Errorf("relational: join references wrapper %s not in walk", nextWrapper)
-				}
-				var err error
-				acc, err = acc.EquiJoinContext(ctx, next, accAttr, nextAttr)
-				if err != nil {
-					return nil, err
-				}
-				joined[nextWrapper] = true
-			}
-			remaining = append(remaining[:i], remaining[i+1:]...)
-			progress = true
-			break
-		}
-		if !progress {
-			return nil, fmt.Errorf("relational: walk joins are disconnected: %v", remaining)
-		}
-	}
-	// Any wrapper never mentioned in a join is combined via cartesian-free
-	// error: the walk is not a connected SPJ expression.
-	for _, ref := range w.Wrappers {
-		if !joined[ref.Wrapper] {
-			return nil, fmt.Errorf("relational: wrapper %s is not connected by any join in the walk", ref.Wrapper)
-		}
-	}
-	return acc, nil
-}
-
-// filterEqual keeps tuples where both attributes are equal. It implements
-// join conditions whose two sides are already part of the accumulated
-// relation.
-func filterEqual(r *Relation, a, b string) *Relation {
-	out := NewRelation(r.Name, r.Schema)
-	for _, t := range r.Tuples {
-		if ValuesEqual(t[a], t[b]) {
-			out.Add(t.Clone())
-		}
-	}
-	return out
+	return DefaultEngine.ExecuteWalk(ctx, w, resolver)
 }
 
 // Execute evaluates the union of conjunctive queries: each walk is executed
 // and its result restricted to the requested attributes available in that
-// walk; results are unioned and deduplicated.
+// walk; results are unioned and deduplicated. Walks execute in parallel
+// through DefaultEngine; ExecuteReference preserves the original serial
+// executor.
 func (u *UnionOfConjunctiveQueries) Execute(resolver WrapperResolver) (*Relation, error) {
 	return u.ExecuteContext(context.Background(), resolver)
 }
 
-// ExecuteContext is Execute under lifecycle control: the union loop checks
-// cancellation and the wall-time budget between walks (each walk's internal
-// loops check at chunk granularity), so an exhausted budget or disconnected
-// client aborts before the next walk starts.
+// ExecuteContext is Execute under lifecycle control: the compile loop checks
+// cancellation and the wall-time budget between walks and the join loops
+// check at chunk granularity, so an exhausted budget or disconnected client
+// aborts mid-flight.
 func (u *UnionOfConjunctiveQueries) ExecuteContext(ctx context.Context, resolver WrapperResolver) (*Relation, error) {
 	if u.IsEmpty() {
 		return NewRelation("∅", Schema{}), nil
 	}
-	track := lifecycle.TrackerFrom(ctx)
-	var result *Relation
-	for _, w := range u.Walks {
-		if err := lifecycle.Check(ctx, track); err != nil {
-			return nil, err
-		}
-		rel, err := w.ExecuteContext(ctx, resolver)
-		if err != nil {
-			return nil, err
-		}
-		if len(u.RequestedAttributes) > 0 {
+	opts := ExecOptions{Name: "answer"}
+	if len(u.RequestedAttributes) > 0 {
+		opts.PostProject = func(i int, w *Walk, schema Schema) PostProjection {
 			var keep []string
 			for _, a := range u.RequestedAttributes {
-				if rel.Schema.Has(a) {
+				if schema.Has(a) {
 					keep = append(keep, a)
 				}
 			}
-			rel = rel.StrictProject(keep)
-		}
-		if result == nil {
-			result = rel
-		} else {
-			result = result.Union(rel)
+			return PostProjection{Strict: true, Keep: keep}
 		}
 	}
-	result.Name = "answer"
-	return result.Distinct(), nil
+	return DefaultEngine.ExecuteUnion(ctx, u.Walks, resolver, opts)
 }

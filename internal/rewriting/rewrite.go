@@ -239,15 +239,73 @@ func (r *Rewriter) AnswerSPARQL(text string, resolver relational.WrapperResolver
 
 // ExecuteResult executes every walk of the rewriting result, renames the
 // projected attributes to their feature names and unions the per-walk
-// relations.
+// relations. Walks run through the compiled relational engine;
+// ExecuteResultReference preserves the original executor for differential
+// testing.
 func (r *Rewriter) ExecuteResult(res *Result, resolver relational.WrapperResolver) (*relational.Relation, error) {
 	return r.ExecuteResultContext(context.Background(), res, resolver)
 }
 
-// ExecuteResultContext is ExecuteResult under lifecycle control: the union
+// ExecuteResultContext is ExecuteResult under lifecycle control: the compile
 // loop checks cancellation between walks and each walk execution honors ctx
 // and the context's budget tracker.
 func (r *Rewriter) ExecuteResultContext(ctx context.Context, res *Result, resolver relational.WrapperResolver) (*relational.Relation, error) {
+	return r.ExecuteResultLimit(ctx, res, resolver, 0)
+}
+
+// ExecuteResultLimit is ExecuteResultContext with an early-out: limit > 0
+// stops execution once that many distinct answer rows exist, cancelling the
+// walks that can no longer contribute. The retained rows are a deterministic
+// prefix (in walk order) of the full answer.
+func (r *Rewriter) ExecuteResultLimit(ctx context.Context, res *Result, resolver relational.WrapperResolver, limit int) (*relational.Relation, error) {
+	if len(res.UCQ.Walks) == 0 {
+		return relational.NewRelation("answer", relational.Schema{}).Distinct(), nil
+	}
+	opts := relational.ExecOptions{
+		Name:        "answer",
+		Limit:       limit,
+		PostProject: r.featureProjection(res),
+	}
+	return relational.DefaultEngine.ExecuteUnion(ctx, res.UCQ.Walks, resolver, opts)
+}
+
+// featureProjection builds the engine post-projection replicating the
+// reference per-walk logic: for each projected feature, keep the first
+// wrapper attribute of this walk providing it and rename it to the feature's
+// local name.
+func (r *Rewriter) featureProjection(res *Result) func(int, *relational.Walk, relational.Schema) relational.PostProjection {
+	o := r.Ontology
+	features := res.WellFormed.Pi
+	return func(_ int, w *relational.Walk, schema relational.Schema) relational.PostProjection {
+		rename := map[string]string{}
+		var keep []string
+		for _, f := range features {
+			for _, name := range w.WrapperNames() {
+				attr, ok := o.AttributeOfFeatureInWrapper(core.WrapperURI(name), f)
+				if !ok {
+					continue
+				}
+				qualified := core.AttributeName(attr)
+				if schema.Has(qualified) {
+					rename[qualified] = f.LocalName()
+					keep = append(keep, qualified)
+					break
+				}
+			}
+		}
+		return relational.PostProjection{Strict: true, Keep: keep, Rename: rename}
+	}
+}
+
+// ExecuteResultReference preserves the original tuple-at-a-time execution of
+// a rewriting result, for differential testing against the compiled engine.
+func (r *Rewriter) ExecuteResultReference(res *Result, resolver relational.WrapperResolver) (*relational.Relation, error) {
+	return r.ExecuteResultReferenceContext(context.Background(), res, resolver)
+}
+
+// ExecuteResultReferenceContext is ExecuteResultReference under lifecycle
+// control; its body is the pre-engine ExecuteResultContext, verbatim.
+func (r *Rewriter) ExecuteResultReferenceContext(ctx context.Context, res *Result, resolver relational.WrapperResolver) (*relational.Relation, error) {
 	o := r.Ontology
 	track := lifecycle.TrackerFrom(ctx)
 	features := res.WellFormed.Pi
@@ -256,7 +314,7 @@ func (r *Rewriter) ExecuteResultContext(ctx context.Context, res *Result, resolv
 		if err := lifecycle.Check(ctx, track); err != nil {
 			return nil, err
 		}
-		rel, err := w.ExecuteContext(ctx, resolver)
+		rel, err := w.ExecuteReferenceContext(ctx, resolver)
 		if err != nil {
 			return nil, err
 		}

@@ -129,7 +129,7 @@ func (ec *EvolutionChurn) RegisterRelatedRelease() (*core.ReleaseResult, error) 
 	if err != nil {
 		return nil, err
 	}
-	ec.Registry.Register(worstCaseWrapper(name, source, 0, ec.Concepts > 1))
+	ec.Registry.Register(worstCaseWrapper(name, source, 0, ec.Concepts > 1, 3))
 	return res, nil
 }
 

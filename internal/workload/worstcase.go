@@ -45,10 +45,20 @@ func edgeProperty(i int) rdf.IRI { return rdf.IRI(fmt.Sprintf("%sc%d_next", NSWo
 
 // BuildWorstCase constructs the ontology, OMQ and (small) data registry for
 // the worst-case experiment with the given number of chained concepts and
-// disjoint wrappers per concept.
+// disjoint wrappers per concept. Each wrapper carries three rows, as in the
+// rewriting-focused Figure 8 experiment.
 func BuildWorstCase(concepts, wrappersPerConcept int) (*WorstCase, error) {
-	if concepts < 1 || wrappersPerConcept < 1 {
-		return nil, fmt.Errorf("workload: concepts and wrappers per concept must be positive")
+	return BuildWorstCaseRows(concepts, wrappersPerConcept, 3)
+}
+
+// BuildWorstCaseRows is BuildWorstCase with a configurable number of rows
+// per wrapper, for execution-focused experiments: row k of every wrapper of
+// concept i carries id k (so the chain joins are one-to-one) and a value
+// derived from (i, k), making the answer deterministic and of exactly
+// rowsPerWrapper rows regardless of how many wrappers serve each concept.
+func BuildWorstCaseRows(concepts, wrappersPerConcept, rowsPerWrapper int) (*WorstCase, error) {
+	if concepts < 1 || wrappersPerConcept < 1 || rowsPerWrapper < 1 {
+		return nil, fmt.Errorf("workload: concepts, wrappers per concept and rows per wrapper must be positive")
 	}
 	o := core.NewOntology()
 	reg := wrapper.NewRegistry()
@@ -106,7 +116,7 @@ func BuildWorstCase(concepts, wrappersPerConcept int) (*WorstCase, error) {
 			if _, err := o.NewRelease(core.Release{Wrapper: spec, Subgraph: g, F: f}); err != nil {
 				return nil, err
 			}
-			reg.Register(worstCaseWrapper(name, source, i, i+1 < concepts))
+			reg.Register(worstCaseWrapper(name, source, i, i+1 < concepts, rowsPerWrapper))
 		}
 	}
 
@@ -131,16 +141,16 @@ func BuildWorstCase(concepts, wrappersPerConcept int) (*WorstCase, error) {
 	}, nil
 }
 
-// worstCaseWrapper builds a tiny in-memory wrapper so that the generated
-// walks are also executable (three tuples each, deterministic values).
-func worstCaseWrapper(name, source string, concept int, hasNext bool) wrapper.Wrapper {
+// worstCaseWrapper builds an in-memory wrapper so that the generated walks
+// are also executable (n tuples, deterministic values).
+func worstCaseWrapper(name, source string, concept int, hasNext bool, n int) wrapper.Wrapper {
 	ids := []string{fmt.Sprintf("c%d_id", concept)}
 	if hasNext {
 		ids = append(ids, fmt.Sprintf("c%d_id", concept+1))
 	}
 	schema := relational.NewSchema(ids, []string{fmt.Sprintf("c%d_value", concept)})
 	var rows []relational.Tuple
-	for k := 0; k < 3; k++ {
+	for k := 0; k < n; k++ {
 		t := relational.Tuple{
 			fmt.Sprintf("c%d_id", concept):    k,
 			fmt.Sprintf("c%d_value", concept): float64(concept) + float64(k)/10,

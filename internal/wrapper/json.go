@@ -172,6 +172,12 @@ func (j *JSON) Rows() ([]relational.Tuple, error) {
 // the source supports it, and the per-document pipeline loop checks
 // cancellation at chunk granularity.
 func (j *JSON) RowsContext(ctx context.Context) ([]relational.Tuple, error) {
+	return j.rowsContext(ctx, j.pipeline)
+}
+
+// rowsContext runs the given pipeline (the wrapper's own, or a pruned one
+// built for a pushdown) over the source documents.
+func (j *JSON) rowsContext(ctx context.Context, pipeline []Op) ([]relational.Tuple, error) {
 	var docs []Document
 	var err error
 	if cs, ok := j.docs.(ContextDocumentSource); ok {
@@ -195,7 +201,7 @@ func (j *JSON) RowsContext(ctx context.Context) ([]relational.Tuple, error) {
 		}
 		out := map[string]any{}
 		failed := false
-		for _, op := range j.pipeline {
+		for _, op := range pipeline {
 			if err := op.Apply(doc, out); err != nil {
 				if j.SkipBadDocuments {
 					failed = true

@@ -21,6 +21,18 @@ type Op interface {
 	Describe() string
 }
 
+// PushdownOp is the optional Op extension behind projection pushdown: an op
+// that writes exactly one output attribute reports it, together with whether
+// skipping the op is safe. Only ops that can never fail are prunable —
+// pruning a fallible op would change which documents survive the pipeline,
+// and a pushdown must never change row-level outcomes.
+type PushdownOp interface {
+	Op
+	// PushdownOutput returns the op's single output attribute and whether
+	// the op may be pruned when that attribute is not needed.
+	PushdownOutput() (attr string, prunable bool)
+}
+
 // ProjectField projects a (possibly nested, dot-separated) document field
 // into an output attribute, optionally renaming it.
 type ProjectField struct {
@@ -60,6 +72,18 @@ func (p ProjectField) Describe() string {
 	return "project " + p.Path
 }
 
+// PushdownOutput implements PushdownOp. Only optional projections are
+// prunable: a required one fails on documents missing the field, and that
+// outcome must survive a pushdown.
+func (p ProjectField) PushdownOutput() (string, bool) {
+	name := p.As
+	if name == "" {
+		segs := strings.Split(p.Path, ".")
+		name = segs[len(segs)-1]
+	}
+	return name, p.Optional
+}
+
 // ComputeRatio computes the ratio of two numeric document fields, mirroring
 // the lagRatio = waitTime / watchTime computation of the running example.
 type ComputeRatio struct {
@@ -91,6 +115,10 @@ func (c ComputeRatio) Describe() string {
 	return fmt.Sprintf("compute %s = %s / %s", c.As, c.Numerator, c.Denominator)
 }
 
+// PushdownOutput implements PushdownOp. Never prunable: the op fails on
+// missing or non-numeric fields.
+func (c ComputeRatio) PushdownOutput() (string, bool) { return c.As, false }
+
 // Constant sets an output attribute to a fixed value (used e.g. to tag the
 // schema version or the feedback-gathering tool id).
 type Constant struct {
@@ -106,6 +134,10 @@ func (c Constant) Apply(doc Document, out map[string]any) error {
 
 // Describe implements Op.
 func (c Constant) Describe() string { return fmt.Sprintf("set %s = %v", c.As, c.Value) }
+
+// PushdownOutput implements PushdownOp. Always prunable: setting a constant
+// cannot fail.
+func (c Constant) PushdownOutput() (string, bool) { return c.As, true }
 
 // Concat concatenates the string values of several document paths.
 type Concat struct {
@@ -132,6 +164,10 @@ func (c Concat) Apply(doc Document, out map[string]any) error {
 func (c Concat) Describe() string {
 	return fmt.Sprintf("concat(%s) as %s", strings.Join(c.Paths, ", "), c.As)
 }
+
+// PushdownOutput implements PushdownOp. Never prunable: the op fails on
+// missing fields.
+func (c Concat) PushdownOutput() (string, bool) { return c.As, false }
 
 // lookupPath resolves a dot-separated path in a nested document.
 func lookupPath(doc Document, path string) (any, bool) {

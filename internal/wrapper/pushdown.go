@@ -1,0 +1,208 @@
+package wrapper
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"bdi/internal/relational"
+)
+
+// PushdownWrapper is the optional extension of Wrapper for sources that can
+// execute selections and projections natively, instead of returning their
+// full output for the engine to cut down. Implementations must honor the
+// relational.Pushdown contract: ID attributes are always retained, kept
+// attributes preserve their schema order, and ok=false (not a partial
+// result) is the answer when the pushdown cannot be honored.
+type PushdownWrapper interface {
+	Wrapper
+	// RowsPushdown executes the wrapper's query with the pushdown applied at
+	// the source, returning the rows and the pushed-down schema.
+	RowsPushdown(ctx context.Context, p relational.Pushdown) ([]relational.Tuple, relational.Schema, bool, error)
+}
+
+// RelationPushdown executes w with the pushdown applied when the wrapper
+// supports it, materializing the result as a relation named after the
+// wrapper (as RelationContext does). ok=false means the wrapper cannot honor
+// the pushdown and the caller must fall back to RelationContext.
+func RelationPushdown(ctx context.Context, w Wrapper, p relational.Pushdown) (*relational.Relation, bool, error) {
+	pw, ok := w.(PushdownWrapper)
+	if !ok {
+		return nil, false, nil
+	}
+	rows, schema, ok, err := pw.RowsPushdown(ctx, p)
+	if err != nil {
+		return nil, false, fmt.Errorf("wrapper %s: %w", w.Name(), err)
+	}
+	if !ok {
+		return nil, false, nil
+	}
+	rel := relational.NewRelation(w.Name(), schema)
+	rel.Add(rows...)
+	return rel, true, nil
+}
+
+// pushdownSchema applies a pushdown projection to a wrapper schema: the
+// named attributes plus every ID attribute, in schema order, with the
+// pushdown's rename applied. An empty attrs list keeps every attribute (no
+// projection pushed). The second return value lists the kept attributes'
+// source names, aligned with the schema, for reading source tuples.
+func pushdownSchema(s relational.Schema, p relational.Pushdown) (relational.Schema, []string) {
+	keep := map[string]bool{}
+	if len(p.Attrs) > 0 {
+		for _, a := range p.Attrs {
+			keep[a] = true
+		}
+		for _, id := range s.IDNames() {
+			keep[id] = true
+		}
+	}
+	var out relational.Schema
+	var srcNames []string
+	for _, a := range s.Attributes {
+		if len(p.Attrs) > 0 && !keep[a.Name] {
+			continue
+		}
+		srcNames = append(srcNames, a.Name)
+		if nn, ok := p.Rename[a.Name]; ok {
+			a.Name = nn
+		}
+		out.Attributes = append(out.Attributes, a)
+	}
+	return out, srcNames
+}
+
+// pushdownTuple materializes one source tuple under a pushdown: the kept
+// source attributes (srcNames) written under their output names (outNames),
+// in a single pass.
+func pushdownTuple(t relational.Tuple, srcNames, outNames []string) relational.Tuple {
+	out := make(relational.Tuple, len(srcNames))
+	for i, src := range srcNames {
+		if v, ok := t[src]; ok {
+			out[outNames[i]] = v
+		}
+	}
+	return out
+}
+
+// matchSelections reports whether the tuple satisfies every selection, using
+// the same cross-source equality a relation-level filter would.
+func matchSelections(t relational.Tuple, sels []relational.Selection) bool {
+	for _, s := range sels {
+		ok := false
+		for _, v := range s.Values {
+			if relational.ValuesEqual(t[s.Attr], v) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// RowsPushdown implements PushdownWrapper for the in-memory wrapper: the
+// reference implementation of source-side selection and projection.
+func (m *Memory) RowsPushdown(ctx context.Context, p relational.Pushdown) ([]relational.Tuple, relational.Schema, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, relational.Schema{}, false, err
+	}
+	schema, srcNames := pushdownSchema(m.schema, p)
+	outNames := schema.Names()
+	var out []relational.Tuple
+	for _, t := range m.rows {
+		if !matchSelections(t, p.Selections) {
+			continue
+		}
+		out = append(out, pushdownTuple(t, srcNames, outNames))
+	}
+	return out, schema, true, nil
+}
+
+var _ PushdownWrapper = (*Memory)(nil)
+
+// RowsPushdown implements PushdownWrapper for the JSON wrapper: pipeline ops
+// that declare a prunable single-attribute output (PushdownOp) are skipped
+// when the pushdown does not need their attribute, selections filter the
+// transformed tuples before materialization, and rows carry only the
+// pushed-down schema. Ops that can fail are never pruned, so exactly the
+// same documents succeed as in a full execution.
+func (j *JSON) RowsPushdown(ctx context.Context, p relational.Pushdown) ([]relational.Tuple, relational.Schema, bool, error) {
+	schema, srcNames := pushdownSchema(j.schema, p)
+	needed := map[string]bool{}
+	for _, n := range srcNames {
+		needed[n] = true
+	}
+	for _, s := range p.Selections {
+		needed[s.Attr] = true
+	}
+	pipeline := make([]Op, 0, len(j.pipeline))
+	for _, op := range j.pipeline {
+		if po, ok := op.(PushdownOp); ok {
+			if attr, prunable := po.PushdownOutput(); prunable && !needed[attr] {
+				continue
+			}
+		}
+		pipeline = append(pipeline, op)
+	}
+	rows, err := j.rowsContext(ctx, pipeline)
+	if err != nil {
+		return nil, relational.Schema{}, false, err
+	}
+	outNames := schema.Names()
+	var out []relational.Tuple
+	for _, t := range rows {
+		if !matchSelections(t, p.Selections) {
+			continue
+		}
+		out = append(out, pushdownTuple(t, srcNames, outNames))
+	}
+	return out, schema, true, nil
+}
+
+var _ PushdownWrapper = (*JSON)(nil)
+
+// FetchPushdown implements relational.PushdownResolver: it forwards the
+// pushdown to wrappers that support it and reports ok=false otherwise, so
+// the engine falls back to a plain fetch.
+func (r *Registry) FetchPushdown(ctx context.Context, name string, p relational.Pushdown) (*relational.Relation, bool, error) {
+	w, ok := r.Get(name)
+	if !ok {
+		return nil, false, fmt.Errorf("wrapper: %q is not registered", name)
+	}
+	return RelationPushdown(ctx, w, p)
+}
+
+var _ relational.PushdownResolver = (*Registry)(nil)
+
+// FetchPushdown implements relational.PushdownResolver for the qualified
+// resolver: pushdown attribute names arrive source-qualified
+// ("<source>/<attr>"), are translated to the wrapper's plain column names
+// for the source, and the qualification travels down as the pushdown's
+// rename — the source materializes qualified tuples directly, so the
+// qualified fetch costs no extra pass over the rows.
+func (q *Qualified) FetchPushdown(ctx context.Context, name string, p relational.Pushdown) (*relational.Relation, bool, error) {
+	w, ok := q.Registry.Get(name)
+	if !ok {
+		return nil, false, fmt.Errorf("wrapper: %q is not registered", name)
+	}
+	prefix := w.Source() + "/"
+	unq := relational.Pushdown{Rename: map[string]string{}}
+	for _, a := range p.Attrs {
+		unq.Attrs = append(unq.Attrs, strings.TrimPrefix(a, prefix))
+	}
+	for _, s := range p.Selections {
+		unq.Selections = append(unq.Selections, relational.Selection{
+			Attr:   strings.TrimPrefix(s.Attr, prefix),
+			Values: s.Values,
+		})
+	}
+	for _, a := range w.Schema().Names() {
+		unq.Rename[a] = prefix + a
+	}
+	return RelationPushdown(ctx, w, unq)
+}
+
+var _ relational.PushdownResolver = (*Qualified)(nil)

@@ -1,0 +1,172 @@
+package wrapper
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"bdi/internal/relational"
+)
+
+// countingOps wraps a DocumentSource to count fetches, so tests can assert
+// pushdowns still hit the source exactly once.
+type countingDocs struct {
+	docs    []Document
+	fetches int
+}
+
+func (c *countingDocs) Documents() ([]Document, error) {
+	c.fetches++
+	return c.docs, nil
+}
+
+func pushdownTestJSON(docs *countingDocs) *JSON {
+	schema := relational.NewSchema([]string{"id"}, []string{"ratio", "tag", "opt"})
+	return NewJSON("wj", "SJ", schema, docs,
+		ProjectField{Path: "monitorId", As: "id"},
+		ComputeRatio{Numerator: "wait", Denominator: "watch", As: "ratio"},
+		Constant{As: "tag", Value: "v1"},
+		ProjectField{Path: "extra", As: "opt", Optional: true},
+	)
+}
+
+func pushdownTestDocs() *countingDocs {
+	return &countingDocs{docs: []Document{
+		{"monitorId": 1, "wait": 1.0, "watch": 4.0},
+		{"monitorId": 2, "wait": 1.0, "watch": 2.0, "extra": "x"},
+		{"monitorId": 3, "wait": 3.0, "watch": 4.0},
+	}}
+}
+
+// TestJSONRowsPushdownPrunesSafely checks that a projection pushdown prunes
+// only never-failing ops (Constant, optional ProjectField) and keeps the
+// pushed-down schema's order and IDs.
+func TestJSONRowsPushdownPrunesSafely(t *testing.T) {
+	j := pushdownTestJSON(pushdownTestDocs())
+	rows, schema, ok, err := j.RowsPushdown(context.Background(), relational.Pushdown{Attrs: []string{"ratio"}})
+	if err != nil || !ok {
+		t.Fatalf("pushdown failed: ok=%t err=%v", ok, err)
+	}
+	if got, want := fmt.Sprint(schema.Names()), fmt.Sprint([]string{"id", "ratio"}); got != want {
+		t.Fatalf("pushed schema = %s, want %s", got, want)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if _, ok := r["tag"]; ok {
+			t.Fatalf("pruned constant leaked into row %v", r)
+		}
+		if _, ok := r["ratio"]; !ok {
+			t.Fatalf("kept attribute missing from row %v", r)
+		}
+	}
+}
+
+// TestJSONRowsPushdownKeepsFallibleOps checks that a pushdown never changes
+// which documents fail: a required projection of a missing field must still
+// error even when the pushdown does not need its attribute.
+func TestJSONRowsPushdownKeepsFallibleOps(t *testing.T) {
+	docs := &countingDocs{docs: []Document{{"monitorId": 1, "wait": 1.0, "watch": 4.0, "must": "x"}, {"monitorId": 2}}}
+	schema := relational.NewSchema([]string{"id"}, []string{"m"})
+	j := NewJSON("wj", "SJ", schema, docs,
+		ProjectField{Path: "monitorId", As: "id"},
+		ProjectField{Path: "must", As: "m"}, // fails on doc 2
+	)
+	_, fullErr := j.Rows()
+	_, _, _, pdErr := j.RowsPushdown(context.Background(), relational.Pushdown{Attrs: []string{"id"}})
+	if fullErr == nil || pdErr == nil {
+		t.Fatalf("fallible op outcome changed: full=%v pushdown=%v", fullErr, pdErr)
+	}
+	if fullErr.Error() != pdErr.Error() {
+		t.Fatalf("error text changed under pushdown:\nfull:     %v\npushdown: %v", fullErr, pdErr)
+	}
+}
+
+// TestJSONRowsPushdownSelections checks source-side selections filter rows
+// with relational equality semantics before materialization.
+func TestJSONRowsPushdownSelections(t *testing.T) {
+	j := pushdownTestJSON(pushdownTestDocs())
+	rows, _, ok, err := j.RowsPushdown(context.Background(), relational.Pushdown{
+		Selections: []relational.Selection{{Attr: "id", Values: []relational.Value{float64(2), 3}}},
+	})
+	if err != nil || !ok {
+		t.Fatalf("pushdown failed: ok=%t err=%v", ok, err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("selection kept %d rows, want 2 (float64(2) must match id 2): %v", len(rows), rows)
+	}
+}
+
+// TestMemoryRowsPushdownMatchesApplySelections checks the in-memory wrapper
+// against the engine's reference selection/projection semantics.
+func TestMemoryRowsPushdownMatchesApplySelections(t *testing.T) {
+	schema := relational.NewSchema([]string{"id"}, []string{"a", "b"})
+	rows := []relational.Tuple{
+		{"id": 1, "a": "x", "b": 1},
+		{"id": 2, "a": "y"},
+		{"id": int64(1), "a": "z", "b": 2},
+	}
+	m := NewMemory("wm", "SM", schema, rows)
+	pd := relational.Pushdown{
+		Attrs:      []string{"a"},
+		Selections: []relational.Selection{{Attr: "id", Values: []relational.Value{1}}},
+	}
+	got, handled, err := RelationPushdown(context.Background(), m, pd)
+	if err != nil || !handled {
+		t.Fatalf("pushdown failed: handled=%t err=%v", handled, err)
+	}
+	full, err := Relation(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := relational.ApplySelections(full, pd.Selections).Project(pd.Attrs)
+	if got.String() != want.String() {
+		t.Fatalf("memory pushdown diverges from reference semantics\nwant: %s\ngot:  %s", want, got)
+	}
+}
+
+// TestQualifiedFetchPushdownTranslatesNames checks the qualified resolver
+// unqualifies pushdown attribute names for the source and requalifies the
+// result schema.
+func TestQualifiedFetchPushdownTranslatesNames(t *testing.T) {
+	schema := relational.NewSchema([]string{"id"}, []string{"a", "b"})
+	rows := []relational.Tuple{{"id": 1, "a": "x", "b": "y"}}
+	reg := NewRegistry()
+	reg.Register(NewMemory("wm", "SM", schema, rows))
+	q := NewQualifiedResolver(reg)
+	rel, handled, err := q.FetchPushdown(context.Background(), "wm", relational.Pushdown{
+		Attrs:      []string{"SM/a"},
+		Selections: []relational.Selection{{Attr: "SM/id", Values: []relational.Value{1}}},
+	})
+	if err != nil || !handled {
+		t.Fatalf("qualified pushdown failed: handled=%t err=%v", handled, err)
+	}
+	if got, want := fmt.Sprint(rel.Schema.Names()), fmt.Sprint([]string{"SM/id", "SM/a"}); got != want {
+		t.Fatalf("qualified pushdown schema = %s, want %s", got, want)
+	}
+	if rel.Cardinality() != 1 {
+		t.Fatalf("got %d rows, want 1", rel.Cardinality())
+	}
+}
+
+// TestRelationPushdownFallback checks that wrappers without pushdown support
+// report handled=false (never a partial result), as the engine's fallback
+// contract requires.
+func TestRelationPushdownFallback(t *testing.T) {
+	plain := plainWrapper{}
+	rel, handled, err := RelationPushdown(context.Background(), plain, relational.Pushdown{Attrs: []string{"a"}})
+	if err != nil || handled || rel != nil {
+		t.Fatalf("non-pushdown wrapper must yield (nil,false,nil), got (%v,%t,%v)", rel, handled, err)
+	}
+}
+
+// plainWrapper implements only the base Wrapper interface.
+type plainWrapper struct{}
+
+func (plainWrapper) Name() string              { return "plain" }
+func (plainWrapper) Source() string            { return "SP" }
+func (plainWrapper) Schema() relational.Schema { return relational.Schema{} }
+func (plainWrapper) Rows() ([]relational.Tuple, error) {
+	return nil, nil
+}
