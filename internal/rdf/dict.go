@@ -3,6 +3,8 @@ package rdf
 import (
 	"fmt"
 	"sync"
+
+	"bdi/internal/slab"
 )
 
 // TermID is a dense integer identifier for a term interned in a Dict. The
@@ -22,23 +24,38 @@ type TermID uint32
 // two literals that Equal each other always intern to the same TermID.
 // IDs are assigned in first-intern order and are never reused or freed; a
 // Dict only grows. It is safe for concurrent use.
+//
+// Per-term sort keys (TermKey bytes, computed once at intern time) are not
+// stored as individual strings: the key bytes of all terms are packed into a
+// byte slab and addressed by pointer-free offsets (see bdi/internal/slab),
+// so a dictionary with hundreds of thousands of terms contributes a handful
+// of large noscan arrays to the GC-visible heap instead of one string
+// allocation per term. Hot loops resolve keys lock-free through a KeyView.
 type Dict struct {
 	mu     sync.RWMutex
 	iris   map[IRI]TermID
 	blanks map[BlankNode]TermID
 	vars   map[Variable]TermID
 	lits   map[Literal]TermID
-	terms  []Term   // terms[id-1] is the term assigned id
-	keys   []string // keys[id-1] is TermKey(terms[id-1]), computed once
+	terms  []Term // terms[id-1] is the term assigned id
+
+	// keyRefs[id-1] addresses TermKey(terms[id-1]) inside keyBytes. Both
+	// sides are append-only: once an id is published its key bytes never
+	// move, so a snapshot of keyRefs plus a view of keyBytes resolves keys
+	// without locking.
+	keyRefs  []slab.Ref
+	keyBytes *slab.Bytes
+	scratch  []byte // assign-time key build buffer; guarded by mu
 }
 
 // NewDict returns an empty dictionary.
 func NewDict() *Dict {
 	return &Dict{
-		iris:   map[IRI]TermID{},
-		blanks: map[BlankNode]TermID{},
-		vars:   map[Variable]TermID{},
-		lits:   map[Literal]TermID{},
+		iris:     map[IRI]TermID{},
+		blanks:   map[BlankNode]TermID{},
+		vars:     map[Variable]TermID{},
+		lits:     map[Literal]TermID{},
+		keyBytes: slab.NewBytes(),
 	}
 }
 
@@ -104,7 +121,8 @@ func (d *Dict) Intern(t Term) TermID {
 
 func (d *Dict) assign(t Term) TermID {
 	d.terms = append(d.terms, t)
-	d.keys = append(d.keys, termKey(t))
+	d.scratch = appendTermKey(d.scratch[:0], t)
+	d.keyRefs = append(d.keyRefs, d.keyBytes.Append(d.scratch))
 	return TermID(len(d.terms))
 }
 
@@ -188,26 +206,67 @@ func (d *Dict) LookupIRI(iri IRI) (TermID, bool) {
 	return id, ok
 }
 
-// Keys returns the dictionary's key table: keys[id-1] is the TermKey of the
-// term assigned id. The dictionary is append-only, so the returned slice is
-// a stable snapshot for every id assigned before the call; callers must not
-// mutate it. Hot loops use it to resolve keys without per-id locking.
-func (d *Dict) Keys() []string {
+// KeysView captures a lock-free snapshot of the key table. The dictionary is
+// append-only, so the view resolves every id assigned before the call
+// forever; ids interned later are simply absent from it. Hot loops use it to
+// resolve key bytes without per-id locking or per-key allocation.
+func (d *Dict) KeysView() KeyView {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return d.keys
+	return KeyView{refs: d.keyRefs, blob: d.keyBytes.View()}
+}
+
+// KeyView is an immutable snapshot of a dictionary's key table. The zero
+// value resolves no ids.
+type KeyView struct {
+	refs []slab.Ref
+	blob slab.BytesView
+}
+
+// Len returns the number of ids the view resolves: every id in [1, Len].
+func (v KeyView) Len() int { return len(v.refs) }
+
+// Key returns the TermKey bytes of the term assigned the given id, or
+// (nil, false) for 0 or an id assigned after the view was taken. The bytes
+// are shared with the dictionary and must not be mutated.
+func (v KeyView) Key(id TermID) ([]byte, bool) {
+	if id == 0 || int(id) > len(v.refs) {
+		return nil, false
+	}
+	return v.blob.Bytes(v.refs[id-1]), true
+}
+
+// Append appends the TermKey bytes of the given id to dst, reporting whether
+// the view resolved it.
+func (v KeyView) Append(dst []byte, id TermID) ([]byte, bool) {
+	b, ok := v.Key(id)
+	return append(dst, b...), ok
 }
 
 // Key returns the TermKey of the term assigned the given id, or ("", false)
-// for 0 or an id that was never assigned. The key is computed once at intern
-// time, so hot paths (sort keys, DISTINCT elimination, deterministic
-// ordering) can compare or concatenate per-term keys without re-deriving
-// them from the term.
+// for 0 or an id that was never assigned. The key bytes were computed once
+// at intern time; this form materializes them as a string and is intended
+// for cold paths — hot paths use AppendKey or a KeyView to stay
+// allocation-free.
 func (d *Dict) Key(id TermID) (string, bool) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	if id == 0 || int(id) > len(d.keys) {
+	if id == 0 || int(id) > len(d.keyRefs) {
 		return "", false
 	}
-	return d.keys[id-1], true
+	return string(d.keyBytes.Bytes(d.keyRefs[id-1])), true
+}
+
+// AppendKey appends the TermKey bytes of the term assigned the given id to
+// dst, reporting whether the id was ever assigned (for 0 or an unknown id,
+// dst is returned unchanged). Sort-key construction on the store's write
+// path uses it to concatenate per-term keys without allocating one string
+// per term.
+func (d *Dict) AppendKey(dst []byte, id TermID) ([]byte, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if id == 0 || int(id) > len(d.keyRefs) {
+		return dst, false
+	}
+	return append(dst, d.keyBytes.Bytes(d.keyRefs[id-1])...), true
 }

@@ -127,19 +127,36 @@ func TestDictKeysAndLookupIRI(t *testing.T) {
 	if _, ok := d.Key(TermID(len(terms) + 1)); ok {
 		t.Error("Key of unassigned id should report false")
 	}
-	keys := d.Keys()
-	if len(keys) != len(terms) {
-		t.Fatalf("Keys() length = %d, want %d", len(keys), len(terms))
+	view := d.KeysView()
+	if view.Len() != len(terms) {
+		t.Fatalf("KeysView().Len() = %d, want %d", view.Len(), len(terms))
 	}
 	for i, term := range terms {
-		if keys[i] != TermKey(term) {
-			t.Errorf("Keys()[%d] = %q, want %q", i, keys[i], TermKey(term))
+		id := TermID(i + 1)
+		if k, ok := view.Key(id); !ok || string(k) != TermKey(term) {
+			t.Errorf("view.Key(%d) = %q, %v; want %q", id, k, ok, TermKey(term))
+		}
+		if got, ok := view.Append([]byte("x"), id); !ok || string(got) != "x"+TermKey(term) {
+			t.Errorf("view.Append(%d) = %q, %v", id, got, ok)
+		}
+		if got, ok := d.AppendKey(nil, id); !ok || string(got) != TermKey(term) {
+			t.Errorf("AppendKey(%d) = %q, %v", id, got, ok)
 		}
 	}
-	// The snapshot stays valid for already-assigned ids after growth.
-	d.Intern(IRI("http://ex/later"))
-	if keys[0] != TermKey(terms[0]) {
-		t.Error("snapshot invalidated by later interning")
+	if _, ok := view.Key(0); ok {
+		t.Error("view.Key(0) should report false")
+	}
+	// The view stays valid for already-assigned ids after growth, and does
+	// not resolve ids assigned after it was taken.
+	later := d.Intern(IRI("http://ex/later"))
+	if k, ok := view.Key(1); !ok || string(k) != TermKey(terms[0]) {
+		t.Error("view invalidated by later interning")
+	}
+	if _, ok := view.Key(later); ok {
+		t.Error("view resolved an id assigned after it was taken")
+	}
+	if _, ok := d.AppendKey(nil, later+1); ok {
+		t.Error("AppendKey of unassigned id should report false")
 	}
 	id, ok := d.LookupIRI("http://ex/a")
 	if !ok {

@@ -350,3 +350,32 @@ func termKey(t Term) string {
 // TermKey returns a stable unique key for a term suitable for use as a map
 // key across packages.
 func TermKey(t Term) string { return termKey(t) }
+
+// appendTermKey appends termKey(t) to dst without materializing an
+// intermediate string. It must stay byte-identical to termKey: the dictionary
+// packs these bytes into its key slab and callers compare them against
+// TermKey output.
+func appendTermKey(dst []byte, t Term) []byte {
+	if t == nil {
+		return append(dst, "\x00nil"...)
+	}
+	switch t.Kind() {
+	case KindIRI:
+		dst = append(dst, 'I')
+		return append(dst, t.Value()...)
+	case KindBlank:
+		dst = append(dst, 'B')
+		return append(dst, t.Value()...)
+	case KindVariable:
+		dst = append(dst, 'V')
+		return append(dst, t.Value()...)
+	default:
+		l := t.(Literal)
+		dst = append(dst, 'L')
+		dst = append(dst, l.Lexical...)
+		dst = append(dst, 0)
+		dst = append(dst, string(l.Datatype)...)
+		dst = append(dst, 0)
+		return append(dst, l.Lang...)
+	}
+}

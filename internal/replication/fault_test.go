@@ -222,6 +222,51 @@ func assertConverged(t *testing.T, primary, replica *core.Ontology, label string
 	}
 }
 
+// assertConvergedLogical proves the replica serves the same logical state as
+// the primary — generation, quads, Match output and rewritings — while
+// allowing the dictionary TermIDs to differ. This is the contract after a
+// replica bootstraps from a dictionary-compacted checkpoint: the live primary
+// keeps its old sparse TermIDs until it next restarts, the replica holds the
+// densely remapped ones. Byte-level parity is then asserted against a
+// recovery of the primary's dir instead (assertConverged), since recovery and
+// bootstrap go through the same checkpoint and must agree exactly.
+func assertConvergedLogical(t *testing.T, primary, replica *core.Ontology, label string) {
+	t.Helper()
+	psn, rsn := primary.Store().Snapshot(), replica.Store().Snapshot()
+	if psn.Generation() != rsn.Generation() {
+		t.Fatalf("%s: replica generation %d, primary %d", label, rsn.Generation(), psn.Generation())
+	}
+	pq, rq := psn.Quads(), rsn.Quads()
+	if len(pq) != len(rq) {
+		t.Fatalf("%s: replica has %d quads, primary %d", label, len(rq), len(pq))
+	}
+	for i := range pq {
+		if pq[i].String() != rq[i].String() {
+			t.Fatalf("%s: quad %d = %s, primary has %s", label, i, rq[i], pq[i])
+		}
+	}
+	probes := []store.Pattern{
+		{},
+		store.WildcardGraph(nil, rdf.RDFType, nil),
+		store.InGraph(core.SourceGraphName, nil, nil, nil),
+		store.WildcardGraph(nil, rdf.OWLSameAs, nil),
+	}
+	for pi, p := range probes {
+		pm, rm := psn.Match(p), rsn.Match(p)
+		if len(pm) != len(rm) {
+			t.Fatalf("%s: probe %d returned %d matches on the replica, %d on the primary", label, pi, len(rm), len(pm))
+		}
+		for i := range pm {
+			if pm[i].String() != rm[i].String() {
+				t.Fatalf("%s: probe %d match %d = %s on the replica, %s on the primary", label, pi, i, rm[i], pm[i])
+			}
+		}
+	}
+	if pf, rf := rewriteFingerprint(primary), rewriteFingerprint(replica); pf != rf {
+		t.Fatalf("%s: rewriting diverged:\nreplica: %s\nprimary: %s", label, rf, pf)
+	}
+}
+
 func waitConverged(t *testing.T, rep *Replica, primary *core.Ontology, label string) {
 	t.Helper()
 	if err := rep.WaitForGeneration(primary.Store().Generation(), 30*time.Second); err != nil {
@@ -527,7 +572,33 @@ func TestReplicaCheckpointCatchUpAfterPrune(t *testing.T) {
 	}
 
 	proxy.heal()
-	waitConverged(t, rep, m.Ontology(), "after catch-up")
+	if err := rep.WaitForGeneration(m.Ontology().Store().Generation(), 30*time.Second); err != nil {
+		t.Fatalf("after catch-up: %v", err)
+	}
+	// The catch-up checkpoint was written after the script's removals, so its
+	// dictionary compaction pass reclaimed the orphaned TermIDs: the replica
+	// is logically identical to the live primary but holds a denser
+	// dictionary under remapped IDs.
+	assertConvergedLogical(t, m.Ontology(), rep.Ontology(), "after catch-up")
+	repDict := rep.Ontology().Store().Dict().Len()
+	priDict := m.Ontology().Store().Dict().Len()
+	if repDict >= priDict {
+		t.Errorf("replica dict has %d terms, live primary %d — checkpoint compaction never fired", repDict, priDict)
+	}
+	// Byte-level parity is recovery-vs-bootstrap: a read-only recovery of the
+	// primary's dir loads the same compacted checkpoint and must agree with
+	// the replica exactly, dictionary TermIDs included.
+	recovered, rec, err := wal.Inspect(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.CheckpointFormatVersion != 2 {
+		t.Errorf("recovery loaded a v%d checkpoint, want v2", rec.CheckpointFormatVersion)
+	}
+	if rec.DictIDsReclaimed == 0 {
+		t.Error("recovery reports no reclaimed TermIDs; the catch-up checkpoint should have compacted")
+	}
+	assertConverged(t, recovered, rep.Ontology(), "replica vs recovery")
 	if st := rep.Status(); st.Stats.CheckpointsFetched < 2 {
 		t.Errorf("replica fetched %d checkpoints, want >= 2 (bootstrap + catch-up)", st.Stats.CheckpointsFetched)
 	}

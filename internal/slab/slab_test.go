@@ -1,0 +1,72 @@
+package slab
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestBytesAppendAndViews(t *testing.T) {
+	s := NewBytes()
+	var refs []Ref
+	var want [][]byte
+	for i := 0; i < 1000; i++ {
+		b := []byte(fmt.Sprintf("payload-%d", i))
+		refs = append(refs, s.Append(b))
+		want = append(want, b)
+	}
+	// An oversize range gets its own chunk and round-trips intact.
+	big := bytes.Repeat([]byte{0xAB}, byteChunkSize+17)
+	bigRef := s.Append(big)
+	if bigRef.Len != uint32(len(big)) {
+		t.Fatalf("oversize ref len = %d, want %d", bigRef.Len, len(big))
+	}
+	v := s.View()
+	for i, r := range refs {
+		if got := v.Bytes(r); !bytes.Equal(got, want[i]) {
+			t.Fatalf("view range %d = %q, want %q", i, got, want[i])
+		}
+		if got := s.Bytes(r); !bytes.Equal(got, want[i]) {
+			t.Fatalf("writer range %d = %q, want %q", i, got, want[i])
+		}
+	}
+	if !bytes.Equal(v.Bytes(bigRef), big) {
+		t.Fatal("oversize range corrupted")
+	}
+	size := s.Size()
+	// Appending after the view was taken must not disturb it.
+	s.Append([]byte("later"))
+	if got := v.Bytes(refs[0]); !bytes.Equal(got, want[0]) {
+		t.Fatal("view invalidated by later append")
+	}
+	if s.Size() <= size {
+		t.Fatal("Size did not grow")
+	}
+}
+
+func TestSlotsAppendAndViews(t *testing.T) {
+	type slot struct{ a, b uint64 }
+	s := NewSlots[slot]()
+	n := uint32(3*chunkCap + 17) // span several chunks
+	for i := uint32(0); i < n; i++ {
+		if got := s.Append(slot{a: uint64(i), b: uint64(i) * 3}); got != i {
+			t.Fatalf("Append returned %d, want %d", got, i)
+		}
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+	v := s.View()
+	for _, i := range []uint32{0, 1, chunkCap - 1, chunkCap, 2*chunkCap + 5, n - 1} {
+		if got := v.At(i); got.a != uint64(i) || got.b != uint64(i)*3 {
+			t.Fatalf("view slot %d = %+v", i, got)
+		}
+		if got := s.At(i); got.a != uint64(i) {
+			t.Fatalf("writer slot %d = %+v", i, got)
+		}
+	}
+	s.Append(slot{a: 999})
+	if got := v.At(n - 1); got.a != uint64(n-1) {
+		t.Fatal("view invalidated by later append")
+	}
+}

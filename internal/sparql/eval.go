@@ -416,7 +416,7 @@ func (e *Evaluator) run(ctx context.Context, pl *plan, sn store.Snapshot) (*Solu
 			if i > 0 {
 				scratch = append(scratch, 0)
 			}
-			scratch = append(scratch, pl.lt.key(row[s])...)
+			scratch = pl.lt.appendKey(scratch, row[s])
 		}
 		// The map lookup on string(scratch) does not allocate; the key
 		// string is materialized only for rows that survive DISTINCT.

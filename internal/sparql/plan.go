@@ -22,14 +22,14 @@ const localIDBase rdf.TermID = 1 << 31
 // keys. It is created per compiled plan and is not safe for concurrent use.
 type localTerms struct {
 	dict     *rdf.Dict
-	dictKeys []string              // lock-free snapshot of the dict key table
+	dictKeys rdf.KeyView           // lock-free snapshot of the dict key table
 	ids      map[string]rdf.TermID // TermKey -> local ID
 	terms    []rdf.Term
 	keys     []string
 }
 
 func newLocalTerms(dict *rdf.Dict) *localTerms {
-	return &localTerms{dict: dict, dictKeys: dict.Keys()}
+	return &localTerms{dict: dict, dictKeys: dict.KeysView()}
 }
 
 // resolve returns the TermID for t, assigning a local ID when the store
@@ -67,23 +67,24 @@ func (lt *localTerms) term(id rdf.TermID) rdf.Term {
 	return t
 }
 
-// key returns the TermKey of the term behind id; 0 yields "", matching the
-// empty component an unbound variable contributes to a solution's sort key.
-// Dictionary keys come from the compile-time snapshot when possible (the
-// dictionary is append-only, so snapshot entries never change) and fall back
-// to a locked lookup for terms interned after compilation.
-func (lt *localTerms) key(id rdf.TermID) string {
+// appendKey appends the TermKey bytes of the term behind id to dst; 0
+// appends nothing, matching the empty component an unbound variable
+// contributes to a solution's sort key. Dictionary keys come from the
+// compile-time key view when possible (the dictionary is append-only, so
+// view entries never change) and fall back to a locked lookup for terms
+// interned after compilation.
+func (lt *localTerms) appendKey(dst []byte, id rdf.TermID) []byte {
 	if id == 0 {
-		return ""
+		return dst
 	}
 	if id >= localIDBase {
-		return lt.keys[id-localIDBase]
+		return append(dst, lt.keys[id-localIDBase]...)
 	}
-	if int(id) <= len(lt.dictKeys) {
-		return lt.dictKeys[id-1]
+	if out, ok := lt.dictKeys.Append(dst, id); ok {
+		return out
 	}
-	k, _ := lt.dict.Key(id)
-	return k
+	out, _ := lt.dict.AppendKey(dst, id)
+	return out
 }
 
 // Graph addressing modes of a compiled pattern.

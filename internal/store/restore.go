@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bytes"
 	"fmt"
 
 	"bdi/internal/rdf"
@@ -25,7 +26,7 @@ func (sn Snapshot) ExportGraphIDs() [][]QuadID {
 	for i, gb := range sn.sn.graphs {
 		ids := make([]QuadID, len(gb.entries))
 		for j, e := range gb.entries {
-			ids[j] = e.id
+			ids[j] = sn.sn.slot(e).id
 		}
 		out[i] = ids
 	}
@@ -39,8 +40,8 @@ func (sn Snapshot) ExportGraphIDs() [][]QuadID {
 // regenerated from the dictionary and the input order is verified against
 // them, so a corrupt or reordered checkpoint is rejected rather than
 // silently building unsorted buckets. The whole load is one snapshot
-// publication built with plain appends — no per-batch copy-on-write, no
-// bucket merges.
+// publication built with plain appends into a fresh arena — no per-batch
+// copy-on-write, no bucket merges.
 func Restore(d *rdf.Dict, generation uint64, graphs [][]QuadID) (*Store, error) {
 	if d == nil {
 		d = rdf.NewDict()
@@ -49,10 +50,11 @@ func Restore(d *rdf.Dict, generation uint64, graphs [][]QuadID) (*Store, error) 
 	for _, ids := range graphs {
 		total += len(ids)
 	}
-	slab := make([]entry, total)
-	ents := make([]*entry, 0, total)
-	quads := make(map[QuadID]*entry, total)
-	prevKey := ""
+	ar := newArena()
+	kv := d.KeysView()
+	ents := make([]eref, 0, total)
+	quads := make(map[QuadID]eref, total)
+	var keyBuf []byte
 	prevName := rdf.IRI("")
 	for gi, ids := range graphs {
 		if len(ids) == 0 {
@@ -71,28 +73,38 @@ func Restore(d *rdf.Dict, generation uint64, graphs [][]QuadID) (*Store, error) 
 			if id.Graph != gid {
 				return nil, fmt.Errorf("store: restore: quad %v filed under graph %q", id, gname)
 			}
-			q, err := restoreQuad(d, id, gname)
-			if err != nil {
+			if _, err := restoreQuad(d, id, gname); err != nil {
 				return nil, err
 			}
-			e := &slab[len(ents)]
-			e.id = id
-			e.quad = q
-			e.sortKey = sortKey(d, q, id)
-			if e.sortKey <= prevKey {
+			keyBuf = appendSortKeyView(keyBuf[:0], kv, gname, id)
+			if len(ents) > 0 && bytes.Compare(keyBuf, ar.key(ents[len(ents)-1])) <= 0 {
 				return nil, fmt.Errorf("store: restore: quad %v out of sort order in graph %q", id, gname)
 			}
-			prevKey = e.sortKey
 			if _, dup := quads[id]; dup {
 				return nil, fmt.Errorf("store: restore: duplicate quad %v", id)
 			}
+			e := ar.add(id, keyBuf)
 			quads[id] = e
 			ents = append(ents, e)
 		}
 	}
-	s := &Store{quads: quads}
-	s.snap.Store(newSnapshotFromSorted(d, generation, ents))
+	s := &Store{quads: quads, ar: ar}
+	s.snap.Store(newSnapshotFromSorted(d, generation, ar, ents))
 	return s, nil
+}
+
+// appendSortKeyView is appendSortKey resolving term keys through a
+// pre-captured lock-free key view (the dictionary is fully built before a
+// restore starts, so the view covers every id).
+func appendSortKeyView(dst []byte, kv rdf.KeyView, graph rdf.IRI, id QuadID) []byte {
+	dst = append(dst, string(graph)...)
+	dst = append(dst, 0)
+	dst, _ = kv.Append(dst, id.Subject)
+	dst = append(dst, 0)
+	dst, _ = kv.Append(dst, id.Predicate)
+	dst = append(dst, 0)
+	dst, _ = kv.Append(dst, id.Object)
+	return dst
 }
 
 func restoreGraphName(d *rdf.Dict, gid rdf.TermID) (rdf.IRI, error) {
@@ -129,49 +141,46 @@ func restoreQuad(d *rdf.Dict, id QuadID, graph rdf.IRI) (rdf.Quad, error) {
 	return q, nil
 }
 
-// newSnapshotFromSorted builds a complete snapshot from entries in ascending
-// global sort-key order. The sort key is graph-name-prefixed, so the entries
-// of each graph are contiguous and graphs appear in ascending name order;
-// appending entries in input order therefore leaves every index bucket
-// (graph-scoped and union) sorted without a single merge or copy-on-write
-// step. Both the empty-store AddAll fast path and checkpoint Restore use it.
-func newSnapshotFromSorted(d *rdf.Dict, generation uint64, ents []*entry) *snapshot {
-	sn := emptySnapshot(d)
+// newSnapshotFromSorted builds a complete snapshot from arena entries in
+// ascending global sort-key order. The sort key is graph-name-prefixed, so
+// the entries of each graph are contiguous and graphs appear in ascending
+// name order; appending entries in input order therefore leaves every union
+// index bucket and graph bucket sorted without a single merge or
+// copy-on-write step. Per-graph indexes are not built at all — they
+// materialize lazily on first probe (see graphBucket). The empty-store
+// AddAll fast path, checkpoint Restore and arena compaction all use it.
+func newSnapshotFromSorted(d *rdf.Dict, generation uint64, ar *arena, ents []eref) *snapshot {
+	sn := emptySnapshot(d, ar)
 	sn.generation = generation
 	sn.size = len(ents)
 	for i := 0; i < len(ents); {
-		gid := ents[i].id.Graph
+		gid := ar.slot(ents[i]).id.Graph
 		j := i
-		for j < len(ents) && ents[j].id.Graph == gid {
+		for j < len(ents) && ar.slot(ents[j]).id.Graph == gid {
 			j++
 		}
 		sn.graphIdx[gid] = len(sn.graphs)
 		sn.graphs = append(sn.graphs, &graphBucket{
 			id:      gid,
-			name:    ents[i].quad.Graph,
-			entries: append([]*entry(nil), ents[i:j]...),
+			name:    graphName(d, gid),
+			entries: append([]eref(nil), ents[i:j]...),
 		})
 		i = j
 	}
 	for _, e := range ents {
-		appendToBucket(sn.bySubject, e.id.Graph, e.id.Subject, e)
-		appendToBucket(sn.bySubject, allGraphsID, e.id.Subject, e)
-		appendToBucket(sn.byPredicate, e.id.Graph, e.id.Predicate, e)
-		appendToBucket(sn.byPredicate, allGraphsID, e.id.Predicate, e)
-		appendToBucket(sn.byObject, e.id.Graph, e.id.Object, e)
-		appendToBucket(sn.byObject, allGraphsID, e.id.Object, e)
+		id := ar.slot(e).id
+		appendToBucket(sn.bySubject, id.Subject, e)
+		appendToBucket(sn.byPredicate, id.Predicate, e)
+		appendToBucket(sn.byObject, id.Object, e)
 	}
 	return sn
 }
 
-// appendToBucket appends e to the (gid, tid) bucket, creating index pages as
-// needed and maintaining the distinct-term count.
-func appendToBucket(dim map[rdf.TermID]*termIndex, gid, tid rdf.TermID, e *entry) {
-	ti := dim[gid]
-	if ti == nil {
-		ti = &termIndex{}
-		dim[gid] = ti
-	}
+// appendToBucket appends e to the index's tid bucket, creating pages as
+// needed and maintaining the distinct-term count. Used by the sorted bulk
+// build and the lazy per-graph index build, both of which append in
+// ascending sort-key order.
+func appendToBucket(ti *termIndex, tid rdf.TermID, e eref) {
 	pi := int(tid >> pageBits)
 	for len(ti.pages) <= pi {
 		ti.pages = append(ti.pages, nil)

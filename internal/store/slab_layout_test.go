@@ -1,0 +1,178 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"bdi/internal/rdf"
+)
+
+// TestLazyGraphIndexBuildsOnFirstProbe pins the deferred-index contract:
+// loading a graph into a warm store leaves its per-graph per-term indexes
+// unbuilt, the first graph-scoped probe builds exactly the probed dimension,
+// and the probe results match a wildcard scan filtered by hand.
+func TestLazyGraphIndexBuildsOnFirstProbe(t *testing.T) {
+	s := New()
+	if _, err := s.AddAll(graphQuads("http://lazy/base", 12)); err != nil {
+		t.Fatal(err)
+	}
+	// Warm store: this AddAll takes the COW path, not the bulk fast path.
+	if _, err := s.AddAll(graphQuads("http://lazy/g", 20)); err != nil {
+		t.Fatal(err)
+	}
+	sn := s.Snapshot()
+	gid, ok := sn.Dict().LookupIRI("http://lazy/g")
+	if !ok {
+		t.Fatal("graph term not interned")
+	}
+	gb := sn.sn.graphs[sn.sn.graphIdx[gid]]
+	for dim := 0; dim < dimCount; dim++ {
+		if gb.idx[dim].Load() != nil {
+			t.Fatalf("per-graph index dim %d built eagerly on load", dim)
+		}
+	}
+
+	subj := rdf.IRI("http://snap/s3")
+	got := sn.Match(InGraph("http://lazy/g", subj, nil, nil))
+	if gb.idx[dimSubject].Load() == nil {
+		t.Fatal("subject probe did not build the subject index")
+	}
+	if gb.idx[dimObject].Load() != nil {
+		t.Fatal("subject probe built the object index too")
+	}
+
+	var want []rdf.Quad
+	for _, q := range sn.Match(Pattern{}) {
+		if q.Graph == "http://lazy/g" && q.Subject.Equal(subj) {
+			want = append(want, q)
+		}
+	}
+	if len(got) != len(want) || len(got) == 0 {
+		t.Fatalf("lazy probe returned %d quads, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("lazy probe quad %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	// A write to the graph resets the cache for the new snapshot while the
+	// pinned snapshot keeps its built index.
+	extra := rdf.Q(rdf.IRI("http://lazy/extra"), rdf.IRI("http://lazy/p"), rdf.IRI("http://lazy/o"), rdf.IRI("http://lazy/g"))
+	if _, err := s.Add(extra); err != nil {
+		t.Fatal(err)
+	}
+	sn2 := s.Snapshot()
+	gb2 := sn2.sn.graphs[sn2.sn.graphIdx[gid]]
+	if gb2 == gb {
+		t.Fatal("graph bucket not copy-on-written by the insert")
+	}
+	if gb2.idx[dimSubject].Load() != nil {
+		t.Fatal("clone inherited a stale per-graph index")
+	}
+	if gb.idx[dimSubject].Load() == nil {
+		t.Fatal("pinned snapshot lost its built index")
+	}
+	if n := len(sn2.Match(InGraph("http://lazy/g", rdf.IRI("http://lazy/extra"), nil, nil))); n != 1 {
+		t.Fatalf("post-insert probe = %d quads, want 1", n)
+	}
+	if n := len(sn.Match(InGraph("http://lazy/g", rdf.IRI("http://lazy/extra"), nil, nil))); n != 0 {
+		t.Fatalf("pinned snapshot sees later insert: %d quads", n)
+	}
+}
+
+// TestArenaCompactionReclaimsDeadSlots drives the store through a load/remove
+// cycle large enough to trip arena compaction and asserts the arena shrank
+// back to the live size while content, probes and pinned snapshots stay
+// intact.
+func TestArenaCompactionReclaimsDeadSlots(t *testing.T) {
+	s := New()
+	const n = 3 * arenaCompactMin
+	load := func(graph rdf.IRI, k int) []rdf.Quad {
+		quads := make([]rdf.Quad, k)
+		for i := range quads {
+			quads[i] = rdf.Q(
+				rdf.IRI(fmt.Sprintf("http://comp/s%d", i)),
+				rdf.IRI(fmt.Sprintf("http://comp/p%d", i%7)),
+				rdf.IRI(fmt.Sprintf("http://comp/o%d", i%101)),
+				graph,
+			)
+		}
+		return quads
+	}
+	if _, err := s.AddAll(load("http://comp/keep", 500)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddAll(load("http://comp/bulk", n)); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Snapshot()
+	if got := int(s.ar.slots.Len()); got != n+500 {
+		t.Fatalf("arena has %d slots before removal, want %d", got, n+500)
+	}
+	if got := s.RemoveGraph("http://comp/bulk"); got != n {
+		t.Fatalf("RemoveGraph removed %d, want %d", got, n)
+	}
+	if got := int(s.ar.slots.Len()); got != 500 {
+		t.Fatalf("arena not compacted: %d slots, want 500", got)
+	}
+	if got := s.Len(); got != 500 {
+		t.Fatalf("store Len = %d, want 500", got)
+	}
+	// The pinned pre-removal snapshot still resolves through the old arena.
+	if got := before.GraphLen("http://comp/bulk"); got != n {
+		t.Fatalf("pinned snapshot GraphLen = %d, want %d", got, n)
+	}
+	if got := len(before.Match(InGraph("http://comp/bulk", rdf.IRI("http://comp/s7"), nil, nil))); got != 1 {
+		t.Fatalf("pinned snapshot probe = %d, want 1", got)
+	}
+	// The compacted store answers correctly and accepts further writes.
+	sn := s.Snapshot()
+	for _, q := range load("http://comp/keep", 500) {
+		if !sn.Contains(q) {
+			t.Fatalf("compacted store lost %v", q)
+		}
+	}
+	if got := len(sn.Match(WildcardGraph(rdf.IRI("http://comp/s42"), nil, nil))); got != 1 {
+		t.Fatalf("compacted union probe = %d, want 1", got)
+	}
+	if _, err := s.AddAll(load("http://comp/again", 250)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Len(); got != 750 {
+		t.Fatalf("post-compaction AddAll: Len = %d, want 750", got)
+	}
+	if got := len(s.Match(InGraph("http://comp/again", nil, nil, nil))); got != 250 {
+		t.Fatalf("post-compaction graph probe = %d, want 250", got)
+	}
+}
+
+// TestMatchReturnsCanonicalLiterals pins the materialization contract of the
+// slab layout: Match rebuilds quads from the dictionary's canonical term
+// table, so a literal added without a datatype reads back as xsd:string
+// (the same canonical form rdf.Literal.Equal and the dictionary use).
+func TestMatchReturnsCanonicalLiterals(t *testing.T) {
+	s := New()
+	raw := rdf.Quad{Triple: rdf.Triple{
+		Subject:   rdf.IRI("http://canon/s"),
+		Predicate: rdf.IRI("http://canon/p"),
+		Object:    rdf.Literal{Lexical: "v"},
+	}}
+	if _, err := s.Add(raw); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Match(Pattern{})
+	if len(got) != 1 {
+		t.Fatalf("Match = %d quads, want 1", len(got))
+	}
+	lit, ok := got[0].Object.(rdf.Literal)
+	if !ok {
+		t.Fatalf("object came back as %T", got[0].Object)
+	}
+	if lit.Datatype != rdf.XSDString {
+		t.Fatalf("literal datatype = %q, want %q", lit.Datatype, rdf.XSDString)
+	}
+	if !got[0].Equal(raw) {
+		t.Fatal("canonical quad no longer Equal to the raw input")
+	}
+}

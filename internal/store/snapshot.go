@@ -2,32 +2,60 @@ package store
 
 import (
 	"slices"
+	"sync/atomic"
 
 	"bdi/internal/rdf"
+	"bdi/internal/slab"
 )
 
 // The read side of the store is an immutable, generation-tagged snapshot.
 // Writers build a new snapshot by copy-on-writing exactly the structures a
-// mutation touches (outer index maps, one 256-bucket page per touched term,
-// the touched buckets themselves) and publish it with a single atomic store;
+// mutation touches (the union index headers, one page per touched term, the
+// touched buckets themselves) and publish it with a single atomic store;
 // readers pin a snapshot with one atomic load and then run without any lock,
 // mutex or retry loop. Everything reachable from a published snapshot is
 // immutable forever, so a pinned snapshot is a consistent point-in-time view:
 // two probes against the same Snapshot can never observe different store
 // states, no matter how many writers run concurrently.
 //
+// Quads are not stored as individual heap objects. The stored form of a quad
+// is a pointer-free entrySlot (its QuadID plus the offset of its sort key in
+// a byte slab) packed into a chunked arena (see bdi/internal/slab), and every
+// index bucket is a []eref — plain uint32 arena indexes. A snapshot holds
+// views (cloned chunk tables) of the arena, so the entire quad payload of a
+// 100k-quad store is a few dozen large noscan arrays instead of hundreds of
+// thousands of GC-scanned pointers; the collector's mark phase no longer
+// grows with the number of quads.
+//
 // Index buckets are kept permanently sorted by the quad's precomputed sort
-// key (see entry.sortKey). Ordered matching therefore never sorts: a
-// 1-constant probe is an O(k) copy of the bucket (or a zero-copy hand-out of
-// the immutable bucket itself), and multi-constant probes filter the bucket
-// without disturbing the order. The cost moved to the write side — inserting
-// into a bucket is O(bucket) — which is the trade the read-dominated
-// query-answering workload of the paper wants.
+// key. Ordered matching therefore never sorts: a 1-constant probe is an O(k)
+// copy of the bucket (or a zero-copy hand-out of the immutable bucket
+// itself), and multi-constant probes filter the bucket without disturbing
+// the order. The cost moved to the write side — inserting into a bucket is
+// O(bucket) — which is the trade the read-dominated query-answering workload
+// of the paper wants.
+//
+// Only the union-of-all-graphs indexes are maintained eagerly on the write
+// path. The per-graph per-term indexes are derived caches of the graph's
+// sorted entry list and are built lazily on first probe (see graphBucket),
+// so bulk-loading a graph into a warm store pays no per-graph merge cost.
+
+// eref is an index into the store's entry arena: the stored identity of one
+// quad. Buckets hold erefs instead of pointers, which keeps them invisible
+// to the garbage collector.
+type eref = uint32
+
+// entrySlot is the pointer-free stored representation of a quad: its
+// dictionary encoding and the arena address of its precomputed sort key.
+// Slots are immutable once referenced by a published snapshot.
+type entrySlot struct {
+	id  QuadID
+	key slab.Ref
+}
 
 // pageBits sizes the termIndex pages: 1<<pageBits buckets per page. Pages
 // are the COW granularity of the per-term indexes: small enough (32 slice
-// headers, 768 B) that a writer's first touch of a page is a cheap copy
-// and sparse per-graph indexes do not balloon the GC-scanned live heap,
+// headers, 768 B) that a writer's first touch of a page is a cheap copy,
 // large enough that the page table stays compact for dense TermID ranges.
 const (
 	pageBits = 5
@@ -36,7 +64,7 @@ const (
 )
 
 // indexPage holds the buckets of pageSize consecutive TermIDs.
-type indexPage [pageSize][]*entry
+type indexPage [pageSize][]eref
 
 // termIndex maps a TermID to its sorted entry bucket through a paged array:
 // TermIDs are dense (the dictionary assigns them sequentially from 1), so
@@ -50,7 +78,7 @@ type termIndex struct {
 
 // bucket returns the sorted entry bucket of the given term, or nil. Safe on
 // a nil index.
-func (ti *termIndex) bucket(id rdf.TermID) []*entry {
+func (ti *termIndex) bucket(id rdf.TermID) []eref {
 	if ti == nil {
 		return nil
 	}
@@ -61,15 +89,50 @@ func (ti *termIndex) bucket(id rdf.TermID) []*entry {
 	return ti.pages[p][id&pageMask]
 }
 
-// graphBucket is the sorted entry list of one graph (named or default).
+// Dimensions of the per-term indexes.
+const (
+	dimSubject = iota
+	dimPredicate
+	dimObject
+	dimCount
+)
+
+// dim returns the TermID of the given index dimension.
+func (id QuadID) dim(d int) rdf.TermID {
+	switch d {
+	case dimSubject:
+		return id.Subject
+	case dimPredicate:
+		return id.Predicate
+	default:
+		return id.Object
+	}
+}
+
+// graphBucket is the sorted entry list of one graph (named or default),
+// plus that graph's lazily built per-dimension term indexes.
+//
+// The per-graph indexes are pure caches: a graph-scoped (term) bucket is
+// exactly the subsequence of entries whose quads carry that term, in the
+// same order. They are therefore not maintained on the write path at all —
+// the first graph-scoped probe of a dimension builds the index from entries
+// with one linear pass and installs it with a CompareAndSwap (racing readers
+// build equivalent indexes; the loser's copy is discarded). A writer that
+// touches the graph clones the bucket with empty cells, resetting the cache
+// for the new snapshot while the old snapshot keeps its own. Bulk-loading a
+// graph into a non-empty store thus defers all per-graph index construction
+// until the graph is actually probed.
 type graphBucket struct {
 	id      rdf.TermID
 	name    rdf.IRI
-	entries []*entry
+	entries []eref // ascending sort-key order
+	idx     [dimCount]atomic.Pointer[termIndex]
 }
 
 // snapshot is one immutable generation of the store. All fields, and
-// everything reachable from them, are frozen once the snapshot is published.
+// everything reachable from them, are frozen once the snapshot is published
+// (the lazy per-graph index cells are the one exception: they cache derived
+// state and converge monotonically from nil to built).
 type snapshot struct {
 	// dict interns every term appearing in this snapshot. The dictionary is
 	// append-only and safe for concurrent use, so it is shared between the
@@ -79,6 +142,13 @@ type snapshot struct {
 	generation uint64
 	size       int
 
+	// slots and keys are views of the store's entry arena, pinned at
+	// publication time. Every eref reachable from this snapshot resolves
+	// through them; slots referenced by no bucket may be dead (removed or
+	// rolled back) and are reclaimed by arena compaction on the write path.
+	slots slab.SlotsView[entrySlot]
+	keys  slab.BytesView
+
 	// graphs holds one sorted bucket per non-empty graph, in ascending
 	// graph-name order. A quad's sort key is prefixed by its graph name, so
 	// concatenating these buckets in slice order yields the full store in
@@ -87,23 +157,63 @@ type snapshot struct {
 	graphs   []*graphBucket
 	graphIdx map[rdf.TermID]int
 
-	// Per-term indexes: graph ID -> termIndex. The allGraphsID key indexes
-	// the union of all graphs; the default graph is indexed under the ID of
-	// the empty IRI like any other graph.
-	bySubject   map[rdf.TermID]*termIndex
-	byPredicate map[rdf.TermID]*termIndex
-	byObject    map[rdf.TermID]*termIndex
+	// Union-of-all-graphs per-term indexes, one per dimension, maintained
+	// eagerly by the writer. The default graph is included like any other
+	// graph. Graph-scoped probes use the lazy per-graph indexes instead.
+	bySubject   *termIndex
+	byPredicate *termIndex
+	byObject    *termIndex
+}
+
+// slot resolves an eref against this snapshot's arena view.
+func (s *snapshot) slot(e eref) *entrySlot { return s.slots.At(e) }
+
+// key resolves an entry's sort-key bytes against this snapshot's arena view.
+func (s *snapshot) key(e eref) []byte { return s.keys.Bytes(s.slot(e).key) }
+
+// graphDim returns the graph's per-term index for one dimension, building
+// and caching it on first use. Safe for concurrent readers: the cell
+// converges via CompareAndSwap and entries is immutable.
+func (s *snapshot) graphDim(gb *graphBucket, dim int) *termIndex {
+	if ti := gb.idx[dim].Load(); ti != nil {
+		return ti
+	}
+	ti := &termIndex{}
+	for _, e := range gb.entries {
+		appendToBucket(ti, s.slot(e).id.dim(dim), e)
+	}
+	if gb.idx[dim].CompareAndSwap(nil, ti) {
+		return ti
+	}
+	return gb.idx[dim].Load()
+}
+
+// quadOf materializes a quad from its dictionary encoding. terms is the
+// dictionary's term table (dict.Terms()), resolved once per materializing
+// call so per-quad resolution is two array reads.
+func quadOf(terms []rdf.Term, id QuadID) rdf.Quad {
+	g, _ := terms[id.Graph-1].(rdf.IRI)
+	return rdf.Quad{
+		Triple: rdf.Triple{
+			Subject:   terms[id.Subject-1],
+			Predicate: terms[id.Predicate-1],
+			Object:    terms[id.Object-1],
+		},
+		Graph: g,
+	}
 }
 
 // emptySnapshot returns the snapshot of an empty store over the given
-// dictionary.
-func emptySnapshot(d *rdf.Dict) *snapshot {
+// dictionary and arena.
+func emptySnapshot(d *rdf.Dict, ar *arena) *snapshot {
 	return &snapshot{
 		dict:        d,
+		slots:       ar.slots.View(),
+		keys:        ar.keys.View(),
 		graphIdx:    map[rdf.TermID]int{},
-		bySubject:   map[rdf.TermID]*termIndex{},
-		byPredicate: map[rdf.TermID]*termIndex{},
-		byObject:    map[rdf.TermID]*termIndex{},
+		bySubject:   &termIndex{},
+		byPredicate: &termIndex{},
+		byObject:    &termIndex{},
 	}
 }
 
@@ -192,16 +302,22 @@ func (sn Snapshot) Contains(q rdf.Quad) bool {
 	if sn.sn == nil {
 		return false
 	}
-	id, ok := quadID(sn.sn.dict, q)
+	s := sn.sn
+	id, ok := quadID(s.dict, q)
 	if !ok {
 		return false
 	}
-	b := sn.sn.bySubject[id.Graph].bucket(id.Subject)
-	if o := sn.sn.byObject[id.Graph].bucket(id.Object); len(o) < len(b) {
+	pos, ok := s.graphIdx[id.Graph]
+	if !ok {
+		return false
+	}
+	gb := s.graphs[pos]
+	b := s.graphDim(gb, dimSubject).bucket(id.Subject)
+	if o := s.graphDim(gb, dimObject).bucket(id.Object); len(o) < len(b) {
 		b = o
 	}
 	for _, e := range b {
-		if e.id == id {
+		if s.slot(e).id == id {
 			return true
 		}
 	}
@@ -215,15 +331,18 @@ func (sn Snapshot) ContainsTriple(graph rdf.IRI, t rdf.Triple) bool {
 
 // Match returns all quads matching the pattern, in deterministic order
 // (ascending ⟨graph, subject, predicate, object⟩ term-key order). Variables
-// in the pattern are treated as wildcards.
+// in the pattern are treated as wildcards. Quads are materialized from the
+// dictionary's canonical term table, so literals come back in canonical form
+// (an empty datatype reads back as xsd:string, mirroring rdf.Literal.Equal).
 func (sn Snapshot) Match(p Pattern) []rdf.Quad {
 	entries := sn.matchEntries(p)
 	if len(entries) == 0 {
 		return nil
 	}
+	terms := sn.sn.dict.Terms()
 	out := make([]rdf.Quad, len(entries))
 	for i, e := range entries {
-		out[i] = e.quad
+		out[i] = quadOf(terms, sn.sn.slot(e).id)
 	}
 	return out
 }
@@ -235,9 +354,11 @@ func (sn Snapshot) MatchWithIDs(p Pattern) []MatchedQuad {
 	if len(entries) == 0 {
 		return nil
 	}
+	terms := sn.sn.dict.Terms()
 	out := make([]MatchedQuad, len(entries))
 	for i, e := range entries {
-		out[i] = MatchedQuad{Quad: e.quad, ID: e.id}
+		id := sn.sn.slot(e).id
+		out[i] = MatchedQuad{Quad: quadOf(terms, id), ID: id}
 	}
 	return out
 }
@@ -266,21 +387,22 @@ func (sn Snapshot) AppendMatchIDs(dst []QuadID, p IDPattern) []QuadID {
 	if sn.sn == nil {
 		return dst
 	}
-	candidates, scan, none := sn.sn.selectBucket(p)
+	s := sn.sn
+	candidates, scan, none := s.selectBucket(p)
 	if none {
 		return dst
 	}
 	if scan {
-		for _, gb := range sn.sn.graphs {
+		for _, gb := range s.graphs {
 			for _, e := range gb.entries {
-				dst = append(dst, e.id)
+				dst = append(dst, s.slot(e).id)
 			}
 		}
 		return dst
 	}
 	for _, e := range candidates {
-		if entryMatches(e, p) {
-			dst = append(dst, e.id)
+		if id := s.slot(e).id; idMatches(id, p) {
+			dst = append(dst, id)
 		}
 	}
 	return dst
@@ -296,44 +418,71 @@ func (sn Snapshot) AppendMatchIDsUnordered(dst []QuadID, p IDPattern) []QuadID {
 // Count estimates the number of quads matching p by reading index bucket
 // sizes only: no matches are materialized or filtered. The estimate is
 // exact for patterns with at most one bound term and an upper bound (the
-// smallest applicable bucket) otherwise; a constant the dictionary has
-// never seen yields 0. It is intended for join-order planning.
+// smallest applicable bucket) otherwise; a constant the dictionary has never
+// seen yields 0. It is intended for join-order planning. A graph-scoped
+// count of a bound term builds that graph's lazy index on first use.
 func (sn Snapshot) Count(p Pattern) int {
 	if sn.sn == nil {
 		return 0
 	}
-	ip, ok := idPattern(sn.sn.dict, p)
+	s := sn.sn
+	ip, ok := idPattern(s.dict, p)
 	if !ok {
 		return 0
 	}
-	gid := allGraphsID
+	var gb *graphBucket
 	if ip.GraphSet {
-		gid = ip.Graph
+		if ip.Graph == allGraphsID {
+			return 0
+		}
+		pos, ok := s.graphIdx[ip.Graph]
+		if !ok {
+			return 0
+		}
+		gb = s.graphs[pos]
 	}
-	n := -1
-	if ip.Subject != 0 {
-		n = len(sn.sn.bySubject[gid].bucket(ip.Subject))
-	}
-	if ip.Predicate != 0 {
-		if m := len(sn.sn.byPredicate[gid].bucket(ip.Predicate)); n < 0 || m < n {
-			n = m
+	dimBucket := func(dim int) []eref {
+		tid := ip.dim(dim)
+		if gb != nil {
+			return s.graphDim(gb, dim).bucket(tid)
+		}
+		switch dim {
+		case dimSubject:
+			return s.bySubject.bucket(tid)
+		case dimPredicate:
+			return s.byPredicate.bucket(tid)
+		default:
+			return s.byObject.bucket(tid)
 		}
 	}
-	if ip.Object != 0 {
-		if m := len(sn.sn.byObject[gid].bucket(ip.Object)); n < 0 || m < n {
+	n := -1
+	for dim := 0; dim < dimCount; dim++ {
+		if ip.dim(dim) == 0 {
+			continue
+		}
+		if m := len(dimBucket(dim)); n < 0 || m < n {
 			n = m
 		}
 	}
 	if n >= 0 {
 		return n
 	}
-	if ip.GraphSet {
-		if pos, ok := sn.sn.graphIdx[gid]; ok {
-			return len(sn.sn.graphs[pos].entries)
-		}
-		return 0
+	if gb != nil {
+		return len(gb.entries)
 	}
-	return sn.sn.size
+	return s.size
+}
+
+// dim returns the TermID of the given pattern dimension.
+func (p IDPattern) dim(d int) rdf.TermID {
+	switch d {
+	case dimSubject:
+		return p.Subject
+	case dimPredicate:
+		return p.Predicate
+	default:
+		return p.Object
+	}
 }
 
 // GraphsContaining returns the names of all named graphs that contain the
@@ -342,16 +491,23 @@ func (sn Snapshot) Count(p Pattern) int {
 // and Algorithm 5 lines 9-10).
 func (sn Snapshot) GraphsContaining(t rdf.Triple) []rdf.IRI {
 	entries := sn.matchEntries(WildcardGraph(t.Subject, t.Predicate, t.Object))
+	if len(entries) == 0 {
+		return nil
+	}
+	terms := sn.sn.dict.Terms()
 	seen := map[rdf.TermID]bool{}
 	var out []rdf.IRI
 	// Entries are sorted by quad sort key, whose leading component is the
 	// graph name, so the output is already in ascending graph order.
 	for _, e := range entries {
-		if e.quad.Graph == "" || seen[e.id.Graph] {
+		gid := sn.sn.slot(e).id.Graph
+		if seen[gid] {
 			continue
 		}
-		seen[e.id.Graph] = true
-		out = append(out, e.quad.Graph)
+		seen[gid] = true
+		if g, _ := terms[gid-1].(rdf.IRI); g != "" {
+			out = append(out, g)
+		}
 	}
 	return out
 }
@@ -370,7 +526,7 @@ func (sn Snapshot) NamedGraph(name rdf.IRI) *rdf.Graph {
 	return g
 }
 
-// Quads returns every quad in the snapshot, sorted.
+// Quads returns a snapshot of every quad in the store, sorted.
 func (sn Snapshot) Quads() []rdf.Quad {
 	return sn.Match(Pattern{})
 }
@@ -382,9 +538,9 @@ func (sn Snapshot) Stats() Stats {
 	}
 	st := Stats{
 		Quads:              sn.sn.size,
-		DistinctSubjects:   indexCount(sn.sn.bySubject[allGraphsID]),
-		DistinctPredicates: indexCount(sn.sn.byPredicate[allGraphsID]),
-		DistinctObjects:    indexCount(sn.sn.byObject[allGraphsID]),
+		DistinctSubjects:   sn.sn.bySubject.count,
+		DistinctPredicates: sn.sn.byPredicate.count,
+		DistinctObjects:    sn.sn.byObject.count,
 	}
 	for _, gb := range sn.sn.graphs {
 		if gb.name == "" {
@@ -396,18 +552,11 @@ func (sn Snapshot) Stats() Stats {
 	return st
 }
 
-func indexCount(ti *termIndex) int {
-	if ti == nil {
-		return 0
-	}
-	return ti.count
-}
-
-// matchEntries returns the entries matching p in ascending sort-key order.
+// matchEntries returns the erefs matching p in ascending sort-key order.
 // Buckets are immutable and pre-sorted, so whenever the selected bucket
 // needs no residual filtering the bucket itself is returned without a copy;
 // callers must treat the result as read-only.
-func (sn Snapshot) matchEntries(p Pattern) []*entry {
+func (sn Snapshot) matchEntries(p Pattern) []eref {
 	if sn.sn == nil {
 		return nil
 	}
@@ -418,13 +567,13 @@ func (sn Snapshot) matchEntries(p Pattern) []*entry {
 	return sn.sn.matchEntries(ip)
 }
 
-func (s *snapshot) matchEntries(p IDPattern) []*entry {
+func (s *snapshot) matchEntries(p IDPattern) []eref {
 	candidates, scan, none := s.selectBucket(p)
 	if none {
 		return nil
 	}
 	if scan {
-		out := make([]*entry, 0, s.size)
+		out := make([]eref, 0, s.size)
 		for _, gb := range s.graphs {
 			out = append(out, gb.entries...)
 		}
@@ -435,49 +584,58 @@ func (s *snapshot) matchEntries(p IDPattern) []*entry {
 	if !residualFilter(p) {
 		return candidates
 	}
-	var out []*entry
+	var out []eref
 	for _, e := range candidates {
-		if entryMatches(e, p) {
+		if idMatches(s.slot(e).id, p) {
 			out = append(out, e)
 		}
 	}
 	return out
 }
 
-// selectBucket chooses the most selective index bucket for the pattern
-// (candidates drawn from a graph-keyed index are already restricted to the
-// requested graph). scan reports that no term or graph bound the pattern,
-// so the caller must walk the whole store; none reports the
+// selectBucket chooses the most selective index bucket for the pattern.
+// Graph-scoped patterns resolve through the graph's lazily built indexes
+// (already restricted to the requested graph); unscoped patterns use the
+// eagerly maintained union indexes. scan reports that no term or graph bound
+// the pattern, so the caller must walk the whole store; none reports the
 // reserved-union-key guard (GraphSet with graph ID 0 would alias the union
 // indexes; no real graph ever has ID 0).
-func (s *snapshot) selectBucket(p IDPattern) (candidates []*entry, scan, none bool) {
-	gid := allGraphsID
+func (s *snapshot) selectBucket(p IDPattern) (candidates []eref, scan, none bool) {
 	if p.GraphSet {
 		if p.Graph == allGraphsID {
 			return nil, false, true
 		}
-		gid = p.Graph
+		pos, ok := s.graphIdx[p.Graph]
+		if !ok {
+			return nil, false, false
+		}
+		gb := s.graphs[pos]
+		switch {
+		case p.Subject != 0:
+			return s.graphDim(gb, dimSubject).bucket(p.Subject), false, false
+		case p.Object != 0:
+			return s.graphDim(gb, dimObject).bucket(p.Object), false, false
+		case p.Predicate != 0:
+			return s.graphDim(gb, dimPredicate).bucket(p.Predicate), false, false
+		default:
+			return gb.entries, false, false
+		}
 	}
 	switch {
 	case p.Subject != 0:
-		return s.bySubject[gid].bucket(p.Subject), false, false
+		return s.bySubject.bucket(p.Subject), false, false
 	case p.Object != 0:
-		return s.byObject[gid].bucket(p.Object), false, false
+		return s.byObject.bucket(p.Object), false, false
 	case p.Predicate != 0:
-		return s.byPredicate[gid].bucket(p.Predicate), false, false
-	case p.GraphSet:
-		if pos, ok := s.graphIdx[gid]; ok {
-			return s.graphs[pos].entries, false, false
-		}
-		return nil, false, false
+		return s.byPredicate.bucket(p.Predicate), false, false
 	default:
 		return nil, true, false
 	}
 }
 
-// residualFilter reports whether a bucket candidate can fail entryMatches,
+// residualFilter reports whether a bucket candidate can fail idMatches,
 // i.e. whether the pattern binds more than the term the bucket was selected
-// by. The graph restriction never needs filtering: graph-keyed buckets are
+// by. The graph restriction never needs filtering: graph-scoped buckets are
 // already graph-exact.
 func residualFilter(p IDPattern) bool {
 	bound := 0
@@ -493,11 +651,11 @@ func residualFilter(p IDPattern) bool {
 	return bound > 1
 }
 
-// entryMatches applies the residual term filter to a bucket candidate.
-func entryMatches(e *entry, p IDPattern) bool {
-	return (p.Subject == 0 || e.id.Subject == p.Subject) &&
-		(p.Predicate == 0 || e.id.Predicate == p.Predicate) &&
-		(p.Object == 0 || e.id.Object == p.Object)
+// idMatches applies the residual term filter to a bucket candidate.
+func idMatches(id QuadID, p IDPattern) bool {
+	return (p.Subject == 0 || id.Subject == p.Subject) &&
+		(p.Predicate == 0 || id.Predicate == p.Predicate) &&
+		(p.Object == 0 || id.Object == p.Object)
 }
 
 // idPattern resolves a term pattern to its dictionary encoding. The second

@@ -180,31 +180,32 @@ func TestBucketsStaySorted(t *testing.T) {
 	}
 
 	sn := s.Snapshot()
-	assertSorted := func(label string, entries []*entry) {
+	assertSorted := func(label string, entries []eref) {
 		for i := 1; i < len(entries); i++ {
-			if entries[i-1].sortKey >= entries[i].sortKey {
-				t.Fatalf("%s: bucket out of order at %d: %q >= %q", label, i, entries[i-1].sortKey, entries[i].sortKey)
+			if string(sn.sn.key(entries[i-1])) >= string(sn.sn.key(entries[i])) {
+				t.Fatalf("%s: bucket out of order at %d: %q >= %q", label, i, sn.sn.key(entries[i-1]), sn.sn.key(entries[i]))
 			}
 		}
 	}
-	for dim, idx := range map[string]map[rdf.TermID]*termIndex{
-		"bySubject":   sn.sn.bySubject,
-		"byPredicate": sn.sn.byPredicate,
-		"byObject":    sn.sn.byObject,
-	} {
-		for gid, ti := range idx {
-			for pi, pg := range ti.pages {
-				if pg == nil {
-					continue
-				}
-				for slot := range pg {
-					assertSorted(fmt.Sprintf("%s[g%d] page %d slot %d", dim, gid, pi, slot), pg[slot])
-				}
+	assertIndexSorted := func(dim string, ti *termIndex) {
+		for pi, pg := range ti.pages {
+			if pg == nil {
+				continue
+			}
+			for slot := range pg {
+				assertSorted(fmt.Sprintf("%s page %d slot %d", dim, pi, slot), pg[slot])
 			}
 		}
 	}
+	assertIndexSorted("bySubject", sn.sn.bySubject)
+	assertIndexSorted("byPredicate", sn.sn.byPredicate)
+	assertIndexSorted("byObject", sn.sn.byObject)
 	for _, gb := range sn.sn.graphs {
 		assertSorted(fmt.Sprintf("graph %q", gb.name), gb.entries)
+		// Force the lazy per-graph indexes to build and check them too.
+		for dim := 0; dim < dimCount; dim++ {
+			assertIndexSorted(fmt.Sprintf("graph %q dim %d", gb.name, dim), sn.sn.graphDim(gb, dim))
+		}
 	}
 }
 

@@ -9,6 +9,12 @@
 // dense uint32 TermID at Add time (see rdf.Dict); the GSPO/GPOS/GOSP
 // indexes and the canonical quad set are keyed on 4-integer composite keys,
 // so pattern matching compares integers instead of rebuilding string keys.
+// Quads themselves live in a pointer-free slab arena (see snapshot.go and
+// bdi/internal/slab): the stored form of a quad is a 4-integer QuadID plus
+// the byte-slab offset of its precomputed sort key, and index buckets are
+// uint32 arena references, so the live heap the garbage collector must scan
+// stays a handful of large noscan arrays no matter how many quads are
+// loaded.
 //
 // Concurrency follows a single-writer / many-readers snapshot discipline:
 // every mutation batch copy-on-writes the index structures it touches and
@@ -21,14 +27,14 @@
 package store
 
 import (
+	"bytes"
 	"fmt"
-	"maps"
 	"slices"
-	"strings"
 	"sync"
 	"sync/atomic"
 
 	"bdi/internal/rdf"
+	"bdi/internal/slab"
 )
 
 // Pattern is a quad pattern: nil terms act as wildcards, and an empty
@@ -84,19 +90,41 @@ type MatchedQuad struct {
 	ID QuadID
 }
 
-// entry is the stored representation of a quad: the quad itself, its
-// integer identity, and the sort key that defines the deterministic output
-// order (precomputed once at Add time; buckets stay sorted by it, so Match
-// never sorts). Entries are immutable once published in a snapshot.
-type entry struct {
-	id      QuadID
-	quad    rdf.Quad
-	sortKey string
-}
-
 // allGraphsID is the reserved index key for the union-of-all-graphs
 // indexes. Real TermIDs start at 1, so 0 is never a graph's ID.
 const allGraphsID rdf.TermID = 0
+
+// arena owns the store's entry slots and sort-key bytes. It has a single
+// writer (the holder of Store.mu); snapshots hold views of its chunk tables
+// and readers resolve erefs through those views without locking (chunks
+// never move — see bdi/internal/slab).
+type arena struct {
+	slots *slab.Slots[entrySlot]
+	keys  *slab.Bytes
+}
+
+func newArena() *arena {
+	return &arena{slots: slab.NewSlots[entrySlot](), keys: slab.NewBytes()}
+}
+
+// slot returns the writer-side view of an entry slot.
+func (a *arena) slot(e eref) *entrySlot { return a.slots.At(e) }
+
+// key returns the writer-side view of an entry's sort-key bytes.
+func (a *arena) key(e eref) []byte { return a.keys.Bytes(a.slot(e).key) }
+
+// add appends a new entry (copying key) and returns its reference.
+func (a *arena) add(id QuadID, key []byte) eref {
+	return a.slots.Append(entrySlot{id: id, key: a.keys.Append(key)})
+}
+
+// arenaCompactMin is the minimum number of dead arena slots before a
+// mutation batch triggers an arena rebuild. Dead slots accumulate from
+// removals (and hook-vetoed inserts): the slot and its key bytes stay in the
+// arena until compaction copies the live entries into a fresh one. The
+// rebuild runs when dead slots exceed both this floor and the live size, so
+// its O(live) cost is amortized against the removals that made it necessary.
+const arenaCompactMin = 4096
 
 // BatchKind identifies the kind of an atomic mutation batch reported to a
 // CommitHook.
@@ -147,10 +175,17 @@ type Store struct {
 	// snap is the current published snapshot; the only shared mutable cell.
 	snap atomic.Pointer[snapshot]
 
+	// ar is the entry arena behind the current snapshot. Guarded by mu;
+	// readers reach it only through snapshot views.
+	ar *arena
+
 	// quads is the canonical quad set, used by the write path for duplicate
 	// detection and removal lookup. It is guarded by mu and never reachable
 	// from a snapshot.
-	quads map[QuadID]*entry
+	quads map[QuadID]eref
+
+	// keyBuf is the sort-key scratch buffer of the write path. Guarded by mu.
+	keyBuf []byte
 
 	// hook, when set, observes every mutation batch before publication
 	// (write-ahead ordering). Guarded by mu.
@@ -178,8 +213,8 @@ func (s *Store) offerBatch(b Batch) error {
 
 // New returns an empty store.
 func New() *Store {
-	s := &Store{quads: map[QuadID]*entry{}}
-	s.snap.Store(emptySnapshot(rdf.NewDict()))
+	s := &Store{quads: map[QuadID]eref{}, ar: newArena()}
+	s.snap.Store(emptySnapshot(rdf.NewDict(), s.ar))
 	return s
 }
 
@@ -213,17 +248,18 @@ func (s *Store) Add(q rdf.Quad) (bool, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	e, ok := s.internQuad(q, &entry{})
+	e, ok := s.internQuad(q)
 	if !ok {
 		return false, nil
 	}
 	gen := s.snap.Load().generation + 1
 	if err := s.offerBatch(Batch{Kind: BatchAdd, Quads: []rdf.Quad{q}, Generation: gen}); err != nil {
-		delete(s.quads, e.id)
+		// The arena slot stays behind as a dead entry; compaction reclaims it.
+		delete(s.quads, s.ar.slot(e).id)
 		return false, err
 	}
 	b := s.begin()
-	b.insert([]*entry{e})
+	b.insert([]eref{e})
 	b.publish()
 	return true, nil
 }
@@ -245,17 +281,20 @@ func (s *Store) MustAdd(q rdf.Quad) {
 // visible in a single snapshot publication, so no reader ever observes a
 // partially loaded batch. It returns the number newly added. On a
 // validation error it stops, publishing and reporting how many quads had
-// been added up to that point. Entries for the whole batch are
-// slab-allocated up front (one allocation instead of one per quad);
-// duplicate quads hand their unused slot to the next candidate.
+// been added up to that point. Entries for the whole batch are appended to
+// the slab arena (a handful of large chunk allocations instead of one per
+// quad); duplicate quads allocate nothing.
 func (s *Store) AddAll(quads []rdf.Quad) (int, error) {
 	if len(quads) == 0 {
 		return 0, nil
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	slab := make([]entry, len(quads))
-	ents := make([]*entry, 0, len(quads))
+	ents := make([]eref, 0, len(quads))
+	var added []rdf.Quad
+	if s.hook != nil {
+		added = make([]rdf.Quad, 0, len(quads))
+	}
 	flush := func() error {
 		if len(ents) == 0 {
 			return nil
@@ -264,13 +303,9 @@ func (s *Store) AddAll(quads []rdf.Quad) (int, error) {
 		if s.hook != nil {
 			// The hook sees the inserted quads in intern order, so replaying
 			// the batch re-interns every term at its original TermID.
-			qs := make([]rdf.Quad, len(ents))
-			for i, e := range ents {
-				qs[i] = e.quad
-			}
-			if err := s.offerBatch(Batch{Kind: BatchAdd, Quads: qs, Generation: prev.generation + 1}); err != nil {
+			if err := s.offerBatch(Batch{Kind: BatchAdd, Quads: added, Generation: prev.generation + 1}); err != nil {
 				for _, e := range ents {
-					delete(s.quads, e.id)
+					delete(s.quads, s.ar.slot(e).id)
 				}
 				return err
 			}
@@ -281,8 +316,8 @@ func (s *Store) AddAll(quads []rdf.Quad) (int, error) {
 			// directly with plain appends (see newSnapshotFromSorted). This is
 			// the initial/recovery load path: one sort plus O(batch) appends
 			// instead of per-bucket COW bookkeeping and sorted merges.
-			slices.SortFunc(ents, func(x, y *entry) int { return strings.Compare(x.sortKey, y.sortKey) })
-			s.snap.Store(newSnapshotFromSorted(prev.dict, prev.generation+1, ents))
+			s.sortByKey(ents)
+			s.snap.Store(newSnapshotFromSorted(prev.dict, prev.generation+1, s.ar, ents))
 			return nil
 		}
 		b := s.begin()
@@ -297,8 +332,11 @@ func (s *Store) AddAll(quads []rdf.Quad) (int, error) {
 			}
 			return len(ents), err
 		}
-		if e, ok := s.internQuad(q, &slab[len(ents)]); ok {
+		if e, ok := s.internQuad(q); ok {
 			ents = append(ents, e)
+			if s.hook != nil {
+				added = append(added, q)
+			}
 		}
 	}
 	if err := flush(); err != nil {
@@ -321,10 +359,9 @@ func (s *Store) AddGraph(g *rdf.Graph) (int, error) {
 }
 
 // internQuad interns q's terms, rejects duplicates against the canonical
-// set and fills e as the quad's entry. e must be zero-valued; it is left
-// untouched when the quad is a duplicate (so bulk loaders can reuse the
-// slab slot). Callers must hold s.mu.
-func (s *Store) internQuad(q rdf.Quad, e *entry) (*entry, bool) {
+// set and appends the quad's entry to the arena. Callers must hold s.mu.
+// The bool result is false for duplicates (the eref is then meaningless).
+func (s *Store) internQuad(q rdf.Quad) (eref, bool) {
 	d := s.snap.Load().dict
 	id := QuadID{
 		Graph:     d.Intern(q.Graph),
@@ -333,11 +370,10 @@ func (s *Store) internQuad(q rdf.Quad, e *entry) (*entry, bool) {
 		Object:    d.Intern(q.Object),
 	}
 	if _, exists := s.quads[id]; exists {
-		return nil, false
+		return 0, false
 	}
-	e.id = id
-	e.quad = q
-	e.sortKey = sortKey(d, q, id)
+	s.keyBuf = appendSortKey(s.keyBuf[:0], d, q.Graph, id)
+	e := s.ar.add(id, s.keyBuf)
 	s.quads[id] = e
 	return e, true
 }
@@ -357,21 +393,22 @@ func (s *Store) Remove(q rdf.Quad) bool {
 	if !ok {
 		return false
 	}
-	if err := s.offerBatch(Batch{Kind: BatchRemove, Quads: []rdf.Quad{e.quad}, Generation: cur.generation + 1}); err != nil {
+	removed := quadOf(cur.dict.Terms(), id)
+	if err := s.offerBatch(Batch{Kind: BatchRemove, Quads: []rdf.Quad{removed}, Generation: cur.generation + 1}); err != nil {
 		panic(fmt.Sprintf("store: commit hook rejected Remove batch: %v", err))
 	}
 	delete(s.quads, id)
 	b := s.begin()
-	b.remove([]*entry{e}, false)
+	b.remove([]eref{e})
 	b.publish()
 	return true
 }
 
 // RemoveGraph deletes every quad in the given named graph in one atomic
-// batch, returning the number removed. The per-graph index structures are
-// dropped wholesale; only the union indexes need per-bucket maintenance.
-// When a commit hook is installed and rejects the batch, RemoveGraph panics
-// (see CommitHook).
+// batch, returning the number removed. The graph's entry bucket (and its
+// lazily built indexes) are dropped wholesale; only the union indexes need
+// per-bucket maintenance. When a commit hook is installed and rejects the
+// batch, RemoveGraph panics (see CommitHook).
 func (s *Store) RemoveGraph(graph rdf.IRI) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -389,10 +426,10 @@ func (s *Store) RemoveGraph(graph rdf.IRI) int {
 	}
 	entries := cur.graphs[pos].entries
 	for _, e := range entries {
-		delete(s.quads, e.id)
+		delete(s.quads, s.ar.slot(e).id)
 	}
 	b := s.begin()
-	b.remove(entries, true)
+	b.remove(entries)
 	b.publish()
 	return len(entries)
 }
@@ -478,7 +515,7 @@ func (s *Store) Clone() *Store {
 // references obtained before the Clear are invalidated: re-added terms are
 // assigned fresh IDs in a fresh dictionary. Snapshots pinned before the
 // Clear remain valid views of the pre-Clear state (including its
-// dictionary).
+// dictionary and arena).
 // When a commit hook is installed and rejects the batch, Clear panics (see
 // CommitHook).
 func (s *Store) Clear() {
@@ -488,9 +525,10 @@ func (s *Store) Clear() {
 	if err := s.offerBatch(Batch{Kind: BatchClear, Generation: gen}); err != nil {
 		panic(fmt.Sprintf("store: commit hook rejected Clear batch: %v", err))
 	}
-	next := emptySnapshot(rdf.NewDict())
+	s.ar = newArena()
+	next := emptySnapshot(rdf.NewDict(), s.ar)
 	next.generation = gen
-	s.quads = map[QuadID]*entry{}
+	s.quads = map[QuadID]eref{}
 	s.snap.Store(next)
 }
 
@@ -520,164 +558,165 @@ func wildcardIfVar(t rdf.Term) rdf.Term {
 	return t
 }
 
-// sortKey derives the deterministic ordering key of a quad: the graph name
-// and the three term keys, NUL-separated so concatenation order equals
+// appendSortKey derives the deterministic ordering key of a quad: the graph
+// name and the three term keys, NUL-separated so concatenation order equals
 // component-wise lexicographic order. It is computed once per quad at Add
-// time; buckets stay sorted by it, so it is never derived inside a
-// comparator. The per-term keys come from the dictionary's cache (the terms
-// were just interned), so repeated terms cost a copy instead of a fresh key
-// derivation.
-func sortKey(d *rdf.Dict, q rdf.Quad, id QuadID) string {
-	sk, _ := d.Key(id.Subject)
-	pk, _ := d.Key(id.Predicate)
-	ok, _ := d.Key(id.Object)
-	var b strings.Builder
-	b.Grow(len(q.Graph) + len(sk) + len(pk) + len(ok) + 3)
-	b.WriteString(string(q.Graph))
-	b.WriteByte(0)
-	b.WriteString(sk)
-	b.WriteByte(0)
-	b.WriteString(pk)
-	b.WriteByte(0)
-	b.WriteString(ok)
-	return b.String()
+// time and packed into the arena's key slab; buckets stay sorted by it, so
+// it is never derived inside a comparator. The per-term keys come from the
+// dictionary's key slab (the terms were just interned), so repeated terms
+// cost a copy instead of a fresh key derivation.
+func appendSortKey(dst []byte, d *rdf.Dict, graph rdf.IRI, id QuadID) []byte {
+	dst = append(dst, string(graph)...)
+	dst = append(dst, 0)
+	dst, _ = d.AppendKey(dst, id.Subject)
+	dst = append(dst, 0)
+	dst, _ = d.AppendKey(dst, id.Predicate)
+	dst = append(dst, 0)
+	dst, _ = d.AppendKey(dst, id.Object)
+	return dst
 }
 
-// builder constructs the next snapshot of a mutation batch. It shallow-
-// clones the outer index maps up front and copy-on-writes inner structures
-// (termIndexes, pages, buckets, graph buckets) on first touch; structures
-// created within the batch are tracked so repeated touches mutate in place.
-// publish makes the snapshot visible with one atomic store.
+// sortByKey sorts a batch of erefs by their arena sort keys. Callers must
+// hold s.mu.
+func (s *Store) sortByKey(ents []eref) {
+	slices.SortFunc(ents, func(x, y eref) int {
+		return bytes.Compare(s.ar.key(x), s.ar.key(y))
+	})
+}
+
+// graphName resolves a graph's name from its TermID.
+func graphName(d *rdf.Dict, gid rdf.TermID) rdf.IRI {
+	t, _ := d.Term(gid)
+	name, _ := t.(rdf.IRI)
+	return name
+}
+
+// builder constructs the next snapshot of a mutation batch. The union index
+// headers are cloned up front (every batch touches all three dimensions);
+// pages, buckets and graph buckets are copy-on-written on first touch, and
+// structures created within the batch are tracked so repeated touches mutate
+// in place. The per-graph indexes are lazy caches and are simply reset on
+// touched graphs (see graphBucket). publish makes the snapshot visible with
+// one atomic store.
 type builder struct {
 	s          *Store
 	next       *snapshot
-	freshIdx   map[*termIndex]bool
 	freshPages map[*indexPage]bool
 	freshG     map[*graphBucket]bool
 }
 
 // begin opens a mutation batch against the current snapshot. Callers must
-// hold s.mu.
+// hold s.mu, and must have appended any new entries to the arena already
+// (the views are captured here).
 func (s *Store) begin() *builder {
 	prev := s.snap.Load()
 	next := &snapshot{
 		dict:        prev.dict,
 		generation:  prev.generation + 1,
 		size:        prev.size,
+		slots:       s.ar.slots.View(),
+		keys:        s.ar.keys.View(),
 		graphs:      slices.Clone(prev.graphs),
 		graphIdx:    prev.graphIdx,
-		bySubject:   maps.Clone(prev.bySubject),
-		byPredicate: maps.Clone(prev.byPredicate),
-		byObject:    maps.Clone(prev.byObject),
+		bySubject:   cloneIdx(prev.bySubject),
+		byPredicate: cloneIdx(prev.byPredicate),
+		byObject:    cloneIdx(prev.byObject),
 	}
 	return &builder{
 		s:          s,
 		next:       next,
-		freshIdx:   map[*termIndex]bool{},
 		freshPages: map[*indexPage]bool{},
 		freshG:     map[*graphBucket]bool{},
 	}
 }
 
+func cloneIdx(ti *termIndex) *termIndex {
+	if ti == nil {
+		return &termIndex{}
+	}
+	return &termIndex{pages: slices.Clone(ti.pages), count: ti.count}
+}
+
 // publish atomically installs the built snapshot as the store's current
-// state.
-func (b *builder) publish() { b.s.snap.Store(b.next) }
+// state, first compacting the arena when removals (or vetoed inserts) have
+// left enough dead slots behind.
+func (b *builder) publish() {
+	next := b.next
+	if dead := int(b.s.ar.slots.Len()) - next.size; dead >= arenaCompactMin && dead > next.size {
+		next = b.s.compactArena(next)
+	}
+	b.s.snap.Store(next)
+}
+
+// compactArena copies the snapshot's live entries into a fresh arena (in
+// global sort order) and rebuilds the snapshot and the canonical quad set
+// on top of it, dropping every dead slot and its key bytes. The returned
+// snapshot has identical content and generation; only the internal layout
+// changes. Callers must hold s.mu.
+func (s *Store) compactArena(old *snapshot) *snapshot {
+	na := newArena()
+	ents := make([]eref, 0, old.size)
+	quads := make(map[QuadID]eref, old.size)
+	for _, gb := range old.graphs {
+		for _, e := range gb.entries {
+			sl := s.ar.slot(e)
+			ne := na.add(sl.id, s.ar.keys.Bytes(sl.key))
+			ents = append(ents, ne)
+			quads[sl.id] = ne
+		}
+	}
+	s.ar = na
+	s.quads = quads
+	return newSnapshotFromSorted(old.dict, old.generation, na, ents)
+}
 
 // insert merges the batch's new entries into every index. ents may arrive
-// in any order; each touched bucket is rebuilt exactly once per batch via a
-// sorted merge, so bulk loads cost O(touched buckets + batch log batch)
-// instead of one binary insertion per quad.
-func (b *builder) insert(ents []*entry) {
-	slices.SortFunc(ents, func(x, y *entry) int { return strings.Compare(x.sortKey, y.sortKey) })
-	b.applyDim(b.next.bySubject, ents, subjectOf, mergeSorted)
-	b.applyDim(b.next.byPredicate, ents, predicateOf, mergeSorted)
-	b.applyDim(b.next.byObject, ents, objectOf, mergeSorted)
+// in any order; each touched union bucket is rebuilt exactly once per batch
+// via a sorted merge, so bulk loads cost O(touched buckets + batch log
+// batch) instead of one binary insertion per quad. Per-graph indexes are
+// not maintained here — they rebuild lazily on the next graph-scoped probe.
+func (b *builder) insert(ents []eref) {
+	b.s.sortByKey(ents)
+	b.applyDim(b.next.bySubject, ents, dimSubject, b.mergeSorted)
+	b.applyDim(b.next.byPredicate, ents, dimPredicate, b.mergeSorted)
+	b.applyDim(b.next.byObject, ents, dimObject, b.mergeSorted)
 	b.insertGraphs(ents)
 	b.next.size += len(ents)
 }
 
 // remove subtracts the batch's entries from every index. ents must all be
-// present in the snapshot. wholeGraphs marks batches that remove complete
-// graphs (RemoveGraph): the per-graph index structures are dropped
-// wholesale instead of being filtered bucket by bucket.
-func (b *builder) remove(ents []*entry, wholeGraphs bool) {
+// present in the snapshot. Removing the last entry of a graph drops the
+// graph bucket (and with it the lazy per-graph indexes) wholesale.
+func (b *builder) remove(ents []eref) {
 	ents = slices.Clone(ents)
-	slices.SortFunc(ents, func(x, y *entry) int { return strings.Compare(x.sortKey, y.sortKey) })
-	if wholeGraphs {
-		for _, gid := range batchGraphIDs(ents) {
-			delete(b.next.bySubject, gid)
-			delete(b.next.byPredicate, gid)
-			delete(b.next.byObject, gid)
-		}
-		b.applyDimUnionOnly(b.next.bySubject, ents, subjectOf)
-		b.applyDimUnionOnly(b.next.byPredicate, ents, predicateOf)
-		b.applyDimUnionOnly(b.next.byObject, ents, objectOf)
-	} else {
-		b.applyDim(b.next.bySubject, ents, subjectOf, subtractSorted)
-		b.applyDim(b.next.byPredicate, ents, predicateOf, subtractSorted)
-		b.applyDim(b.next.byObject, ents, objectOf, subtractSorted)
-	}
+	b.s.sortByKey(ents)
+	b.applyDim(b.next.bySubject, ents, dimSubject, subtractSorted)
+	b.applyDim(b.next.byPredicate, ents, dimPredicate, subtractSorted)
+	b.applyDim(b.next.byObject, ents, dimObject, subtractSorted)
 	b.removeGraphs(ents)
 	b.next.size -= len(ents)
 }
 
-func subjectOf(e *entry) rdf.TermID   { return e.id.Subject }
-func predicateOf(e *entry) rdf.TermID { return e.id.Predicate }
-func objectOf(e *entry) rdf.TermID    { return e.id.Object }
-
-// batchGraphIDs returns the distinct graph IDs of a sort-key-ordered batch
-// (entries of one graph are contiguous: the sort key is graph-name-first).
-func batchGraphIDs(ents []*entry) []rdf.TermID {
-	var out []rdf.TermID
-	for i := 0; i < len(ents); {
-		gid := ents[i].id.Graph
-		out = append(out, gid)
-		for i < len(ents) && ents[i].id.Graph == gid {
-			i++
-		}
-	}
-	return out
-}
-
-// applyDim groups the batch by (graph, term) — under both the quad's graph
-// and the union key — and applies op (merge or subtract) once per touched
-// bucket.
-func (b *builder) applyDim(dim map[rdf.TermID]*termIndex, ents []*entry, key func(*entry) rdf.TermID, op func(old, batch []*entry) []*entry) {
-	b.applyGrouped(dim, ents, key, op, false)
-}
-
-// applyDimUnionOnly is applyDim restricted to the union (allGraphsID) rows,
-// used when the per-graph structures are dropped wholesale.
-func (b *builder) applyDimUnionOnly(dim map[rdf.TermID]*termIndex, ents []*entry, key func(*entry) rdf.TermID) {
-	b.applyGrouped(dim, ents, key, subtractSorted, true)
-}
-
-func (b *builder) applyGrouped(dim map[rdf.TermID]*termIndex, ents []*entry, key func(*entry) rdf.TermID, op func(old, batch []*entry) []*entry, unionOnly bool) {
-	type bucketKey struct{ gid, tid rdf.TermID }
-	pending := make(map[bucketKey][]*entry)
-	var order []bucketKey
-	add := func(k bucketKey, e *entry) {
-		if _, ok := pending[k]; !ok {
-			order = append(order, k)
-		}
-		pending[k] = append(pending[k], e)
-	}
+// applyDim groups the batch by term and applies op (merge or subtract) once
+// per touched union bucket.
+func (b *builder) applyDim(ti *termIndex, ents []eref, dim int, op func(old, batch []eref) []eref) {
+	pending := make(map[rdf.TermID][]eref)
+	var order []rdf.TermID
 	for _, e := range ents {
-		tid := key(e)
-		if !unionOnly {
-			add(bucketKey{e.id.Graph, tid}, e)
+		tid := b.s.ar.slot(e).id.dim(dim)
+		if _, ok := pending[tid]; !ok {
+			order = append(order, tid)
 		}
-		add(bucketKey{allGraphsID, tid}, e)
+		pending[tid] = append(pending[tid], e)
 	}
-	for _, k := range order {
-		b.setBucket(dim, k.gid, k.tid, op(dim[k.gid].bucket(k.tid), pending[k]))
+	for _, tid := range order {
+		b.setBucket(ti, tid, op(ti.bucket(tid), pending[tid]))
 	}
 }
 
-// setBucket installs a rebuilt bucket under (gid, tid), copy-on-writing the
-// termIndex and page on first touch and maintaining the distinct-term count.
-func (b *builder) setBucket(dim map[rdf.TermID]*termIndex, gid, tid rdf.TermID, bucket []*entry) {
-	ti := b.ensureIdx(dim, gid)
+// setBucket installs a rebuilt bucket under tid, copy-on-writing the page on
+// first touch and maintaining the distinct-term count.
+func (b *builder) setBucket(ti *termIndex, tid rdf.TermID, bucket []eref) {
 	pg := b.ensurePage(ti, tid)
 	old := pg[tid&pageMask]
 	if len(bucket) == 0 {
@@ -689,26 +728,6 @@ func (b *builder) setBucket(dim map[rdf.TermID]*termIndex, gid, tid rdf.TermID, 
 		ti.count++
 	}
 	pg[tid&pageMask] = bucket
-}
-
-// ensureIdx returns a termIndex for gid that is owned by this batch,
-// cloning the published one (pages slice only — pages themselves are COWed
-// lazily) on first touch.
-func (b *builder) ensureIdx(dim map[rdf.TermID]*termIndex, gid rdf.TermID) *termIndex {
-	ti := dim[gid]
-	if ti == nil {
-		ti = &termIndex{}
-		dim[gid] = ti
-		b.freshIdx[ti] = true
-		return ti
-	}
-	if !b.freshIdx[ti] {
-		cp := &termIndex{pages: slices.Clone(ti.pages), count: ti.count}
-		dim[gid] = cp
-		b.freshIdx[cp] = true
-		return cp
-	}
-	return ti
 }
 
 // ensurePage returns a batch-owned page covering tid, growing the page
@@ -735,21 +754,21 @@ func (b *builder) ensurePage(ti *termIndex, tid rdf.TermID) *indexPage {
 
 // insertGraphs merges the batch into the per-graph buckets, creating (and
 // name-sorting) graph buckets for graphs seen for the first time.
-func (b *builder) insertGraphs(ents []*entry) {
+func (b *builder) insertGraphs(ents []eref) {
 	changed := false
 	for i := 0; i < len(ents); {
-		gid := ents[i].id.Graph
+		gid := b.s.ar.slot(ents[i]).id.Graph
 		j := i
-		for j < len(ents) && ents[j].id.Graph == gid {
+		for j < len(ents) && b.s.ar.slot(ents[j]).id.Graph == gid {
 			j++
 		}
 		group := ents[i:j]
 		i = j
 		if pos, ok := b.next.graphIdx[gid]; ok {
 			gb := b.ensureGraph(pos)
-			gb.entries = mergeSorted(gb.entries, group)
+			gb.entries = b.mergeSorted(gb.entries, group)
 		} else {
-			gb := &graphBucket{id: gid, name: group[0].quad.Graph, entries: slices.Clone(group)}
+			gb := &graphBucket{id: gid, name: graphName(b.next.dict, gid), entries: slices.Clone(group)}
 			b.freshG[gb] = true
 			b.next.graphs = append(b.next.graphs, gb)
 			changed = true
@@ -762,14 +781,13 @@ func (b *builder) insertGraphs(ents []*entry) {
 }
 
 // removeGraphs subtracts the batch from the per-graph buckets, dropping
-// buckets (and their per-graph term indexes) that become empty. graphIdx is
-// rebuilt immediately after a drop so positions stay valid for the rest of
-// the batch.
-func (b *builder) removeGraphs(ents []*entry) {
+// buckets that become empty. graphIdx is rebuilt immediately after a drop so
+// positions stay valid for the rest of the batch.
+func (b *builder) removeGraphs(ents []eref) {
 	for i := 0; i < len(ents); {
-		gid := ents[i].id.Graph
+		gid := b.s.ar.slot(ents[i]).id.Graph
 		j := i
-		for j < len(ents) && ents[j].id.Graph == gid {
+		for j < len(ents) && b.s.ar.slot(ents[j]).id.Graph == gid {
 			j++
 		}
 		group := ents[i:j]
@@ -779,16 +797,15 @@ func (b *builder) removeGraphs(ents []*entry) {
 		gb.entries = subtractSorted(gb.entries, group)
 		if len(gb.entries) == 0 {
 			b.next.graphs = slices.Delete(b.next.graphs, pos, pos+1)
-			delete(b.next.bySubject, gid)
-			delete(b.next.byPredicate, gid)
-			delete(b.next.byObject, gid)
 			b.rebuildGraphIdx()
 		}
 	}
 }
 
 // ensureGraph returns a batch-owned graph bucket at the given position,
-// cloning the published one on first touch.
+// cloning the published one on first touch. The clone's lazy index cells
+// start empty: touching a graph invalidates its cached per-graph indexes
+// for the new snapshot (the published snapshot keeps its own).
 func (b *builder) ensureGraph(pos int) *graphBucket {
 	gb := b.next.graphs[pos]
 	if !b.freshG[gb] {
@@ -808,17 +825,18 @@ func (b *builder) rebuildGraphIdx() {
 	b.next.graphIdx = idx
 }
 
-// mergeSorted merges two ascending (by sortKey) entry slices into a fresh
+// mergeSorted merges two ascending (by sort key) eref slices into a fresh
 // slice. Sort keys are unique across distinct quads, so no tie-breaking is
 // needed.
-func mergeSorted(old, add []*entry) []*entry {
+func (b *builder) mergeSorted(old, add []eref) []eref {
 	if len(old) == 0 {
 		return slices.Clone(add)
 	}
-	out := make([]*entry, 0, len(old)+len(add))
+	ar := b.s.ar
+	out := make([]eref, 0, len(old)+len(add))
 	i, j := 0, 0
 	for i < len(old) && j < len(add) {
-		if old[i].sortKey <= add[j].sortKey {
+		if bytes.Compare(ar.key(old[i]), ar.key(add[j])) <= 0 {
 			out = append(out, old[i])
 			i++
 		} else {
@@ -831,14 +849,14 @@ func mergeSorted(old, add []*entry) []*entry {
 }
 
 // subtractSorted returns old without the entries of rem. Both slices are
-// ascending by sortKey and rem ⊆ old, so pointer identity aligns under a
+// ascending by sort key and rem ⊆ old, so eref identity aligns under a
 // single forward pass. The result is a fresh slice: the published bucket is
 // never mutated.
-func subtractSorted(old, rem []*entry) []*entry {
+func subtractSorted(old, rem []eref) []eref {
 	if len(old) == len(rem) {
 		return nil
 	}
-	out := make([]*entry, 0, len(old)-len(rem))
+	out := make([]eref, 0, len(old)-len(rem))
 	j := 0
 	for _, e := range old {
 		if j < len(rem) && rem[j] == e {

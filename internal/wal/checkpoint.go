@@ -15,30 +15,148 @@ import (
 	"bdi/internal/store"
 )
 
-// Checkpoint file format (all integers uvarint unless noted):
+// Checkpoint file format, version 2 (all integers uvarint unless noted):
 //
-//	magic    "BDIWCKP1" (8 bytes)
+//	magic    "BDIWCKP2" (8 bytes)
+//	epoch    dictionary compaction epoch (increments whenever a checkpoint
+//	         reclaims at least one TermID)
+//	origLen  dictionary size before compaction
+//	ndrop    TermIDs reclaimed by compaction; then ndrop deltas encoding the
+//	         ascending list of dropped *old* IDs (first delta is absolute).
+//	         The old→new remap is implied: newID = oldID − |dropped ≤ oldID|.
 //	gen      store generation the snapshot was pinned at
-//	nterms   dictionary size; then nterms terms (rdf codec) in TermID order
+//	nterms   compacted dictionary size (origLen − ndrop); then nterms terms
+//	         (rdf codec) in TermID order
 //	ngraphs  non-empty graphs; per graph: nquads, then nquads × 4 TermIDs
 //	nspans   release-delta log entries (same encoding as WAL release records)
 //	crc      uint32 LE CRC-32C of everything above
 //
+// Version 1 ("BDIWCKP1") is the same layout without the epoch/origLen/drop
+// header; the decoder accepts both, so pre-compaction data dirs recover
+// unchanged (and the next checkpoint rewrites them as v2).
+//
 // A checkpoint is self-contained: the dictionary table restores every
-// TermID at its original value with sort keys regenerated from the term
-// values, the graph sections are the store's pre-sorted buckets dumped in
-// bulk (store.Restore rebuilds every index with plain appends), and the
-// span section reseeds the ontology's release-delta log.
+// TermID at its (possibly remapped) value with sort keys regenerated from
+// the term values, the graph sections are the store's pre-sorted buckets
+// dumped in bulk (store.Restore rebuilds every index with plain appends),
+// and the span section reseeds the ontology's release-delta log. Sort keys
+// derive from term bytes, never from TermIDs, so the dense remap leaves the
+// serialized bucket order untouched.
 
-var checkpointMagic = []byte("BDIWCKP1")
+var (
+	checkpointMagicV1 = []byte("BDIWCKP1")
+	checkpointMagicV2 = []byte("BDIWCKP2")
+)
 
 // checkpointData is a decoded checkpoint.
 type checkpointData struct {
-	generation uint64
-	dict       *rdf.Dict
-	graphs     [][]store.QuadID
-	spans      []core.DeltaSpan
-	quads      int
+	version     int    // format version (1 or 2)
+	generation  uint64 // store generation of the pinned snapshot
+	epoch       uint64 // dict compaction epoch (0 for v1)
+	origDictLen int    // dictionary size before compaction (== dict len for v1)
+	reclaimed   int    // TermIDs dropped by the writer's compaction pass
+	remapBytes  int    // encoded size of the dropped-ID section
+	dict        *rdf.Dict
+	graphs      [][]store.QuadID
+	spans       []core.DeltaSpan
+	quads       int
+}
+
+// checkpointPayload is what the writer serializes: the (possibly compacted)
+// dictionary table and remapped graph sections plus the compaction header.
+type checkpointPayload struct {
+	generation  uint64
+	epoch       uint64
+	origDictLen int
+	dropped     []rdf.TermID // ascending old TermIDs reclaimed by compaction
+	terms       []rdf.Term
+	graphs      [][]store.QuadID
+	spans       []core.DeltaSpan
+}
+
+// snapshotPayload assembles an uncompacted payload straight from a pinned
+// snapshot (tests, benchmarks and the DisableDictCompaction path).
+func snapshotPayload(sn store.Snapshot, terms []rdf.Term, spans []core.DeltaSpan) checkpointPayload {
+	return checkpointPayload{
+		generation:  sn.Generation(),
+		origDictLen: len(terms),
+		terms:       terms,
+		graphs:      sn.ExportGraphIDs(),
+		spans:       spans,
+	}
+}
+
+// compactDict computes the TermIDs live in the exported graphs and, when the
+// dictionary holds orphaned entries (terms no longer referenced by any quad —
+// RemoveGraph and wrapper deregistration leave these behind, since the
+// dictionary itself is append-only), rewrites the term table and every QuadID
+// under the dense order-preserving remap newID = oldID − |dropped ≤ oldID|.
+// Sort keys are term-key-based, so bucket order survives the remap and the
+// rewritten graph sections stay valid Restore input. Returns the inputs
+// unchanged (nil dropped list) when nothing is reclaimable.
+func compactDict(terms []rdf.Term, graphs [][]store.QuadID) ([]rdf.Term, [][]store.QuadID, []rdf.TermID) {
+	live := make([]bool, len(terms)+1)
+	for _, ids := range graphs {
+		for _, id := range ids {
+			live[id.Graph] = true
+			live[id.Subject] = true
+			live[id.Predicate] = true
+			live[id.Object] = true
+		}
+	}
+	var dropped []rdf.TermID
+	for id := 1; id <= len(terms); id++ {
+		if !live[id] {
+			dropped = append(dropped, rdf.TermID(id))
+		}
+	}
+	if len(dropped) == 0 {
+		return terms, graphs, nil
+	}
+	remap := make([]rdf.TermID, len(terms)+1)
+	shift := rdf.TermID(0)
+	di := 0
+	for id := rdf.TermID(1); id <= rdf.TermID(len(terms)); id++ {
+		if di < len(dropped) && dropped[di] == id {
+			shift++
+			di++
+			continue
+		}
+		remap[id] = id - shift
+	}
+	newTerms := make([]rdf.Term, 0, len(terms)-len(dropped))
+	for i, t := range terms {
+		if remap[i+1] != 0 {
+			newTerms = append(newTerms, t)
+		}
+	}
+	newGraphs := make([][]store.QuadID, len(graphs))
+	for gi, ids := range graphs {
+		out := make([]store.QuadID, len(ids))
+		for i, id := range ids {
+			out[i] = store.QuadID{
+				Graph:     remap[id.Graph],
+				Subject:   remap[id.Subject],
+				Predicate: remap[id.Predicate],
+				Object:    remap[id.Object],
+			}
+		}
+		newGraphs[gi] = out
+	}
+	return newTerms, newGraphs, dropped
+}
+
+// droppedEncodedSize returns the byte size of the delta-encoded dropped-ID
+// section (the on-disk remap), for checkpoint and recovery stats.
+func droppedEncodedSize(dropped []rdf.TermID) int {
+	n := 0
+	prev := rdf.TermID(0)
+	var scratch [binary.MaxVarintLen64]byte
+	for _, id := range dropped {
+		n += binary.PutUvarint(scratch[:], uint64(id-prev))
+		prev = id
+	}
+	return n
 }
 
 // crcWriter tees writes into a running CRC-32C so the checkpoint can be
@@ -57,9 +175,9 @@ func (cw *crcWriter) Write(p []byte) (int, error) {
 // writeCheckpointTo streams the checkpoint body plus the trailing CRC to w.
 // Memory stays O(buffer): sections are encoded into a small scratch slice
 // and flushed through a buffered writer, never concatenated (the only
-// O(store) transient is the per-graph QuadID dump from ExportGraphIDs,
-// 16 bytes per quad).
-func writeCheckpointTo(w io.Writer, sn store.Snapshot, terms []rdf.Term, spans []core.DeltaSpan) error {
+// O(store) transient is the per-graph QuadID dump in the payload, 16 bytes
+// per quad).
+func writeCheckpointTo(w io.Writer, p checkpointPayload) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
 	cw := &crcWriter{w: bw}
 	scratch := make([]byte, 0, 1<<12)
@@ -68,13 +186,26 @@ func writeCheckpointTo(w io.Writer, sn store.Snapshot, terms []rdf.Term, spans [
 		scratch = scratch[:0]
 		return err
 	}
-	scratch = append(scratch, checkpointMagic...)
-	scratch = binary.AppendUvarint(scratch, sn.Generation())
-	scratch = binary.AppendUvarint(scratch, uint64(len(terms)))
+	scratch = append(scratch, checkpointMagicV2...)
+	scratch = binary.AppendUvarint(scratch, p.epoch)
+	scratch = binary.AppendUvarint(scratch, uint64(p.origDictLen))
+	scratch = binary.AppendUvarint(scratch, uint64(len(p.dropped)))
+	prev := rdf.TermID(0)
+	for _, id := range p.dropped {
+		scratch = binary.AppendUvarint(scratch, uint64(id-prev))
+		prev = id
+		if len(scratch) >= 1<<15 {
+			if err := emit(); err != nil {
+				return err
+			}
+		}
+	}
+	scratch = binary.AppendUvarint(scratch, p.generation)
+	scratch = binary.AppendUvarint(scratch, uint64(len(p.terms)))
 	if err := emit(); err != nil {
 		return err
 	}
-	for _, t := range terms {
+	for _, t := range p.terms {
 		scratch = rdf.AppendTerm(scratch, t)
 		if len(scratch) >= 1<<15 {
 			if err := emit(); err != nil {
@@ -82,9 +213,8 @@ func writeCheckpointTo(w io.Writer, sn store.Snapshot, terms []rdf.Term, spans [
 			}
 		}
 	}
-	graphs := sn.ExportGraphIDs()
-	scratch = binary.AppendUvarint(scratch, uint64(len(graphs)))
-	for _, ids := range graphs {
+	scratch = binary.AppendUvarint(scratch, uint64(len(p.graphs)))
+	for _, ids := range p.graphs {
 		scratch = binary.AppendUvarint(scratch, uint64(len(ids)))
 		for _, id := range ids {
 			scratch = binary.AppendUvarint(scratch, uint64(id.Graph))
@@ -98,8 +228,8 @@ func writeCheckpointTo(w io.Writer, sn store.Snapshot, terms []rdf.Term, spans [
 			}
 		}
 	}
-	scratch = binary.AppendUvarint(scratch, uint64(len(spans)))
-	for _, sp := range spans {
+	scratch = binary.AppendUvarint(scratch, uint64(len(p.spans)))
+	for _, sp := range p.spans {
 		scratch = appendSpan(scratch, sp)
 		if len(scratch) >= 1<<15 {
 			if err := emit(); err != nil {
@@ -119,37 +249,80 @@ func writeCheckpointTo(w io.Writer, sn store.Snapshot, terms []rdf.Term, spans [
 	return bw.Flush()
 }
 
-// encodeCheckpoint materializes a checkpoint in memory (tests and
-// benchmarks; the file path streams via writeCheckpointTo).
+// encodeCheckpoint materializes an uncompacted checkpoint in memory (tests
+// and benchmarks; the file path streams via writeCheckpointTo).
 func encodeCheckpoint(sn store.Snapshot, terms []rdf.Term, spans []core.DeltaSpan) []byte {
 	var buf bytes.Buffer
-	if err := writeCheckpointTo(&buf, sn, terms, spans); err != nil {
+	if err := writeCheckpointTo(&buf, snapshotPayload(sn, terms, spans)); err != nil {
 		panic(fmt.Sprintf("wal: encoding checkpoint to memory: %v", err))
 	}
 	return buf.Bytes()
 }
 
-// decodeCheckpoint parses and verifies a checkpoint file's contents.
+// decodeCheckpoint parses and verifies a checkpoint file's contents. Both
+// format versions are accepted; v1 files decode with epoch 0 and an empty
+// remap.
 func decodeCheckpoint(data []byte) (*checkpointData, error) {
-	if len(data) < len(checkpointMagic)+4 {
+	if len(data) < len(checkpointMagicV2)+4 {
 		return nil, fmt.Errorf("wal: checkpoint too short (%d bytes)", len(data))
 	}
 	body, sumBytes := data[:len(data)-4], data[len(data)-4:]
 	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(sumBytes) {
 		return nil, fmt.Errorf("wal: checkpoint checksum mismatch")
 	}
-	if string(body[:len(checkpointMagic)]) != string(checkpointMagic) {
+	ck := &checkpointData{}
+	switch {
+	case bytes.HasPrefix(body, checkpointMagicV2):
+		ck.version = 2
+	case bytes.HasPrefix(body, checkpointMagicV1):
+		ck.version = 1
+	default:
 		return nil, fmt.Errorf("wal: bad checkpoint magic")
 	}
-	b := body[len(checkpointMagic):]
-	ck := &checkpointData{}
+	b := body[len(checkpointMagicV2):]
 	var err error
+	if ck.version == 2 {
+		if ck.epoch, b, err = readUvarint(b); err != nil {
+			return nil, err
+		}
+		var origLen, ndrop uint64
+		if origLen, b, err = readUvarint(b); err != nil {
+			return nil, err
+		}
+		if ndrop, b, err = readUvarint(b); err != nil {
+			return nil, err
+		}
+		if ndrop > origLen {
+			return nil, fmt.Errorf("wal: checkpoint drops %d of %d TermIDs", ndrop, origLen)
+		}
+		ck.origDictLen = int(origLen)
+		ck.reclaimed = int(ndrop)
+		before := len(b)
+		prev := rdf.TermID(0)
+		for i := uint64(0); i < ndrop; i++ {
+			var delta uint64
+			if delta, b, err = readUvarint(b); err != nil {
+				return nil, err
+			}
+			if delta == 0 {
+				return nil, fmt.Errorf("wal: checkpoint remap not strictly ascending")
+			}
+			prev += rdf.TermID(delta)
+		}
+		if uint64(prev) > origLen {
+			return nil, fmt.Errorf("wal: checkpoint remap drops TermID %d beyond dictionary size %d", prev, origLen)
+		}
+		ck.remapBytes = before - len(b)
+	}
 	if ck.generation, b, err = readUvarint(b); err != nil {
 		return nil, err
 	}
 	var nterms uint64
 	if nterms, b, err = readUvarint(b); err != nil {
 		return nil, err
+	}
+	if ck.version == 2 && int(nterms) != ck.origDictLen-ck.reclaimed {
+		return nil, fmt.Errorf("wal: checkpoint has %d terms, header implies %d", nterms, ck.origDictLen-ck.reclaimed)
 	}
 	terms := make([]rdf.Term, 0, nterms)
 	for i := uint64(0); i < nterms; i++ {
@@ -158,6 +331,9 @@ func decodeCheckpoint(data []byte) (*checkpointData, error) {
 			return nil, err
 		}
 		terms = append(terms, t)
+	}
+	if ck.version == 1 {
+		ck.origDictLen = len(terms)
 	}
 	if ck.dict, err = rdf.NewDictFromTerms(terms); err != nil {
 		return nil, fmt.Errorf("wal: rebuilding checkpoint dictionary: %w", err)
@@ -222,17 +398,17 @@ func readQuadID(b []byte) (store.QuadID, []byte, error) {
 	return id, b, nil
 }
 
-// writeCheckpointFile atomically writes a checkpoint for the pinned
-// snapshot: stream to a temp file, fsync, rename into place, fsync the
-// directory. Returns the file size.
-func writeCheckpointFile(dir string, sn store.Snapshot, terms []rdf.Term, spans []core.DeltaSpan) (int64, error) {
+// writeCheckpointFile atomically writes a checkpoint payload: stream to a
+// temp file, fsync, rename into place, fsync the directory. Returns the file
+// size.
+func writeCheckpointFile(dir string, p checkpointPayload) (int64, error) {
 	tmp, err := os.CreateTemp(dir, "checkpoint-*.tmp")
 	if err != nil {
 		return 0, fmt.Errorf("wal: creating checkpoint temp file: %w", err)
 	}
 	tmpName := tmp.Name()
 	defer os.Remove(tmpName)
-	if err := writeCheckpointTo(tmp, sn, terms, spans); err != nil {
+	if err := writeCheckpointTo(tmp, p); err != nil {
 		tmp.Close()
 		return 0, fmt.Errorf("wal: writing checkpoint: %w", err)
 	}
@@ -248,7 +424,7 @@ func writeCheckpointFile(dir string, sn store.Snapshot, terms []rdf.Term, spans 
 	if err := tmp.Close(); err != nil {
 		return 0, fmt.Errorf("wal: closing checkpoint: %w", err)
 	}
-	final := filepath.Join(dir, checkpointName(sn.Generation()))
+	final := filepath.Join(dir, checkpointName(p.generation))
 	if err := os.Rename(tmpName, final); err != nil {
 		return 0, fmt.Errorf("wal: installing checkpoint: %w", err)
 	}

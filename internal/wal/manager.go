@@ -22,6 +22,14 @@ type Options struct {
 	// this many WAL bytes have been appended since the last one. 0 uses the
 	// default (64 MiB); negative disables automatic checkpoints.
 	CheckpointEveryBytes int64
+	// DisableDictCompaction turns off the dictionary compaction pass that
+	// checkpoints run by default: orphaned TermIDs (left behind by
+	// RemoveGraph and wrapper deregistration — the dictionary itself is
+	// append-only) are reclaimed by writing the checkpoint under densely
+	// reassigned IDs. Recovery and replica bootstrap from a compacted
+	// checkpoint rebuild byte-identical stores under the new IDs; the live
+	// process keeps its old IDs until it next restarts.
+	DisableDictCompaction bool
 }
 
 const defaultCheckpointEveryBytes = 64 << 20
@@ -55,6 +63,11 @@ type Manager struct {
 	ckptCount       uint64
 	logBytesAtCkpt  uint64
 	checkpointError string
+	// compactionEpoch counts dictionary compactions over the data dir's
+	// lifetime; seeded from the recovered checkpoint and bumped whenever a
+	// checkpoint reclaims at least one TermID.
+	compactionEpoch uint64
+	lastReclaimed   int
 }
 
 // Open recovers the ontology persisted in dir (creating the directory and
@@ -125,6 +138,7 @@ func Open(dir string, opts Options) (*Manager, error) {
 	} else {
 		m.statMu.Lock()
 		m.lastCkptGen = m.recovery.CheckpointGeneration
+		m.compactionEpoch = m.recovery.DictCompactionEpoch
 		m.statMu.Unlock()
 	}
 
@@ -219,6 +233,18 @@ type CheckpointInfo struct {
 	Duration        time.Duration `json:"durationNs"`
 	SegmentsPruned  int           `json:"segmentsPruned"`
 	CheckpointsKept int           `json:"checkpointsKept"`
+
+	// FormatVersion is the checkpoint file format written (always 2 now;
+	// version 1 files remain readable).
+	FormatVersion int `json:"formatVersion"`
+	// CompactionEpoch is the dictionary compaction epoch recorded in the
+	// checkpoint (bumped when this checkpoint reclaimed IDs).
+	CompactionEpoch uint64 `json:"dictCompactionEpoch"`
+	// DictIDsReclaimed counts orphaned TermIDs this checkpoint dropped; 0
+	// when the dictionary was already dense or compaction is disabled.
+	DictIDsReclaimed int `json:"dictIDsReclaimed"`
+	// DictRemapBytes is the encoded size of the old→new remap section.
+	DictRemapBytes int `json:"dictRemapBytes,omitempty"`
 }
 
 // Checkpoint serializes a pinned snapshot of the current state to a fresh
@@ -245,11 +271,26 @@ func (m *Manager) checkpoint() (CheckpointInfo, error) {
 			spans = append(spans, sp)
 		}
 	}
-	size, err := writeCheckpointFile(m.dir, sn, terms, spans)
+	p := snapshotPayload(sn, terms, spans)
+	if !m.opts.DisableDictCompaction {
+		p.terms, p.graphs, p.dropped = compactDict(terms, p.graphs)
+	}
+	m.statMu.Lock()
+	epoch := m.compactionEpoch
+	m.statMu.Unlock()
+	if len(p.dropped) > 0 {
+		epoch++
+	}
+	p.epoch = epoch
+	size, err := writeCheckpointFile(m.dir, p)
 	if err != nil {
 		return CheckpointInfo{}, err
 	}
-	info := CheckpointInfo{Generation: sn.Generation(), Quads: sn.Len(), Bytes: size, Duration: time.Since(start)}
+	info := CheckpointInfo{
+		Generation: sn.Generation(), Quads: sn.Len(), Bytes: size, Duration: time.Since(start),
+		FormatVersion: 2, CompactionEpoch: epoch,
+		DictIDsReclaimed: len(p.dropped), DictRemapBytes: droppedEncodedSize(p.dropped),
+	}
 
 	// The rotation base is raised inside rotate to the highest generation
 	// already appended, so an in-flight commit's record can never be
@@ -272,6 +313,8 @@ func (m *Manager) checkpoint() (CheckpointInfo, error) {
 	m.ckptCount++
 	m.logBytesAtCkpt = bytes
 	m.checkpointError = ""
+	m.compactionEpoch = epoch
+	m.lastReclaimed = len(p.dropped)
 	m.statMu.Unlock()
 	return info, nil
 }
@@ -382,6 +425,12 @@ type Stats struct {
 	CheckpointsWritten       uint64 `json:"checkpointsWritten"`
 	CheckpointError          string `json:"checkpointError,omitempty"`
 
+	// DictCompactionEpoch counts dictionary compactions over the data dir's
+	// lifetime; LastDictIDsReclaimed is the orphaned-TermID count reclaimed
+	// by the most recent checkpoint.
+	DictCompactionEpoch  uint64 `json:"dictCompactionEpoch"`
+	LastDictIDsReclaimed int    `json:"lastDictIDsReclaimed,omitempty"`
+
 	StoreGeneration uint64 `json:"storeGeneration"`
 	StoreQuads      int    `json:"storeQuads"`
 
@@ -423,6 +472,8 @@ func (m *Manager) Stats() Stats {
 	st.LastCheckpointBytes = m.lastCkptBytes
 	st.CheckpointsWritten = m.ckptCount
 	st.CheckpointError = m.checkpointError
+	st.DictCompactionEpoch = m.compactionEpoch
+	st.LastDictIDsReclaimed = m.lastReclaimed
 	m.statMu.Unlock()
 	return st
 }

@@ -38,6 +38,20 @@ type RecoveryInfo struct {
 	TruncatedBytes int64 `json:"truncatedBytes"`
 	// FinalGeneration is the store generation after replay.
 	FinalGeneration uint64 `json:"finalGeneration"`
+
+	// CheckpointFormatVersion is the file format version of the loaded
+	// checkpoint (1 for pre-compaction files, 2 for compaction-aware ones;
+	// 0 when the data dir was fresh).
+	CheckpointFormatVersion int `json:"checkpointFormatVersion,omitempty"`
+	// DictCompactionEpoch is the dictionary compaction epoch recorded in the
+	// loaded checkpoint; new checkpoints continue the count from here.
+	DictCompactionEpoch uint64 `json:"dictCompactionEpoch"`
+	// DictIDsReclaimed is the number of orphaned TermIDs the loaded
+	// checkpoint's compaction pass dropped when it was written; the restored
+	// dictionary is dense under the remapped IDs.
+	DictIDsReclaimed int `json:"dictIDsReclaimed"`
+	// DictRemapBytes is the encoded size of the checkpoint's old→new remap.
+	DictRemapBytes int `json:"dictRemapBytes,omitempty"`
 }
 
 // errFreshDir reports a data dir with neither checkpoints nor segments.
@@ -85,6 +99,10 @@ func recoverDir(dir string, truncate bool) (*store.Store, []core.DeltaSpan, Reco
 	}
 	info.CheckpointGeneration = ck.generation
 	info.CheckpointQuads = ck.quads
+	info.CheckpointFormatVersion = ck.version
+	info.DictCompactionEpoch = ck.epoch
+	info.DictIDsReclaimed = ck.reclaimed
+	info.DictRemapBytes = ck.remapBytes
 
 	// Seed the span log with the checkpoint's spans. Spans beyond the
 	// checkpoint generation are dropped: their release records follow in the
