@@ -14,6 +14,7 @@
 //	bdictl checkpoint -addr URL        trigger a checkpoint on a running mdm-server
 //	bdictl restore -dir path           recover a data dir offline and print what it holds
 //	bdictl replication -addr URL       print replication status (primary or replica)
+//	bdictl top -addr URL               one-shot pretty dump of the server's /metrics
 //
 // The -evolved flag includes the evolved D1 schema version (wrapper w4).
 // checkpoint and restore operate on the durability subsystem (internal/wal):
@@ -27,8 +28,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -82,6 +85,9 @@ func main() {
 		return
 	case "replication":
 		runReplication(*addr)
+		return
+	case "top":
+		runTop(*addr)
 		return
 	}
 
@@ -415,6 +421,111 @@ func runReplication(addr string) {
 	}
 }
 
+// runTop fetches GET /metrics from a running server and pretty-prints it:
+// one section per subsystem (the first token after the bdi_ prefix), plain
+// counters and gauges as name/value pairs, histograms folded to
+// count/avg/max-bucket. A one-shot `top`, not a watcher — run it under
+// `watch` for a live view.
+func runTop(addr string) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Get(strings.TrimRight(addr, "/") + "/metrics")
+	if err != nil {
+		fail(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fail(fmt.Errorf("top: server answered %s for GET /metrics", resp.Status))
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fail(fmt.Errorf("top: reading response: %w", err))
+	}
+
+	text := string(body)
+	type hist struct{ sum, count float64 }
+	plain := map[string]float64{} // "name{labels}" -> value
+	hists := map[string]*hist{}   // family name -> folded sum/count
+	var order []string            // display order: series keys and "family\x00hist" markers
+	histogram := func(family string) *hist {
+		h := hists[family]
+		if h == nil {
+			h = &hist{}
+			hists[family] = h
+			order = append(order, family+"\x00hist")
+		}
+		return h
+	}
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		series, valueText := line[:sp], line[sp+1:]
+		value, err := strconv.ParseFloat(valueText, 64)
+		if err != nil {
+			continue
+		}
+		name := series
+		if b := strings.IndexByte(name, '{'); b >= 0 {
+			name = name[:b]
+		}
+		isHistPart := func(suffix string) (string, bool) {
+			family, ok := strings.CutSuffix(name, suffix)
+			return family, ok && strings.Contains(text, "# TYPE "+family+" histogram")
+		}
+		if strings.HasSuffix(name, "_bucket") {
+			continue // folded into _sum/_count
+		}
+		if family, ok := isHistPart("_sum"); ok {
+			histogram(family).sum += value
+			continue
+		}
+		if family, ok := isHistPart("_count"); ok {
+			histogram(family).count += value
+			continue
+		}
+		if _, seen := plain[series]; !seen {
+			order = append(order, series)
+		}
+		plain[series] = value
+	}
+
+	section := ""
+	for _, key := range order {
+		isHist := strings.HasSuffix(key, "\x00hist")
+		display := strings.TrimPrefix(strings.TrimSuffix(key, "\x00hist"), "bdi_")
+		sub, _, _ := strings.Cut(display, "_")
+		if sub != section {
+			if section != "" {
+				fmt.Println()
+			}
+			fmt.Println(sub)
+			section = sub
+		}
+		if isHist {
+			h := hists[strings.TrimSuffix(key, "\x00hist")]
+			avg := ""
+			if h.count > 0 {
+				avg = fmt.Sprintf(" avg=%s", time.Duration(h.sum/h.count*float64(time.Second)).Round(time.Microsecond))
+			}
+			fmt.Printf("  %-52s count=%.0f%s\n", display, h.count, avg)
+			continue
+		}
+		fmt.Printf("  %-52s %s\n", display, formatMetricValue(plain[key]))
+	}
+}
+
+func formatMetricValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
 func loadQuery(path string) string {
 	if path == "" {
 		return demoQuery
@@ -427,7 +538,7 @@ func loadQuery(path string) string {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: bdictl <demo|stats|concepts|sources|rewrite|query|releases|dump|changes|checkpoint|restore|replication> [-evolved] [-query file] [-file release.json] [-addr url] [-dir data-dir]")
+	fmt.Fprintln(os.Stderr, "usage: bdictl <demo|stats|concepts|sources|rewrite|query|releases|dump|changes|checkpoint|restore|replication|top> [-evolved] [-query file] [-file release.json] [-addr url] [-dir data-dir]")
 }
 
 func fail(err error) {

@@ -7,7 +7,7 @@
 //	benchrunner -table 6        industrial applicability (Table 6)
 //	benchrunner -figure 8       query answering time vs wrappers per concept
 //	benchrunner -figure 11      Source-graph growth per Wordpress release
-//	benchrunner -ablation lav-gav | entailment | attribute-reuse | rewrite-cache | incremental-rewrite | wal | overload | walk-exec | gc-pressure
+//	benchrunner -ablation lav-gav | entailment | attribute-reuse | rewrite-cache | incremental-rewrite | wal | overload | walk-exec | gc-pressure | obs-overhead
 //	benchrunner -parallel       figure 8 under concurrent query load
 //	benchrunner -replicas 2     read-replica throughput and staleness under write churn
 //	benchrunner -all            everything above
@@ -43,7 +43,7 @@ import (
 func main() {
 	table := flag.Int("table", 0, "regenerate a table of the paper (3, 4, 5 or 6)")
 	figure := flag.Int("figure", 0, "regenerate a figure of the paper (8 or 11)")
-	ablation := flag.String("ablation", "", "run an ablation: lav-gav, entailment, attribute-reuse, rewrite-cache, incremental-rewrite, wal, overload, walk-exec or gc-pressure")
+	ablation := flag.String("ablation", "", "run an ablation: lav-gav, entailment, attribute-reuse, rewrite-cache, incremental-rewrite, wal, overload, walk-exec, gc-pressure or obs-overhead")
 	parallel := flag.Bool("parallel", false, "run figure 8 under concurrent query load (snapshot-isolated reads)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel: number of concurrent query goroutines")
 	all := flag.Bool("all", false, "regenerate every table, figure and ablation")
@@ -112,6 +112,10 @@ func main() {
 	}
 	if *all || *ablation == "gc-pressure" {
 		printGCPressureAblation(*concepts)
+		ran = true
+	}
+	if *all || *ablation == "obs-overhead" {
+		printObsOverheadAblation(*concepts)
 		ran = true
 	}
 	if *all || *parallel {

@@ -11,6 +11,8 @@
 //	                                       read replica following a durable primary
 //	mdm-server -query-timeout 2s -max-rows 1000000 -read-pool 8
 //	                                       per-query deadlines/budgets + overload shedding
+//	mdm-server -debug-addr 127.0.0.1:6060  opt-in pprof listener (loopback only)
+//	mdm-server -log-format json            structured JSON logs (default: text)
 //
 // A durable primary (-data-dir) automatically ships its WAL and checkpoints
 // under GET /api/replication/. A replica (-replica-of) bootstraps from the
@@ -30,6 +32,12 @@
 //	batch    group commit: background fsync every ~10ms (default)
 //	off      leave flushing to the OS page cache (bulk loads, benchmarks)
 //
+// Observability: GET /metrics serves the Prometheus text exposition on both
+// roles, GET /api/queries/trace lists the slowest retained request traces
+// and GET /api/queries/trace/{id} fetches one span tree. -debug-addr starts
+// an opt-in net/http/pprof listener on a separate server; it is off by
+// default and refuses to bind non-loopback addresses.
+//
 // See internal/mdm for the endpoint list (GET /api/durability reports WAL,
 // checkpoint and recovery statistics).
 package main
@@ -38,8 +46,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -71,7 +81,14 @@ func main() {
 	writePool := flag.Int("write-pool", 1, "with -read-pool, max concurrent release registrations")
 	queueTimeout := flag.Duration("queue-timeout", time.Second, "with -read-pool, max time a request waits for a pool slot before 429")
 	slowQuery := flag.Duration("slow-query", 0, "log queries slower than this and expose them on GET /api/queries/stats (0 = disabled)")
+	debugAddr := flag.String("debug-addr", "", "opt-in net/http/pprof listener address; loopback only (empty = disabled)")
+	logFormat := flag.String("log-format", "text", "log output format: text | json")
 	flag.Parse()
+
+	if err := setupLogging(*logFormat); err != nil {
+		fatal("mdm-server: %v", err)
+	}
+	startDebugServer(*debugAddr)
 
 	lifecycleCfg := mdm.LifecycleConfig{
 		QueryTimeout:       *queryTimeout,
@@ -82,7 +99,7 @@ func main() {
 
 	if *replicaOf != "" {
 		if *dataDir != "" {
-			log.Fatalf("mdm-server: -replica-of and -data-dir are mutually exclusive (a replica's state comes from the primary)")
+			fatal("mdm-server: -replica-of and -data-dir are mutually exclusive (a replica's state comes from the primary)")
 		}
 		runReplica(*addr, *replicaOf, *replicaID, *maxLag, *maxStaleness, *demo, *evolved, lifecycleCfg, governorCfg)
 		return
@@ -96,23 +113,28 @@ func main() {
 	if *dataDir != "" {
 		policy, err := wal.ParseSyncPolicy(*walSync)
 		if err != nil {
-			log.Fatalf("mdm-server: %v", err)
+			fatal("mdm-server: %v", err)
 		}
 		manager, err = wal.Open(*dataDir, wal.Options{Sync: policy})
 		if err != nil {
-			log.Fatalf("mdm-server: opening data dir: %v", err)
+			fatal("mdm-server: opening data dir: %v", err)
 		}
 		ontology = manager.Ontology()
 		rec := manager.Recovery()
-		log.Printf("recovered %s: checkpoint gen %d (%d quads), %d batches replayed, %d release spans, torn tail: %v",
-			*dataDir, rec.CheckpointGeneration, rec.CheckpointQuads, rec.BatchesReplayed, rec.SpansRestored, rec.TornTail)
+		slog.Info("mdm-server: recovered data dir",
+			"dir", *dataDir,
+			"checkpoint_generation", rec.CheckpointGeneration,
+			"checkpoint_quads", rec.CheckpointQuads,
+			"batches_replayed", rec.BatchesReplayed,
+			"release_spans", rec.SpansRestored,
+			"torn_tail", rec.TornTail)
 	} else {
 		ontology = core.NewOntology()
 	}
 
 	if *demo {
 		if err := seedDemo(ontology, registry, *evolved); err != nil {
-			log.Fatalf("mdm-server: seeding demo ontology: %v", err)
+			fatal("mdm-server: seeding demo ontology: %v", err)
 		}
 	}
 	warnUnresolvedWrappers(ontology, registry)
@@ -135,31 +157,98 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Printf("MDM backend listening on %s (demo=%v evolved=%v data-dir=%q wal-sync=%s)\n",
-			*addr, *demo, *evolved, *dataDir, *walSync)
+		slog.Info("mdm-server: MDM backend listening",
+			"addr", *addr, "demo", *demo, "evolved", *evolved, "data_dir", *dataDir, "wal_sync", *walSync)
 		errc <- httpServer.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errc:
 		if err != nil && err != http.ErrServerClosed {
-			log.Fatal(err)
+			fatal("mdm-server: %v", err)
 		}
 	case <-ctx.Done():
-		log.Printf("shutting down: draining requests")
+		slog.Info("mdm-server: shutting down, draining requests")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpServer.Shutdown(shutdownCtx); err != nil {
-			log.Printf("shutdown: %v", err)
+			slog.Warn("mdm-server: shutdown", "error", err)
 		}
 	}
 	if manager != nil {
-		log.Printf("writing final checkpoint")
+		slog.Info("mdm-server: writing final checkpoint")
 		if err := manager.Close(); err != nil {
-			log.Fatalf("mdm-server: final checkpoint: %v", err)
+			fatal("mdm-server: final checkpoint: %v", err)
 		}
-		log.Printf("data dir %s is clean", *dataDir)
+		slog.Info("mdm-server: data dir is clean", "dir", *dataDir)
 	}
+}
+
+// setupLogging installs the process-wide slog handler. Logs go to stderr in
+// either human-readable text (default) or one-JSON-object-per-line form.
+func setupLogging(format string) error {
+	var h slog.Handler
+	switch format {
+	case "text", "":
+		h = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		return fmt.Errorf("invalid -log-format %q (want text or json)", format)
+	}
+	slog.SetDefault(slog.New(h))
+	return nil
+}
+
+// fatal logs at error level and exits non-zero — the slog replacement for
+// log.Fatalf.
+func fatal(format string, args ...any) {
+	slog.Error(fmt.Sprintf(format, args...))
+	os.Exit(1)
+}
+
+// startDebugServer starts the opt-in pprof listener on its own http.Server
+// and mux (never the API server's). It is disabled by default and refuses
+// non-loopback addresses: profiling endpoints expose heap contents and must
+// not ride on a public interface. An empty host (":6060") is rewritten to
+// loopback rather than binding every interface.
+func startDebugServer(addr string) {
+	if addr == "" {
+		return
+	}
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		fatal("mdm-server: invalid -debug-addr %q: %v", addr, err)
+	}
+	if host == "" {
+		host = "127.0.0.1"
+	}
+	if !isLoopbackHost(host) {
+		fatal("mdm-server: -debug-addr %q is not a loopback address; pprof must never listen publicly (use 127.0.0.1:%s)", addr, port)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	debug := &http.Server{Addr: net.JoinHostPort(host, port), Handler: mux}
+	go func() {
+		slog.Info("mdm-server: pprof debug listener up", "addr", debug.Addr)
+		if err := debug.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			slog.Warn("mdm-server: pprof debug listener failed", "error", err)
+		}
+	}()
+}
+
+// isLoopbackHost reports whether host names the loopback interface, either
+// literally or as an address.
+func isLoopbackHost(host string) bool {
+	if host == "localhost" {
+		return true
+	}
+	ip := net.ParseIP(host)
+	return ip != nil && ip.IsLoopback()
 }
 
 // newHTTPServer returns an http.Server with the full timeout set: header
@@ -207,7 +296,9 @@ func runReplica(addr, primary, id string, maxLag uint64, maxStaleness time.Durat
 		ID:      id,
 		MaxLag:  maxLag,
 		MaxAge:  maxStaleness,
-		Logf:    log.Printf,
+		Logf: func(format string, args ...any) {
+			slog.Info(fmt.Sprintf(format, args...), "component", "replication")
+		},
 	})
 	server := mdm.NewReplicaServer(rep, registry)
 	server.ConfigureLifecycle(lifecycleCfg)
@@ -219,21 +310,21 @@ func runReplica(addr, primary, id string, maxLag uint64, maxStaleness time.Durat
 	defer stop()
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Printf("MDM replica listening on %s (primary=%s max-lag=%d max-staleness=%s)\n",
-			addr, primary, maxLag, maxStaleness)
+		slog.Info("mdm-server: MDM replica listening",
+			"addr", addr, "primary", primary, "max_lag", maxLag, "max_staleness", maxStaleness)
 		errc <- httpServer.ListenAndServe()
 	}()
 	select {
 	case err := <-errc:
 		if err != nil && err != http.ErrServerClosed {
-			log.Fatal(err)
+			fatal("mdm-server: %v", err)
 		}
 	case <-ctx.Done():
-		log.Printf("shutting down: draining requests")
+		slog.Info("mdm-server: shutting down, draining requests")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpServer.Shutdown(shutdownCtx); err != nil {
-			log.Printf("shutdown: %v", err)
+			slog.Warn("mdm-server: shutdown", "error", err)
 		}
 	}
 	_ = rep.Close()
@@ -292,7 +383,9 @@ func warnUnresolvedWrappers(o *core.Ontology, registry *wrapper.Registry) {
 		if _, ok := registry.Get(name); ok {
 			continue
 		}
-		log.Printf("warning: wrapper %s is registered in the ontology but has no executable wrapper in this process; queries routed to it will fail until one is registered (POST /api/releases with sampleTuples, or matching -demo flags)", name)
+		slog.Warn("mdm-server: ontology wrapper has no executable wrapper in this process; "+
+			"queries routed to it will fail until one is registered (POST /api/releases with sampleTuples, or matching -demo flags)",
+			"wrapper", name)
 	}
 }
 
@@ -300,6 +393,6 @@ func logging(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		next.ServeHTTP(w, r)
-		log.Printf("%s %s %s", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+		slog.Info("http", "method", r.Method, "path", r.URL.Path, "duration", time.Since(start).Round(time.Microsecond))
 	})
 }

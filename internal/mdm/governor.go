@@ -4,7 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"bdi/internal/lifecycle"
+	"bdi/internal/obs"
 )
 
 // This file implements the server's overload governor and per-query
@@ -222,13 +223,15 @@ type queryOutcomes struct {
 // slowQueryLogSize bounds the slow-query ring buffer.
 const slowQueryLogSize = 64
 
-// SlowQuery is one slow-query log record.
+// SlowQuery is one slow-query log record. TraceID correlates the entry with
+// its span tree at GET /api/queries/trace/{id} while the trace is retained.
 type SlowQuery struct {
 	Time       time.Time `json:"time"`
 	Endpoint   string    `json:"endpoint"`
 	Query      string    `json:"query,omitempty"`
 	DurationMs int64     `json:"durationMs"`
 	Status     int       `json:"status"`
+	TraceID    string    `json:"traceId,omitempty"`
 }
 
 // slowLog is a fixed-size ring of the most recent slow queries.
@@ -297,27 +300,42 @@ func (w *statusRecorder) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
-// lifecycled wraps a handler with the full request lifecycle: admission
+// lifecycled wraps a handler with the full request lifecycle: a per-request
+// trace (X-Trace-Id on every response, shed 429s included), admission
 // through the named pool (429 + Retry-After on shed), the per-request
-// deadline and budget tracker on the read pool, outcome accounting and the
-// slow-query log. With no governor and no lifecycle config it reduces to
-// plain status recording.
+// deadline and budget tracker on the read pool, outcome accounting, request
+// metrics and the slow-query log. With no governor and no lifecycle config
+// it reduces to trace + status recording.
 func (s *Server) lifecycled(poolName string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		endpoint := r.Method + " " + r.URL.Path
+		trace := obs.NewTrace(endpoint)
+		w.Header().Set("X-Trace-Id", trace.ID())
+		ctx := obs.WithTrace(r.Context(), trace)
+		requestsTotal.Inc()
+
 		if s.governor != nil {
-			release, reason := s.governor.pool(poolName).acquire(r.Context())
+			_, admitSpan := obs.StartSpan(ctx, "admit")
+			admitStart := time.Now()
+			release, reason := s.governor.pool(poolName).acquire(ctx)
+			queueWaitSeconds.Observe(time.Since(admitStart))
 			if release == nil {
+				admitSpan.SetAttr("shed", reason)
+				admitSpan.End()
+				trace.Finish()
+				s.tracer().Offer(trace)
 				w.Header().Set("Retry-After", "1")
 				writeJSON(w, http.StatusTooManyRequests, map[string]string{
-					"error": fmt.Sprintf("server overloaded: %s pool %s", poolName, reason),
-					"code":  "shed",
+					"error":   fmt.Sprintf("server overloaded: %s pool %s", poolName, reason),
+					"code":    "shed",
+					"traceId": trace.ID(),
 				})
 				return
 			}
+			admitSpan.End()
 			defer release()
 		}
 
-		ctx := r.Context()
 		info := &reqInfo{}
 		ctx = context.WithValue(ctx, reqInfoKey{}, info)
 
@@ -338,6 +356,9 @@ func (s *Server) lifecycled(poolName string, h http.HandlerFunc) http.HandlerFun
 		start := time.Now()
 		h(rec, r.WithContext(ctx))
 		elapsed := time.Since(start)
+		queryDurationSeconds.Observe(elapsed)
+		trace.Finish()
+		s.tracer().Offer(trace)
 
 		switch rec.status {
 		case http.StatusOK, http.StatusCreated, 0:
@@ -352,15 +373,21 @@ func (s *Server) lifecycled(poolName string, h http.HandlerFunc) http.HandlerFun
 			s.outcomes.failed.Add(1)
 		}
 		if t := s.lifecycle.SlowQueryThreshold; t > 0 && elapsed >= t {
+			slowQueriesTotal.Inc()
 			q := SlowQuery{
 				Time:       start,
-				Endpoint:   r.Method + " " + r.URL.Path,
+				Endpoint:   endpoint,
 				Query:      info.query,
 				DurationMs: elapsed.Milliseconds(),
 				Status:     rec.status,
+				TraceID:    trace.ID(),
 			}
 			s.slow.add(q)
-			log.Printf("mdm: slow query: %s took %s (status %d)", q.Endpoint, elapsed.Round(time.Millisecond), rec.status)
+			slog.Warn("mdm: slow query",
+				"endpoint", q.Endpoint,
+				"duration", elapsed.Round(time.Millisecond).String(),
+				"status", rec.status,
+				"trace_id", trace.ID())
 		}
 	}
 }
@@ -417,8 +444,9 @@ func writeQueryError(w http.ResponseWriter, r *http.Request, err error) {
 	}
 	p := lifecycle.TrackerFrom(r.Context()).Progress()
 	writeJSON(w, status, map[string]any{
-		"error": err.Error(),
-		"code":  code,
+		"error":   err.Error(),
+		"code":    code,
+		"traceId": obs.TraceID(r.Context()),
 		"progress": map[string]int64{
 			"rows":      p.Rows,
 			"bytes":     p.Bytes,

@@ -33,6 +33,7 @@ import (
 
 	"bdi/internal/core"
 	"bdi/internal/evolution"
+	"bdi/internal/obs"
 	"bdi/internal/rdf"
 	"bdi/internal/relational"
 	"bdi/internal/replication"
@@ -68,6 +69,18 @@ type Server struct {
 	governor  *Governor
 	outcomes  queryOutcomes
 	slow      slowLog
+
+	// Per-role slow-trace ring (see metrics.go): the N slowest request
+	// traces, retrievable by ID. Lazily built so every construction path
+	// (primary, replica, test literals) gets one.
+	traceOnce sync.Once
+	traceRing *obs.Tracer
+}
+
+// tracer returns the server's slow-trace ring.
+func (s *Server) tracer() *obs.Tracer {
+	s.traceOnce.Do(func() { s.traceRing = obs.NewTracer(obs.DefaultTraceRetention) })
+	return s.traceRing
 }
 
 // NewServer returns an MDM backend over the given ontology and registry.
@@ -98,6 +111,9 @@ func (s *Server) EnableDurability(m *wal.Manager) { s.durability = m }
 //	POST /api/durability/checkpoint trigger a checkpoint (bdictl checkpoint)
 //	GET  /api/changes/catalog       the change taxonomy (Tables 3-5)
 //	GET  /api/replication           replication status (primary or replica role)
+//	GET  /api/queries/trace         the slowest retained request traces
+//	GET  /api/queries/trace/{id}    one request's span tree by trace ID
+//	GET  /metrics                   Prometheus text exposition of all subsystems
 //	GET  /api/health                liveness probe (legacy alias of /healthz)
 //	GET  /healthz                   liveness probe
 //	GET  /readyz                    readiness probe (WAL healthy, replica in sync)
@@ -114,9 +130,17 @@ func (s *Server) Handler() http.Handler {
 	// gate, then the handler — with the per-query deadline/budget attached
 	// between admission and execution (see lifecycled).
 	read := func(h http.HandlerFunc) http.HandlerFunc { return s.lifecycled(PoolRead, s.gated(h)) }
-	mux.HandleFunc("GET /api/health", s.handleHealthz)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	// /api/health is a legacy alias of /healthz: both paths are registered
+	// from the same handler value so they cannot drift apart (pinned by
+	// TestHealthLegacyAlias).
+	healthz := http.HandlerFunc(s.handleHealthz)
+	for _, path := range []string{"GET /healthz", "GET /api/health"} {
+		mux.Handle(path, healthz)
+	}
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /api/queries/trace", s.handleTraceList)
+	mux.HandleFunc("GET /api/queries/trace/{id}", s.handleTraceByID)
 	mux.HandleFunc("GET /api/ontology/stats", read(s.handleStats))
 	mux.HandleFunc("GET /api/ontology/concepts", read(s.handleConcepts))
 	mux.HandleFunc("GET /api/ontology/sources", read(s.handleSources))

@@ -2,7 +2,7 @@ package mdm
 
 import (
 	"fmt"
-	stdlog "log"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
 )
@@ -23,7 +23,8 @@ func Recover(next http.Handler) http.Handler {
 			if rec == http.ErrAbortHandler {
 				panic(rec)
 			}
-			stdlog.Printf("mdm: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			slog.Error("mdm: panic serving request",
+				"method", r.Method, "path", r.URL.Path, "panic", fmt.Sprint(rec), "stack", string(debug.Stack()))
 			// Best effort: if the handler already wrote headers this appends
 			// to the body, which is the most a recovery wrapper can do.
 			writeError(w, http.StatusInternalServerError, fmt.Errorf("internal server error: %v", rec))

@@ -94,6 +94,17 @@ func TestReplicaServerEndToEnd(t *testing.T) {
 	if code := getJSON(t, rts.URL+"/healthz", nil); code != 200 {
 		t.Errorf("replica healthz = %d", code)
 	}
+	// The replica's scrape surface mirrors its replication state.
+	body := scrape(t, rts.URL)
+	if v, ok := metricValue(body, "bdi_replication_synced_state"); !ok || v != 1 {
+		t.Errorf("bdi_replication_synced_state = %v (present=%v), want 1", v, ok)
+	}
+	if v, ok := metricValue(body, "bdi_replication_frames_applied_total"); !ok || v < 1 {
+		t.Errorf("bdi_replication_frames_applied_total = %v, want >= 1", v)
+	}
+	if _, ok := metricValue(body, "bdi_store_size_quads"); !ok {
+		t.Errorf("replica scrape is missing bdi_store_size_quads")
+	}
 	var ready ReadyzResponse
 	if code := getJSON(t, rts.URL+"/readyz", &ready); code != 200 || !ready.Ready {
 		t.Errorf("replica readyz = %d %+v", code, ready)

@@ -5,8 +5,31 @@ import (
 	"encoding/binary"
 	"fmt"
 	"runtime"
+	"strconv"
+	"time"
 
 	"bdi/internal/lifecycle"
+	"bdi/internal/obs"
+)
+
+// Walk-engine metrics. Instrumentation sits at walk and fetch granularity —
+// the join loops in runWalk stay untouched, so the per-row hot path costs
+// nothing.
+var (
+	walkExecutionsTotal = obs.NewCounter("bdi_walk_executions_total",
+		"Compiled walk executions (one per walk per union).")
+	walkRowsTotal = obs.NewCounter("bdi_walk_rows_total",
+		"Rows produced by compiled walk executions, before the union dedup.")
+	walkSeconds = obs.NewHistogram("bdi_walk_exec_seconds",
+		"Latency of single compiled walk executions.")
+	unionSeconds = obs.NewHistogram("bdi_walk_union_seconds",
+		"End-to-end latency of union executions (compile + walks + dedup).")
+	wrapperFetchesTotal = obs.NewCounter("bdi_wrapper_fetches_total",
+		"Wrapper source fetches (each distinct wrapper once per execution).")
+	wrapperFetchSeconds = obs.NewHistogram("bdi_wrapper_fetch_seconds",
+		"Latency of wrapper source fetches including ingestion.")
+	wrapperRowsTotal = obs.NewCounter("bdi_wrapper_rows_total",
+		"Rows fetched from wrapper sources.")
 )
 
 // Engine is the compiled walk executor: it ingests every wrapper relation
@@ -65,6 +88,8 @@ type ExecOptions struct {
 // ExecuteWalk executes a single walk, observably equal to the reference
 // Walk.ExecuteReferenceContext (up to raw tuple order).
 func (e *Engine) ExecuteWalk(ctx context.Context, w *Walk, resolver WrapperResolver) (*Relation, error) {
+	ctx, span := obs.StartSpan(ctx, "walk")
+	defer span.End()
 	track := lifecycle.TrackerFrom(ctx)
 	dict := NewValueDict()
 	fetched := map[string]*ColRelation{}
@@ -72,10 +97,15 @@ func (e *Engine) ExecuteWalk(ctx context.Context, w *Walk, resolver WrapperResol
 	if err != nil {
 		return nil, err
 	}
+	wstart := time.Now()
 	rows, err := runWalk(ctx, track, cw)
+	walkSeconds.Observe(time.Since(wstart))
+	walkExecutionsTotal.Inc()
 	if err != nil {
 		return nil, err
 	}
+	walkRowsTotal.Add(int64(len(rows)))
+	span.SetAttrInt("rows", int64(len(rows)))
 	rel := NewRelation(cw.name, cw.schema)
 	names := cw.schema.Names()
 	src := make([]int, len(names))
@@ -100,6 +130,13 @@ func (e *Engine) ExecuteWalk(ctx context.Context, w *Walk, resolver WrapperResol
 // and returns their deduplicated union. It is the engine behind
 // UnionOfConjunctiveQueries.ExecuteContext and the rewriter's ExecuteResult.
 func (e *Engine) ExecuteUnion(ctx context.Context, walks []*Walk, resolver WrapperResolver, opts ExecOptions) (*Relation, error) {
+	ctx, span := obs.StartSpan(ctx, "eval")
+	span.SetAttrInt("walks", int64(len(walks)))
+	unionStart := time.Now()
+	defer func() {
+		unionSeconds.Observe(time.Since(unionStart))
+		span.End()
+	}()
 	track := lifecycle.TrackerFrom(ctx)
 	dict := NewValueDict()
 	fetched := map[string]*ColRelation{}
@@ -198,7 +235,21 @@ func (e *Engine) ExecuteUnion(ctx context.Context, walks []*Walk, resolver Wrapp
 				errs[i] = err
 				return
 			}
+			_, wspan := obs.StartSpan(execCtx, "walk")
+			wspan.SetAttr("walk", strconv.Itoa(i))
+			wstart := time.Now()
 			results[i], errs[i] = runWalk(execCtx, track, compiled[i])
+			walkSeconds.Observe(time.Since(wstart))
+			walkExecutionsTotal.Inc()
+			walkRowsTotal.Add(int64(len(results[i])))
+			wspan.SetAttrInt("rows", int64(len(results[i])))
+			if p := track.Progress(); p.Rows > 0 || p.Bytes > 0 {
+				// Cumulative tracker charge at walk completion: with a budget
+				// attached this localizes which walk crossed the line.
+				wspan.SetAttrInt("tracker_rows", p.Rows)
+				wspan.SetAttrInt("tracker_bytes", p.Bytes)
+			}
+			wspan.End()
 		}(i)
 	}
 
@@ -283,6 +334,9 @@ func (e *Engine) compileOne(ctx context.Context, track *lifecycle.Tracker, w *Wa
 		}
 		rel, ok := fetched[ref.Wrapper]
 		if !ok {
+			_, fspan := obs.StartSpan(ctx, "wrapper.fetch")
+			fspan.SetAttr("wrapper", ref.Wrapper)
+			fstart := time.Now()
 			var raw *Relation
 			var err error
 			if usePD {
@@ -295,10 +349,17 @@ func (e *Engine) compileOne(ctx context.Context, track *lifecycle.Tracker, w *Wa
 				raw, err = fetchWrapper(ctx, resolver, ref.Wrapper)
 			}
 			if err != nil {
+				wrapperFetchSeconds.Observe(time.Since(fstart))
+				fspan.End()
 				return nil, fmt.Errorf("relational: fetching wrapper %s: %w", ref.Wrapper, err)
 			}
 			rel = IngestRelation(raw, dict)
 			fetched[ref.Wrapper] = rel
+			wrapperFetchSeconds.Observe(time.Since(fstart))
+			wrapperFetchesTotal.Inc()
+			wrapperRowsTotal.Add(int64(rel.NumRows()))
+			fspan.SetAttrInt("rows", int64(rel.NumRows()))
+			fspan.End()
 		}
 		proj, _ := projectColumns(rel.Schema, ref.Projection)
 		if err := chargeIngest(track, rel.NumRows(), len(proj.Attributes)); err != nil {

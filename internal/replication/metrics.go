@@ -1,0 +1,9 @@
+package replication
+
+import "bdi/internal/obs"
+
+// Apply-path latency is the one replication signal that needs a histogram;
+// frame/batch/resync counters and lag gauges are mirrored from Replica.Status
+// by the mdm /metrics handler, so those names live there and stay disjoint.
+var applySeconds = obs.NewHistogram("bdi_replication_apply_seconds",
+	"Latency of applying one shipped WAL chunk on the replica.")

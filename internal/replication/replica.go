@@ -423,6 +423,8 @@ func (r *Replica) streamOnce() error {
 // (records skipped by pruning between listing and reading on the primary)
 // forces a checkpoint resync.
 func (r *Replica) applyFrames(o *core.Ontology, body []byte) error {
+	start := time.Now()
+	defer func() { applySeconds.Observe(time.Since(start)) }()
 	off := 0
 	for off < len(body) {
 		rec, n, err := wal.DecodeFrame(body[off:])

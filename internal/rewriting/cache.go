@@ -6,10 +6,22 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"bdi/internal/core"
 	"bdi/internal/lifecycle"
+	"bdi/internal/obs"
 	"bdi/internal/rdf"
+)
+
+// Hot-path rewriting metrics. The histogram's count doubles as the rewrite
+// counter; unit builds are the expensive Algorithm 4 recomputations a cache
+// miss (or release invalidation) forces.
+var (
+	rewriteDurationSeconds = obs.NewHistogram("bdi_rewrite_duration_seconds",
+		"Latency of cached OMQ rewrites (hits and incremental rebuilds).")
+	unitBuildSeconds = obs.NewHistogram("bdi_rewrite_unit_build_seconds",
+		"Latency of intra-concept unit builds (Algorithm 4) on unit-cache misses.")
 )
 
 // Default capacity bounds of the cache. Both layers are LRU: when a bound
@@ -144,6 +156,12 @@ func (c *Cache) Rewrite(omq *OMQ) (*Result, error) {
 // each completes (a unit computed before the cancellation point is a
 // complete, generation-consistent result that later rewrites may reuse).
 func (c *Cache) RewriteContext(ctx context.Context, omq *OMQ) (*Result, error) {
+	ctx, span := obs.StartSpan(ctx, "rewrite")
+	start := time.Now()
+	defer func() {
+		rewriteDurationSeconds.Observe(time.Since(start))
+		span.End()
+	}()
 	key := canonicalKey(omq)
 	store := c.rewriter.Ontology.Store()
 	missCounted := false
@@ -164,6 +182,7 @@ func (c *Cache) RewriteContext(ctx context.Context, omq *OMQ) (*Result, error) {
 			c.entryLRU.MoveToFront(e.elem)
 			c.stats.Hits++
 			c.mu.Unlock()
+			span.SetAttr("cache", "hit")
 			return e.res, nil
 		}
 		if c.generation != gen {
@@ -178,6 +197,7 @@ func (c *Cache) RewriteContext(ctx context.Context, omq *OMQ) (*Result, error) {
 			// retry (Retries tracks those).
 			c.stats.Misses++
 			missCounted = true
+			span.SetAttr("cache", "miss")
 		}
 		c.mu.Unlock()
 
@@ -250,7 +270,12 @@ func (c *Cache) buildResult(ctx context.Context, gen uint64, omq *OMQ) (*Result,
 		c.stats.UnitMisses++
 		c.mu.Unlock()
 
+		_, uspan := obs.StartSpan(ctx, "rewrite.unit")
+		uspan.SetAttr("concept", string(concept))
+		ustart := time.Now()
 		pw, err := IntraConceptUnit(o, concept, features)
+		unitBuildSeconds.Observe(time.Since(ustart))
+		uspan.End()
 		if err != nil {
 			return nil, fp, err
 		}
@@ -267,7 +292,9 @@ func (c *Cache) buildResult(ctx context.Context, gen uint64, omq *OMQ) (*Result,
 		c.mu.Unlock()
 	}
 
-	res, err := c.rewriter.assemble(ctx, wf, expanded, partials)
+	actx, aspan := obs.StartSpan(ctx, "rewrite.assemble")
+	res, err := c.rewriter.assemble(actx, wf, expanded, partials)
+	aspan.End()
 	if err != nil {
 		return nil, fp, err
 	}

@@ -32,9 +32,26 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"bdi/internal/obs"
 	"bdi/internal/rdf"
 	"bdi/internal/slab"
+)
+
+// Store metrics: batch writes and the term-level Match entrypoints. The
+// ID-native probe path (MatchIDs/AppendMatchIDs inside the SPARQL join
+// pipeline) is deliberately uninstrumented — it runs per join step and a
+// shared counter there would put contended atomics on the hottest read path.
+var (
+	addAllBatchesTotal = obs.NewCounter("bdi_store_addall_batches_total",
+		"AddAll batch insertions.")
+	addAllQuadsTotal = obs.NewCounter("bdi_store_addall_quads_total",
+		"Quads newly added by AddAll batches.")
+	addAllSeconds = obs.NewHistogram("bdi_store_addall_seconds",
+		"Latency of AddAll batch insertions (intern + index + publish).")
+	matchesTotal = obs.NewCounter("bdi_store_matches_total",
+		"Term-level pattern matches (Match and friends) against a snapshot.")
 )
 
 // Pattern is a quad pattern: nil terms act as wildcards, and an empty
@@ -288,12 +305,19 @@ func (s *Store) AddAll(quads []rdf.Quad) (int, error) {
 	if len(quads) == 0 {
 		return 0, nil
 	}
+	start := time.Now()
+	added := 0
+	defer func() {
+		addAllSeconds.Observe(time.Since(start))
+		addAllBatchesTotal.Inc()
+		addAllQuadsTotal.Add(int64(added))
+	}()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ents := make([]eref, 0, len(quads))
-	var added []rdf.Quad
+	var journal []rdf.Quad
 	if s.hook != nil {
-		added = make([]rdf.Quad, 0, len(quads))
+		journal = make([]rdf.Quad, 0, len(quads))
 	}
 	flush := func() error {
 		if len(ents) == 0 {
@@ -303,7 +327,7 @@ func (s *Store) AddAll(quads []rdf.Quad) (int, error) {
 		if s.hook != nil {
 			// The hook sees the inserted quads in intern order, so replaying
 			// the batch re-interns every term at its original TermID.
-			if err := s.offerBatch(Batch{Kind: BatchAdd, Quads: added, Generation: prev.generation + 1}); err != nil {
+			if err := s.offerBatch(Batch{Kind: BatchAdd, Quads: journal, Generation: prev.generation + 1}); err != nil {
 				for _, e := range ents {
 					delete(s.quads, s.ar.slot(e).id)
 				}
@@ -330,18 +354,20 @@ func (s *Store) AddAll(quads []rdf.Quad) (int, error) {
 			if ferr := flush(); ferr != nil {
 				return 0, ferr
 			}
+			added = len(ents)
 			return len(ents), err
 		}
 		if e, ok := s.internQuad(q); ok {
 			ents = append(ents, e)
 			if s.hook != nil {
-				added = append(added, q)
+				journal = append(journal, q)
 			}
 		}
 	}
 	if err := flush(); err != nil {
 		return 0, err
 	}
+	added = len(ents)
 	return len(ents), nil
 }
 
@@ -446,16 +472,25 @@ func (s *Store) ContainsTriple(graph rdf.IRI, t rdf.Triple) bool {
 // (ascending ⟨graph, subject, predicate, object⟩ term-key order). Variables
 // in the pattern are treated as wildcards. The probe runs against the
 // current snapshot without taking any lock.
-func (s *Store) Match(p Pattern) []rdf.Quad { return s.Snapshot().Match(p) }
+func (s *Store) Match(p Pattern) []rdf.Quad {
+	matchesTotal.Inc()
+	return s.Snapshot().Match(p)
+}
 
 // MatchWithIDs is Match, additionally reporting each quad's dictionary
 // encoding. It is the hot-path variant: consumers can key dedup sets and
 // join maps on the fixed-width QuadID components instead of building string
 // keys per quad.
-func (s *Store) MatchWithIDs(p Pattern) []MatchedQuad { return s.Snapshot().MatchWithIDs(p) }
+func (s *Store) MatchWithIDs(p Pattern) []MatchedQuad {
+	matchesTotal.Inc()
+	return s.Snapshot().MatchWithIDs(p)
+}
 
 // MatchTriples is like Match but returns bare triples.
-func (s *Store) MatchTriples(p Pattern) []rdf.Triple { return s.Snapshot().MatchTriples(p) }
+func (s *Store) MatchTriples(p Pattern) []rdf.Triple {
+	matchesTotal.Inc()
+	return s.Snapshot().MatchTriples(p)
+}
 
 // MatchIDs returns the dictionary encodings of all quads matching the ID
 // pattern, in the same deterministic order as Match. It is the core lookup

@@ -2,7 +2,7 @@
 
 package wal
 
-import stdlog "log"
+import "log/slog"
 
 // dirLock is a no-op on platforms without flock semantics; single-writer
 // discipline is the operator's responsibility there. Two processes opening
@@ -11,8 +11,9 @@ import stdlog "log"
 type dirLock struct{}
 
 func lockDir(dir string) (*dirLock, error) {
-	stdlog.Printf("wal: WARNING: no file locking on this platform — directory %s is NOT protected against concurrent writers; "+
-		"running two processes against it will corrupt the log. Ensure single-process access externally.", dir)
+	slog.Warn("wal: no file locking on this platform — directory is NOT protected against concurrent writers; "+
+		"running two processes against it will corrupt the log. Ensure single-process access externally.",
+		"dir", dir)
 	return &dirLock{}, nil
 }
 

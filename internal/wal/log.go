@@ -178,12 +178,17 @@ func (l *log) append(r *record) error {
 	}
 	l.records++
 	l.bytes += uint64(len(l.buf))
+	walAppendsTotal.Inc()
+	walAppendBytesTotal.Add(int64(len(l.buf)))
 	l.dirty = true
 	if l.policy == SyncAlways {
+		start := time.Now()
 		if err := l.f.Sync(); err != nil {
 			l.failed = err
 			return fmt.Errorf("wal: fsync (log now fail-stop): %w", err)
 		}
+		walFsyncSeconds.Observe(time.Since(start))
+		walFsyncsTotal.Inc()
 		l.fsyncs++
 		l.dirty = false
 	}
@@ -216,6 +221,7 @@ func (l *log) syncLocked() error {
 	if l.closed || !l.dirty {
 		return nil
 	}
+	start := time.Now()
 	if err := l.f.Sync(); err != nil {
 		// Latch it: after a failed fsync the kernel may have dropped the
 		// dirty pages, so a later "successful" retry would not make the
@@ -224,6 +230,8 @@ func (l *log) syncLocked() error {
 		l.failed = err
 		return err
 	}
+	walFsyncSeconds.Observe(time.Since(start))
+	walFsyncsTotal.Inc()
 	l.fsyncs++
 	l.dirty = false
 	return nil

@@ -316,6 +316,8 @@ func (m *Manager) checkpoint() (CheckpointInfo, error) {
 	m.compactionEpoch = epoch
 	m.lastReclaimed = len(p.dropped)
 	m.statMu.Unlock()
+	walCheckpointsTotal.Inc()
+	walCheckpointSeconds.Observe(time.Since(start))
 	return info, nil
 }
 

@@ -1,0 +1,22 @@
+package wal
+
+import "bdi/internal/obs"
+
+// Durability metrics, process-wide across WAL managers (a process normally
+// runs one). Per-manager state (fail-stop latch, segment counts, last
+// checkpoint generation) is mirrored by the mdm /metrics handler from
+// Manager.Stats instead, so the names stay disjoint.
+var (
+	walAppendsTotal = obs.NewCounter("bdi_wal_appends_total",
+		"Records appended to the write-ahead log.")
+	walAppendBytesTotal = obs.NewCounter("bdi_wal_append_bytes_total",
+		"Encoded bytes appended to the write-ahead log.")
+	walFsyncsTotal = obs.NewCounter("bdi_wal_fsyncs_total",
+		"Segment fsyncs (SyncAlways per record, SyncBatch group commits, rotations).")
+	walFsyncSeconds = obs.NewHistogram("bdi_wal_fsync_seconds",
+		"Latency of segment fsyncs.")
+	walCheckpointsTotal = obs.NewCounter("bdi_wal_checkpoints_total",
+		"Checkpoints written (triggered or threshold-driven).")
+	walCheckpointSeconds = obs.NewHistogram("bdi_wal_checkpoint_seconds",
+		"Latency of whole checkpoints (snapshot pin through segment pruning).")
+)
